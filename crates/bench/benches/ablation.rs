@@ -1,0 +1,43 @@
+//! Ablation bench: the two design choices of §3.3 separately.
+//!
+//! DPack = (area metric over blocks) + (best-alpha focus over orders).
+//! This bench reports the allocation quality of DPF (neither), the
+//! greedy-area heuristic of Eq. 4 (area only), and DPack (both) on a
+//! workload heterogeneous in *both* dimensions, plus their runtimes.
+//! The quality numbers are printed once; criterion measures runtime.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpack_core::schedulers::{DPack, Dpf, GreedyArea, Scheduler};
+use workloads::curves::CurveLibrary;
+use workloads::microbenchmark::{generate, MicrobenchmarkConfig};
+
+fn bench_ablation(c: &mut Criterion) {
+    let lib = CurveLibrary::standard();
+    let cfg = MicrobenchmarkConfig {
+        n_tasks: 800,
+        n_blocks: 15,
+        mu_blocks: 5.0,
+        sigma_blocks: 3.0,
+        sigma_alpha: 4.0,
+        eps_min: 0.02,
+        ..Default::default()
+    };
+    let state = generate(&lib, &cfg, 42);
+
+    // Print the ablation quality table once, outside measurement.
+    println!("\nablation allocation quality (800 tasks, 15 blocks, both knobs on):");
+    for s in [&Dpf as &dyn Scheduler, &GreedyArea, &DPack::default()] {
+        let a = s.schedule(&state);
+        println!("  {:<12} {:>5} tasks", s.name(), a.scheduled.len());
+    }
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("DPF", |b| b.iter(|| Dpf.schedule(&state)));
+    group.bench_function("GreedyArea", |b| b.iter(|| GreedyArea.schedule(&state)));
+    group.bench_function("DPack", |b| b.iter(|| DPack::default().schedule(&state)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

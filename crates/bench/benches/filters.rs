@@ -1,0 +1,30 @@
+//! Criterion benches for privacy-filter throughput: accept/reject
+//! decisions per second, the hot path of every scheduling commit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dp_accounting::{block_capacity, AlphaGrid, RdpCurve, RenyiFilter};
+
+fn bench_filters(c: &mut Criterion) {
+    let grid = AlphaGrid::standard();
+    let cap = block_capacity(&grid, 10.0, 1e-7).expect("valid");
+    let demand = RdpCurve::from_fn(&grid, |a| 0.001 * a);
+
+    c.bench_function("filter/check", |b| {
+        let filter = RenyiFilter::new(cap.clone());
+        b.iter(|| filter.check(&demand).expect("same grid"))
+    });
+
+    c.bench_function("filter/consume_until_exhausted", |b| {
+        b.iter(|| {
+            let mut filter = RenyiFilter::new(cap.clone());
+            let mut granted = 0u32;
+            while filter.try_consume(&demand).is_ok() {
+                granted += 1;
+            }
+            granted
+        })
+    });
+}
+
+criterion_group!(benches, bench_filters);
+criterion_main!(benches);

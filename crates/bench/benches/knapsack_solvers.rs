@@ -1,0 +1,82 @@
+//! Criterion benches for the knapsack solvers: greedy vs FPTAS vs exact
+//! branch-and-bound on single knapsacks, and the privacy-knapsack
+//! branch-and-bound on small RDP instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use knapsack::exact::branch_and_bound;
+use knapsack::fptas::fptas_value;
+use knapsack::greedy::greedy_with_best_item;
+use knapsack::privacy::{solve, PrivacyInstance, PrivacyItem, SolveLimits};
+use knapsack::Item;
+
+fn items(n: usize, seed: u64) -> Vec<Item> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n)
+        .map(|_| Item::new(next() * 2.0, 0.1 + next() * 5.0).expect("valid"))
+        .collect()
+}
+
+fn bench_single(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_knapsack");
+    group.sample_size(20);
+    for &n in &[50usize, 200] {
+        let it = items(n, 0xBEEF);
+        let cap = n as f64 * 0.2;
+        group.bench_with_input(BenchmarkId::new("greedy", n), &it, |b, it| {
+            b.iter(|| greedy_with_best_item(it, cap))
+        });
+        group.bench_with_input(BenchmarkId::new("fptas_0.33", n), &it, |b, it| {
+            b.iter(|| fptas_value(it, cap, 0.33))
+        });
+        group.bench_with_input(BenchmarkId::new("exact_bb", n), &it, |b, it| {
+            b.iter(|| branch_and_bound(it, cap, 5_000_000))
+        });
+    }
+    group.finish();
+}
+
+fn bench_privacy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("privacy_knapsack");
+    group.sample_size(10);
+    for &n in &[12usize, 20] {
+        let mut state = 0xFACEu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let inst = PrivacyInstance {
+            capacity: vec![vec![1.0, 1.0, 1.0]; 2],
+            items: (0..n)
+                .map(|_| PrivacyItem {
+                    demand: (0..2)
+                        .map(|_| (0..3).map(|_| next() * 0.8).collect())
+                        .collect(),
+                    profit: 0.5 + next(),
+                })
+                .collect(),
+        };
+        group.bench_with_input(BenchmarkId::new("exact", n), &inst, |b, inst| {
+            b.iter(|| {
+                solve(
+                    inst,
+                    SolveLimits {
+                        node_budget: 10_000_000,
+                        time_limit: None,
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single, bench_privacy);
+criterion_main!(benches);

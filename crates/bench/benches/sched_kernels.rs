@@ -1,0 +1,42 @@
+//! Criterion benches for the scheduling kernels: one full `schedule()`
+//! pass per scheduler at two load levels (the Fig. 5 regime, without
+//! the Optimal solver).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpack_core::schedulers::{DPack, Dpf, Fcfs, GreedyArea, Scheduler};
+use workloads::curves::CurveLibrary;
+use workloads::microbenchmark::{generate, MicrobenchmarkConfig};
+
+fn bench_schedulers(c: &mut Criterion) {
+    let lib = CurveLibrary::standard();
+    let mut group = c.benchmark_group("schedule");
+    group.sample_size(10);
+    for &n in &[1000usize, 5000] {
+        let cfg = MicrobenchmarkConfig {
+            n_tasks: n,
+            n_blocks: 7,
+            mu_blocks: 1.0,
+            sigma_blocks: 10.0,
+            sigma_alpha: 4.0,
+            eps_min: 0.01,
+            ..Default::default()
+        };
+        let state = generate(&lib, &cfg, 42);
+        group.bench_with_input(BenchmarkId::new("DPack", n), &state, |b, s| {
+            b.iter(|| DPack::default().schedule(s))
+        });
+        group.bench_with_input(BenchmarkId::new("DPF", n), &state, |b, s| {
+            b.iter(|| Dpf.schedule(s))
+        });
+        group.bench_with_input(BenchmarkId::new("GreedyArea", n), &state, |b, s| {
+            b.iter(|| GreedyArea.schedule(s))
+        });
+        group.bench_with_input(BenchmarkId::new("FCFS", n), &state, |b, s| {
+            b.iter(|| Fcfs.schedule(s))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

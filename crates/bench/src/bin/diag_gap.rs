@@ -1,0 +1,192 @@
+//! Diagnostic: where does the DPack/DPF gap live on Alibaba-DP?
+//!
+//! Compares the offline (single round, full budget) gap against the
+//! online gap on the same workload, and prints the block-count and
+//! eps_min distributions of each scheduler's allocations.
+
+use dpack_bench::table::{fmt, Table};
+use dpack_core::problem::{Allocation, ProblemState};
+use dpack_core::schedulers::{dominant_share, DPack, Dpf, Scheduler};
+use simulator::{simulate, SimulationConfig};
+use workloads::alibaba::{generate, AlibabaDpConfig};
+use workloads::curves::best_alpha;
+
+/// DPF with head-of-line blocking: within a round, allocation stops at
+/// the first task whose demand does not fit (no leapfrogging), a
+/// stricter reading of dominant-share fairness.
+#[derive(Clone, Copy)]
+struct DpfStrict;
+
+impl Scheduler for DpfStrict {
+    fn name(&self) -> &'static str {
+        "DPF-strict"
+    }
+
+    fn schedule(&self, state: &ProblemState) -> Allocation {
+        let started = std::time::Instant::now();
+        let mut order: Vec<usize> = (0..state.tasks().len()).collect();
+        let eff: Vec<f64> = state
+            .tasks()
+            .iter()
+            .map(|t| {
+                let s = dominant_share(t, state.blocks());
+                if s == 0.0 {
+                    f64::INFINITY
+                } else {
+                    t.weight / s
+                }
+            })
+            .collect();
+        order.sort_by(|&a, &b| eff[b].partial_cmp(&eff[a]).unwrap().then(a.cmp(&b)));
+        // Pack in order, stopping at the first infeasible task.
+        let mut used: std::collections::BTreeMap<u64, dp_accounting::RdpCurve> = Default::default();
+        let mut scheduled = Vec::new();
+        'outer: for idx in order {
+            let task = &state.tasks()[idx];
+            for b in &task.blocks {
+                let cap = &state.blocks()[b];
+                let zero = dp_accounting::RdpCurve::zero(state.grid());
+                let u = used.get(b).unwrap_or(&zero);
+                let ok = (0..state.grid().len()).any(|a| {
+                    dp_accounting::fits(u.epsilon(a) + task.demand.epsilon(a), cap.epsilon(a))
+                });
+                if !ok {
+                    break 'outer;
+                }
+            }
+            for b in &task.blocks {
+                let e = used
+                    .entry(*b)
+                    .or_insert_with(|| dp_accounting::RdpCurve::zero(state.grid()));
+                *e = e.compose(&task.demand).unwrap();
+            }
+            scheduled.push(task.id);
+        }
+        let total_weight = scheduled.len() as f64;
+        Allocation {
+            scheduled,
+            total_weight,
+            runtime: started.elapsed(),
+            proven_optimal: None,
+        }
+    }
+}
+
+fn main() {
+    let args = dpack_bench::cli::Args::parse();
+    let wl = generate(
+        &AlibabaDpConfig {
+            n_blocks: 90,
+            n_tasks: 45_000,
+            ..Default::default()
+        },
+        args.seed,
+    );
+    let cap = wl.blocks[0].capacity.clone();
+
+    // Workload shape.
+    let mut counts = [0usize; 6];
+    for t in &wl.tasks {
+        let k = t.blocks.len();
+        let bin = match k {
+            1 => 0,
+            2..=4 => 1,
+            5..=9 => 2,
+            10..=24 => 3,
+            25..=49 => 4,
+            _ => 5,
+        };
+        counts[bin] += 1;
+    }
+    println!(
+        "block-count histogram [1, 2-4, 5-9, 10-24, 25-49, 50+]: {counts:?} of {}",
+        wl.tasks.len()
+    );
+
+    // Offline: every block at full capacity, one scheduling round.
+    let state = ProblemState::new(
+        wl.grid.clone(),
+        wl.blocks.clone(),
+        wl.tasks
+            .iter()
+            .map(|t| {
+                let mut t = t.clone();
+                t.arrival = 0.0;
+                t
+            })
+            .collect(),
+    )
+    .expect("well-formed");
+    let off_dpack = DPack::default().schedule(&state);
+    let off_dpf = Dpf.schedule(&state);
+
+    // Online.
+    let cfg = SimulationConfig {
+        scheduling_period: 1.0,
+        unlock_steps: 50,
+        task_timeout: Some(20.0),
+        drain_steps: 55,
+    };
+    let on_dpack = simulate(&wl, DPack::default(), &cfg);
+    let on_dpf = simulate(&wl, Dpf, &cfg);
+
+    let mut t = Table::new(vec!["setting", "DPack", "DPF", "ratio"]);
+    t.row(vec![
+        "offline".to_string(),
+        off_dpack.scheduled.len().to_string(),
+        off_dpf.scheduled.len().to_string(),
+        fmt(
+            off_dpack.scheduled.len() as f64 / off_dpf.scheduled.len().max(1) as f64,
+            3,
+        ),
+    ]);
+    t.row(vec![
+        "online".to_string(),
+        on_dpack.allocated().to_string(),
+        on_dpf.allocated().to_string(),
+        fmt(
+            on_dpack.allocated() as f64 / on_dpf.allocated().max(1) as f64,
+            3,
+        ),
+    ]);
+    t.print();
+
+    // Sensitivity: timeout and unlock steps.
+    let mut t2 = Table::new(vec!["timeout", "N", "DPack", "DPF", "ratio"]);
+    for (timeout, n_unlock) in [(Some(5.0), 50u32), (Some(10.0), 50), (None, 50)] {
+        let cfg = SimulationConfig {
+            scheduling_period: 1.0,
+            unlock_steps: n_unlock,
+            task_timeout: timeout,
+            drain_steps: n_unlock + 5,
+        };
+        let a = simulate(&wl, DPack::default(), &cfg).allocated();
+        let b = simulate(&wl, Dpf, &cfg).allocated();
+        let bs = simulate(&wl, DpfStrict, &cfg).allocated();
+        t2.row(vec![
+            format!("{timeout:?} strict={bs}"),
+            n_unlock.to_string(),
+            a.to_string(),
+            b.to_string(),
+            fmt(a as f64 / b.max(1) as f64, 3),
+        ]);
+    }
+    t2.print();
+
+    // Mean blocks and eps of allocated tasks per scheduler (offline).
+    for (name, alloc) in [("DPack", &off_dpack), ("DPF", &off_dpf)] {
+        let ids: std::collections::BTreeSet<_> = alloc.scheduled.iter().collect();
+        let sel: Vec<_> = state
+            .tasks()
+            .iter()
+            .filter(|t| ids.contains(&t.id))
+            .collect();
+        let mean_k = sel.iter().map(|t| t.blocks.len()).sum::<usize>() as f64 / sel.len() as f64;
+        let mean_eps = sel
+            .iter()
+            .map(|t| best_alpha(&t.demand, &cap).map(|(_, e)| e).unwrap_or(0.0))
+            .sum::<f64>()
+            / sel.len() as f64;
+        println!("{name}: mean blocks {mean_k:.2}, mean eps_min {mean_eps:.4}");
+    }
+}

@@ -1,0 +1,98 @@
+//! Fig. 2: RDP curves and their translation to traditional DP.
+//!
+//! Panel (a): RDP curves for Gaussian, subsampled Gaussian and Laplace
+//! mechanisms (each with noise std-dev 2) and their composition.
+//! Panel (b): translation to `(ε_DP, 10⁻⁶)`-DP per order; the best alpha
+//! differs per mechanism, and composing in RDP before translating beats
+//! translating first and adding (basic composition).
+
+use dp_accounting::mechanisms::{
+    GaussianMechanism, LaplaceMechanism, Mechanism, SubsampledGaussian,
+};
+use dp_accounting::{rdp_to_dp, AlphaGrid};
+use dpack_bench::table::{fmt, Table};
+
+fn main() {
+    let args = dpack_bench::cli::Args::parse();
+    let grid = AlphaGrid::standard();
+    let delta = 1e-6;
+
+    // Noise std-dev 2 for each mechanism, as in the figure. The paper
+    // does not state the subsampling rate; q = 0.5 (see DESIGN.md).
+    let gaussian = GaussianMechanism::new(2.0).expect("valid").curve(&grid);
+    let sampled = SubsampledGaussian::new(2.0, 0.5)
+        .expect("valid")
+        .curve(&grid);
+    let laplace = LaplaceMechanism::new(std::f64::consts::SQRT_2)
+        .expect("valid")
+        .curve(&grid);
+    let composition = gaussian
+        .compose(&sampled)
+        .and_then(|c| c.compose(&laplace))
+        .expect("same grid");
+
+    if args.wants_panel('a') {
+        println!("Fig. 2(a) — RDP epsilon per order (sigma = 2)\n");
+        let mut t = Table::new(vec![
+            "alpha",
+            "Gaussian",
+            "SampledGaussian",
+            "Laplace",
+            "Composition",
+        ]);
+        for (i, a) in grid.iter() {
+            t.row(vec![
+                fmt(a, 2),
+                fmt(gaussian.epsilon(i), 4),
+                fmt(sampled.epsilon(i), 4),
+                fmt(laplace.epsilon(i), 4),
+                fmt(composition.epsilon(i), 4),
+            ]);
+        }
+        t.print();
+        t.write_csv(format!("{}/fig2a.csv", args.out_dir))
+            .expect("write csv");
+        println!();
+    }
+
+    if args.wants_panel('b') {
+        println!("Fig. 2(b) — translation to (eps_DP, 1e-6)-DP\n");
+        let mut t = Table::new(vec!["mechanism", "best alpha", "eps_DP"]);
+        let mut basic_sum = 0.0;
+        for (name, curve) in [
+            ("Gaussian", &gaussian),
+            ("SampledGaussian", &sampled),
+            ("Laplace", &laplace),
+        ] {
+            let g = rdp_to_dp(curve, delta).expect("valid delta");
+            basic_sum += g.epsilon;
+            t.row(vec![
+                name.to_string(),
+                fmt(g.best_alpha, 0),
+                fmt(g.epsilon, 2),
+            ]);
+        }
+        let g = rdp_to_dp(&composition, delta).expect("valid delta");
+        t.row(vec![
+            "Composition (RDP)".to_string(),
+            fmt(g.best_alpha, 0),
+            fmt(g.epsilon, 2),
+        ]);
+        t.row(vec![
+            "Composition (basic)".to_string(),
+            "-".to_string(),
+            fmt(basic_sum, 2),
+        ]);
+        t.print();
+        t.write_csv(format!("{}/fig2b.csv", args.out_dir))
+            .expect("write csv");
+        println!(
+            "\nPaper: best alpha ~6 for the composition, eps_DP = 5.5 via RDP vs 7.8 via basic\n\
+             composition; the RDP gap grows with the number of composed computations."
+        );
+        assert!(
+            g.epsilon < basic_sum,
+            "RDP composition must beat basic composition"
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Fig. 5 (Q2): scalability under increasing load.
+//!
+//! Offline microbenchmark with `σ_α = 4`, `μ_blocks = 1`,
+//! `σ_blocks = 10` (wide spread truncated to the 7 available blocks),
+//! `ε_min = 0.01`. Sweeps the number of submitted tasks, reporting
+//! scheduler runtime and allocated tasks. Optimal is only run up to 200
+//! tasks — beyond that the paper reports "its execution never finishes",
+//! and our branch-and-bound hits its time budget the same way.
+
+use std::time::Duration;
+
+use dpack_bench::table::{fmt, Table};
+use dpack_core::schedulers::{DPack, Dpf, Optimal, Scheduler};
+use knapsack::privacy::SolveLimits;
+use workloads::curves::CurveLibrary;
+use workloads::microbenchmark::{generate, MicrobenchmarkConfig};
+
+fn main() {
+    let args = dpack_bench::cli::Args::parse();
+    let lib = CurveLibrary::standard();
+    let loads: Vec<usize> = if args.full {
+        vec![100, 200, 500, 1000, 2000, 3000, 4000, 5000]
+    } else {
+        vec![100, 200, 500, 1000, 2000]
+    };
+    const OPTIMAL_TASK_LIMIT: usize = 200;
+
+    println!("Fig. 5 — scalability (7 blocks, sigma_alpha = 4, eps_min = 0.01)\n");
+    let mut t = Table::new(vec![
+        "tasks",
+        "Optimal alloc",
+        "Optimal time(s)",
+        "DPack alloc",
+        "DPack time(s)",
+        "DPF alloc",
+        "DPF time(s)",
+    ]);
+    for &n in &loads {
+        let cfg = MicrobenchmarkConfig {
+            n_tasks: n,
+            n_blocks: 7,
+            mu_blocks: 1.0,
+            sigma_blocks: 10.0,
+            sigma_alpha: 4.0,
+            eps_min: 0.01,
+            ..Default::default()
+        };
+        let state = generate(&lib, &cfg, args.seed);
+        let dpack = DPack::default().schedule(&state);
+        let dpf = Dpf.schedule(&state);
+        let (opt_alloc, opt_time) = if n <= OPTIMAL_TASK_LIMIT {
+            let opt = Optimal {
+                limits: SolveLimits {
+                    node_budget: 50_000_000,
+                    time_limit: Some(Duration::from_secs(30)),
+                },
+            }
+            .schedule(&state);
+            let marker = if opt.proven_optimal == Some(true) {
+                String::new()
+            } else {
+                "+".into() // Hit its budget: lower bound only.
+            };
+            (
+                format!("{}{}", opt.scheduled.len(), marker),
+                fmt(opt.runtime.as_secs_f64(), 3),
+            )
+        } else {
+            ("-".to_string(), "-".to_string())
+        };
+        t.row(vec![
+            n.to_string(),
+            opt_alloc,
+            opt_time,
+            dpack.scheduled.len().to_string(),
+            fmt(dpack.runtime.as_secs_f64(), 4),
+            dpf.scheduled.len().to_string(),
+            fmt(dpf.runtime.as_secs_f64(), 4),
+        ]);
+    }
+    t.print();
+    t.write_csv(format!("{}/fig5.csv", args.out_dir))
+        .expect("write csv");
+    println!(
+        "\nPaper: Optimal intractable past 200 tasks; DPack slightly slower than DPF\n\
+         (it solves per-block knapsacks) but both stay practical; allocations plateau."
+    );
+}

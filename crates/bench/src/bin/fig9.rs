@@ -1,0 +1,83 @@
+//! Fig. 9 (appendix): impact of the batching parameter `T`.
+//!
+//! Sweeps `T` on the Alibaba-DP workload, reporting allocated tasks and
+//! mean scheduling delay. Expected shape: DPack and DPF are largely
+//! insensitive to `T` (DPack +28–52% throughout); FCFS performs *worse*
+//! at large `T` because the bigger unlocked batch admits its early
+//! expensive tasks, squeezing out many cheap ones; delay grows roughly
+//! linearly in `T`.
+
+use dpack_bench::table::{fmt, Table};
+use dpack_core::schedulers::{DPack, DpfStrict, Fcfs, Scheduler};
+use simulator::{simulate, SimulationConfig, SimulationResult};
+use workloads::alibaba::{generate, AlibabaDpConfig};
+use workloads::OnlineWorkload;
+
+fn run<S: Scheduler>(wl: &OnlineWorkload, s: S, t_period: f64) -> SimulationResult {
+    // No eviction (the T sweep studies batching, not patience); drain
+    // until every block is fully unlocked regardless of T.
+    let drain_steps = (50.0 / t_period).ceil() as u32 + 5;
+    simulate(
+        &wl.clone(),
+        s,
+        &SimulationConfig {
+            scheduling_period: t_period,
+            unlock_steps: 50,
+            task_timeout: None,
+            drain_steps,
+        },
+    )
+}
+
+fn main() {
+    let args = dpack_bench::cli::Args::parse();
+    let (n_tasks, n_blocks) = if args.full {
+        (40_000, 90)
+    } else {
+        (10_000, 60)
+    };
+    let wl = generate(
+        &AlibabaDpConfig {
+            n_blocks,
+            n_tasks,
+            ..Default::default()
+        },
+        args.seed,
+    );
+    println!("Fig. 9 — batching parameter sweep ({n_tasks} tasks, {n_blocks} blocks)\n");
+    let mut t = Table::new(vec![
+        "T",
+        "DPack alloc",
+        "DPF alloc",
+        "FCFS alloc",
+        "DPack delay",
+        "DPF delay",
+        "FCFS delay",
+    ]);
+    let periods: Vec<f64> = if args.full {
+        vec![1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0]
+    } else {
+        vec![1.0, 2.0, 5.0, 10.0, 25.0]
+    };
+    for &period in &periods {
+        let dpack = run(&wl, DPack::default(), period);
+        let dpf = run(&wl, DpfStrict, period);
+        let fcfs = run(&wl, Fcfs, period);
+        t.row(vec![
+            fmt(period, 0),
+            dpack.allocated().to_string(),
+            dpf.allocated().to_string(),
+            fcfs.allocated().to_string(),
+            fmt(dpack.mean_delay().unwrap_or(f64::NAN), 2),
+            fmt(dpf.mean_delay().unwrap_or(f64::NAN), 2),
+            fmt(fcfs.mean_delay().unwrap_or(f64::NAN), 2),
+        ]);
+    }
+    t.print();
+    t.write_csv(format!("{}/fig9.csv", args.out_dir))
+        .expect("write csv");
+    println!(
+        "\nPaper: allocations are largely insensitive to T for DPack/DPF (DPack +28-52%);\n\
+         a low T minimizes scheduling delay, so T can safely be small."
+    );
+}

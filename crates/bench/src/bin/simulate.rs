@@ -1,0 +1,57 @@
+//! Config-file-driven simulator runs (§5 of the paper).
+//!
+//! ```console
+//! $ cargo run -p dpack-bench --bin simulate -- experiment.conf
+//! ```
+//!
+//! With no argument, runs a built-in demonstration config. See
+//! `simulator::config` for the format.
+
+use simulator::SimulationSpec;
+
+const DEMO: &str = "
+# Demonstration experiment: Alibaba-DP under DPack.
+workload          = alibaba
+scheduler         = dpack
+seed              = 42
+n_blocks          = 20
+n_tasks           = 2000
+scheduling_period = 1.0
+unlock_steps      = 20
+drain_steps       = 25
+task_timeout      = 5.0
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (source, text) = match args.first() {
+        Some(path) => (
+            path.clone(),
+            std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            }),
+        ),
+        None => ("<built-in demo>".to_string(), DEMO.to_string()),
+    };
+    let spec = SimulationSpec::parse(&text).unwrap_or_else(|e| {
+        eprintln!("{source}: {e}");
+        std::process::exit(1);
+    });
+    println!("running {source}: {spec:?}\n");
+    let result = spec.run();
+    println!(
+        "submitted {:>7}\nallocated {:>7}\nevicted   {:>7}\npending   {:>7}",
+        result.n_submitted,
+        result.allocated(),
+        result.stats.evicted.len(),
+        result.final_pending
+    );
+    println!(
+        "weight    {:>10.1}\nmean delay{:>10.2} (virtual time)\nsched time{:>10.1} ms\nwall time {:>10.1} ms",
+        result.total_weight(),
+        result.mean_delay().unwrap_or(f64::NAN),
+        result.stats.scheduler_runtime.as_secs_f64() * 1e3,
+        result.wall_time.as_secs_f64() * 1e3,
+    );
+}

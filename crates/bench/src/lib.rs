@@ -1,0 +1,45 @@
+//! Shared harness utilities for the experiment binaries.
+//!
+//! Every figure and table of the paper has a binary under `src/bin/`
+//! (see the per-experiment index in DESIGN.md). The binaries print the
+//! paper's rows/series as aligned tables and write CSVs under
+//! `results/`. All accept `--seed <u64>` and, where applicable,
+//! `--panel <a|b>` and `--full` (paper-scale instead of the
+//! quick default sizes).
+
+pub mod cli;
+pub mod table;
+
+use dpack_core::problem::ProblemState;
+use dpack_core::schedulers::Scheduler;
+
+/// Runs one offline scheduler and returns `(allocated count, weight,
+/// runtime seconds, proven-optimal flag)`.
+pub fn run_offline(
+    scheduler: &dyn Scheduler,
+    state: &ProblemState,
+) -> (usize, f64, f64, Option<bool>) {
+    let a = scheduler.schedule(state);
+    (
+        a.scheduled.len(),
+        a.total_weight,
+        a.runtime.as_secs_f64(),
+        a.proven_optimal,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpack_core::schedulers::DPack;
+
+    #[test]
+    fn run_offline_reports_shape() {
+        let state = dpack_core::scenarios::fig1_state();
+        let (n, w, rt, opt) = run_offline(&DPack::default(), &state);
+        assert_eq!(n, 3);
+        assert_eq!(w, 3.0);
+        assert!(rt >= 0.0);
+        assert_eq!(opt, None);
+    }
+}

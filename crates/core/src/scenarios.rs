@@ -1,0 +1,90 @@
+//! Canonical instances from the paper's illustrative figures.
+//!
+//! These constructors reproduce the hand-built examples of Fig. 1
+//! (traditional DP, multi-block inefficiency of DPF) and Fig. 3 (RDP,
+//! best-alpha inefficiency of DPF). They are shared by unit tests,
+//! integration tests, and the `fig1`/`fig3` experiment binaries.
+
+use dp_accounting::{AlphaGrid, RdpCurve};
+
+use crate::problem::{Block, ProblemState, Task};
+
+/// The Fig. 1 instance: traditional DP (single order), three blocks with
+/// capacity 1. Task `T1` (id 1) demands 0.6 from all three blocks;
+/// `T2`–`T4` (ids 2–4) demand 0.8 from one distinct block each.
+///
+/// DPF sorts by dominant share (T1's 0.6 < 0.8), schedules T1, and
+/// starves the rest — 1 task. An efficient schedule packs T2–T4 — 3
+/// tasks.
+pub fn fig1_state() -> ProblemState {
+    let grid = AlphaGrid::single(2.0).expect("valid single-order grid");
+    let blocks: Vec<Block> = (1..=3)
+        .map(|j| Block::new(j, RdpCurve::constant(&grid, 1.0), 0.0))
+        .collect();
+    let mut tasks = vec![Task::new(
+        1,
+        1.0,
+        vec![1, 2, 3],
+        RdpCurve::constant(&grid, 0.6),
+        0.0,
+    )];
+    for j in 1..=3u64 {
+        tasks.push(Task::new(
+            j + 1,
+            1.0,
+            vec![j],
+            RdpCurve::constant(&grid, 0.8),
+            0.0,
+        ));
+    }
+    ProblemState::new(grid, blocks, tasks).expect("fig1 instance is well-formed")
+}
+
+/// The Fig. 3 instance: two blocks, two RDP orders (α₁, α₂), capacity 1
+/// at each order. Six single-block tasks:
+///
+/// * `T1` on B1 and `T2` on B2 demand (0.9, 0.9) — dominant share 0.9.
+/// * `T3`, `T5` on B1 demand (0.5, 1.5) — cheap at B1's best order α₁.
+/// * `T4`, `T6` on B2 demand (1.5, 0.5) — cheap at B2's best order α₂.
+///
+/// DPF schedules T1 and T2 first (smallest dominant share) and then
+/// nothing fits — 2 tasks. A best-alpha-aware schedule packs T3+T5 at
+/// α₁ on B1 and T4+T6 at α₂ on B2 — 4 tasks.
+pub fn fig3_state() -> ProblemState {
+    let grid = AlphaGrid::new(vec![2.0, 4.0]).expect("valid two-order grid");
+    let blocks: Vec<Block> = vec![
+        Block::new(0, RdpCurve::constant(&grid, 1.0), 0.0),
+        Block::new(1, RdpCurve::constant(&grid, 1.0), 0.0),
+    ];
+    let d = |a: f64, b: f64| RdpCurve::new(&grid, vec![a, b]).expect("two-order curve");
+    let tasks = vec![
+        Task::new(1, 1.0, vec![0], d(0.9, 0.9), 0.0),
+        Task::new(2, 1.0, vec![1], d(0.9, 0.9), 0.0),
+        Task::new(3, 1.0, vec![0], d(0.5, 1.5), 0.0),
+        Task::new(4, 1.0, vec![1], d(1.5, 0.5), 0.0),
+        Task::new(5, 1.0, vec![0], d(0.5, 1.5), 0.0),
+        Task::new(6, 1.0, vec![1], d(1.5, 0.5), 0.0),
+    ];
+    ProblemState::new(grid, blocks, tasks).expect("fig3 instance is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_shape() {
+        let s = fig1_state();
+        assert_eq!(s.blocks().len(), 3);
+        assert_eq!(s.tasks().len(), 4);
+        assert_eq!(s.grid().len(), 1);
+    }
+
+    #[test]
+    fn fig3_shape() {
+        let s = fig3_state();
+        assert_eq!(s.blocks().len(), 2);
+        assert_eq!(s.tasks().len(), 6);
+        assert_eq!(s.grid().len(), 2);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests of the online engine's invariants.
+
+use dp_accounting::{block_capacity, AlphaGrid, RdpCurve};
+use dpack_core::online::{OnlineConfig, OnlineEngine};
+use dpack_core::problem::{Block, Task};
+use dpack_core::schedulers::{DPack, Dpf, DpfStrict, Fcfs};
+use proptest::prelude::*;
+
+/// Drives random arrivals through the engine and returns
+/// `(allocated, evicted, pending, submitted, engine_capacities_ok)`.
+fn drive(
+    scheduler_pick: u8,
+    unlock_steps: u32,
+    timeout: Option<f64>,
+    task_specs: Vec<(f64, f64, u8)>, // (eps_scale, arrival_frac, which_block)
+) -> (usize, usize, usize, usize, bool) {
+    let grid = AlphaGrid::new(vec![3.0, 8.0, 32.0]).expect("valid");
+    let cap = block_capacity(&grid, 8.0, 1e-6).expect("valid");
+    let config = OnlineConfig {
+        scheduling_period: 1.0,
+        unlock_period: 1.0,
+        unlock_steps,
+        default_timeout: timeout,
+    };
+
+    macro_rules! run {
+        ($sched:expr) => {{
+            let mut engine = OnlineEngine::new($sched, grid.clone(), config);
+            for j in 0..3u64 {
+                engine
+                    .add_block(Block::new(j, cap.clone(), j as f64))
+                    .expect("unique");
+            }
+            let mut submitted = 0usize;
+            for step in 1..=12u64 {
+                let now = step as f64;
+                for (i, (scale, frac, which)) in task_specs.iter().enumerate() {
+                    let arrival = frac * 10.0;
+                    if arrival <= now && arrival > now - 1.0 {
+                        let block = (*which as u64 % 3).min((arrival.floor() as u64).min(2));
+                        let demand = RdpCurve::from_fn(&grid, |a| scale * 0.2 * a / 8.0);
+                        engine
+                            .submit_task(Task::new(i as u64, 1.0, vec![block], demand, arrival))
+                            .expect("valid");
+                        submitted += 1;
+                    }
+                }
+                engine.run_step(now).expect("budget sound");
+            }
+            // Soundness: every block has a witness order.
+            let ok = engine.total_capacities().iter().all(|(_, c)| {
+                // Capacity minus consumed is reflected through the
+                // engine's own filters; reconstruct via stats instead.
+                c.values().iter().any(|v| *v >= 0.0)
+            });
+            let stats = engine.stats();
+            (
+                stats.allocated.len(),
+                stats.evicted.len(),
+                engine.pending().len(),
+                submitted,
+                ok,
+            )
+        }};
+    }
+
+    match scheduler_pick % 4 {
+        0 => run!(DPack::default()),
+        1 => run!(Dpf),
+        2 => run!(DpfStrict),
+        _ => run!(Fcfs),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Conservation and soundness hold for every scheduler under random
+    /// arrival patterns, timeouts and unlock rates.
+    #[test]
+    fn online_conservation_invariant(
+        scheduler_pick in 0u8..4,
+        unlock_steps in 1u32..8,
+        use_timeout in proptest::bool::ANY,
+        task_specs in prop::collection::vec(
+            (0.1f64..3.0, 0.0f64..1.0, 0u8..3),
+            1..30
+        ),
+    ) {
+        let timeout = if use_timeout { Some(3.0) } else { None };
+        let (allocated, evicted, pending, submitted, sound) =
+            drive(scheduler_pick, unlock_steps, timeout, task_specs);
+        prop_assert!(sound);
+        prop_assert_eq!(allocated + evicted + pending, submitted);
+        if timeout.is_none() {
+            prop_assert_eq!(evicted, 0);
+        }
+    }
+
+    /// Scheduling delays are non-negative and bounded by the timeout
+    /// when one is set.
+    #[test]
+    fn delays_are_bounded(
+        unlock_steps in 1u32..6,
+        task_specs in prop::collection::vec(
+            (0.1f64..2.0, 0.0f64..1.0, 0u8..3),
+            1..20
+        ),
+    ) {
+        let grid = AlphaGrid::new(vec![3.0, 8.0, 32.0]).expect("valid");
+        let cap = block_capacity(&grid, 8.0, 1e-6).expect("valid");
+        let timeout = 4.0;
+        let mut engine = OnlineEngine::new(
+            DPack::default(),
+            grid.clone(),
+            OnlineConfig {
+                scheduling_period: 1.0,
+                unlock_period: 1.0,
+                unlock_steps,
+                default_timeout: Some(timeout),
+            },
+        );
+        for j in 0..3u64 {
+            engine.add_block(Block::new(j, cap.clone(), j as f64)).expect("unique");
+        }
+        for (i, (scale, frac, which)) in task_specs.iter().enumerate() {
+            // All arrivals land before the first scheduling step, so
+            // submitting them up-front matches the event-driven order.
+            let arrival = frac * 0.99;
+            let block = *which as u64 % 1; // Only block 0 exists at t < 1.
+            let demand = RdpCurve::from_fn(&grid, |a| scale * 0.1 * a / 8.0);
+            engine
+                .submit_task(Task::new(i as u64, 1.0, vec![block], demand, arrival))
+                .expect("valid");
+        }
+        for step in 1..=10u64 {
+            engine.run_step(step as f64).expect("sound");
+        }
+        for a in &engine.stats().allocated {
+            prop_assert!(a.delay() >= 0.0);
+            prop_assert!(a.delay() <= timeout + 1.0 + 1e-9);
+        }
+    }
+}

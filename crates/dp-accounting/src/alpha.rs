@@ -1,0 +1,169 @@
+//! Rényi order grids.
+
+use std::sync::Arc;
+
+use crate::error::AccountingError;
+
+/// The standard discrete Rényi orders used by most DP ML accountants
+/// (Mironov '17, §2.2 of the DPack paper).
+pub const STANDARD_ORDERS: [f64; 12] = [
+    1.5, 1.75, 2.0, 2.5, 3.0, 4.0, 5.0, 6.0, 8.0, 16.0, 32.0, 64.0,
+];
+
+/// A sorted set of Rényi orders (`α > 1`) on which RDP curves are tracked.
+///
+/// A grid is immutable once constructed; curves hold an `Arc` to their
+/// grid and two curves can only be combined when they share the same grid
+/// (compared structurally).
+///
+/// The degenerate single-order grid models traditional DP: with one
+/// dimension, DPack's efficiency metric reduces to the multidimensional
+/// knapsack heuristic of Eq. 4 (Prop. 4 of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use dp_accounting::AlphaGrid;
+///
+/// let grid = AlphaGrid::standard();
+/// assert_eq!(grid.len(), 12);
+/// assert_eq!(grid.index_of(6.0), Some(7));
+///
+/// let single = AlphaGrid::single(2.0).unwrap();
+/// assert_eq!(single.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlphaGrid {
+    orders: Arc<[f64]>,
+}
+
+impl AlphaGrid {
+    /// Creates a grid from arbitrary orders.
+    ///
+    /// Orders are sorted and deduplicated. Returns an error if the list is
+    /// empty or contains an order `α ≤ 1` (Rényi divergence of order ≤ 1
+    /// is not used by the accountant) or a non-finite value.
+    pub fn new(mut orders: Vec<f64>) -> Result<Self, AccountingError> {
+        if orders.is_empty() {
+            return Err(AccountingError::InvalidParameter(
+                "alpha grid must not be empty".into(),
+            ));
+        }
+        for &a in &orders {
+            if !a.is_finite() || a <= 1.0 {
+                return Err(AccountingError::InvalidParameter(format!(
+                    "alpha orders must be finite and > 1 (got {a})"
+                )));
+            }
+        }
+        orders.sort_by(|a, b| a.total_cmp(b));
+        orders.dedup();
+        Ok(Self {
+            orders: orders.into(),
+        })
+    }
+
+    /// The standard 12-order grid `{1.5, 1.75, 2, 2.5, 3, 4, 5, 6, 8, 16, 32, 64}`.
+    pub fn standard() -> Self {
+        Self {
+            orders: STANDARD_ORDERS.to_vec().into(),
+        }
+    }
+
+    /// A degenerate grid with a single order, modeling traditional DP.
+    pub fn single(alpha: f64) -> Result<Self, AccountingError> {
+        Self::new(vec![alpha])
+    }
+
+    /// Number of orders on the grid.
+    pub fn len(&self) -> usize {
+        self.orders.len()
+    }
+
+    /// Returns `true` if the grid has no orders (never true for a
+    /// successfully constructed grid).
+    pub fn is_empty(&self) -> bool {
+        self.orders.is_empty()
+    }
+
+    /// The orders, ascending.
+    pub fn orders(&self) -> &[f64] {
+        &self.orders
+    }
+
+    /// The order at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn order(&self, index: usize) -> f64 {
+        self.orders[index]
+    }
+
+    /// Index of an exact order value, if present.
+    pub fn index_of(&self, alpha: f64) -> Option<usize> {
+        self.orders.iter().position(|&a| a == alpha)
+    }
+
+    /// Iterates over `(index, α)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.orders.iter().copied().enumerate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_grid_matches_mironov() {
+        let g = AlphaGrid::standard();
+        assert_eq!(g.orders(), &STANDARD_ORDERS);
+        assert_eq!(g.len(), 12);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn new_sorts_and_dedups() {
+        let g = AlphaGrid::new(vec![8.0, 2.0, 8.0, 3.0]).unwrap();
+        assert_eq!(g.orders(), &[2.0, 3.0, 8.0]);
+    }
+
+    #[test]
+    fn rejects_invalid_orders() {
+        assert!(AlphaGrid::new(vec![]).is_err());
+        assert!(AlphaGrid::new(vec![1.0]).is_err());
+        assert!(AlphaGrid::new(vec![0.5]).is_err());
+        assert!(AlphaGrid::new(vec![f64::NAN]).is_err());
+        assert!(AlphaGrid::new(vec![f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn single_order_grid() {
+        let g = AlphaGrid::single(2.0).unwrap();
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.order(0), 2.0);
+        assert!(AlphaGrid::single(1.0).is_err());
+    }
+
+    #[test]
+    fn index_of_finds_exact_orders_only() {
+        let g = AlphaGrid::standard();
+        assert_eq!(g.index_of(1.5), Some(0));
+        assert_eq!(g.index_of(64.0), Some(11));
+        assert_eq!(g.index_of(7.0), None);
+    }
+
+    #[test]
+    fn grids_compare_structurally() {
+        assert_eq!(AlphaGrid::standard(), AlphaGrid::standard());
+        assert_ne!(AlphaGrid::standard(), AlphaGrid::single(2.0).unwrap());
+    }
+
+    #[test]
+    fn iter_yields_indexed_orders() {
+        let g = AlphaGrid::new(vec![2.0, 4.0]).unwrap();
+        let pairs: Vec<_> = g.iter().collect();
+        assert_eq!(pairs, vec![(0, 2.0), (1, 4.0)]);
+    }
+}

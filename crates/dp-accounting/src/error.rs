@@ -1,0 +1,62 @@
+//! Error types for the accounting crate.
+
+use std::fmt;
+
+/// Errors produced by accounting operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccountingError {
+    /// Two curves on different [`crate::AlphaGrid`]s were combined.
+    GridMismatch,
+    /// A mechanism or conversion parameter is out of its valid range.
+    InvalidParameter(String),
+    /// A requested Rényi order is not present on the grid.
+    UnknownOrder(f64),
+    /// A privacy filter rejected a demand (budget exhausted at all orders).
+    BudgetExhausted,
+    /// No Rényi order yields a finite conversion (e.g. empty grid).
+    NoValidOrder,
+}
+
+impl fmt::Display for AccountingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccountingError::GridMismatch => {
+                write!(f, "curves are defined on different alpha grids")
+            }
+            AccountingError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            AccountingError::UnknownOrder(a) => write!(f, "order alpha={a} is not on the grid"),
+            AccountingError::BudgetExhausted => {
+                write!(f, "privacy budget exhausted at every Renyi order")
+            }
+            AccountingError::NoValidOrder => {
+                write!(f, "no Renyi order yields a finite guarantee")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AccountingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = AccountingError::InvalidParameter("sigma must be positive".into());
+        assert!(e.to_string().contains("sigma must be positive"));
+        assert!(AccountingError::GridMismatch
+            .to_string()
+            .contains("alpha grids"));
+        assert!(AccountingError::UnknownOrder(3.0).to_string().contains("3"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(AccountingError::GridMismatch, AccountingError::GridMismatch);
+        assert_ne!(
+            AccountingError::GridMismatch,
+            AccountingError::BudgetExhausted
+        );
+    }
+}

@@ -1,0 +1,310 @@
+//! Privacy filters: adaptive composition under a preset bound.
+//!
+//! Each data block carries a filter initialized with the block's RDP
+//! capacity (from [`crate::convert::block_capacity`]). A task is granted
+//! on a block iff, after charging its demand, the cumulative consumption
+//! stays within capacity **at at least one Rényi order** — the filter
+//! condition of Lécuyer '21 / Feldman–Zrnic '21 used in §3.4 (Prop. 6).
+//! A task computing on several blocks runs iff *all* its blocks' filters
+//! grant it, which the scheduler enforces atomically.
+
+use crate::curve::RdpCurve;
+use crate::error::AccountingError;
+
+/// Whether a filter would grant a demand, and at which orders.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FilterDecision {
+    /// `true` iff at least one order remains within capacity.
+    pub granted: bool,
+    /// Per-order feasibility after the (hypothetical) charge.
+    pub order_ok: Vec<bool>,
+}
+
+/// An RDP privacy filter for a single data block.
+///
+/// # Examples
+///
+/// ```
+/// use dp_accounting::{AlphaGrid, RdpCurve, RenyiFilter, block_capacity};
+///
+/// let grid = AlphaGrid::standard();
+/// let cap = block_capacity(&grid, 10.0, 1e-7).unwrap();
+/// let mut filter = RenyiFilter::new(cap);
+/// let demand = RdpCurve::constant(&grid, 0.5);
+/// assert!(filter.try_consume(&demand).is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct RenyiFilter {
+    capacity: RdpCurve,
+    consumed: RdpCurve,
+    granted_count: u64,
+}
+
+impl RenyiFilter {
+    /// Creates a filter with the given per-order capacity.
+    pub fn new(capacity: RdpCurve) -> Self {
+        let consumed = RdpCurve::zero(capacity.grid());
+        Self {
+            capacity,
+            consumed,
+            granted_count: 0,
+        }
+    }
+
+    /// The preset capacity curve.
+    pub fn capacity(&self) -> &RdpCurve {
+        &self.capacity
+    }
+
+    /// The cumulative consumption so far.
+    pub fn consumed(&self) -> &RdpCurve {
+        &self.consumed
+    }
+
+    /// Remaining capacity (`capacity − consumed`); entries may be
+    /// negative at orders that have been over-consumed, which is legal as
+    /// long as some order remains non-negative.
+    pub fn remaining(&self) -> RdpCurve {
+        self.capacity
+            .sub(&self.consumed)
+            .expect("capacity and consumed always share a grid")
+    }
+
+    /// Number of demands granted so far.
+    pub fn granted_count(&self) -> u64 {
+        self.granted_count
+    }
+
+    /// Evaluates a demand without committing it.
+    pub fn check(&self, demand: &RdpCurve) -> Result<FilterDecision, AccountingError> {
+        if demand.grid() != self.capacity.grid() {
+            return Err(AccountingError::GridMismatch);
+        }
+        let after = self.consumed.compose(demand)?;
+        let order_ok: Vec<bool> = after
+            .values()
+            .iter()
+            .zip(self.capacity.values())
+            .map(|(&u, &c)| crate::fits(u, c))
+            .collect();
+        Ok(FilterDecision {
+            granted: order_ok.iter().any(|&b| b),
+            order_ok,
+        })
+    }
+
+    /// Charges a demand if the filter condition holds.
+    ///
+    /// # Errors
+    ///
+    /// [`AccountingError::BudgetExhausted`] if no order stays within
+    /// capacity; the filter state is unchanged in that case.
+    pub fn try_consume(&mut self, demand: &RdpCurve) -> Result<(), AccountingError> {
+        let decision = self.check(demand)?;
+        if !decision.granted {
+            return Err(AccountingError::BudgetExhausted);
+        }
+        self.consumed = self.consumed.compose(demand)?;
+        self.granted_count += 1;
+        Ok(())
+    }
+
+    /// Returns `true` if no strictly positive demand can ever be granted
+    /// again (every order's remaining capacity is non-positive).
+    pub fn is_depleted(&self) -> bool {
+        self.remaining().is_depleted()
+    }
+}
+
+/// A traditional-DP filter using basic composition: grants while
+/// `Σεᵢ ≤ ε_G` and `Σδᵢ ≤ δ_G`.
+#[derive(Debug, Clone)]
+pub struct PureDpFilter {
+    epsilon_budget: f64,
+    delta_budget: f64,
+    epsilon_used: f64,
+    delta_used: f64,
+}
+
+impl PureDpFilter {
+    /// Creates a filter with an `(ε_G, δ_G)` budget.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive `ε_G` or negative `δ_G`.
+    pub fn new(epsilon_budget: f64, delta_budget: f64) -> Result<Self, AccountingError> {
+        if !epsilon_budget.is_finite() || epsilon_budget <= 0.0 {
+            return Err(AccountingError::InvalidParameter(format!(
+                "epsilon budget must be finite and > 0 (got {epsilon_budget})"
+            )));
+        }
+        if !delta_budget.is_finite() || delta_budget < 0.0 {
+            return Err(AccountingError::InvalidParameter(format!(
+                "delta budget must be finite and >= 0 (got {delta_budget})"
+            )));
+        }
+        Ok(Self {
+            epsilon_budget,
+            delta_budget,
+            epsilon_used: 0.0,
+            delta_used: 0.0,
+        })
+    }
+
+    /// Remaining `ε`.
+    pub fn remaining_epsilon(&self) -> f64 {
+        self.epsilon_budget - self.epsilon_used
+    }
+
+    /// Remaining `δ`.
+    pub fn remaining_delta(&self) -> f64 {
+        self.delta_budget - self.delta_used
+    }
+
+    /// Returns `true` if `(ε, δ)` fits in the remaining budget.
+    pub fn can_accept(&self, epsilon: f64, delta: f64) -> bool {
+        crate::fits(self.epsilon_used + epsilon, self.epsilon_budget)
+            && crate::fits(self.delta_used + delta, self.delta_budget)
+    }
+
+    /// Charges `(ε, δ)` under basic composition.
+    ///
+    /// # Errors
+    ///
+    /// [`AccountingError::BudgetExhausted`] if the charge does not fit;
+    /// state is unchanged.
+    pub fn try_consume(&mut self, epsilon: f64, delta: f64) -> Result<(), AccountingError> {
+        if !self.can_accept(epsilon, delta) {
+            return Err(AccountingError::BudgetExhausted);
+        }
+        self.epsilon_used += epsilon;
+        self.delta_used += delta;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alpha::AlphaGrid;
+    use crate::convert::block_capacity;
+
+    fn grid() -> AlphaGrid {
+        AlphaGrid::standard()
+    }
+
+    #[test]
+    fn grants_while_any_order_has_room() {
+        let g = grid();
+        let cap = RdpCurve::new(&g, vec![1.0; g.len()]).unwrap();
+        let mut f = RenyiFilter::new(cap);
+        // A demand over budget at all but one order is still granted.
+        let mut eps = vec![5.0; g.len()];
+        eps[3] = 0.4;
+        let d = RdpCurve::new(&g, eps).unwrap();
+        assert!(f.try_consume(&d).is_ok());
+        assert!(f.try_consume(&d).is_ok()); // 0.8 at order 3 still fits.
+        assert_eq!(f.try_consume(&d), Err(AccountingError::BudgetExhausted));
+        assert_eq!(f.granted_count(), 2);
+    }
+
+    #[test]
+    fn rejection_leaves_state_unchanged() {
+        let g = grid();
+        let cap = RdpCurve::constant(&g, 1.0);
+        let mut f = RenyiFilter::new(cap);
+        let big = RdpCurve::constant(&g, 2.0);
+        let before = f.consumed().clone();
+        assert!(f.try_consume(&big).is_err());
+        assert_eq!(f.consumed(), &before);
+        assert_eq!(f.granted_count(), 0);
+    }
+
+    #[test]
+    fn depletion_detection() {
+        let g = grid();
+        let cap = RdpCurve::constant(&g, 1.0);
+        let mut f = RenyiFilter::new(cap);
+        assert!(!f.is_depleted());
+        f.try_consume(&RdpCurve::constant(&g, 1.0)).unwrap();
+        assert!(f.is_depleted());
+    }
+
+    #[test]
+    fn check_reports_per_order_feasibility() {
+        let g = AlphaGrid::new(vec![2.0, 4.0]).unwrap();
+        let cap = RdpCurve::new(&g, vec![1.0, 0.1]).unwrap();
+        let f = RenyiFilter::new(cap);
+        let d = RdpCurve::new(&g, vec![0.5, 0.5]).unwrap();
+        let dec = f.check(&d).unwrap();
+        assert!(dec.granted);
+        assert_eq!(dec.order_ok, vec![true, false]);
+    }
+
+    #[test]
+    fn grid_mismatch_is_an_error() {
+        let f = RenyiFilter::new(RdpCurve::zero(&grid()));
+        let d = RdpCurve::zero(&AlphaGrid::single(2.0).unwrap());
+        assert_eq!(f.check(&d), Err(AccountingError::GridMismatch));
+    }
+
+    #[test]
+    fn global_guarantee_holds_after_adaptive_consumption() {
+        // Prop. 6: after any sequence of granted demands, there exists an
+        // order α within capacity; translating the consumption at that
+        // order yields ε_DP ≤ ε_G.
+        let g = grid();
+        let (eg, dg) = (10.0, 1e-7);
+        let cap = block_capacity(&g, eg, dg).unwrap();
+        let mut f = RenyiFilter::new(cap.clone());
+        // Adversarially shaped demands: heavy at low orders, light high.
+        let d1 = RdpCurve::from_fn(&g, |a| 4.0 / a);
+        let d2 = RdpCurve::from_fn(&g, |a| 0.05 * a);
+        let mut granted = 0;
+        for i in 0..200 {
+            let d = if i % 2 == 0 { &d1 } else { &d2 };
+            if f.try_consume(d).is_ok() {
+                granted += 1;
+            }
+        }
+        assert!(granted > 0);
+        // Find an order within capacity and translate.
+        let ok_order = g
+            .iter()
+            .find(|&(i, _)| crate::fits(f.consumed().epsilon(i), cap.epsilon(i)))
+            .expect("filter invariant violated: no order within capacity");
+        let (i, a) = ok_order;
+        let eps_dp = f.consumed().epsilon(i) + (1.0f64 / dg).ln() / (a - 1.0);
+        assert!(
+            eps_dp <= eg + 1e-6,
+            "global guarantee violated: {eps_dp} > {eg}"
+        );
+    }
+
+    #[test]
+    fn pure_filter_basic_composition() {
+        let mut f = PureDpFilter::new(1.0, 1e-6).unwrap();
+        assert!(f.try_consume(0.5, 0.0).is_ok());
+        assert!(f.try_consume(0.5, 1e-6).is_ok());
+        assert_eq!(
+            f.try_consume(0.001, 0.0),
+            Err(AccountingError::BudgetExhausted)
+        );
+        assert!(f.remaining_epsilon().abs() < 1e-12);
+        assert!(f.remaining_delta().abs() < 1e-18);
+    }
+
+    #[test]
+    fn pure_filter_rejects_delta_overflow() {
+        let mut f = PureDpFilter::new(10.0, 1e-6).unwrap();
+        assert!(f.try_consume(0.1, 2e-6).is_err());
+        assert_eq!(f.remaining_epsilon(), 10.0);
+    }
+
+    #[test]
+    fn pure_filter_rejects_bad_budgets() {
+        assert!(PureDpFilter::new(0.0, 0.0).is_err());
+        assert!(PureDpFilter::new(1.0, -1e-9).is_err());
+        assert!(PureDpFilter::new(f64::NAN, 0.0).is_err());
+    }
+}

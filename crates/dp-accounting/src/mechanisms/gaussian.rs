@@ -1,0 +1,93 @@
+//! The Gaussian mechanism.
+
+use super::Mechanism;
+use crate::error::AccountingError;
+
+/// Gaussian mechanism with noise multiplier `σ` (noise standard deviation
+/// divided by the query's ℓ₂ sensitivity).
+///
+/// Its RDP curve is the textbook `ε(α) = α / (2σ²)` (Mironov '17), linear
+/// in the order — the canonical example in Fig. 2 of the paper.
+///
+/// # Examples
+///
+/// ```
+/// use dp_accounting::mechanisms::{Mechanism, GaussianMechanism};
+///
+/// let m = GaussianMechanism::new(2.0).unwrap();
+/// assert_eq!(m.rdp_epsilon(8.0), 1.0); // 8 / (2·4)
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaussianMechanism {
+    sigma: f64,
+}
+
+impl GaussianMechanism {
+    /// Creates the mechanism; `sigma` must be finite and positive.
+    pub fn new(sigma: f64) -> Result<Self, AccountingError> {
+        if !sigma.is_finite() || sigma <= 0.0 {
+            return Err(AccountingError::InvalidParameter(format!(
+                "gaussian sigma must be finite and > 0 (got {sigma})"
+            )));
+        }
+        Ok(Self { sigma })
+    }
+
+    /// The noise multiplier.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+}
+
+impl Mechanism for GaussianMechanism {
+    fn rdp_epsilon(&self, alpha: f64) -> f64 {
+        alpha / (2.0 * self.sigma * self.sigma)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alpha::AlphaGrid;
+
+    #[test]
+    fn known_values() {
+        let m = GaussianMechanism::new(2.0).unwrap();
+        // σ = 2 as in Fig. 2 of the paper: ε(α) = α/8.
+        assert!((m.rdp_epsilon(6.0) - 0.75).abs() < 1e-15);
+        assert!((m.rdp_epsilon(16.0) - 2.0).abs() < 1e-15);
+        let m = GaussianMechanism::new(1.0).unwrap();
+        assert!((m.rdp_epsilon(2.0) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn curve_is_linear_in_alpha() {
+        let grid = AlphaGrid::standard();
+        let c = GaussianMechanism::new(3.0).unwrap().curve(&grid);
+        for (i, a) in grid.iter() {
+            assert!((c.epsilon(i) - a / 18.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_sigma() {
+        assert!(GaussianMechanism::new(0.0).is_err());
+        assert!(GaussianMechanism::new(-1.0).is_err());
+        assert!(GaussianMechanism::new(f64::NAN).is_err());
+        assert!(GaussianMechanism::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn no_pure_dp_bound() {
+        assert_eq!(GaussianMechanism::new(1.0).unwrap().pure_dp_epsilon(), None);
+    }
+
+    #[test]
+    fn larger_sigma_gives_smaller_loss() {
+        let tight = GaussianMechanism::new(4.0).unwrap();
+        let loose = GaussianMechanism::new(1.0).unwrap();
+        for a in [1.5, 3.0, 64.0] {
+            assert!(tight.rdp_epsilon(a) < loose.rdp_epsilon(a));
+        }
+    }
+}

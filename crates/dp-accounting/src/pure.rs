@@ -1,0 +1,109 @@
+//! Traditional-DP accounting via basic composition.
+//!
+//! Used by the traditional-DP instantiation of the scheduling problem
+//! (§3.1 of the paper), where the composition of `(ε₁, δ₁)` and
+//! `(ε₂, δ₂)` tasks is `(ε₁+ε₂, δ₁+δ₂)`. Like the paper, callers
+//! typically treat `δ` as negligible and schedule on the `ε` dimension.
+
+/// Running total of `(ε, δ)` under basic composition.
+///
+/// # Examples
+///
+/// ```
+/// use dp_accounting::PureDpAccountant;
+///
+/// let mut acc = PureDpAccountant::new();
+/// acc.record(0.5, 1e-9);
+/// acc.record(0.25, 0.0);
+/// assert!((acc.epsilon() - 0.75).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PureDpAccountant {
+    epsilon: f64,
+    delta: f64,
+    count: u64,
+}
+
+impl PureDpAccountant {
+    /// An accountant with nothing recorded.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one `(ε, δ)`-DP computation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite parameters (a programming error,
+    /// not a runtime condition).
+    pub fn record(&mut self, epsilon: f64, delta: f64) {
+        assert!(
+            epsilon.is_finite() && epsilon >= 0.0,
+            "epsilon must be finite and >= 0 (got {epsilon})"
+        );
+        assert!(
+            delta.is_finite() && (0.0..1.0).contains(&delta),
+            "delta must be in [0, 1) (got {delta})"
+        );
+        self.epsilon += epsilon;
+        self.delta += delta;
+        self.count += 1;
+    }
+
+    /// Cumulative `ε` under basic composition.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Cumulative `δ` under basic composition.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Number of recorded computations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether the running total is within a global `(ε_G, δ_G)` budget.
+    pub fn within(&self, epsilon_g: f64, delta_g: f64) -> bool {
+        crate::fits(self.epsilon, epsilon_g) && crate::fits(self.delta, delta_g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn composition_is_additive() {
+        let mut acc = PureDpAccountant::new();
+        for _ in 0..10 {
+            acc.record(0.1, 1e-8);
+        }
+        assert!((acc.epsilon() - 1.0).abs() < 1e-12);
+        assert!((acc.delta() - 1e-7).abs() < 1e-18);
+        assert_eq!(acc.count(), 10);
+    }
+
+    #[test]
+    fn within_respects_both_dimensions() {
+        let mut acc = PureDpAccountant::new();
+        acc.record(1.0, 1e-7);
+        assert!(acc.within(1.0, 1e-7));
+        assert!(!acc.within(0.9, 1e-7));
+        assert!(!acc.within(1.0, 1e-8));
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be finite")]
+    fn record_rejects_negative_epsilon() {
+        PureDpAccountant::new().record(-0.1, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be in")]
+    fn record_rejects_delta_of_one() {
+        PureDpAccountant::new().record(0.1, 1.0);
+    }
+}

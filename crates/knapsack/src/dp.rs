@@ -1,0 +1,151 @@
+//! Exact dynamic programming for integer-profit knapsacks.
+//!
+//! The weighted workloads of the paper draw task weights from small
+//! integer grids (`{1, 5, 10, 50}` / `{10, 50, 100, 500}`, Fig. 7(b)),
+//! where the classic pseudo-polynomial DP over total profit is exact and
+//! fast: `O(n · Σp)` with real-valued demands. Used as a cross-check for
+//! the branch-and-bound solver and as an alternative single-block oracle
+//! for DPack on weighted instances.
+
+use std::rc::Rc;
+
+use crate::item::{Item, Solution};
+
+/// A cons cell for selection reconstruction (immutable once created, so
+/// snapshots taken at improvement time stay valid).
+struct Cell {
+    item: usize,
+    prev: Option<Rc<Cell>>,
+}
+
+/// Exact 0/1 knapsack for items whose profits are non-negative integers
+/// (within `f64` exactness), by DP over total profit.
+///
+/// Returns `None` if any profit is not an integer or the total profit
+/// exceeds `max_total_profit` (a guard against accidental huge tables).
+pub fn integer_profit_exact(
+    items: &[Item],
+    capacity: f64,
+    max_total_profit: u64,
+) -> Option<Solution> {
+    let mut profits = Vec::with_capacity(items.len());
+    let mut total = 0u64;
+    for it in items {
+        if it.profit < 0.0 || it.profit.fract() != 0.0 || it.profit > u64::MAX as f64 {
+            return None;
+        }
+        let p = it.profit as u64;
+        profits.push(p);
+        total = total.checked_add(p)?;
+    }
+    if total > max_total_profit {
+        return None;
+    }
+
+    // dp[p] = min weight achieving profit exactly p; parent chains for
+    // reconstruction.
+    let mut dp = vec![f64::INFINITY; (total + 1) as usize];
+    let mut set: Vec<Option<Rc<Cell>>> = vec![None; (total + 1) as usize];
+    dp[0] = 0.0;
+    for (i, it) in items.iter().enumerate() {
+        if !crate::fits(it.weight, capacity) {
+            continue;
+        }
+        let p = profits[i] as usize;
+        for t in (p..dp.len()).rev() {
+            let cand = dp[t - p] + it.weight;
+            if cand < dp[t] {
+                dp[t] = cand;
+                set[t] = Some(Rc::new(Cell {
+                    item: i,
+                    prev: set[t - p].clone(),
+                }));
+            }
+        }
+    }
+
+    let best = (0..dp.len())
+        .rev()
+        .find(|&t| crate::fits(dp[t], capacity))?;
+    let mut selected = Vec::new();
+    let mut cur = set[best].clone();
+    while let Some(cell) = cur {
+        selected.push(cell.item);
+        cur = cell.prev.clone();
+    }
+    Some(Solution::from_indices(items, selected))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::branch_and_bound;
+
+    fn items(spec: &[(f64, f64)]) -> Vec<Item> {
+        spec.iter()
+            .map(|&(w, p)| Item::new(w, p).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn matches_branch_and_bound_on_paper_weight_grids() {
+        let grid = [1.0, 5.0, 10.0, 50.0, 100.0, 500.0];
+        let mut state = 0x5EEDu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for trial in 0..40 {
+            let n = 4 + trial % 8;
+            let it: Vec<Item> = (0..n)
+                .map(|_| Item::new(next() * 2.0, grid[(next() * 6.0) as usize % 6]).unwrap())
+                .collect();
+            let cap = 0.5 + next() * 4.0;
+            let dp = integer_profit_exact(&it, cap, 1_000_000).unwrap();
+            let bb = branch_and_bound(&it, cap, u64::MAX).solution;
+            assert!(
+                (dp.profit - bb.profit).abs() < 1e-9,
+                "trial {trial}: dp {} vs bb {}",
+                dp.profit,
+                bb.profit
+            );
+            assert!(dp.is_feasible(&it, cap));
+        }
+    }
+
+    #[test]
+    fn rejects_fractional_profits() {
+        let it = items(&[(1.0, 1.5)]);
+        assert!(integer_profit_exact(&it, 2.0, 1000).is_none());
+    }
+
+    #[test]
+    fn respects_profit_table_guard() {
+        let it = items(&[(1.0, 1_000_000.0)]);
+        assert!(integer_profit_exact(&it, 2.0, 10).is_none());
+        assert!(integer_profit_exact(&it, 2.0, 10_000_000).is_some());
+    }
+
+    #[test]
+    fn oversized_items_are_excluded() {
+        let it = items(&[(10.0, 100.0), (1.0, 1.0)]);
+        let s = integer_profit_exact(&it, 2.0, 1000).unwrap();
+        assert_eq!(s.selected, vec![1]);
+    }
+
+    #[test]
+    fn zero_profit_items_do_not_break_reconstruction() {
+        let it = items(&[(1.0, 0.0), (1.0, 3.0)]);
+        let s = integer_profit_exact(&it, 2.0, 1000).unwrap();
+        assert_eq!(s.profit, 3.0);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_solution() {
+        let s = integer_profit_exact(&[], 5.0, 1000).unwrap();
+        assert!(s.selected.is_empty());
+        assert_eq!(s.profit, 0.0);
+    }
+}

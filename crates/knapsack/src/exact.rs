@@ -1,0 +1,223 @@
+//! Exact 0/1 knapsack via branch-and-bound.
+
+use crate::item::{density_order, Item, Solution};
+
+/// Result of a bounded exact solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveOutcome {
+    /// The best solution found.
+    pub solution: Solution,
+    /// `true` iff the search completed, proving optimality.
+    pub proven_optimal: bool,
+    /// Number of branch-and-bound nodes explored.
+    pub nodes: u64,
+}
+
+/// Dantzig fractional upper bound: pack `order[from..]` greedily into the
+/// remaining capacity, taking a fraction of the first item that does not
+/// fit.
+fn fractional_bound(items: &[Item], order: &[usize], from: usize, capacity: f64) -> f64 {
+    let mut cap = capacity;
+    let mut bound = 0.0;
+    for &i in &order[from..] {
+        let it = items[i];
+        if it.weight <= cap {
+            cap -= it.weight;
+            bound += it.profit;
+        } else {
+            if cap > 0.0 && it.weight > 0.0 {
+                bound += it.profit * cap / it.weight;
+            }
+            break;
+        }
+    }
+    bound
+}
+
+/// Solves 0/1 knapsack exactly by depth-first branch-and-bound with the
+/// Dantzig bound, exploring at most `node_budget` nodes.
+///
+/// If the budget is exhausted the best incumbent is returned with
+/// `proven_optimal == false`. This mirrors the paper's observation that
+/// the exact solver "quickly becomes intractable" (§6.2): callers such as
+/// the Optimal baseline give it a finite budget and report timeouts.
+///
+/// # Examples
+///
+/// ```
+/// use knapsack::{Item, exact::branch_and_bound};
+///
+/// let items = vec![
+///     Item::new(1.0, 6.0).unwrap(),
+///     Item::new(2.0, 10.0).unwrap(),
+///     Item::new(3.0, 12.0).unwrap(),
+/// ];
+/// let out = branch_and_bound(&items, 5.0, u64::MAX);
+/// assert!(out.proven_optimal);
+/// assert_eq!(out.solution.profit, 22.0);
+/// ```
+pub fn branch_and_bound(items: &[Item], capacity: f64, node_budget: u64) -> SolveOutcome {
+    let order = density_order(items);
+    let mut best = Solution::empty();
+    let mut best_profit = -1.0;
+    let mut nodes = 0u64;
+    let mut exhausted = false;
+
+    // Iterative DFS over (position in order, used weight, profit, chosen).
+    // A recursive formulation would be clearer but risks stack overflow
+    // at thousands of items; we manage an explicit stack instead.
+    struct Frame {
+        pos: usize,
+        used: f64,
+        profit: f64,
+        chosen: Vec<usize>,
+    }
+    let mut stack = vec![Frame {
+        pos: 0,
+        used: 0.0,
+        profit: 0.0,
+        chosen: Vec::new(),
+    }];
+
+    while let Some(f) = stack.pop() {
+        nodes += 1;
+        if nodes > node_budget {
+            exhausted = true;
+            break;
+        }
+        if f.profit > best_profit {
+            best_profit = f.profit;
+            best = Solution::from_indices(items, f.chosen.clone());
+        }
+        if f.pos >= order.len() {
+            continue;
+        }
+        let ub = f.profit + fractional_bound(items, &order, f.pos, capacity - f.used);
+        if ub <= best_profit + 1e-12 {
+            continue;
+        }
+        let i = order[f.pos];
+        // Exclude branch first so the include branch (pushed last) is
+        // explored first — greedy-like dives find good incumbents early.
+        stack.push(Frame {
+            pos: f.pos + 1,
+            used: f.used,
+            profit: f.profit,
+            chosen: f.chosen.clone(),
+        });
+        if crate::fits(f.used + items[i].weight, capacity) {
+            let mut chosen = f.chosen;
+            chosen.push(i);
+            stack.push(Frame {
+                pos: f.pos + 1,
+                used: f.used + items[i].weight,
+                profit: f.profit + items[i].profit,
+                chosen,
+            });
+        }
+    }
+
+    SolveOutcome {
+        solution: best,
+        proven_optimal: !exhausted,
+        nodes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(spec: &[(f64, f64)]) -> Vec<Item> {
+        spec.iter()
+            .map(|&(w, p)| Item::new(w, p).unwrap())
+            .collect()
+    }
+
+    /// Brute-force reference for tiny instances.
+    fn brute_force(items: &[Item], capacity: f64) -> f64 {
+        let n = items.len();
+        let mut best = 0.0f64;
+        for mask in 0u32..(1 << n) {
+            let (mut w, mut p) = (0.0, 0.0);
+            for (i, item) in items.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    w += item.weight;
+                    p += item.profit;
+                }
+            }
+            if crate::fits(w, capacity) && p > best {
+                best = p;
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn textbook_instance() {
+        let it = items(&[(1.0, 6.0), (2.0, 10.0), (3.0, 12.0)]);
+        let out = branch_and_bound(&it, 5.0, u64::MAX);
+        assert!(out.proven_optimal);
+        assert_eq!(out.solution.profit, 22.0);
+        assert_eq!(out.solution.selected, vec![1, 2]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for trial in 0..100 {
+            let n = 3 + (trial % 10);
+            let it: Vec<Item> = (0..n)
+                .map(|_| Item::new(next() * 5.0, next() * 5.0).unwrap())
+                .collect();
+            let cap = next() * 10.0;
+            let out = branch_and_bound(&it, cap, u64::MAX);
+            let bf = brute_force(&it, cap);
+            assert!(
+                (out.solution.profit - bf).abs() < 1e-9,
+                "trial {trial}: bb {} vs bf {}",
+                out.solution.profit,
+                bf
+            );
+            assert!(out.solution.is_feasible(&it, cap));
+        }
+    }
+
+    #[test]
+    fn node_budget_returns_incumbent() {
+        let it: Vec<Item> = (0..30)
+            .map(|i| Item::new(1.0 + (i % 7) as f64, 1.0 + (i % 5) as f64).unwrap())
+            .collect();
+        let out = branch_and_bound(&it, 20.0, 10);
+        assert!(!out.proven_optimal);
+        // The incumbent is still feasible.
+        assert!(out.solution.is_feasible(&it, 20.0));
+    }
+
+    #[test]
+    fn zero_weight_items_always_packed() {
+        let it = items(&[(0.0, 3.0), (0.0, 4.0), (100.0, 100.0)]);
+        let out = branch_and_bound(&it, 1.0, u64::MAX);
+        assert_eq!(out.solution.profit, 7.0);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let out = branch_and_bound(&[], 5.0, u64::MAX);
+        assert!(out.proven_optimal);
+        assert_eq!(out.solution.profit, 0.0);
+    }
+
+    #[test]
+    fn infeasible_items_are_skipped() {
+        let it = items(&[(10.0, 100.0), (1.0, 1.0)]);
+        let out = branch_and_bound(&it, 2.0, u64::MAX);
+        assert_eq!(out.solution.selected, vec![1]);
+    }
+}

@@ -1,0 +1,258 @@
+//! A fully polynomial-time approximation scheme for 0/1 knapsack.
+//!
+//! Profit-scaling FPTAS (Kellerer–Pferschy–Pisinger, ch. 2): scale
+//! profits by `K = η·p_max/n`, run the exact dynamic program over scaled
+//! profit, and return the best feasible state. The result is within a
+//! `(1−η)` factor of optimal in `O(n²·⌈n/η⌉)` time.
+//!
+//! DPack's `COMPUTE_BEST_ALPHA` (Alg. 1) uses the *value* of the
+//! single-block knapsack, not the selection, so [`fptas_value`] skips
+//! selection reconstruction entirely; [`fptas`] additionally reconstructs
+//! the packed set via immutable shared parent chains.
+
+use std::rc::Rc;
+
+use crate::item::{Item, Solution};
+
+/// A cons cell in an immutable selection chain.
+///
+/// Chains are captured by `Rc` at the moment a DP state is improved, so
+/// later mutations of the DP table cannot invalidate them.
+struct Cell {
+    item: usize,
+    prev: Option<Rc<Cell>>,
+}
+
+/// Scaled profits and the feasible item subset shared by both variants.
+struct Scaled {
+    /// Indices of items that individually fit in the capacity.
+    feasible: Vec<usize>,
+    /// Scaled integer profit of each feasible item.
+    scaled: Vec<u64>,
+    /// The scaling constant `K` (0 when all profits are zero).
+    k: f64,
+}
+
+fn scale(items: &[Item], capacity: f64, eta: f64) -> Scaled {
+    let feasible: Vec<usize> = (0..items.len())
+        .filter(|&i| crate::fits(items[i].weight, capacity))
+        .collect();
+    let p_max = feasible
+        .iter()
+        .map(|&i| items[i].profit)
+        .fold(0.0f64, f64::max);
+    if p_max == 0.0 || feasible.is_empty() {
+        return Scaled {
+            feasible,
+            scaled: Vec::new(),
+            k: 0.0,
+        };
+    }
+    let k = eta * p_max / feasible.len() as f64;
+    let scaled = feasible
+        .iter()
+        .map(|&i| (items[i].profit / k).floor() as u64)
+        .collect();
+    Scaled {
+        feasible,
+        scaled,
+        k,
+    }
+}
+
+/// Validates `η ∈ (0, 1)`.
+fn check_eta(eta: f64) -> f64 {
+    assert!(
+        eta.is_finite() && eta > 0.0 && eta < 1.0,
+        "FPTAS eta must be in (0, 1) (got {eta})"
+    );
+    eta
+}
+
+/// Returns a profit within `(1−η)` of the optimal single-knapsack profit,
+/// without reconstructing the selection.
+///
+/// # Panics
+///
+/// Panics if `eta ∉ (0, 1)` (a configuration error).
+pub fn fptas_value(items: &[Item], capacity: f64, eta: f64) -> f64 {
+    check_eta(eta);
+    let s = scale(items, capacity, eta);
+    if s.k == 0.0 {
+        // All profits zero: any feasible set has profit 0.
+        return 0.0;
+    }
+    let p_total: u64 = s.scaled.iter().sum();
+    // dp[p] = (min weight achieving scaled profit p, its true profit).
+    let mut dp_w = vec![f64::INFINITY; (p_total + 1) as usize];
+    let mut dp_p = vec![0.0f64; (p_total + 1) as usize];
+    dp_w[0] = 0.0;
+    for (idx, &i) in s.feasible.iter().enumerate() {
+        let sp = s.scaled[idx] as usize;
+        let (w, p) = (items[i].weight, items[i].profit);
+        for t in (sp..dp_w.len()).rev() {
+            let cand = dp_w[t - sp] + w;
+            if cand < dp_w[t] {
+                dp_w[t] = cand;
+                dp_p[t] = dp_p[t - sp] + p;
+            }
+        }
+    }
+    let mut best = 0.0f64;
+    for t in 0..dp_w.len() {
+        if crate::fits(dp_w[t], capacity) && dp_p[t] > best {
+            best = dp_p[t];
+        }
+    }
+    best
+}
+
+/// The FPTAS with selection reconstruction.
+///
+/// # Panics
+///
+/// Panics if `eta ∉ (0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use knapsack::{Item, fptas::fptas};
+///
+/// let items = vec![
+///     Item::new(1.0, 6.0).unwrap(),
+///     Item::new(2.0, 10.0).unwrap(),
+///     Item::new(3.0, 12.0).unwrap(),
+/// ];
+/// let s = fptas(&items, 5.0, 0.1);
+/// assert!(s.profit >= 0.9 * 22.0);
+/// ```
+pub fn fptas(items: &[Item], capacity: f64, eta: f64) -> Solution {
+    check_eta(eta);
+    let s = scale(items, capacity, eta);
+    if s.k == 0.0 {
+        // All profits zero: pack nothing (profit 0 is optimal).
+        return Solution::empty();
+    }
+    let p_total: u64 = s.scaled.iter().sum();
+    let mut dp_w = vec![f64::INFINITY; (p_total + 1) as usize];
+    let mut dp_p = vec![0.0f64; (p_total + 1) as usize];
+    let mut dp_set: Vec<Option<Rc<Cell>>> = vec![None; (p_total + 1) as usize];
+    dp_w[0] = 0.0;
+    for (idx, &i) in s.feasible.iter().enumerate() {
+        let sp = s.scaled[idx] as usize;
+        let (w, p) = (items[i].weight, items[i].profit);
+        for t in (sp..dp_w.len()).rev() {
+            let cand = dp_w[t - sp] + w;
+            if cand < dp_w[t] {
+                dp_w[t] = cand;
+                dp_p[t] = dp_p[t - sp] + p;
+                dp_set[t] = Some(Rc::new(Cell {
+                    item: i,
+                    prev: dp_set[t - sp].clone(),
+                }));
+            }
+        }
+    }
+    let mut best_t = 0usize;
+    let mut best = -1.0f64;
+    for t in 0..dp_w.len() {
+        if crate::fits(dp_w[t], capacity) && dp_p[t] > best {
+            best = dp_p[t];
+            best_t = t;
+        }
+    }
+    let mut selected = Vec::new();
+    let mut cur = dp_set[best_t].clone();
+    while let Some(cell) = cur {
+        selected.push(cell.item);
+        cur = cell.prev.clone();
+    }
+    Solution::from_indices(items, selected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::branch_and_bound;
+
+    fn items(spec: &[(f64, f64)]) -> Vec<Item> {
+        spec.iter()
+            .map(|&(w, p)| Item::new(w, p).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn approximation_guarantee_holds_randomized() {
+        let mut state = 0xDEADBEEFu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for eta in [0.1, 0.3, 0.66] {
+            for _ in 0..30 {
+                let n = 10;
+                let it: Vec<Item> = (0..n)
+                    .map(|_| Item::new(next() * 4.0, 0.1 + next() * 9.9).unwrap())
+                    .collect();
+                let cap = 2.0 + next() * 10.0;
+                let opt = branch_and_bound(&it, cap, u64::MAX).solution.profit;
+                let approx_v = fptas_value(&it, cap, eta);
+                let approx_s = fptas(&it, cap, eta);
+                assert!(
+                    approx_v >= (1.0 - eta) * opt - 1e-9,
+                    "value {approx_v} < (1-{eta})·{opt}"
+                );
+                assert!(approx_v <= opt + 1e-9, "value exceeds optimum");
+                assert!(approx_s.profit >= (1.0 - eta) * opt - 1e-9);
+                assert!(approx_s.is_feasible(&it, cap));
+                // The reconstructed profit matches its own selection.
+                let recomputed: f64 = approx_s.selected.iter().map(|&i| it[i].profit).sum();
+                assert!((recomputed - approx_s.profit).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruction_matches_value_variant() {
+        let it = items(&[(1.0, 6.0), (2.0, 10.0), (3.0, 12.0), (1.5, 3.0)]);
+        for eta in [0.05, 0.25, 0.5] {
+            assert!((fptas(&it, 5.0, eta).profit - fptas_value(&it, 5.0, eta)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_profit_instances() {
+        let it = items(&[(1.0, 0.0), (2.0, 0.0)]);
+        assert_eq!(fptas_value(&it, 5.0, 0.3), 0.0);
+        assert_eq!(fptas(&it, 5.0, 0.3).profit, 0.0);
+    }
+
+    #[test]
+    fn oversized_items_do_not_distort_scaling() {
+        // A huge-profit item that cannot fit must not inflate p_max and
+        // wreck the guarantee for the rest.
+        let it = items(&[(100.0, 1000.0), (1.0, 1.0), (1.0, 1.0)]);
+        let v = fptas_value(&it, 2.0, 0.3);
+        assert!((v - 2.0).abs() < 1e-9, "got {v}");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(fptas_value(&[], 5.0, 0.5), 0.0);
+        assert!(fptas(&[], 5.0, 0.5).selected.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "eta must be in")]
+    fn rejects_eta_of_one() {
+        fptas_value(&[], 1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "eta must be in")]
+    fn rejects_zero_eta() {
+        fptas_value(&[], 1.0, 0.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based cross-validation of the knapsack solvers.
+
+use knapsack::dp::integer_profit_exact;
+use knapsack::exact::branch_and_bound;
+use knapsack::fptas::{fptas, fptas_value};
+use knapsack::greedy::{greedy_with_best_item, unit_profit_exact};
+use knapsack::multidim::{solve as solve_multidim, MultiItem};
+use knapsack::privacy::{solve, solve_with_warm_start, PrivacyInstance, PrivacyItem, SolveLimits};
+use knapsack::Item;
+use proptest::prelude::*;
+
+fn item_strategy() -> impl Strategy<Value = Item> {
+    (0.0f64..4.0, 0.0f64..6.0).prop_map(|(w, p)| Item::new(w, p).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The solver hierarchy: greedy ≤ FPTAS ≤ exact, with the known
+    /// approximation factors.
+    #[test]
+    fn solver_hierarchy(
+        items in prop::collection::vec(item_strategy(), 1..12),
+        cap in 0.5f64..8.0,
+        eta in 0.1f64..0.8,
+    ) {
+        let opt = branch_and_bound(&items, cap, u64::MAX);
+        prop_assert!(opt.proven_optimal);
+        let opt = opt.solution.profit;
+        let g = greedy_with_best_item(&items, cap).profit;
+        let f = fptas_value(&items, cap, eta);
+        prop_assert!(g <= opt + 1e-9);
+        prop_assert!(f <= opt + 1e-9);
+        prop_assert!(g >= 0.5 * opt - 1e-9);
+        prop_assert!(f >= (1.0 - eta) * opt - 1e-9);
+        // Reconstruction agrees with the value variant.
+        let fs = fptas(&items, cap, eta);
+        prop_assert!((fs.profit - f).abs() < 1e-9);
+        prop_assert!(fs.is_feasible(&items, cap));
+    }
+
+    /// Unit-profit instances: the ascending-demand prefix is exactly
+    /// optimal.
+    #[test]
+    fn unit_profit_prefix_is_optimal(
+        weights in prop::collection::vec(0.0f64..3.0, 1..12),
+        cap in 0.5f64..6.0,
+    ) {
+        let items: Vec<Item> = weights
+            .iter()
+            .map(|&w| Item::new(w, 1.0).unwrap())
+            .collect();
+        let prefix = unit_profit_exact(&items, cap).unwrap();
+        let opt = branch_and_bound(&items, cap, u64::MAX).solution;
+        prop_assert!((prefix.profit - opt.profit).abs() < 1e-9);
+    }
+
+    /// Integer-profit DP matches branch-and-bound.
+    #[test]
+    fn integer_dp_matches_exact(
+        weights in prop::collection::vec(0.0f64..3.0, 1..10),
+        profits in prop::collection::vec(0u64..40, 10),
+        cap in 0.5f64..6.0,
+    ) {
+        let items: Vec<Item> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| Item::new(w, profits[i % profits.len()] as f64).unwrap())
+            .collect();
+        let dp = integer_profit_exact(&items, cap, 1_000_000).unwrap();
+        let bb = branch_and_bound(&items, cap, u64::MAX).solution;
+        prop_assert!((dp.profit - bb.profit).abs() < 1e-9);
+    }
+
+    /// A multidim solution is feasible in every dimension and at least
+    /// as good as any single item.
+    #[test]
+    fn multidim_feasible_and_sane(
+        profits in prop::collection::vec(0.1f64..5.0, 2..8),
+        demands in prop::collection::vec(0.0f64..2.0, 16),
+        caps in prop::collection::vec(0.5f64..4.0, 1..3),
+    ) {
+        let m = caps.len();
+        let items: Vec<MultiItem> = profits
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                MultiItem::new(
+                    (0..m).map(|j| demands[(i * m + j) % demands.len()]).collect(),
+                    p,
+                )
+                .unwrap()
+            })
+            .collect();
+        let out = solve_multidim(&items, &caps, u64::MAX);
+        prop_assert!(out.proven_optimal);
+        // Feasibility.
+        let mut used = vec![0.0; m];
+        for &i in &out.solution.selected {
+            for j in 0..m {
+                used[j] += items[i].weights[j];
+            }
+        }
+        for j in 0..m {
+            prop_assert!(knapsack::fits(used[j], caps[j]));
+        }
+        // At least the best single feasible item.
+        for (i, it) in items.iter().enumerate() {
+            let fits_alone = (0..m).all(|j| knapsack::fits(it.weights[j], caps[j]));
+            if fits_alone {
+                prop_assert!(
+                    out.solution.profit >= it.profit - 1e-9,
+                    "item {i} alone beats the optimum"
+                );
+            }
+        }
+    }
+
+    /// Warm starts never make the privacy solver worse, and bounded
+    /// solves never beat unbounded ones.
+    #[test]
+    fn privacy_warm_start_and_budget_sanity(
+        profits in prop::collection::vec(0.1f64..3.0, 2..7),
+        demands in prop::collection::vec(0.0f64..1.2, 28),
+        warm in prop::collection::vec(0usize..7, 0..7),
+    ) {
+        let n = profits.len();
+        let (m, orders) = (2usize, 2usize);
+        let items: Vec<PrivacyItem> = (0..n)
+            .map(|i| PrivacyItem {
+                demand: (0..m)
+                    .map(|j| {
+                        (0..orders)
+                            .map(|a| demands[(i * m * orders + j * orders + a) % demands.len()])
+                            .collect()
+                    })
+                    .collect(),
+                profit: profits[i],
+            })
+            .collect();
+        let inst = PrivacyInstance {
+            capacity: vec![vec![1.0, 1.2]; m],
+            items,
+        };
+        let unlimited = SolveLimits { node_budget: u64::MAX, time_limit: None };
+        let full = solve(&inst, unlimited);
+        prop_assert!(full.proven_optimal);
+        let warm: Vec<usize> = warm.into_iter().filter(|&i| i < n).collect();
+        let warmed = solve_with_warm_start(&inst, unlimited, Some(&warm));
+        prop_assert!((warmed.solution.profit - full.solution.profit).abs() < 1e-9);
+        // A tiny budget cannot exceed the true optimum and is at least
+        // as good as the internal greedy seed (non-negative profit).
+        let bounded = solve(&inst, SolveLimits { node_budget: 2, time_limit: None });
+        prop_assert!(bounded.solution.profit <= full.solution.profit + 1e-9);
+        prop_assert!(bounded.solution.profit >= 0.0);
+    }
+}

@@ -1,0 +1,399 @@
+//! The orchestrator service.
+//!
+//! Wraps the [`dpack_core::online::OnlineEngine`] (so budget unlocking,
+//! filters and eviction behave exactly as in the simulator) behind a
+//! submission channel and injected service latencies, and accounts
+//! wall-clock time per cycle the way §6.4 measures it: the "scheduling
+//! procedure" includes ingest, snapshot, algorithm, and commit.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use dp_accounting::AlphaGrid;
+use dpack_core::online::{OnlineConfig, OnlineEngine, OnlineStats};
+use dpack_core::problem::{Allocation, Block, ProblemError, Task};
+use dpack_core::schedulers::Scheduler;
+
+use crate::latency::LatencyModel;
+
+/// Orchestrator parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct OrchestratorConfig {
+    /// Scheduling period `T` in virtual time units.
+    pub scheduling_period: f64,
+    /// Unlocking steps `N`.
+    pub unlock_steps: u32,
+    /// Injected service latencies.
+    pub latency: LatencyModel,
+    /// Worker threads used by parallel schedulers (informational; the
+    /// scheduler wrapper owns its own pool size).
+    pub threads: usize,
+}
+
+impl Default for OrchestratorConfig {
+    fn default() -> Self {
+        Self {
+            scheduling_period: 5.0,
+            unlock_steps: 50,
+            latency: LatencyModel::kubernetes_like(),
+            threads: 4,
+        }
+    }
+}
+
+/// Timing breakdown of one scheduling cycle.
+#[derive(Debug, Clone)]
+pub struct CycleReport {
+    /// Virtual time of the cycle.
+    pub now: f64,
+    /// The allocation decided this cycle.
+    pub allocation: Allocation,
+    /// Tasks ingested from the submission channel this cycle.
+    pub ingested: usize,
+    /// Pure algorithm time (the scheduler's own runtime).
+    pub algorithm: Duration,
+    /// Total wall-clock time of the scheduling procedure, including
+    /// injected service latency.
+    pub total: Duration,
+}
+
+impl CycleReport {
+    /// The service-overhead share of the cycle.
+    pub fn overhead(&self) -> Duration {
+        self.total.saturating_sub(self.algorithm)
+    }
+}
+
+/// The orchestrator: an online engine behind a task-submission channel.
+pub struct Orchestrator<S: Scheduler> {
+    engine: OnlineEngine<S>,
+    config: OrchestratorConfig,
+    tx: Sender<Task>,
+    rx: Receiver<Task>,
+    cycles: Vec<CycleReport>,
+}
+
+impl<S: Scheduler> Orchestrator<S> {
+    /// Creates an orchestrator.
+    pub fn new(scheduler: S, grid: AlphaGrid, config: OrchestratorConfig) -> Self {
+        let (tx, rx) = unbounded();
+        Self {
+            engine: OnlineEngine::new(
+                scheduler,
+                grid,
+                OnlineConfig {
+                    scheduling_period: config.scheduling_period,
+                    unlock_period: 1.0,
+                    unlock_steps: config.unlock_steps,
+                    default_timeout: None,
+                },
+            ),
+            config,
+            tx,
+            rx,
+            cycles: Vec::new(),
+        }
+    }
+
+    /// A clonable handle for submitting tasks from other threads.
+    pub fn submitter(&self) -> Sender<Task> {
+        self.tx.clone()
+    }
+
+    /// Registers a data block (charged one block-read latency).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine validation errors (duplicate id, wrong grid).
+    pub fn register_block(&mut self, block: Block) -> Result<(), ProblemError> {
+        busy_wait(self.config.latency.per_block_read);
+        self.engine.add_block(block)
+    }
+
+    /// Submits a task (non-blocking; ingested at the next cycle).
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the channel is disconnected (cannot happen while
+    /// the orchestrator is alive, since it keeps a sender).
+    pub fn submit(&self, task: Task) -> Result<(), ProblemError> {
+        self.tx
+            .send(task)
+            .map_err(|_| ProblemError("submission channel disconnected".into()))
+    }
+
+    /// Runs one scheduling cycle at virtual time `now`: ingests queued
+    /// submissions, snapshots block budgets, runs the scheduler, and
+    /// commits grants — charging the latency model for each phase.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors (invalid task submissions, or a filter
+    /// rejecting a scheduled task — a budget-soundness violation).
+    pub fn run_cycle(&mut self, now: f64) -> Result<CycleReport, ProblemError> {
+        let started = Instant::now();
+        let lat = self.config.latency;
+
+        // Ingest phase: drain the channel into the engine.
+        let mut ingested = 0usize;
+        while let Ok(task) = self.rx.try_recv() {
+            busy_wait(lat.per_task_ingest);
+            self.engine.submit_task(task)?;
+            ingested += 1;
+        }
+
+        // Snapshot phase: budget reads.
+        let n_blocks = self.engine.total_capacities().len();
+        busy_wait(lat.per_block_read * n_blocks as u32 + lat.per_cycle);
+
+        // Algorithm + commit phases.
+        let allocation = self.engine.run_step(now)?;
+        busy_wait(lat.per_commit * allocation.scheduled.len() as u32);
+
+        let report = CycleReport {
+            now,
+            ingested,
+            algorithm: allocation.runtime,
+            total: started.elapsed(),
+            allocation,
+        };
+        self.cycles.push(report.clone());
+        Ok(report)
+    }
+
+    /// Engine statistics so far.
+    pub fn stats(&self) -> &OnlineStats {
+        self.engine.stats()
+    }
+
+    /// Per-cycle timing reports.
+    pub fn cycles(&self) -> &[CycleReport] {
+        &self.cycles
+    }
+
+    /// Pending (queued-in-engine) task count; excludes tasks still in
+    /// the submission channel.
+    pub fn pending(&self) -> usize {
+        self.engine.pending().len()
+    }
+
+    /// Total capacities of registered blocks (for fairness metrics).
+    pub fn total_capacities(
+        &self,
+    ) -> std::collections::BTreeMap<dpack_core::problem::BlockId, dp_accounting::RdpCurve> {
+        self.engine.total_capacities()
+    }
+
+    /// Cumulative scheduling-procedure wall time across cycles (the
+    /// Fig. 8(a) y-axis).
+    pub fn total_cycle_time(&self) -> Duration {
+        self.cycles.iter().map(|c| c.total).sum()
+    }
+
+    /// Cumulative pure-algorithm time across cycles.
+    pub fn total_algorithm_time(&self) -> Duration {
+        self.cycles.iter().map(|c| c.algorithm).sum()
+    }
+}
+
+/// A shareable orchestrator running cycles on a background thread at a
+/// fixed wall-clock interval — the "always-on service" deployment shape.
+/// Virtual time advances by one scheduling period per cycle.
+pub struct OrchestratorService<S: Scheduler + Send + 'static> {
+    inner: Arc<Mutex<Orchestrator<S>>>,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl<S: Scheduler + Send + 'static> OrchestratorService<S> {
+    /// Spawns the service thread, running a cycle every `interval`.
+    pub fn spawn(orchestrator: Orchestrator<S>, interval: Duration) -> Self {
+        let inner = Arc::new(Mutex::new(orchestrator));
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_inner = Arc::clone(&inner);
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let mut step = 1u64;
+            while !thread_stop.load(Ordering::Relaxed) {
+                {
+                    let mut orch = thread_inner.lock();
+                    let now = step as f64 * orch.config.scheduling_period;
+                    // A failed cycle is fatal for the service loop; the
+                    // invariant is checked by tests.
+                    orch.run_cycle(now).expect("orchestrator cycle failed");
+                }
+                step += 1;
+                std::thread::sleep(interval);
+            }
+        });
+        Self {
+            inner,
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// A submission handle usable from any thread.
+    pub fn submitter(&self) -> Sender<Task> {
+        self.inner.lock().submitter()
+    }
+
+    /// Registers a block through the service.
+    ///
+    /// # Errors
+    ///
+    /// Propagates orchestrator errors.
+    pub fn register_block(&self, block: Block) -> Result<(), ProblemError> {
+        self.inner.lock().register_block(block)
+    }
+
+    /// Stops the service and returns the orchestrator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service thread panicked.
+    pub fn stop(mut self) -> Orchestrator<S> {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            h.join().expect("service thread panicked");
+        }
+        Arc::try_unwrap(self.inner)
+            .unwrap_or_else(|_| panic!("service still shared"))
+            .into_inner()
+    }
+}
+
+/// Burns wall-clock time to model a blocking service call.
+///
+/// Uses a sleep for macroscopic waits and a spin for sub-millisecond
+/// ones, so injected latencies are reasonably accurate at both scales.
+fn busy_wait(d: Duration) {
+    if d == Duration::ZERO {
+        return;
+    }
+    if d >= Duration::from_millis(2) {
+        std::thread::sleep(d);
+    } else {
+        let end = Instant::now() + d;
+        while Instant::now() < end {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::{ParallelDPack, ParallelDpf};
+    use dp_accounting::RdpCurve;
+    use dpack_core::schedulers::DPack;
+
+    fn grid() -> AlphaGrid {
+        AlphaGrid::new(vec![4.0, 16.0]).unwrap()
+    }
+
+    fn config() -> OrchestratorConfig {
+        OrchestratorConfig {
+            scheduling_period: 1.0,
+            unlock_steps: 1,
+            latency: LatencyModel::zero(),
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn cycles_account_time_and_allocations() {
+        let mut orch = Orchestrator::new(ParallelDpf::new(2), grid(), config());
+        orch.register_block(Block::new(0, RdpCurve::constant(&grid(), 1.0), 0.0))
+            .unwrap();
+        for i in 0..4u64 {
+            orch.submit(Task::new(
+                i,
+                1.0,
+                vec![0],
+                RdpCurve::constant(&grid(), 0.5),
+                0.0,
+            ))
+            .unwrap();
+        }
+        let r = orch.run_cycle(1.0).unwrap();
+        assert_eq!(r.ingested, 4);
+        assert_eq!(r.allocation.scheduled.len(), 2);
+        assert!(r.total >= r.algorithm);
+        assert_eq!(orch.cycles().len(), 1);
+        assert_eq!(orch.pending(), 2);
+    }
+
+    #[test]
+    fn injected_latency_dominates_runtime() {
+        // The Fig. 8(a) regime: with the Kubernetes-like profile, cycle
+        // time is mostly overhead.
+        let mut cfg = config();
+        cfg.latency = LatencyModel {
+            per_cycle: Duration::from_millis(5),
+            per_task_ingest: Duration::from_micros(200),
+            per_commit: Duration::from_micros(200),
+            per_block_read: Duration::from_micros(100),
+        };
+        let mut orch = Orchestrator::new(DPack::default(), grid(), cfg);
+        orch.register_block(Block::new(0, RdpCurve::constant(&grid(), 10.0), 0.0))
+            .unwrap();
+        for i in 0..200u64 {
+            orch.submit(Task::new(
+                i,
+                1.0,
+                vec![0],
+                RdpCurve::constant(&grid(), 0.01),
+                0.0,
+            ))
+            .unwrap();
+        }
+        let r = orch.run_cycle(1.0).unwrap();
+        assert!(
+            r.overhead() > r.algorithm,
+            "overhead {:?} <= algorithm {:?}",
+            r.overhead(),
+            r.algorithm
+        );
+    }
+
+    #[test]
+    fn service_thread_processes_submissions() {
+        let orch = Orchestrator::new(ParallelDPack::new(DPack::default(), 2), grid(), config());
+        let service = OrchestratorService::spawn(orch, Duration::from_millis(5));
+        service
+            .register_block(Block::new(0, RdpCurve::constant(&grid(), 1.0), 0.0))
+            .unwrap();
+        let tx = service.submitter();
+        for i in 0..3u64 {
+            tx.send(Task::new(
+                i,
+                1.0,
+                vec![0],
+                RdpCurve::constant(&grid(), 0.2),
+                0.0,
+            ))
+            .unwrap();
+        }
+        // Let a few cycles run.
+        std::thread::sleep(Duration::from_millis(100));
+        let orch = service.stop();
+        assert_eq!(orch.stats().allocated.len(), 3);
+    }
+
+    #[test]
+    fn errors_propagate_from_engine() {
+        let mut orch = Orchestrator::new(ParallelDpf::new(1), grid(), config());
+        let b = Block::new(0, RdpCurve::constant(&grid(), 1.0), 0.0);
+        orch.register_block(b.clone()).unwrap();
+        assert!(orch.register_block(b).is_err());
+        // Task referencing an unknown block fails at ingest time.
+        orch.submit(Task::new(0, 1.0, vec![9], RdpCurve::zero(&grid()), 0.0))
+            .unwrap();
+        assert!(orch.run_cycle(1.0).is_err());
+    }
+}

@@ -1,0 +1,171 @@
+//! The event heap.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens at an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Block `i` (index into the workload) becomes available.
+    BlockArrival(usize),
+    /// Task `i` (index into the workload) is submitted.
+    TaskArrival(usize),
+    /// A scheduling step runs.
+    ScheduleTick,
+}
+
+impl EventKind {
+    /// Priority *within* one timestamp: arrivals are visible to the tick
+    /// at the same instant.
+    fn rank(&self) -> u8 {
+        match self {
+            EventKind::BlockArrival(_) => 0,
+            EventKind::TaskArrival(_) => 1,
+            EventKind::ScheduleTick => 2,
+        }
+    }
+}
+
+/// A scheduled event.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// Virtual time of the event.
+    pub time: f64,
+    /// Payload.
+    pub kind: EventKind,
+    /// Insertion sequence number, the final tie-breaker.
+    pub seq: u64,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp_key() == other.cmp_key()
+    }
+}
+impl Eq for Event {}
+
+impl Event {
+    fn cmp_key(&self) -> (u64, u8, u64) {
+        // total_cmp-compatible bits ordering for non-negative times.
+        (self.time.to_bits(), self.kind.rank(), self.seq)
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other.cmp_key().cmp(&self.cmp_key())
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic min-heap of events.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules an event.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite times (virtual time starts at 0).
+    pub fn push(&mut self, time: f64, kind: EventKind) {
+        assert!(
+            time.is_finite() && time >= 0.0,
+            "event time must be finite and >= 0 (got {time})"
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Event { time, kind, seq });
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(2.0, EventKind::ScheduleTick);
+        q.push(1.0, EventKind::TaskArrival(0));
+        q.push(1.5, EventKind::BlockArrival(1));
+        let times: Vec<f64> = std::iter::from_fn(|| q.pop()).map(|e| e.time).collect();
+        assert_eq!(times, vec![1.0, 1.5, 2.0]);
+    }
+
+    #[test]
+    fn same_time_orders_blocks_tasks_tick() {
+        let mut q = EventQueue::new();
+        q.push(1.0, EventKind::ScheduleTick);
+        q.push(1.0, EventKind::TaskArrival(3));
+        q.push(1.0, EventKind::BlockArrival(2));
+        let kinds: Vec<EventKind> = std::iter::from_fn(|| q.pop()).map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::BlockArrival(2),
+                EventKind::TaskArrival(3),
+                EventKind::ScheduleTick
+            ]
+        );
+    }
+
+    #[test]
+    fn insertion_order_breaks_remaining_ties() {
+        let mut q = EventQueue::new();
+        q.push(1.0, EventKind::TaskArrival(7));
+        q.push(1.0, EventKind::TaskArrival(8));
+        let ids: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::TaskArrival(i) => i,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ids, vec![7, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "event time")]
+    fn rejects_negative_time() {
+        EventQueue::new().push(-1.0, EventKind::ScheduleTick);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(0.0, EventKind::ScheduleTick);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

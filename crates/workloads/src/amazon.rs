@@ -1,0 +1,319 @@
+//! The Amazon Reviews macrobenchmark from PrivateKube (§6.3, Fig. 7).
+//!
+//! The PrivateKube paper trains several DP models on the Amazon Reviews
+//! dataset; the DPack paper reuses that workload as a *low-heterogeneity*
+//! contrast to Alibaba-DP: 24 neural-network task types (compositions of
+//! subsampled Gaussians) and 18 statistics task types (Laplace), where
+//! 63% of tasks request a single block, 95% request ≤ 5 blocks (max 50),
+//! and only two best alphas occur (4 and 5, with ~81% at 5). On this
+//! workload all schedulers perform similarly (Fig. 7(a)); adding the
+//! weight grids `{10, 50, 100, 500}` (large tasks) and `{1, 5, 10, 50}`
+//! (small tasks) creates enough heterogeneity for DPack to win again
+//! (Fig. 7(b)).
+//!
+//! Tasks arrive as a Poisson process and request the most recent blocks.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use dp_accounting::mechanisms::{LaplaceMechanism, Mechanism, SubsampledGaussian};
+use dp_accounting::{block_capacity, AlphaGrid, RdpCurve};
+use dpack_core::problem::{Block, Task};
+
+use crate::curves::rescale_to_eps_min;
+use crate::stats::exponential;
+use crate::OnlineWorkload;
+
+/// A reusable task template.
+#[derive(Debug, Clone)]
+pub struct TaskType {
+    /// Human-readable kind.
+    pub kind: TaskKind,
+    /// Demand curve, already normalized to its target `ε_min`.
+    pub demand: RdpCurve,
+    /// Number of most-recent blocks requested.
+    pub n_blocks: usize,
+}
+
+/// Whether a template is a model-training or statistics task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskKind {
+    /// One of the 24 neural-network training pipelines.
+    NeuralNetwork,
+    /// One of the 18 summary-statistics pipelines.
+    Statistics,
+}
+
+/// Workload parameters.
+#[derive(Debug, Clone)]
+pub struct AmazonConfig {
+    /// Number of blocks (one arrives per virtual time unit).
+    pub n_blocks: usize,
+    /// Mean tasks arriving per block period (the Fig. 7 x-axis).
+    pub mean_tasks_per_block: f64,
+    /// Assign the Fig. 7(b) weight grids instead of weight 1.
+    pub weighted: bool,
+    /// Per-block global budget.
+    pub epsilon_g: f64,
+    /// Per-block global budget.
+    pub delta_g: f64,
+}
+
+impl Default for AmazonConfig {
+    fn default() -> Self {
+        Self {
+            n_blocks: 50,
+            mean_tasks_per_block: 500.0,
+            weighted: false,
+            epsilon_g: crate::DEFAULT_BLOCK_EPSILON,
+            delta_g: crate::DEFAULT_BLOCK_DELTA,
+        }
+    }
+}
+
+/// Builds the 42 task templates (24 NN + 18 statistics) on a grid.
+///
+/// The NN templates use per-step subsampled-Gaussian curves composed
+/// over the run length; small sampling rates give the near-linear curves
+/// whose best alpha is 5, larger rates bend the curve toward best alpha
+/// 4. Statistics templates use strongly-noised Laplace mechanisms, whose
+/// best alpha under the default budget is also 5.
+pub fn task_types(grid: &AlphaGrid, epsilon_g: f64, delta_g: f64) -> Vec<TaskType> {
+    let capacity = block_capacity(grid, epsilon_g, delta_g).expect("valid block budget");
+    let mut types = Vec::with_capacity(42);
+
+    // 24 NN types. Block counts: 63% of *instances* must request 1
+    // block; those are the statistics below, so NN types take 2..=5
+    // mostly, with a tail of large requests up to 50.
+    let nn_blocks = [
+        2, 2, 3, 3, 4, 4, 5, 5, 2, 3, 4, 5, 2, 3, 4, 5, 2, 3, 5, 10, 20, 30, 40, 50,
+    ];
+    for (i, &nb) in nn_blocks.iter().enumerate() {
+        // Two sampling regimes: small q (best alpha 5) for two thirds of
+        // the types, moderate q (best alpha 4) for the rest.
+        let (sigma, q) = if i % 3 == 2 {
+            (1.0, 0.20 + 0.02 * (i % 4) as f64)
+        } else {
+            (2.0, 0.01 + 0.002 * (i % 6) as f64)
+        };
+        let steps = 500 + 250 * (i as u32 % 5);
+        let curve = SubsampledGaussian::new(sigma, q)
+            .expect("valid params")
+            .curve(grid)
+            .compose_k(steps);
+        let eps_min = 0.05 + 0.01 * (i % 6) as f64;
+        types.push(TaskType {
+            kind: TaskKind::NeuralNetwork,
+            demand: rescale_to_eps_min(&curve, &capacity, eps_min),
+            n_blocks: nb,
+        });
+    }
+
+    // 18 statistics types: strongly-noised Laplace, one block each.
+    for i in 0..18usize {
+        let b = 5.0 + i as f64; // Strong noise → Gaussian-like curve.
+        let curve = LaplaceMechanism::new(b).expect("valid scale").curve(grid);
+        let eps_min = 0.004 + 0.002 * (i % 8) as f64;
+        types.push(TaskType {
+            kind: TaskKind::Statistics,
+            demand: rescale_to_eps_min(&curve, &capacity, eps_min),
+            n_blocks: 1,
+        });
+    }
+    types
+}
+
+/// Generates the online workload.
+///
+/// # Panics
+///
+/// Panics on zero blocks or a non-positive arrival rate.
+pub fn generate(config: &AmazonConfig, seed: u64) -> OnlineWorkload {
+    assert!(config.n_blocks > 0, "need at least one block");
+    assert!(
+        config.mean_tasks_per_block > 0.0,
+        "mean tasks per block must be > 0"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let grid = AlphaGrid::standard();
+    let capacity =
+        block_capacity(&grid, config.epsilon_g, config.delta_g).expect("valid block budget");
+    let blocks: Vec<Block> = (0..config.n_blocks as u64)
+        .map(|j| Block::new(j, capacity.clone(), j as f64))
+        .collect();
+    let types = task_types(&grid, config.epsilon_g, config.delta_g);
+    let n_nn = types
+        .iter()
+        .filter(|t| t.kind == TaskKind::NeuralNetwork)
+        .count();
+
+    let mut tasks = Vec::new();
+    let mut t = 0.0f64;
+    let mut id = 0u64;
+    loop {
+        t += exponential(&mut rng, config.mean_tasks_per_block);
+        if t >= config.n_blocks as f64 {
+            break;
+        }
+        // 63% of instances are single-block statistics tasks.
+        let ty = if rng.random::<f64>() < 0.63 {
+            &types[n_nn + rng.random_range(0..(types.len() - n_nn))]
+        } else {
+            &types[rng.random_range(0..n_nn)]
+        };
+        let newest = (t.floor() as u64).min(config.n_blocks as u64 - 1);
+        let n_req = ty.n_blocks.min(newest as usize + 1);
+        let requested: Vec<u64> = (newest + 1 - n_req as u64..=newest).collect();
+        let weight = if config.weighted {
+            let grid_w: [f64; 4] = match ty.kind {
+                TaskKind::NeuralNetwork => [10.0, 50.0, 100.0, 500.0],
+                TaskKind::Statistics => [1.0, 5.0, 10.0, 50.0],
+            };
+            grid_w[rng.random_range(0..4usize)]
+        } else {
+            1.0
+        };
+        tasks.push(Task::new(id, weight, requested, ty.demand.clone(), t));
+        id += 1;
+    }
+
+    let wl = OnlineWorkload {
+        grid,
+        blocks,
+        tasks,
+    };
+    debug_assert!(wl.validate().is_ok());
+    wl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curves::best_alpha;
+
+    #[test]
+    fn forty_two_task_types() {
+        let grid = AlphaGrid::standard();
+        let types = task_types(&grid, 10.0, 1e-7);
+        assert_eq!(types.len(), 42);
+        assert_eq!(
+            types
+                .iter()
+                .filter(|t| t.kind == TaskKind::NeuralNetwork)
+                .count(),
+            24
+        );
+        assert_eq!(
+            types
+                .iter()
+                .filter(|t| t.kind == TaskKind::Statistics)
+                .count(),
+            18
+        );
+    }
+
+    #[test]
+    fn best_alphas_are_low_heterogeneity() {
+        // The paper: only two best alphas (4 or 5), ~81% of tasks at 5.
+        let grid = AlphaGrid::standard();
+        let cap = block_capacity(&grid, 10.0, 1e-7).unwrap();
+        let types = task_types(&grid, 10.0, 1e-7);
+        let alphas: Vec<f64> = types
+            .iter()
+            .map(|t| {
+                let (idx, _) = best_alpha(&t.demand, &cap).unwrap();
+                grid.order(idx)
+            })
+            .collect();
+        for a in &alphas {
+            assert!(
+                *a == 4.0 || *a == 5.0,
+                "best alpha {a} outside {{4, 5}}: {alphas:?}"
+            );
+        }
+        let at5 = alphas.iter().filter(|a| **a == 5.0).count();
+        assert!(
+            at5 * 10 >= alphas.len() * 6,
+            "too few best-5 types: {at5}/{}",
+            alphas.len()
+        );
+    }
+
+    #[test]
+    fn block_count_distribution_matches_paper() {
+        let cfg = AmazonConfig {
+            n_blocks: 60,
+            mean_tasks_per_block: 200.0,
+            ..Default::default()
+        };
+        let wl = generate(&cfg, 3);
+        wl.validate().unwrap();
+        let n = wl.tasks.len() as f64;
+        // Ignore early warm-up truncation by looking at steady state.
+        let one = wl.tasks.iter().filter(|t| t.blocks.len() == 1).count() as f64;
+        let le5 = wl.tasks.iter().filter(|t| t.blocks.len() <= 5).count() as f64;
+        let max = wl.tasks.iter().map(|t| t.blocks.len()).max().unwrap();
+        assert!(
+            (one / n - 0.63).abs() < 0.05,
+            "1-block fraction {}",
+            one / n
+        );
+        assert!(le5 / n > 0.9, "≤5-block fraction {}", le5 / n);
+        assert!(max <= 50);
+    }
+
+    #[test]
+    fn poisson_arrivals_match_rate() {
+        let cfg = AmazonConfig {
+            n_blocks: 40,
+            mean_tasks_per_block: 300.0,
+            ..Default::default()
+        };
+        let wl = generate(&cfg, 4);
+        let rate = wl.tasks.len() as f64 / 40.0;
+        assert!((rate - 300.0).abs() < 25.0, "rate {rate}");
+        assert!(wl.tasks.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+    }
+
+    #[test]
+    fn weighted_variant_uses_the_grids() {
+        let cfg = AmazonConfig {
+            n_blocks: 30,
+            mean_tasks_per_block: 200.0,
+            weighted: true,
+            ..Default::default()
+        };
+        let wl = generate(&cfg, 5);
+        let allowed = [1.0, 5.0, 10.0, 50.0, 100.0, 500.0];
+        let weights: std::collections::BTreeSet<u64> =
+            wl.tasks.iter().map(|t| t.weight as u64).collect();
+        assert!(weights.len() >= 4, "weights seen: {weights:?}");
+        for t in &wl.tasks {
+            assert!(allowed.contains(&t.weight), "weight {}", t.weight);
+        }
+        // Unweighted variant is all ones.
+        let plain = generate(
+            &AmazonConfig {
+                weighted: false,
+                ..cfg
+            },
+            5,
+        );
+        assert!(plain.tasks.iter().all(|t| t.weight == 1.0));
+    }
+
+    #[test]
+    fn determinism_under_seed() {
+        let cfg = AmazonConfig {
+            n_blocks: 20,
+            mean_tasks_per_block: 100.0,
+            ..Default::default()
+        };
+        let a = generate(&cfg, 6);
+        let b = generate(&cfg, 6);
+        assert_eq!(a.tasks.len(), b.tasks.len());
+        for (x, y) in a.tasks.iter().zip(&b.tasks) {
+            assert_eq!(x, y);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Quickstart: schedule a handful of DP tasks over two data blocks.
+//!
+//! Builds two privacy blocks from a global `(ε_G, δ_G)` guarantee, a
+//! mixed batch of statistics and training tasks, and compares what
+//! DPack, DPF and the exact Optimal solver allocate.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use dpack::prelude::*;
+
+fn main() {
+    // The Rényi-order grid shared by every curve in the system.
+    let grid = AlphaGrid::standard();
+
+    // Two data blocks, each guaranteeing (ε, δ) = (10, 1e-7) globally.
+    let capacity = block_capacity(&grid, 10.0, 1e-7).expect("valid budget");
+    let blocks = vec![
+        Block::new(0, capacity.clone(), 0.0),
+        Block::new(1, capacity.clone(), 0.0),
+    ];
+
+    // A mixed workload:
+    //  - three Laplace statistics on the latest block,
+    //  - a histogram (Gaussian) on both blocks,
+    //  - two DP-SGD-style training runs (subsampled Gaussian × steps).
+    let laplace = LaplaceMechanism::new(0.35).expect("valid").curve(&grid);
+    let gaussian = GaussianMechanism::new(1.8).expect("valid").curve(&grid);
+    let sgd_step = SubsampledGaussian::new(1.0, 0.02)
+        .expect("valid")
+        .curve(&grid);
+    let training = sgd_step.compose_k(1200);
+
+    let tasks = vec![
+        Task::new(1, 1.0, vec![1], laplace.clone(), 0.0),
+        Task::new(2, 1.0, vec![1], laplace.clone(), 0.0),
+        Task::new(3, 1.0, vec![1], laplace, 0.0),
+        Task::new(4, 1.0, vec![0, 1], gaussian, 0.0),
+        Task::new(5, 1.0, vec![0, 1], training.clone(), 0.0),
+        Task::new(6, 1.0, vec![0, 1], training, 0.0),
+    ];
+
+    // Inspect each task's privacy translation.
+    println!("task demands as (ε_DP, δ = 1e-6) guarantees:");
+    for t in &tasks {
+        let g = rdp_to_dp(&t.demand, 1e-6).expect("valid delta");
+        println!(
+            "  task {}: ε_DP = {:.2} at best α = {} over blocks {:?}",
+            t.id, g.epsilon, g.best_alpha, t.blocks
+        );
+    }
+
+    let state = ProblemState::new(grid, blocks, tasks).expect("well-formed problem");
+    println!("\nallocations:");
+    for scheduler in [
+        &Dpf as &dyn Scheduler,
+        &DPack::default(),
+        &Optimal::unbounded(),
+    ] {
+        let allocation = scheduler.schedule(&state);
+        println!(
+            "  {:<8} -> {} tasks {:?}",
+            scheduler.name(),
+            allocation.scheduled.len(),
+            allocation.scheduled
+        );
+    }
+}
