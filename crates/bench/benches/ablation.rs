@@ -1,3 +1,7 @@
+// Gated: requires the non-default `criterion-benches` feature (criterion
+// is not available in the offline build environment; see README.md).
+#![cfg(feature = "criterion-benches")]
+
 //! Ablation bench: the two design choices of §3.3 separately.
 //!
 //! DPack = (area metric over blocks) + (best-alpha focus over orders).

@@ -1,3 +1,7 @@
+// Gated: requires the non-default `criterion-benches` feature (criterion
+// is not available in the offline build environment; see README.md).
+#![cfg(feature = "criterion-benches")]
+
 //! Criterion benches for privacy-filter throughput: accept/reject
 //! decisions per second, the hot path of every scheduling commit.
 

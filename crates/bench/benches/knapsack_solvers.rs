@@ -1,3 +1,7 @@
+// Gated: requires the non-default `criterion-benches` feature (criterion
+// is not available in the offline build environment; see README.md).
+#![cfg(feature = "criterion-benches")]
+
 //! Criterion benches for the knapsack solvers: greedy vs FPTAS vs exact
 //! branch-and-bound on single knapsacks, and the privacy-knapsack
 //! branch-and-bound on small RDP instances.

@@ -1,3 +1,7 @@
+// Gated: requires the non-default `criterion-benches` feature (criterion
+// is not available in the offline build environment; see README.md).
+#![cfg(feature = "criterion-benches")]
+
 //! Criterion benches for the RDP accounting substrate: curve
 //! evaluation, composition and conversion throughput.
 

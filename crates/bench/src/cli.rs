@@ -33,11 +33,11 @@ impl Args {
     /// Panics with a usage message on malformed arguments — these are
     /// developer-facing binaries.
     pub fn parse() -> Self {
-        Self::from_iter(std::env::args().skip(1))
+        Self::parse_from(std::env::args().skip(1))
     }
 
     /// Parses from an explicit iterator (testable).
-    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+    pub fn parse_from<I: IntoIterator<Item = String>>(iter: I) -> Self {
         let mut args = Args::default();
         let mut it = iter.into_iter();
         while let Some(flag) = it.next() {
@@ -66,7 +66,7 @@ impl Args {
 
     /// Whether to run a given panel.
     pub fn wants_panel(&self, p: char) -> bool {
-        self.panel.map_or(true, |sel| sel == p)
+        self.panel.is_none_or(|sel| sel == p)
     }
 }
 
@@ -75,7 +75,7 @@ mod tests {
     use super::*;
 
     fn parse(s: &[&str]) -> Args {
-        Args::from_iter(s.iter().map(|s| s.to_string()))
+        Args::parse_from(s.iter().map(|s| s.to_string()))
     }
 
     #[test]

@@ -43,6 +43,6 @@ pub mod problem;
 pub mod scenarios;
 pub mod schedulers;
 
-pub use online::{OnlineConfig, OnlineEngine, OnlineStats};
+pub use online::{BlockLedger, OnlineConfig, OnlineEngine, OnlineStats};
 pub use problem::{Allocation, Block, BlockId, ProblemState, Task, TaskId};
 pub use schedulers::{DPack, Dpf, DpfStrict, Fcfs, GreedyArea, Optimal, Scheduler};

@@ -95,10 +95,107 @@ impl OnlineStats {
     }
 }
 
-struct OnlineBlock {
+/// A single block's budget ledger entry: total capacity, privacy
+/// filter, and arrival time, with the §3.4 gradual-unlocking snapshot
+/// and the atomic filter-commit step.
+///
+/// This is the per-block unit of state shared by every backend that
+/// enforces budgets — the [`OnlineEngine`] keeps one per block, and the
+/// `dpack-service` sharded ledger stripes them across locks — so
+/// unlocking arithmetic and filter semantics cannot drift between the
+/// simulator and the service.
+#[derive(Debug, Clone)]
+pub struct BlockLedger {
     total: RdpCurve,
     filter: RenyiFilter,
     arrival: f64,
+}
+
+impl BlockLedger {
+    /// Creates a ledger entry holding the block's full capacity behind a
+    /// fresh privacy filter.
+    pub fn new(block: Block) -> Self {
+        Self {
+            filter: RenyiFilter::new(block.capacity.clone()),
+            total: block.capacity,
+            arrival: block.arrival,
+        }
+    }
+
+    /// The block's total capacity curve.
+    pub fn total(&self) -> &RdpCurve {
+        &self.total
+    }
+
+    /// The block's arrival time in virtual time units.
+    pub fn arrival(&self) -> f64 {
+        self.arrival
+    }
+
+    /// Cumulative consumption committed so far.
+    pub fn consumed(&self) -> &RdpCurve {
+        self.filter.consumed()
+    }
+
+    /// Number of demands committed so far.
+    pub fn granted_count(&self) -> u64 {
+        self.filter.granted_count()
+    }
+
+    /// The unlocked budget fraction at time `now`:
+    /// `min(⌈(now − t_j)/T_u⌉, N)/N` (§3.4).
+    pub fn unlocked_fraction(&self, now: f64, unlock_period: f64, unlock_steps: u32) -> f64 {
+        let steps = ((now - self.arrival) / unlock_period).ceil();
+        (steps.max(0.0)).min(unlock_steps as f64) / unlock_steps as f64
+    }
+
+    /// The §3.4 available capacity at time `now`:
+    /// `min(⌈(now−t_j)/T_u⌉, N)/N · ε_jα − consumed_jα`. Orders whose
+    /// total capacity is non-positive stay non-positive (they are
+    /// unusable regardless of unlocking).
+    pub fn available(&self, now: f64, unlock_period: f64, unlock_steps: u32) -> RdpCurve {
+        let frac = self.unlocked_fraction(now, unlock_period, unlock_steps);
+        let consumed = self.filter.consumed();
+        let grid = self.total.grid();
+        RdpCurve::from_fn(grid, |a| {
+            let idx = grid.index_of(a).expect("from_fn iterates grid orders");
+            let total = self.total.epsilon(idx);
+            let unlocked = if total > 0.0 { frac * total } else { total };
+            unlocked - consumed.epsilon(idx)
+        })
+    }
+
+    /// Returns `true` iff the filter would grant `demand` (at least one
+    /// order stays within the *total* capacity — the unlocking schedule
+    /// is the scheduler's concern, the filter's bound is the block's
+    /// global guarantee).
+    pub fn check(&self, demand: &RdpCurve) -> bool {
+        self.filter
+            .check(demand)
+            .map(|d| d.granted)
+            .unwrap_or(false)
+    }
+
+    /// Charges `demand` against the filter.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error (leaving state unchanged) if no order stays
+    /// within capacity — a budget-soundness violation when the caller
+    /// already validated the demand with [`BlockLedger::check`].
+    pub fn commit(&mut self, demand: &RdpCurve) -> Result<(), ProblemError> {
+        self.filter
+            .try_consume(demand)
+            .map_err(|e| ProblemError(format!("filter rejected demand: {e}")))
+    }
+
+    /// The Prop. 6 invariant: at least one Rényi order's cumulative
+    /// consumption is within the block's total capacity.
+    pub fn is_sound(&self) -> bool {
+        let grid = self.total.grid();
+        let consumed = self.filter.consumed();
+        (0..grid.len()).any(|a| dp_accounting::fits(consumed.epsilon(a), self.total.epsilon(a)))
+    }
 }
 
 /// The online engine. Drive it by registering arrivals and calling
@@ -108,7 +205,7 @@ pub struct OnlineEngine<S: Scheduler> {
     scheduler: S,
     config: OnlineConfig,
     grid: AlphaGrid,
-    blocks: BTreeMap<BlockId, OnlineBlock>,
+    blocks: BTreeMap<BlockId, BlockLedger>,
     pending: Vec<Task>,
     stats: OnlineStats,
 }
@@ -163,7 +260,7 @@ impl<S: Scheduler> OnlineEngine<S> {
     pub fn total_capacities(&self) -> BTreeMap<BlockId, RdpCurve> {
         self.blocks
             .iter()
-            .map(|(id, b)| (*id, b.total.clone()))
+            .map(|(id, b)| (*id, b.total().clone()))
             .collect()
     }
 
@@ -182,14 +279,7 @@ impl<S: Scheduler> OnlineEngine<S> {
         if self.blocks.contains_key(&block.id) {
             return Err(ProblemError(format!("duplicate block id {}", block.id)));
         }
-        self.blocks.insert(
-            block.id,
-            OnlineBlock {
-                filter: RenyiFilter::new(block.capacity.clone()),
-                total: block.capacity,
-                arrival: block.arrival,
-            },
-        );
+        self.blocks.insert(block.id, BlockLedger::new(block));
         Ok(())
     }
 
@@ -222,21 +312,10 @@ impl<S: Scheduler> OnlineEngine<S> {
         Ok(())
     }
 
-    /// The §3.4 available capacity of a block at time `now`:
-    /// `min(⌈(now−t_j)/T_u⌉, N)/N · ε_jα − consumed_jα`, with `T_u` the
-    /// unlock period. Orders whose total capacity is non-positive stay
-    /// non-positive (they are unusable regardless of unlocking).
-    fn available(&self, block: &OnlineBlock, now: f64) -> RdpCurve {
-        let steps = ((now - block.arrival) / self.config.unlock_period).ceil();
-        let frac =
-            (steps.max(0.0)).min(self.config.unlock_steps as f64) / self.config.unlock_steps as f64;
-        let consumed = block.filter.consumed();
-        RdpCurve::from_fn(&self.grid, |a| {
-            let idx = self.grid.index_of(a).expect("from_fn iterates grid orders");
-            let total = block.total.epsilon(idx);
-            let unlocked = if total > 0.0 { frac * total } else { total };
-            unlocked - consumed.epsilon(idx)
-        })
+    /// The §3.4 available capacity of a block at time `now` — see
+    /// [`BlockLedger::available`].
+    fn available(&self, block: &BlockLedger, now: f64) -> RdpCurve {
+        block.available(now, self.config.unlock_period, self.config.unlock_steps)
     }
 
     /// Runs one scheduling step at virtual time `now`: evicts timed-out
@@ -279,13 +358,10 @@ impl<S: Scheduler> OnlineEngine<S> {
             let task = state
                 .task(*id)
                 .ok_or_else(|| ProblemError(format!("scheduler granted unknown task {id}")))?;
-            let all_ok = task.blocks.iter().all(|b| {
-                self.blocks[b]
-                    .filter
-                    .check(&task.demand)
-                    .map(|d| d.granted)
-                    .unwrap_or(false)
-            });
+            let all_ok = task
+                .blocks
+                .iter()
+                .all(|b| self.blocks[b].check(&task.demand));
             if !all_ok {
                 return Err(ProblemError(format!(
                     "filter rejected task {id}: scheduler exceeded a block budget"
@@ -295,9 +371,8 @@ impl<S: Scheduler> OnlineEngine<S> {
                 self.blocks
                     .get_mut(b)
                     .expect("validated above")
-                    .filter
-                    .try_consume(&task.demand)
-                    .map_err(|e| ProblemError(format!("filter rejected task {id}: {e}")))?;
+                    .commit(&task.demand)
+                    .map_err(|e| ProblemError(format!("task {id}: {e}")))?;
             }
             self.stats.allocated.push(AllocatedTask {
                 id: *id,

@@ -12,18 +12,10 @@ use knapsack::privacy::{solve_with_warm_start, PrivacyInstance, PrivacyItem, Sol
 /// becoming intractable at 7 blocks / 200 tasks (Fig. 5), and ours hits
 /// the same qualitative wall. Give it explicit [`SolveLimits`]; within
 /// limits the returned allocation carries `proven_optimal == Some(true)`.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct Optimal {
     /// Node/time budgets for the branch-and-bound search.
     pub limits: SolveLimits,
-}
-
-impl Default for Optimal {
-    fn default() -> Self {
-        Self {
-            limits: SolveLimits::default(),
-        }
-    }
 }
 
 impl Optimal {

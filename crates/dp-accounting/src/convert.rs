@@ -52,7 +52,7 @@ pub fn rdp_to_dp(curve: &RdpCurve, delta: f64) -> Result<DpGuarantee, Accounting
     let mut best: Option<DpGuarantee> = None;
     for (i, alpha) in curve.grid().iter() {
         let eps = curve.epsilon(i) + ln_inv_delta / (alpha - 1.0);
-        if best.map_or(true, |b| eps < b.epsilon) {
+        if best.is_none_or(|b| eps < b.epsilon) {
             best = Some(DpGuarantee {
                 epsilon: eps,
                 delta,

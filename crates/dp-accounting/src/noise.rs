@@ -77,7 +77,7 @@ pub fn noisy_sum<R: Rng + ?Sized>(
             "epsilon must be finite and > 0 (got {epsilon})"
         )));
     }
-    if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+    if lo >= hi || !lo.is_finite() || !hi.is_finite() {
         return Err(AccountingError::InvalidParameter(format!(
             "clamp range must be finite and non-empty (got [{lo}, {hi}])"
         )));

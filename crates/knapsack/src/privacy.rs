@@ -179,7 +179,7 @@ impl Search<'_> {
             self.exhausted = true;
             return;
         }
-        if self.nodes % 4096 == 0 {
+        if self.nodes.is_multiple_of(4096) {
             if let Some(d) = self.deadline {
                 if Instant::now() >= d {
                     self.exhausted = true;
@@ -571,9 +571,9 @@ mod tests {
         // Verify feasibility under ∀j ∃α.
         let mut used = vec![vec![0.0; 2]; 2];
         for &i in &out.solution.selected {
-            for j in 0..2 {
-                for a in 0..2 {
-                    used[j][a] += inst.items[i].demand[j][a];
+            for (j, row) in used.iter_mut().enumerate() {
+                for (a, slot) in row.iter_mut().enumerate() {
+                    *slot += inst.items[i].demand[j][a];
                 }
             }
         }

@@ -1,3 +1,7 @@
+// Gated: requires the non-default `proptest-tests` feature (proptest is
+// not available in the offline build environment; see README.md).
+#![cfg(feature = "proptest-tests")]
+
 //! Property-based cross-validation of the knapsack solvers.
 
 use knapsack::dp::integer_profit_exact;

@@ -1,0 +1,117 @@
+//! The background cycle loop shared by always-on service shapes.
+//!
+//! Both the orchestrator's [`crate::OrchestratorService`] and
+//! `dpack-service`'s `ServiceHandle` run the same loop: a thread that
+//! calls a scheduling cycle once per wall-clock interval, advancing
+//! virtual time by one scheduling period per cycle, until stopped.
+//! [`CycleLoop`] is that machinery factored out once — including the
+//! join-on-drop guarantee, so dropping a handle without calling
+//! [`CycleLoop::stop`] cannot leak the thread.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A background thread running a cycle closure on a fixed wall-clock
+/// interval, feeding it the advancing virtual time `step × period`.
+pub struct CycleLoop {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl CycleLoop {
+    /// Spawns the loop. `cycle` is called with virtual times `period`,
+    /// `2·period`, … once per `interval` until [`CycleLoop::stop`] or
+    /// drop.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive or non-finite `period`.
+    pub fn spawn<F>(period: f64, interval: Duration, mut cycle: F) -> Self
+    where
+        F: FnMut(f64) + Send + 'static,
+    {
+        assert!(
+            period > 0.0 && period.is_finite(),
+            "scheduling period must be finite and > 0"
+        );
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let thread = std::thread::spawn(move || {
+            let mut step = 1u64;
+            while !thread_stop.load(Ordering::Relaxed) {
+                cycle(step as f64 * period);
+                step += 1;
+                std::thread::sleep(interval);
+            }
+        });
+        Self {
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    /// Stops the loop and joins the thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cycle thread panicked.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            t.join().expect("cycle thread panicked");
+        }
+    }
+}
+
+impl Drop for CycleLoop {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn runs_cycles_with_advancing_virtual_time() {
+        let times = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&times);
+        let lp = CycleLoop::spawn(2.5, Duration::from_millis(1), move |now| {
+            sink.lock().unwrap().push(now);
+        });
+        while times.lock().unwrap().len() < 3 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        lp.stop();
+        let seen = times.lock().unwrap();
+        assert_eq!(&seen[..3], &[2.5, 5.0, 7.5]);
+    }
+
+    #[test]
+    fn drop_joins_the_thread() {
+        let count = Arc::new(Mutex::new(0u64));
+        let sink = Arc::clone(&count);
+        {
+            let _lp = CycleLoop::spawn(1.0, Duration::from_millis(1), move |_| {
+                *sink.lock().unwrap() += 1;
+            });
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // After drop, the loop must have stopped.
+        let frozen = *count.lock().unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(*count.lock().unwrap(), frozen);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be finite")]
+    fn rejects_bad_period() {
+        CycleLoop::spawn(0.0, Duration::from_millis(1), |_| {});
+    }
+}

@@ -6,7 +6,28 @@
 //! with explicit sleeps so the orchestrator's measured runtimes have the
 //! same *shape* (overhead-dominated, scaling with task count) as Fig. 8.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Burns wall-clock time to model a blocking service call.
+///
+/// Uses a sleep for macroscopic waits and a spin for sub-millisecond
+/// ones, so injected latencies are reasonably accurate at both scales.
+/// Public so other service layers (the orchestrator service loop and
+/// `dpack-service`'s admission/commit pipeline) charge latencies with
+/// identical semantics instead of duplicating the timing logic.
+pub fn busy_wait(d: Duration) {
+    if d == Duration::ZERO {
+        return;
+    }
+    if d >= Duration::from_millis(2) {
+        std::thread::sleep(d);
+    } else {
+        let end = Instant::now() + d;
+        while Instant::now() < end {
+            std::hint::spin_loop();
+        }
+    }
+}
 
 /// Per-operation latencies charged by the orchestrator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

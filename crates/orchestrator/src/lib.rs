@@ -12,19 +12,22 @@
 //!   latencies (list/watch, status writes, commit round-trips), and
 //! * [`parallel::ParallelDPack`] / [`parallel::ParallelDpf`] scheduler
 //!   wrappers that fan the per-block / per-task metric computations out
-//!   over crossbeam scoped threads, as the Go implementation does.
+//!   over `std::thread::scope` worker threads, as the Go implementation
+//!   does with goroutines.
 //!
 //! The scheduling *decisions* are bit-identical to the single-threaded
 //! `dpack-core` schedulers — parallelism and latency only affect the
 //! measured runtimes, which is precisely what Fig. 8 and Tab. 2 study.
 
+pub mod driver;
 pub mod latency;
 pub mod parallel;
 pub mod service;
 
-pub use latency::LatencyModel;
+pub use driver::CycleLoop;
+pub use latency::{busy_wait, LatencyModel};
 pub use parallel::{ParallelDPack, ParallelDpf};
-pub use service::{CycleReport, Orchestrator, OrchestratorConfig};
+pub use service::{CycleReport, Orchestrator, OrchestratorConfig, OrchestratorService};
 
 #[cfg(test)]
 mod tests {

@@ -3,10 +3,10 @@
 //! The Go implementation parallelizes DPack's per-block best-alpha
 //! knapsacks and DPF's per-task dominant-share computation (§6.4: "the
 //! DPack (and DPF) algorithms are parallelized"). These wrappers do the
-//! same with crossbeam scoped threads, and are decision-identical to
-//! their single-threaded counterparts: the parallel phase only computes
-//! per-block / per-task metrics; ordering and packing stay sequential
-//! and deterministic.
+//! same with [`std::thread::scope`] worker threads, and are
+//! decision-identical to their single-threaded counterparts: the
+//! parallel phase only computes per-block / per-task metrics; ordering
+//! and packing stay sequential and deterministic.
 
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -56,12 +56,12 @@ impl ParallelDPack {
         }
         let chunk = block_ids.len().div_ceil(self.threads);
         let mut results: Vec<Vec<(BlockId, Option<usize>)>> = Vec::new();
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             let handles: Vec<_> = block_ids
                 .chunks(chunk)
                 .map(|ids| {
                     let inner = self.inner;
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         ids.iter()
                             .map(|&b| (b, inner.best_alpha_for_block(state, b)))
                             .collect::<Vec<_>>()
@@ -71,8 +71,7 @@ impl ParallelDPack {
             for h in handles {
                 results.push(h.join().expect("best-alpha worker panicked"));
             }
-        })
-        .expect("crossbeam scope failed");
+        });
         results.into_iter().flatten().collect()
     }
 }
@@ -140,9 +139,9 @@ impl Scheduler for ParallelDpf {
         let mut eff = vec![0.0f64; n];
         if n > 0 {
             let chunk = n.div_ceil(self.threads);
-            crossbeam::scope(|s| {
+            std::thread::scope(|s| {
                 for (slot, tasks) in eff.chunks_mut(chunk).zip(state.tasks().chunks(chunk)) {
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         for (e, t) in slot.iter_mut().zip(tasks) {
                             let share = dominant_share(t, state.blocks());
                             *e = if share == f64::INFINITY {
@@ -155,8 +154,7 @@ impl Scheduler for ParallelDpf {
                         }
                     });
                 }
-            })
-            .expect("crossbeam scope failed");
+            });
         }
         let order = sort_by_efficiency(state, &eff);
         let scheduled = pack(state, &order, self.rule);

@@ -6,19 +6,16 @@
 //! wall-clock time per cycle the way §6.4 measures it: the "scheduling
 //! procedure" includes ingest, snapshot, algorithm, and commit.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
-
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
 
 use dp_accounting::AlphaGrid;
 use dpack_core::online::{OnlineConfig, OnlineEngine, OnlineStats};
 use dpack_core::problem::{Allocation, Block, ProblemError, Task};
 use dpack_core::schedulers::Scheduler;
 
-use crate::latency::LatencyModel;
+use crate::latency::{busy_wait, LatencyModel};
 
 /// Orchestrator parameters.
 #[derive(Debug, Clone, Copy)]
@@ -80,7 +77,7 @@ pub struct Orchestrator<S: Scheduler> {
 impl<S: Scheduler> Orchestrator<S> {
     /// Creates an orchestrator.
     pub fn new(scheduler: S, grid: AlphaGrid, config: OrchestratorConfig) -> Self {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         Self {
             engine: OnlineEngine::new(
                 scheduler,
@@ -205,41 +202,36 @@ impl<S: Scheduler> Orchestrator<S> {
 /// Virtual time advances by one scheduling period per cycle.
 pub struct OrchestratorService<S: Scheduler + Send + 'static> {
     inner: Arc<Mutex<Orchestrator<S>>>,
-    stop: Arc<AtomicBool>,
-    handle: Option<std::thread::JoinHandle<()>>,
+    cycle_loop: Option<crate::driver::CycleLoop>,
 }
 
 impl<S: Scheduler + Send + 'static> OrchestratorService<S> {
     /// Spawns the service thread, running a cycle every `interval`.
     pub fn spawn(orchestrator: Orchestrator<S>, interval: Duration) -> Self {
+        let period = orchestrator.config.scheduling_period;
         let inner = Arc::new(Mutex::new(orchestrator));
-        let stop = Arc::new(AtomicBool::new(false));
         let thread_inner = Arc::clone(&inner);
-        let thread_stop = Arc::clone(&stop);
-        let handle = std::thread::spawn(move || {
-            let mut step = 1u64;
-            while !thread_stop.load(Ordering::Relaxed) {
-                {
-                    let mut orch = thread_inner.lock();
-                    let now = step as f64 * orch.config.scheduling_period;
-                    // A failed cycle is fatal for the service loop; the
-                    // invariant is checked by tests.
-                    orch.run_cycle(now).expect("orchestrator cycle failed");
-                }
-                step += 1;
-                std::thread::sleep(interval);
-            }
+        let cycle_loop = crate::driver::CycleLoop::spawn(period, interval, move |now| {
+            // A failed cycle is fatal for the service loop; the
+            // invariant is checked by tests.
+            thread_inner
+                .lock()
+                .expect("orchestrator lock poisoned")
+                .run_cycle(now)
+                .expect("orchestrator cycle failed");
         });
         Self {
             inner,
-            stop,
-            handle: Some(handle),
+            cycle_loop: Some(cycle_loop),
         }
     }
 
     /// A submission handle usable from any thread.
     pub fn submitter(&self) -> Sender<Task> {
-        self.inner.lock().submitter()
+        self.inner
+            .lock()
+            .expect("orchestrator lock poisoned")
+            .submitter()
     }
 
     /// Registers a block through the service.
@@ -248,7 +240,10 @@ impl<S: Scheduler + Send + 'static> OrchestratorService<S> {
     ///
     /// Propagates orchestrator errors.
     pub fn register_block(&self, block: Block) -> Result<(), ProblemError> {
-        self.inner.lock().register_block(block)
+        self.inner
+            .lock()
+            .expect("orchestrator lock poisoned")
+            .register_block(block)
     }
 
     /// Stops the service and returns the orchestrator.
@@ -257,31 +252,14 @@ impl<S: Scheduler + Send + 'static> OrchestratorService<S> {
     ///
     /// Panics if the service thread panicked.
     pub fn stop(mut self) -> Orchestrator<S> {
-        self.stop.store(true, Ordering::Relaxed);
-        if let Some(h) = self.handle.take() {
-            h.join().expect("service thread panicked");
-        }
+        self.cycle_loop
+            .take()
+            .expect("cycle loop runs until stop")
+            .stop();
         Arc::try_unwrap(self.inner)
             .unwrap_or_else(|_| panic!("service still shared"))
             .into_inner()
-    }
-}
-
-/// Burns wall-clock time to model a blocking service call.
-///
-/// Uses a sleep for macroscopic waits and a spin for sub-millisecond
-/// ones, so injected latencies are reasonably accurate at both scales.
-fn busy_wait(d: Duration) {
-    if d == Duration::ZERO {
-        return;
-    }
-    if d >= Duration::from_millis(2) {
-        std::thread::sleep(d);
-    } else {
-        let end = Instant::now() + d;
-        while Instant::now() < end {
-            std::hint::spin_loop();
-        }
+            .expect("orchestrator lock poisoned")
     }
 }
 

@@ -1,0 +1,291 @@
+//! A std-only stand-in for the subset of the `rand` crate API used by
+//! this workspace.
+//!
+//! The build environment is offline, so the crates.io `rand` cannot be
+//! fetched. This shim keeps every `use rand::...` call site compiling
+//! unchanged while providing deterministic, seedable randomness:
+//!
+//! * [`Rng`] — the core trait: a source of uniform `u64`s.
+//! * [`RngExt`] — blanket extension with [`RngExt::random`] (uniform
+//!   samples of primitive types) and [`RngExt::random_range`] (uniform
+//!   integers in a half-open range).
+//! * [`SeedableRng`] — construction from a `u64` seed via SplitMix64.
+//! * [`rngs::StdRng`] — a xoshiro256++ generator (Blackman–Vigna), the
+//!   default engine. Small state, passes BigCrush, and more than good
+//!   enough for workload generation and DP noise in tests; this is
+//!   **not** a cryptographically secure generator.
+//!
+//! Determinism is part of the contract: the same seed always yields the
+//! same stream on every platform, which the workload generators rely on
+//! (`generate(cfg, seed)` must be reproducible across runs and shards).
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::{RngExt, SeedableRng};
+//!
+//! let mut a = StdRng::seed_from_u64(7);
+//! let mut b = StdRng::seed_from_u64(7);
+//! assert_eq!(a.random::<f64>(), b.random::<f64>());
+//! let i = a.random_range(0..10usize);
+//! assert!(i < 10);
+//! ```
+
+use std::ops::Range;
+
+/// A uniform source of random `u64`s.
+pub trait Rng {
+    /// The next 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types sampleable uniformly from an [`Rng`] (the shim's analogue of
+/// rand's `StandardUniform` distribution).
+pub trait UniformSample: Sized {
+    /// Draws one uniform sample.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl UniformSample for u64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl UniformSample for u32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl UniformSample for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl UniformSample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl UniformSample for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Integer types sampleable uniformly from a half-open range.
+pub trait RangeSample: Sized {
+    /// Draws a uniform sample from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range.
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+/// Uniform integer in `[0, span)` via Lemire's widening-multiply map.
+/// The modulo bias is at most `span / 2⁶⁴` — negligible for the
+/// workload-generation spans used here (all far below 2³²).
+#[inline]
+fn mul_shift<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! impl_range_sample_unsigned {
+    ($($t:ty),*) => {$(
+        impl RangeSample for $t {
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range in random_range");
+                let span = (range.end - range.start) as u64;
+                range.start + mul_shift(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_range_sample_signed {
+    ($($t:ty as $u:ty),*) => {$(
+        impl RangeSample for $t {
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range in random_range");
+                let span = (range.end as $u).wrapping_sub(range.start as $u) as u64;
+                range.start.wrapping_add(mul_shift(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_sample_unsigned!(u8, u16, u32, u64, usize);
+impl_range_sample_signed!(i8 as u8, i16 as u16, i32 as u32, i64 as u64, isize as usize);
+
+/// Convenience sampling methods, blanket-implemented for every [`Rng`].
+pub trait RngExt: Rng {
+    /// A uniform sample of `T` (floats are uniform in `[0, 1)`).
+    fn random<T: UniformSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniform integer in the half-open `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range.
+    fn random_range<T: RangeSample>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Deterministic construction from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// One SplitMix64 step: the recommended seeder for xoshiro state (it
+/// guarantees a non-zero, well-mixed state from any seed, including 0).
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{splitmix64, Rng, SeedableRng};
+
+    /// The default generator: xoshiro256++ (Blackman–Vigna 2019).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            Self { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn zero_seed_is_well_mixed() {
+        let mut r = StdRng::seed_from_u64(0);
+        let draws: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        assert!(draws.iter().any(|&x| x != 0));
+        assert_ne!(draws[0], draws[1]);
+    }
+
+    #[test]
+    fn f64_samples_are_in_unit_interval_and_roughly_uniform() {
+        let mut r = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn range_samples_cover_and_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let i = r.random_range(0..10usize);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..1000 {
+            let v = r.random_range(5..8u32);
+            assert!((5..8).contains(&v));
+            let w = r.random_range(-3..3i64);
+            assert!((-3..3).contains(&w));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = StdRng::seed_from_u64(3);
+        r.random_range(5..5usize);
+    }
+
+    #[test]
+    fn works_through_unsized_references() {
+        fn draw(rng: &mut (dyn Rng + '_)) -> f64 {
+            rng.random::<f64>()
+        }
+        let mut r = StdRng::seed_from_u64(4);
+        assert!(draw(&mut r) < 1.0);
+    }
+
+    #[test]
+    fn bool_probability_is_respected() {
+        let mut r = StdRng::seed_from_u64(5);
+        let hits = (0..10_000).filter(|_| r.random_bool(0.25)).count();
+        assert!((hits as f64 / 10_000.0 - 0.25).abs() < 0.02);
+    }
+}

@@ -1,0 +1,336 @@
+//! The striped budget ledger.
+//!
+//! Blocks are partitioned across `S` shards by `block_id mod S`; each
+//! shard holds its blocks' [`BlockLedger`] entries (total capacity +
+//! RDP privacy filter) behind its own lock. Registrations, snapshots
+//! and commits that touch different shards never contend — the striped
+//! layout from the PrivateKube service design, rebuilt in-process.
+//!
+//! A task whose blocks span several shards is committed with a
+//! two-phase protocol: all involved shard locks are acquired in
+//! ascending shard order (a global order, so concurrent cross-shard
+//! commits cannot deadlock), every filter is checked, and only if *all*
+//! grant is the demand consumed anywhere. Otherwise nothing is charged
+//! and the task is released back to the caller.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard};
+
+use dp_accounting::{AlphaGrid, RdpCurve};
+use dpack_core::online::BlockLedger;
+use dpack_core::problem::{Block, BlockId, ProblemError, Task};
+
+type Shard = BTreeMap<BlockId, BlockLedger>;
+
+/// The sharded ledger: `S` lock-striped maps of block ledgers.
+#[derive(Debug)]
+pub struct ShardedLedger {
+    grid: AlphaGrid,
+    unlock_period: f64,
+    unlock_steps: u32,
+    shards: Vec<Mutex<Shard>>,
+}
+
+/// The outcome of a (two-phase) commit attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitOutcome {
+    /// Every involved filter granted; the demand is charged on all
+    /// requested blocks.
+    Committed,
+    /// At least one filter refused; nothing was charged anywhere and
+    /// the task should stay pending.
+    Released,
+}
+
+impl ShardedLedger {
+    /// Creates a ledger with `shards` stripes and the §3.4 unlocking
+    /// schedule (`unlock_steps = 1` unlocks everything immediately).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`, `unlock_steps == 0`, or the unlock
+    /// period is not finite and positive.
+    pub fn new(grid: AlphaGrid, shards: usize, unlock_period: f64, unlock_steps: u32) -> Self {
+        assert!(shards >= 1, "need at least one ledger shard");
+        assert!(unlock_steps >= 1, "unlock steps must be >= 1");
+        assert!(
+            unlock_period > 0.0 && unlock_period.is_finite(),
+            "unlock period must be finite and > 0"
+        );
+        Self {
+            grid,
+            unlock_period,
+            unlock_steps,
+            shards: (0..shards).map(|_| Mutex::new(Shard::new())).collect(),
+        }
+    }
+
+    /// The alpha grid all curves share.
+    pub fn grid(&self) -> &AlphaGrid {
+        &self.grid
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning a block.
+    pub fn shard_of(&self, block: BlockId) -> usize {
+        (block % self.shards.len() as u64) as usize
+    }
+
+    fn lock(&self, shard: usize) -> MutexGuard<'_, Shard> {
+        self.shards[shard]
+            .lock()
+            .expect("ledger shard lock poisoned")
+    }
+
+    /// Registers a newly arrived block on its shard.
+    ///
+    /// # Errors
+    ///
+    /// Rejects duplicate ids and grid mismatches.
+    pub fn register_block(&self, block: Block) -> Result<(), ProblemError> {
+        if block.capacity.grid() != &self.grid {
+            return Err(ProblemError(format!(
+                "block {} is on a different grid",
+                block.id
+            )));
+        }
+        let mut shard = self.lock(self.shard_of(block.id));
+        if shard.contains_key(&block.id) {
+            return Err(ProblemError(format!("duplicate block id {}", block.id)));
+        }
+        shard.insert(block.id, BlockLedger::new(block));
+        Ok(())
+    }
+
+    /// Whether a block is registered.
+    pub fn contains(&self, block: BlockId) -> bool {
+        self.lock(self.shard_of(block)).contains_key(&block)
+    }
+
+    /// Total number of registered blocks (sums across shards).
+    pub fn n_blocks(&self) -> usize {
+        (0..self.shards.len()).map(|s| self.lock(s).len()).sum()
+    }
+
+    /// Snapshots one shard's available capacities at time `now` (§3.4
+    /// unlocked-minus-consumed), holding only that shard's lock.
+    pub fn snapshot_shard(&self, shard: usize, now: f64) -> BTreeMap<BlockId, RdpCurve> {
+        self.lock(shard)
+            .iter()
+            .map(|(id, b)| (*id, b.available(now, self.unlock_period, self.unlock_steps)))
+            .collect()
+    }
+
+    /// Snapshots all shards' available capacities at time `now`, taking
+    /// shard locks one at a time.
+    pub fn snapshot_all(&self, now: f64) -> BTreeMap<BlockId, RdpCurve> {
+        let mut all = BTreeMap::new();
+        for s in 0..self.shards.len() {
+            all.extend(self.snapshot_shard(s, now));
+        }
+        all
+    }
+
+    /// Total (initial) capacities of all blocks, for fairness metrics.
+    pub fn total_capacities(&self) -> BTreeMap<BlockId, RdpCurve> {
+        let mut all = BTreeMap::new();
+        for s in 0..self.shards.len() {
+            all.extend(self.lock(s).iter().map(|(id, b)| (*id, b.total().clone())));
+        }
+        all
+    }
+
+    /// Two-phase commit of a task's demand across all its blocks.
+    ///
+    /// Locks the involved shards in ascending shard order, checks every
+    /// block's filter, and consumes on all of them only if all grant —
+    /// the task either commits everywhere or nowhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task references an unregistered block (admission
+    /// validates block existence, and blocks are never removed).
+    pub fn commit_task(&self, task: &Task) -> CommitOutcome {
+        // Involved shards, ascending and deduplicated: the global lock
+        // order that makes concurrent cross-shard commits deadlock-free.
+        let mut involved: Vec<usize> = task.blocks.iter().map(|b| self.shard_of(*b)).collect();
+        involved.sort_unstable();
+        involved.dedup();
+
+        let mut guards: BTreeMap<usize, MutexGuard<'_, Shard>> = BTreeMap::new();
+        for s in &involved {
+            guards.insert(*s, self.lock(*s));
+        }
+
+        // Phase 1: check every filter under the locks.
+        for b in &task.blocks {
+            let shard = &guards[&self.shard_of(*b)];
+            let ledger = shard
+                .get(b)
+                .unwrap_or_else(|| panic!("task {} references unregistered block {b}", task.id));
+            if !ledger.check(&task.demand) {
+                return CommitOutcome::Released;
+            }
+        }
+
+        // Phase 2: consume on every block; cannot fail after phase 1
+        // because we still hold every involved lock.
+        for b in &task.blocks {
+            let shard = guards.get_mut(&self.shard_of(*b)).expect("locked above");
+            shard
+                .get_mut(b)
+                .expect("checked in phase 1")
+                .commit(&task.demand)
+                .expect("filter re-check cannot fail under the held locks");
+        }
+        CommitOutcome::Committed
+    }
+
+    /// The Prop. 6 soundness invariant over the whole ledger: every
+    /// block has at least one Rényi order whose cumulative consumption
+    /// is within its total capacity. Returns the ids of violating
+    /// blocks (empty = sound).
+    pub fn unsound_blocks(&self) -> Vec<BlockId> {
+        let mut bad = Vec::new();
+        for s in 0..self.shards.len() {
+            for (id, b) in self.lock(s).iter() {
+                if !b.is_sound() {
+                    bad.push(*id);
+                }
+            }
+        }
+        bad
+    }
+
+    /// Total demands granted across all blocks (each task counts once
+    /// per requested block).
+    pub fn granted_count(&self) -> u64 {
+        (0..self.shards.len())
+            .map(|s| {
+                self.lock(s)
+                    .values()
+                    .map(|b| b.granted_count())
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_accounting::AlphaGrid;
+
+    fn grid() -> AlphaGrid {
+        AlphaGrid::new(vec![2.0, 8.0]).unwrap()
+    }
+
+    fn ledger(shards: usize) -> ShardedLedger {
+        let g = grid();
+        let l = ShardedLedger::new(g.clone(), shards, 1.0, 1);
+        for j in 0..8u64 {
+            l.register_block(Block::new(j, RdpCurve::constant(&g, 1.0), 0.0))
+                .unwrap();
+        }
+        l
+    }
+
+    fn task(id: u64, blocks: Vec<u64>, eps: f64) -> Task {
+        Task::new(id, 1.0, blocks, RdpCurve::constant(&grid(), eps), 0.0)
+    }
+
+    #[test]
+    fn blocks_map_to_stable_shards() {
+        let l = ledger(4);
+        assert_eq!(l.n_shards(), 4);
+        assert_eq!(l.n_blocks(), 8);
+        for j in 0..8u64 {
+            assert_eq!(l.shard_of(j), (j % 4) as usize);
+            assert!(l.contains(j));
+        }
+        assert!(!l.contains(99));
+    }
+
+    #[test]
+    fn duplicate_and_mismatched_blocks_are_rejected() {
+        let l = ledger(2);
+        let g = grid();
+        assert!(l
+            .register_block(Block::new(0, RdpCurve::constant(&g, 1.0), 0.0))
+            .is_err());
+        let other = AlphaGrid::single(3.0).unwrap();
+        assert!(l
+            .register_block(Block::new(100, RdpCurve::constant(&other, 1.0), 0.0))
+            .is_err());
+    }
+
+    #[test]
+    fn cross_shard_commit_is_atomic() {
+        let l = ledger(4);
+        // Drain block 1 (shard 1) completely.
+        assert_eq!(
+            l.commit_task(&task(0, vec![1], 1.0)),
+            CommitOutcome::Committed
+        );
+        // A task spanning shards 0 and 1 must release without touching
+        // block 0 on shard 0.
+        assert_eq!(
+            l.commit_task(&task(1, vec![0, 1], 0.5)),
+            CommitOutcome::Released
+        );
+        let snap = l.snapshot_all(1.0);
+        assert_eq!(snap[&0].epsilon(0), 1.0, "block 0 must be untouched");
+        // Block 0 alone still has full capacity.
+        assert_eq!(
+            l.commit_task(&task(2, vec![0], 1.0)),
+            CommitOutcome::Committed
+        );
+        assert!(l.unsound_blocks().is_empty());
+    }
+
+    #[test]
+    fn snapshot_respects_unlocking_schedule() {
+        let g = grid();
+        let l = ShardedLedger::new(g.clone(), 2, 1.0, 4);
+        l.register_block(Block::new(0, RdpCurve::constant(&g, 1.0), 0.0))
+            .unwrap();
+        let early = l.snapshot_all(1.0);
+        assert!((early[&0].epsilon(0) - 0.25).abs() < 1e-12);
+        let late = l.snapshot_all(10.0);
+        assert!((late[&0].epsilon(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_commits_on_disjoint_shards_all_land() {
+        let l = std::sync::Arc::new(ledger(4));
+        std::thread::scope(|s| {
+            for j in 0..8u64 {
+                let l = std::sync::Arc::clone(&l);
+                s.spawn(move || {
+                    for i in 0..4u64 {
+                        let t = task(j * 10 + i, vec![j], 0.25);
+                        assert_eq!(l.commit_task(&t), CommitOutcome::Committed);
+                    }
+                });
+            }
+        });
+        assert_eq!(l.granted_count(), 32);
+        assert!(l.unsound_blocks().is_empty());
+        // Every block is now exactly full: one more 0.25 must release.
+        assert_eq!(
+            l.commit_task(&task(999, vec![3], 0.25)),
+            CommitOutcome::Released
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered block")]
+    fn committing_an_unknown_block_panics() {
+        let l = ledger(2);
+        l.commit_task(&task(0, vec![55], 0.1));
+    }
+}

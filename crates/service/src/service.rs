@@ -1,0 +1,950 @@
+//! The budget service: admission, batched scheduling, commit.
+//!
+//! A [`BudgetService`] is driven entirely through `&self` — producers
+//! submit tasks and register blocks from any thread while the
+//! scheduling loop runs cycles; all interior state is behind the
+//! striped ledger locks, the admission-queue lock, and a pending-set
+//! lock. Cycles themselves are serialized by a cycle lock (two
+//! overlapping cycles would double-schedule the same pending tasks);
+//! everything else stays concurrent.
+//!
+//! One cycle runs four phases, mirroring the §6.4 "scheduling
+//! procedure" (ingest → snapshot → algorithm → commit):
+//!
+//! 1. **Ingest** — drain the admission queue into the pending set and
+//!    evict timed-out tasks.
+//! 2. **Shard-local scheduling** — tasks whose blocks live on a single
+//!    shard are scheduled per shard by [`std::thread::scope`] workers,
+//!    each worker snapshotting and committing against only its shards'
+//!    locks, so shards proceed in parallel without contention.
+//! 3. **Cross-shard scheduling** — tasks spanning shards are scheduled
+//!    sequentially over a fresh global snapshot and committed with the
+//!    ledger's two-phase protocol: all-or-nothing across shards.
+//! 4. **Bookkeeping** — granted tasks leave the pending set; stats
+//!    record the cycle's volumes and phase timings.
+//!
+//! With one shard and one worker the loop degenerates to exactly the
+//! [`OnlineEngine`](dpack_core::online::OnlineEngine) semantics, which
+//! the equivalence tests assert allocation-for-allocation.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use dp_accounting::AlphaGrid;
+use dpack_core::online::AllocatedTask;
+use dpack_core::problem::{Block, ProblemError, ProblemState, Task, TaskId};
+use orchestrator::busy_wait;
+
+use crate::admission::{AdmissionError, AdmissionQueue, Submission, TenantId};
+use crate::config::ServiceConfig;
+use crate::ledger::{CommitOutcome, ShardedLedger};
+use crate::stats::{CycleStats, ServiceStats};
+
+/// A tenant-tagged task on its way through a scheduling cycle.
+type TaggedTask = (TenantId, Task);
+/// An available-capacity snapshot, keyed by block id.
+type Snapshot = std::collections::BTreeMap<dpack_core::problem::BlockId, dp_accounting::RdpCurve>;
+
+/// One shard worker's cycle outcome.
+struct ShardResult {
+    shard: usize,
+    granted: Vec<(TenantId, AllocatedTask)>,
+    released: usize,
+    algorithm: Duration,
+}
+
+/// Tasks currently *live* — queued or pending. Ids are the commit
+/// keys, so admission rejects collisions (even across tenants)
+/// instead of letting one task double-charge and shadow the other;
+/// the per-tenant counts back the tenant quota, which holds until a
+/// task is granted or evicted (not merely drained), so a noisy tenant
+/// cannot grow the pending set without bound.
+#[derive(Debug, Default)]
+struct LiveTasks {
+    ids: std::collections::BTreeSet<TaskId>,
+    per_tenant: std::collections::BTreeMap<TenantId, usize>,
+}
+
+impl LiveTasks {
+    fn release(&mut self, tenant: TenantId, id: TaskId) {
+        self.ids.remove(&id);
+        if let Some(c) = self.per_tenant.get_mut(&tenant) {
+            *c = c.saturating_sub(1);
+        }
+    }
+}
+
+/// The multi-tenant, sharded privacy-budget scheduling service.
+pub struct BudgetService {
+    config: ServiceConfig,
+    ledger: ShardedLedger,
+    queue: AdmissionQueue,
+    pending: Mutex<Vec<Submission>>,
+    live: Mutex<LiveTasks>,
+    stats: Mutex<ServiceStats>,
+    cycle_lock: Mutex<()>,
+}
+
+impl BudgetService {
+    /// Creates a service on the given alpha grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate configuration (zero shards/workers/steps,
+    /// non-positive periods, zero queue capacity).
+    pub fn new(grid: AlphaGrid, config: ServiceConfig) -> Self {
+        assert!(config.workers >= 1, "need at least one worker thread");
+        assert!(
+            config.scheduling_period > 0.0 && config.scheduling_period.is_finite(),
+            "scheduling period must be finite and > 0"
+        );
+        let ledger = ShardedLedger::new(
+            grid,
+            config.shards,
+            config.unlock_period,
+            config.unlock_steps,
+        );
+        assert!(config.tenant_quota >= 1, "tenant quota must be >= 1");
+        Self {
+            ledger,
+            queue: AdmissionQueue::new(config.queue_capacity),
+            pending: Mutex::new(Vec::new()),
+            live: Mutex::new(LiveTasks::default()),
+            stats: Mutex::new(ServiceStats::default()),
+            cycle_lock: Mutex::new(()),
+            config,
+        }
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The striped ledger (for soundness checks and fairness metrics).
+    pub fn ledger(&self) -> &ShardedLedger {
+        &self.ledger
+    }
+
+    /// Registers a data block on its shard. Callable from any thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ledger validation errors (duplicate id, wrong grid).
+    pub fn register_block(&self, block: Block) -> Result<(), ProblemError> {
+        self.ledger.register_block(block)
+    }
+
+    /// Submits a task for `tenant`: validates it against the ledger,
+    /// then enqueues it subject to the queue bound and tenant quota.
+    /// Callable from any thread.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionError`] describing the rejection; the service state
+    /// is unchanged except for the rejection counters.
+    pub fn submit(&self, tenant: TenantId, task: Task) -> Result<(), AdmissionError> {
+        // Validation runs before the stats lock — it probes shard
+        // locks (block existence) and scans the demand curve, so
+        // serializing producers through it would defeat the striping.
+        let validated = self.validate(&task);
+        // The stats lock is held only across the enqueue and counter
+        // updates, making them atomic with the task becoming visible
+        // to a concurrent cycle — a monitor can never observe a grant
+        // whose admission is not yet counted. A cycle records its
+        // grants under this same lock after releasing every other
+        // lock, so there is no ordering cycle.
+        let mut stats = self.stats.lock().expect("stats lock poisoned");
+        let result = match validated {
+            Ok(()) => self.enqueue(tenant, task),
+            Err(e) => Err(e),
+        };
+        stats.submitted += 1;
+        match &result {
+            Ok(()) => stats.admitted += 1,
+            Err(AdmissionError::QueueFull { .. }) => stats.rejected_full += 1,
+            Err(AdmissionError::QuotaExceeded { .. }) => stats.rejected_quota += 1,
+            Err(_) => stats.rejected_invalid += 1,
+        }
+        let t = stats.tenants.entry(tenant).or_default();
+        t.submitted += 1;
+        if result.is_ok() {
+            t.admitted += 1;
+        }
+        result
+    }
+
+    /// Everything the cycle loop assumes about a pending task is
+    /// enforced here — a malformed submission must be a rejected
+    /// submission, never a panic inside the scheduling loop.
+    fn validate(&self, task: &Task) -> Result<(), AdmissionError> {
+        if task.demand.grid() != self.ledger.grid() {
+            return Err(AdmissionError::GridMismatch { task: task.id });
+        }
+        if task.blocks.is_empty() {
+            return Err(AdmissionError::InvalidTask {
+                task: task.id,
+                reason: "requests no blocks",
+            });
+        }
+        if !task.weight.is_finite() || task.weight <= 0.0 {
+            return Err(AdmissionError::InvalidTask {
+                task: task.id,
+                reason: "weight must be finite and > 0",
+            });
+        }
+        if task
+            .demand
+            .values()
+            .iter()
+            .any(|d| !d.is_finite() || *d < 0.0)
+        {
+            return Err(AdmissionError::InvalidTask {
+                task: task.id,
+                reason: "demand must be finite and >= 0 at every order",
+            });
+        }
+        // `Task::new` sorts and deduplicates, but the fields are
+        // public — a hand-built task with a repeated block would
+        // double-charge one filter at commit time, so reject it here.
+        if task.blocks.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(AdmissionError::InvalidTask {
+                task: task.id,
+                reason: "block list must be strictly ascending (sorted, no duplicates)",
+            });
+        }
+        for b in &task.blocks {
+            if !self.ledger.contains(*b) {
+                return Err(AdmissionError::UnknownBlock {
+                    task: task.id,
+                    block: *b,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The admission gates with state: duplicate id, tenant quota,
+    /// queue bound.
+    fn enqueue(&self, tenant: TenantId, task: Task) -> Result<(), AdmissionError> {
+        // Hold the live-task lock across the queue push so two racing
+        // submissions of the same id (or a quota-straddling pair)
+        // cannot both land.
+        let mut live = self.live.lock().expect("live-task lock poisoned");
+        if live.ids.contains(&task.id) {
+            return Err(AdmissionError::DuplicateTask { task: task.id });
+        }
+        let tenant_live = live.per_tenant.get(&tenant).copied().unwrap_or(0);
+        if tenant_live >= self.config.tenant_quota {
+            return Err(AdmissionError::QuotaExceeded {
+                tenant,
+                quota: self.config.tenant_quota,
+            });
+        }
+        let id = task.id;
+        self.queue.push(Submission { tenant, task })?;
+        live.ids.insert(id);
+        *live.per_tenant.entry(tenant).or_insert(0) += 1;
+        Ok(())
+    }
+
+    /// [`BudgetService::submit`] with backpressure handling: on a full
+    /// queue, parks briefly and retries until admitted or rejected for
+    /// another reason.
+    ///
+    /// # Errors
+    ///
+    /// Any [`AdmissionError`] except `QueueFull`.
+    pub fn submit_blocking(&self, tenant: TenantId, task: Task) -> Result<(), AdmissionError> {
+        loop {
+            match self.submit(tenant, task.clone()) {
+                Err(AdmissionError::QueueFull { .. }) => {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Current admission-queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Tasks ingested but not yet granted or evicted.
+    pub fn pending_count(&self) -> usize {
+        self.pending.lock().expect("pending lock poisoned").len()
+    }
+
+    /// A clone of the full statistics record so far. This copies the
+    /// per-event logs (see [`ServiceStats`] retention notes); poll
+    /// [`BudgetService::stats_summary`] instead from hot loops.
+    pub fn stats(&self) -> ServiceStats {
+        self.stats.lock().expect("stats lock poisoned").clone()
+    }
+
+    /// A fixed-size counter snapshot, computed under the stats lock
+    /// without cloning the per-event logs.
+    pub fn stats_summary(&self) -> crate::stats::StatsSummary {
+        self.stats.lock().expect("stats lock poisoned").summary()
+    }
+
+    /// Runs one scheduling cycle at virtual time `now`. Concurrent
+    /// calls are serialized; submissions and block registrations stay
+    /// concurrent throughout.
+    pub fn run_cycle(&self, now: f64) -> CycleStats {
+        let _cycle = self.cycle_lock.lock().expect("cycle lock poisoned");
+        let started = Instant::now();
+        let lat = self.config.latency;
+
+        // Phase 1a: ingest the admission queue into the pending set.
+        let batch = self.queue.drain(self.config.ingest_batch);
+        let ingested = batch.len();
+        busy_wait(lat.per_task_ingest * ingested as u32);
+        let queue_depth = self.queue.len();
+
+        // Phase 1b: evict timed-out tasks (same rule as the engine:
+        // `now − arrival > timeout`, applied after ingest so a stale
+        // submission can be evicted on its first cycle).
+        let mut evicted: Vec<(TenantId, TaskId)> = Vec::new();
+        let (shard_tasks, cross_tasks) = {
+            let mut pending = self.pending.lock().expect("pending lock poisoned");
+            for mut s in batch {
+                if s.task.timeout.is_none() {
+                    s.task.timeout = self.config.default_timeout;
+                }
+                pending.push(s);
+            }
+            pending.retain(|s| match s.task.timeout {
+                Some(dt) if now - s.task.arrival > dt => {
+                    evicted.push((s.tenant, s.task.id));
+                    false
+                }
+                _ => true,
+            });
+            self.partition(&pending)
+        };
+
+        // Snapshot cost: one budget read per block plus the fixed
+        // per-cycle charge.
+        busy_wait(lat.per_block_read * self.ledger.n_blocks() as u32 + lat.per_cycle);
+
+        // Phase 2: shard-local cycles on scoped worker threads. Each
+        // worker owns a disjoint set of shards, so snapshots and
+        // commits on different workers never share a lock. Work items
+        // move into their worker (the partition clone is the only
+        // per-cycle task copy).
+        let work: Vec<(usize, Vec<TaggedTask>)> = shard_tasks
+            .into_iter()
+            .enumerate()
+            .filter(|(_, tasks)| !tasks.is_empty())
+            .collect();
+        let n_threads = self.config.workers.min(work.len()).max(1);
+        let chunk = work.len().div_ceil(n_threads).max(1);
+        let mut thread_work: Vec<Vec<(usize, Vec<TaggedTask>)>> = Vec::new();
+        let mut work = work.into_iter().peekable();
+        while work.peek().is_some() {
+            thread_work.push(work.by_ref().take(chunk).collect());
+        }
+        debug_assert!(thread_work.len() <= n_threads);
+        let mut shard_results: Vec<ShardResult> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = thread_work
+                .into_iter()
+                .map(|items| {
+                    scope.spawn(move || {
+                        items
+                            .into_iter()
+                            .map(|(shard, subs)| self.run_shard_cycle(shard, subs, now))
+                            .collect::<Vec<ShardResult>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                shard_results.extend(h.join().expect("shard worker panicked"));
+            }
+        });
+        // Deterministic commit order for the record: ascending shard.
+        shard_results.sort_by_key(|r| r.shard);
+
+        // Phase 3: cross-shard pass over a fresh global snapshot (which
+        // reflects the local commits), two-phase-committed.
+        let mut cross_granted: Vec<(TenantId, AllocatedTask)> = Vec::new();
+        let mut released: usize = shard_results.iter().map(|r| r.released).sum();
+        let mut algorithm: Duration = shard_results.iter().map(|r| r.algorithm).sum();
+        if !cross_tasks.is_empty() {
+            let snapshot = self.ledger.snapshot_all(now);
+            let (granted, rel, algo) =
+                self.schedule_and_commit(snapshot, cross_tasks, self.config.workers, now);
+            cross_granted = granted;
+            released += rel;
+            algorithm += algo;
+        }
+
+        // Phase 4: bookkeeping.
+        let local_granted: usize = shard_results.iter().map(|r| r.granted.len()).sum();
+        let granted_total = local_granted + cross_granted.len();
+        busy_wait(lat.per_commit * granted_total as u32);
+
+        let granted_ids: std::collections::BTreeSet<TaskId> = shard_results
+            .iter()
+            .flat_map(|r| r.granted.iter().map(|(_, a)| a.id))
+            .chain(cross_granted.iter().map(|(_, a)| a.id))
+            .collect();
+        let pending_after = {
+            let mut pending = self.pending.lock().expect("pending lock poisoned");
+            pending.retain(|s| !granted_ids.contains(&s.task.id));
+            pending.len()
+        };
+        // Granted and evicted tasks are no longer live: their ids may
+        // be reused and their tenants' quota slots free up.
+        {
+            let mut live = self.live.lock().expect("live-task lock poisoned");
+            for r in &shard_results {
+                for (tenant, a) in &r.granted {
+                    live.release(*tenant, a.id);
+                }
+            }
+            for (tenant, a) in &cross_granted {
+                live.release(*tenant, a.id);
+            }
+            for (tenant, id) in &evicted {
+                live.release(*tenant, *id);
+            }
+        }
+
+        let cycle = CycleStats {
+            now,
+            ingested,
+            evicted: evicted.len(),
+            local_granted,
+            cross_granted: cross_granted.len(),
+            released,
+            queue_depth,
+            pending_after,
+            algorithm,
+            total: started.elapsed(),
+        };
+        let mut stats = self.stats.lock().expect("stats lock poisoned");
+        for (tenant, alloc) in shard_results
+            .into_iter()
+            .flat_map(|r| r.granted)
+            .chain(cross_granted)
+        {
+            let t = stats.tenants.entry(tenant).or_default();
+            t.granted += 1;
+            t.granted_weight += alloc.weight;
+            stats.granted.push(alloc);
+        }
+        stats.released += released as u64;
+        stats.evicted.extend(evicted.into_iter().map(|(_, id)| id));
+        stats.scheduler_runtime += algorithm;
+        stats.cycles.push(cycle.clone());
+        cycle
+    }
+
+    /// Splits the pending set into per-shard buckets (tasks whose
+    /// blocks all live on one shard) and the cross-shard remainder,
+    /// preserving submission order within each bucket. This clone is
+    /// the only per-task copy a cycle makes.
+    fn partition(&self, pending: &[Submission]) -> (Vec<Vec<TaggedTask>>, Vec<TaggedTask>) {
+        let mut shard_tasks: Vec<Vec<TaggedTask>> = vec![Vec::new(); self.ledger.n_shards()];
+        let mut cross = Vec::new();
+        for s in pending {
+            let first = self.ledger.shard_of(s.task.blocks[0]);
+            if s.task
+                .blocks
+                .iter()
+                .all(|b| self.ledger.shard_of(*b) == first)
+            {
+                shard_tasks[first].push((s.tenant, s.task.clone()));
+            } else {
+                cross.push((s.tenant, s.task.clone()));
+            }
+        }
+        (shard_tasks, cross)
+    }
+
+    /// Schedules `subs` over `available` capacities and commits each
+    /// grant through the ledger. Tasks move into the snapshot state;
+    /// commits read them back out of it.
+    fn schedule_and_commit(
+        &self,
+        available: Snapshot,
+        subs: Vec<TaggedTask>,
+        threads: usize,
+        now: f64,
+    ) -> (Vec<(TenantId, AllocatedTask)>, usize, Duration) {
+        let tenant_of: std::collections::BTreeMap<TaskId, TenantId> = subs
+            .iter()
+            .map(|(tenant, task)| (task.id, *tenant))
+            .collect();
+        let tasks: Vec<Task> = subs.into_iter().map(|(_, task)| task).collect();
+        let state = ProblemState::from_available(self.ledger.grid().clone(), available, tasks)
+            .expect("admission validated every pending task");
+        let allocation = self.config.scheduler.schedule(&state, threads);
+        let mut granted = Vec::new();
+        let mut released = 0usize;
+        for id in &allocation.scheduled {
+            let task = state.task(*id).expect("scheduler only returns state tasks");
+            match self.ledger.commit_task(task) {
+                CommitOutcome::Committed => granted.push((
+                    tenant_of[id],
+                    AllocatedTask {
+                        id: *id,
+                        weight: task.weight,
+                        arrival: task.arrival,
+                        allocated_at: now,
+                    },
+                )),
+                CommitOutcome::Released => released += 1,
+            }
+        }
+        (granted, released, allocation.runtime)
+    }
+
+    /// One shard's cycle: snapshot its blocks, schedule its local
+    /// tasks single-threaded, commit grants against its own lock.
+    fn run_shard_cycle(&self, shard: usize, subs: Vec<TaggedTask>, now: f64) -> ShardResult {
+        let snapshot = self.ledger.snapshot_shard(shard, now);
+        let (granted, released, algorithm) = self.schedule_and_commit(snapshot, subs, 1, now);
+        ShardResult {
+            shard,
+            granted,
+            released,
+            algorithm,
+        }
+    }
+}
+
+/// A service running cycles on a background thread at a fixed
+/// wall-clock interval — the always-on deployment shape. Virtual time
+/// advances by one scheduling period per cycle. The loop machinery is
+/// the orchestrator's [`orchestrator::CycleLoop`], which joins the
+/// thread on drop as well as on [`ServiceHandle::stop`].
+pub struct ServiceHandle {
+    service: Arc<BudgetService>,
+    cycle_loop: Option<orchestrator::CycleLoop>,
+}
+
+impl ServiceHandle {
+    /// Spawns the cycle thread.
+    pub fn spawn(service: Arc<BudgetService>, interval: Duration) -> Self {
+        let thread_service = Arc::clone(&service);
+        let cycle_loop = orchestrator::CycleLoop::spawn(
+            service.config.scheduling_period,
+            interval,
+            move |now| {
+                thread_service.run_cycle(now);
+            },
+        );
+        Self {
+            service,
+            cycle_loop: Some(cycle_loop),
+        }
+    }
+
+    /// The underlying service (for submissions and stats).
+    pub fn service(&self) -> &Arc<BudgetService> {
+        &self.service
+    }
+
+    /// Stops the cycle thread and returns the service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cycle thread panicked.
+    pub fn stop(mut self) -> Arc<BudgetService> {
+        self.cycle_loop
+            .take()
+            .expect("cycle loop runs until stop")
+            .stop();
+        Arc::clone(&self.service)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SchedulerChoice;
+    use dp_accounting::RdpCurve;
+    use dpack_core::online::{OnlineConfig, OnlineEngine};
+    use dpack_core::schedulers::DPack;
+
+    fn grid() -> AlphaGrid {
+        AlphaGrid::new(vec![4.0, 16.0]).unwrap()
+    }
+
+    fn immediate_unlock(shards: usize, workers: usize) -> ServiceConfig {
+        ServiceConfig {
+            shards,
+            workers,
+            unlock_steps: 1,
+            ..ServiceConfig::default()
+        }
+    }
+
+    fn simple_task(id: TaskId, blocks: Vec<u64>, eps: f64) -> Task {
+        Task::new(id, 1.0, blocks, RdpCurve::constant(&grid(), eps), 0.0)
+    }
+
+    #[test]
+    fn single_shard_cycle_matches_online_engine() {
+        // The same arrivals through the S=1 W=1 service and the engine
+        // must grant the same tasks at the same steps.
+        let service = BudgetService::new(
+            grid(),
+            ServiceConfig {
+                unlock_steps: 4,
+                scheduler: SchedulerChoice::DPack,
+                ..ServiceConfig::sequential()
+            },
+        );
+        let mut engine = OnlineEngine::new(
+            DPack::default(),
+            grid(),
+            OnlineConfig {
+                scheduling_period: 1.0,
+                unlock_period: 1.0,
+                unlock_steps: 4,
+                default_timeout: None,
+            },
+        );
+        for j in 0..3u64 {
+            let b = Block::new(j, RdpCurve::constant(&grid(), 1.0), 0.0);
+            service.register_block(b.clone()).unwrap();
+            engine.add_block(b).unwrap();
+        }
+        for i in 0..12u64 {
+            let t = simple_task(i, vec![i % 3], 0.3);
+            service.submit(0, t.clone()).unwrap();
+            engine.submit_task(t).unwrap();
+        }
+        for step in 1..=6 {
+            let now = step as f64;
+            service.run_cycle(now);
+            engine.run_step(now).unwrap();
+        }
+        let svc = service.stats();
+        let eng = engine.stats();
+        assert_eq!(svc.to_online().allocated, eng.allocated);
+        assert!(!svc.granted.is_empty());
+    }
+
+    #[test]
+    fn cross_shard_tasks_commit_atomically_or_stay_pending() {
+        let service = BudgetService::new(grid(), immediate_unlock(4, 2));
+        for j in 0..4u64 {
+            service
+                .register_block(Block::new(j, RdpCurve::constant(&grid(), 1.0), 0.0))
+                .unwrap();
+        }
+        // Shard-local tasks drain block 1 fully...
+        service.submit(0, simple_task(0, vec![1], 1.0)).unwrap();
+        // ...so this cross-shard task (blocks 0 and 1) cannot commit.
+        service.submit(1, simple_task(1, vec![0, 1], 0.5)).unwrap();
+        // While this one (blocks 2 and 3) can.
+        service.submit(1, simple_task(2, vec![2, 3], 0.5)).unwrap();
+        let cycle = service.run_cycle(1.0);
+        assert_eq!(cycle.local_granted, 1);
+        assert_eq!(cycle.cross_granted, 1);
+        assert_eq!(service.pending_count(), 1, "task 1 stays pending");
+        assert!(service.ledger().unsound_blocks().is_empty());
+        // Block 0 was not touched by the released task.
+        let snap = service.ledger().snapshot_all(1.0);
+        assert_eq!(snap[&0].epsilon(0), 1.0);
+    }
+
+    #[test]
+    fn timeouts_evict_pending_tasks() {
+        let service = BudgetService::new(
+            grid(),
+            ServiceConfig {
+                default_timeout: Some(2.0),
+                ..immediate_unlock(2, 1)
+            },
+        );
+        service
+            .register_block(Block::new(0, RdpCurve::constant(&grid(), 1.0), 0.0))
+            .unwrap();
+        // Infeasible task: demand exceeds capacity at every order.
+        service.submit(3, simple_task(0, vec![0], 5.0)).unwrap();
+        service.run_cycle(1.0);
+        service.run_cycle(2.0);
+        assert_eq!(service.pending_count(), 1);
+        let c = service.run_cycle(3.0);
+        assert_eq!(c.evicted, 1);
+        assert_eq!(service.pending_count(), 0);
+        assert_eq!(service.stats().evicted, vec![0]);
+    }
+
+    #[test]
+    fn invalid_submissions_are_counted_and_rejected() {
+        let service = BudgetService::new(grid(), immediate_unlock(2, 1));
+        service
+            .register_block(Block::new(0, RdpCurve::constant(&grid(), 1.0), 0.0))
+            .unwrap();
+        // Unknown block.
+        assert!(matches!(
+            service.submit(0, simple_task(0, vec![9], 0.1)),
+            Err(AdmissionError::UnknownBlock { block: 9, .. })
+        ));
+        // Wrong grid.
+        let other = AlphaGrid::single(2.0).unwrap();
+        let t = Task::new(1, 1.0, vec![0], RdpCurve::constant(&other, 0.1), 0.0);
+        assert!(matches!(
+            service.submit(0, t),
+            Err(AdmissionError::GridMismatch { task: 1 })
+        ));
+        let stats = service.stats();
+        assert_eq!(stats.rejected_invalid, 2);
+        assert_eq!(stats.admitted, 0);
+    }
+
+    #[test]
+    fn malformed_tasks_are_rejected_at_admission_not_in_the_loop() {
+        let service = BudgetService::new(grid(), immediate_unlock(2, 1));
+        service
+            .register_block(Block::new(0, RdpCurve::constant(&grid(), 1.0), 0.0))
+            .unwrap();
+        // No blocks.
+        let t = Task::new(0, 1.0, vec![], RdpCurve::constant(&grid(), 0.1), 0.0);
+        assert!(matches!(
+            service.submit(0, t),
+            Err(AdmissionError::InvalidTask { .. })
+        ));
+        // Non-positive and non-finite weights.
+        for weight in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let t = Task::new(1, weight, vec![0], RdpCurve::constant(&grid(), 0.1), 0.0);
+            assert!(
+                matches!(
+                    service.submit(0, t),
+                    Err(AdmissionError::InvalidTask { .. })
+                ),
+                "weight {weight} admitted"
+            );
+        }
+        // Negative demand.
+        let t = Task::new(2, 1.0, vec![0], RdpCurve::constant(&grid(), -0.1), 0.0);
+        assert!(matches!(
+            service.submit(0, t),
+            Err(AdmissionError::InvalidTask { .. })
+        ));
+        assert_eq!(service.stats().rejected_invalid, 6);
+        // The loop stays healthy after the rejections.
+        service.submit(0, simple_task(3, vec![0], 0.1)).unwrap();
+        assert_eq!(service.run_cycle(1.0).granted(), 1);
+    }
+
+    #[test]
+    fn duplicate_task_ids_are_rejected_until_resolved() {
+        let service = BudgetService::new(
+            grid(),
+            ServiceConfig {
+                default_timeout: Some(1.0),
+                ..immediate_unlock(2, 1)
+            },
+        );
+        service
+            .register_block(Block::new(0, RdpCurve::constant(&grid(), 1.0), 0.0))
+            .unwrap();
+        service.submit(0, simple_task(7, vec![0], 0.2)).unwrap();
+        // Same id from another tenant: rejected while queued...
+        assert!(matches!(
+            service.submit(1, simple_task(7, vec![0], 0.2)),
+            Err(AdmissionError::DuplicateTask { task: 7 })
+        ));
+        service.run_cycle(1.0); // Task 7 is granted here.
+                                // ...and accepted again once the id is no longer live.
+        service.submit(1, simple_task(7, vec![0], 0.2)).unwrap();
+        // An id held by an infeasible pending task stays blocked until
+        // eviction releases it.
+        let infeasible = Task::new(8, 1.0, vec![0], RdpCurve::constant(&grid(), 9.0), 2.0);
+        service.submit(0, infeasible).unwrap();
+        service.run_cycle(2.5); // Pending (0.5 elapsed < timeout 1.0).
+        assert!(matches!(
+            service.submit(1, simple_task(8, vec![0], 0.1)),
+            Err(AdmissionError::DuplicateTask { task: 8 })
+        ));
+        service.run_cycle(4.0); // 2.0 elapsed > 1.0: task 8 is evicted.
+        assert!(service.stats().evicted.contains(&8));
+        service.submit(1, simple_task(8, vec![0], 0.1)).unwrap();
+    }
+
+    #[test]
+    fn tenant_quota_caps_live_tasks_not_just_queued() {
+        let service = BudgetService::new(
+            grid(),
+            ServiceConfig {
+                tenant_quota: 2,
+                default_timeout: Some(1.0),
+                ..immediate_unlock(2, 1)
+            },
+        );
+        service
+            .register_block(Block::new(0, RdpCurve::constant(&grid(), 1.0), 0.0))
+            .unwrap();
+        // Two infeasible tasks occupy the quota...
+        for i in 0..2u64 {
+            let t = Task::new(i, 1.0, vec![0], RdpCurve::constant(&grid(), 9.0), 1.0);
+            service.submit(3, t).unwrap();
+        }
+        assert!(matches!(
+            service.submit(3, simple_task(2, vec![0], 0.1)),
+            Err(AdmissionError::QuotaExceeded {
+                tenant: 3,
+                quota: 2
+            })
+        ));
+        // ...and draining them into pending does NOT free it: they are
+        // still live, so the noisy tenant stays capped.
+        service.run_cycle(1.5);
+        assert_eq!(service.pending_count(), 2);
+        assert!(matches!(
+            service.submit(3, simple_task(2, vec![0], 0.1)),
+            Err(AdmissionError::QuotaExceeded {
+                tenant: 3,
+                quota: 2
+            })
+        ));
+        // Other tenants are unaffected.
+        service.submit(4, simple_task(10, vec![0], 0.1)).unwrap();
+        // Eviction (timeout 1.0, arrival 1.0) releases the quota.
+        service.run_cycle(3.0);
+        assert_eq!(service.pending_count(), 0);
+        service.submit(3, simple_task(2, vec![0], 0.1)).unwrap();
+    }
+
+    #[test]
+    fn unsorted_or_duplicate_block_lists_are_rejected() {
+        let service = BudgetService::new(grid(), immediate_unlock(2, 1));
+        for j in 0..2u64 {
+            service
+                .register_block(Block::new(j, RdpCurve::constant(&grid(), 1.0), 0.0))
+                .unwrap();
+        }
+        // Bypass Task::new's normalization via the public fields.
+        let mut dup = simple_task(0, vec![0], 0.6);
+        dup.blocks = vec![0, 0];
+        assert!(matches!(
+            service.submit(0, dup),
+            Err(AdmissionError::InvalidTask { .. })
+        ));
+        let mut unsorted = simple_task(1, vec![0], 0.1);
+        unsorted.blocks = vec![1, 0];
+        assert!(matches!(
+            service.submit(0, unsorted),
+            Err(AdmissionError::InvalidTask { .. })
+        ));
+        // The loop keeps running and a well-formed task is granted.
+        service.submit(0, simple_task(2, vec![0, 1], 0.1)).unwrap();
+        assert_eq!(service.run_cycle(1.0).granted(), 1);
+        assert!(service.ledger().unsound_blocks().is_empty());
+    }
+
+    #[test]
+    fn summary_matches_full_stats() {
+        let service = BudgetService::new(grid(), immediate_unlock(2, 1));
+        service
+            .register_block(Block::new(0, RdpCurve::constant(&grid(), 1.0), 0.0))
+            .unwrap();
+        for i in 0..4u64 {
+            service.submit(0, simple_task(i, vec![0], 0.3)).unwrap();
+        }
+        service.run_cycle(1.0);
+        let full = service.stats();
+        let summary = service.stats_summary();
+        assert_eq!(summary.granted, full.granted.len() as u64);
+        assert_eq!(summary.admitted, full.admitted);
+        assert_eq!(summary.cycles, 1);
+        assert_eq!(summary.throughput, full.throughput().unwrap_or(0.0));
+    }
+
+    #[test]
+    fn per_tenant_stats_track_grant_rates() {
+        let service = BudgetService::new(grid(), immediate_unlock(2, 2));
+        service
+            .register_block(Block::new(0, RdpCurve::constant(&grid(), 1.0), 0.0))
+            .unwrap();
+        // Tenant 0 asks for more than fits; tenant 1 fits entirely.
+        for i in 0..4u64 {
+            service.submit(0, simple_task(i, vec![0], 0.4)).unwrap();
+        }
+        service.submit(1, simple_task(10, vec![0], 0.2)).unwrap();
+        service.run_cycle(1.0);
+        let stats = service.stats();
+        assert_eq!(stats.tenants[&1].grant_rate(), Some(1.0));
+        let rate0 = stats.tenants[&0].grant_rate().unwrap();
+        assert!(rate0 < 1.0, "tenant 0 cannot be fully granted");
+        assert_eq!(
+            stats.granted.len() as u64,
+            stats.tenants[&0].granted + stats.tenants[&1].granted
+        );
+    }
+
+    #[test]
+    fn concurrent_submitters_and_cycles_stay_sound() {
+        let service = Arc::new(BudgetService::new(
+            grid(),
+            ServiceConfig {
+                queue_capacity: 64,
+                ..immediate_unlock(4, 2)
+            },
+        ));
+        for j in 0..8u64 {
+            service
+                .register_block(Block::new(j, RdpCurve::constant(&grid(), 2.0), 0.0))
+                .unwrap();
+        }
+        let handle = ServiceHandle::spawn(Arc::clone(&service), Duration::from_millis(1));
+        std::thread::scope(|s| {
+            for tenant in 0..4u32 {
+                let service = Arc::clone(&service);
+                s.spawn(move || {
+                    for i in 0..50u64 {
+                        let id = tenant as u64 * 1000 + i;
+                        let t = simple_task(id, vec![id % 8], 0.05);
+                        service.submit_blocking(tenant, t).unwrap();
+                    }
+                });
+            }
+        });
+        // Drain: run until the queue and pending set are empty.
+        for _ in 0..200 {
+            if service.queue_depth() == 0 && service.pending_count() == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let service = handle.stop();
+        let stats = service.stats();
+        assert_eq!(stats.admitted, 200);
+        // 0.05 × 25 per block = 1.25 ≤ 2.0: everything fits.
+        assert_eq!(stats.granted.len(), 200);
+        assert!(service.ledger().unsound_blocks().is_empty());
+    }
+
+    #[test]
+    fn backpressure_bounds_the_queue() {
+        let service = BudgetService::new(
+            grid(),
+            ServiceConfig {
+                queue_capacity: 3,
+                ..immediate_unlock(1, 1)
+            },
+        );
+        service
+            .register_block(Block::new(0, RdpCurve::constant(&grid(), 10.0), 0.0))
+            .unwrap();
+        for i in 0..3u64 {
+            service.submit(0, simple_task(i, vec![0], 0.1)).unwrap();
+        }
+        assert!(matches!(
+            service.submit(0, simple_task(3, vec![0], 0.1)),
+            Err(AdmissionError::QueueFull { capacity: 3 })
+        ));
+        assert_eq!(service.stats().rejected_full, 1);
+        service.run_cycle(1.0);
+        service.submit(0, simple_task(3, vec![0], 0.1)).unwrap();
+    }
+}

@@ -1,0 +1,268 @@
+//! The service metrics surface.
+//!
+//! §6.4 of the paper finds that "system-related overheads dominate
+//! runtime" once the scheduler runs as a service — so the service
+//! measures itself: per-cycle timing split into ingest / snapshot /
+//! schedule / commit phases, queue depth, grant throughput, and
+//! per-tenant grant rates, all consumable by the bench binaries.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use dpack_core::online::{AllocatedTask, OnlineStats};
+use dpack_core::problem::TaskId;
+
+use crate::admission::TenantId;
+
+/// Timing and volume breakdown of one scheduling cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CycleStats {
+    /// Virtual time of the cycle.
+    pub now: f64,
+    /// Submissions drained from the admission queue this cycle.
+    pub ingested: usize,
+    /// Tasks evicted by timeout this cycle.
+    pub evicted: usize,
+    /// Tasks granted by shard-local scheduling.
+    pub local_granted: usize,
+    /// Tasks granted by the cross-shard pass.
+    pub cross_granted: usize,
+    /// Tasks the schedulers selected but a filter released (stay
+    /// pending; 0 in single-writer operation).
+    pub released: usize,
+    /// Admission-queue depth after the ingest phase.
+    pub queue_depth: usize,
+    /// Pending tasks after the cycle.
+    pub pending_after: usize,
+    /// Summed scheduler runtimes (CPU view — per-shard runtimes add up
+    /// even when they overlap on worker threads).
+    pub algorithm: Duration,
+    /// Wall-clock duration of the whole cycle, including injected
+    /// service latency.
+    pub total: Duration,
+}
+
+impl CycleStats {
+    /// Total grants this cycle.
+    pub fn granted(&self) -> usize {
+        self.local_granted + self.cross_granted
+    }
+
+    /// The service-overhead share of the cycle (wall time not spent
+    /// inside schedulers; negative overlap is clamped to zero).
+    pub fn overhead(&self) -> Duration {
+        self.total.saturating_sub(self.algorithm)
+    }
+}
+
+/// Per-tenant counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TenantStats {
+    /// Submissions attempted (including rejected ones).
+    pub submitted: u64,
+    /// Submissions admitted into the queue.
+    pub admitted: u64,
+    /// Tasks granted budget.
+    pub granted: u64,
+    /// Sum of granted task weights.
+    pub granted_weight: f64,
+}
+
+impl TenantStats {
+    /// Granted / admitted, the per-tenant grant rate (`None` before any
+    /// admission).
+    pub fn grant_rate(&self) -> Option<f64> {
+        (self.admitted > 0).then(|| self.granted as f64 / self.admitted as f64)
+    }
+}
+
+/// A cheap, fixed-size snapshot of the service counters — safe to
+/// poll frequently from monitoring loops, unlike cloning the full
+/// [`ServiceStats`] record.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StatsSummary {
+    /// Submissions attempted.
+    pub submitted: u64,
+    /// Submissions admitted into the queue.
+    pub admitted: u64,
+    /// Submissions rejected (queue bound + quota + validation).
+    pub rejected: u64,
+    /// Tasks granted budget.
+    pub granted: u64,
+    /// Sum of granted task weights.
+    pub granted_weight: f64,
+    /// Tasks evicted by timeout.
+    pub evicted: u64,
+    /// Scheduling cycles run.
+    pub cycles: u64,
+    /// Total wall time spent in cycles.
+    pub cycle_time: Duration,
+    /// Granted tasks per second of cycle wall time (0 before the
+    /// first cycle).
+    pub throughput: f64,
+}
+
+/// Cumulative statistics of a service's lifetime.
+///
+/// Retention: `granted`, `evicted` and `cycles` are full per-event
+/// records — they are what makes service runs comparable
+/// allocation-for-allocation with the simulator, and the bench and
+/// fairness tooling consume them. An always-on deployment that runs
+/// indefinitely should poll [`ServiceStats::summary`] (fixed-size)
+/// rather than cloning the full record; bounding the per-event logs
+/// with a retention window is a ROADMAP follow-on alongside the
+/// ledger WAL.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceStats {
+    /// Submissions attempted.
+    pub submitted: u64,
+    /// Submissions admitted into the queue.
+    pub admitted: u64,
+    /// Submissions rejected by the queue bound.
+    pub rejected_full: u64,
+    /// Submissions rejected by a tenant quota.
+    pub rejected_quota: u64,
+    /// Submissions rejected by validation (unknown block, wrong grid).
+    pub rejected_invalid: u64,
+    /// Granted tasks in commit order (shard-ascending within a cycle,
+    /// then the cross-shard pass).
+    pub granted: Vec<AllocatedTask>,
+    /// Scheduler-selected tasks a filter released (returned to pending).
+    pub released: u64,
+    /// Tasks evicted by timeout.
+    pub evicted: Vec<TaskId>,
+    /// Summed scheduler runtime across cycles.
+    pub scheduler_runtime: Duration,
+    /// Per-cycle reports.
+    pub cycles: Vec<CycleStats>,
+    /// Per-tenant counters.
+    pub tenants: BTreeMap<TenantId, TenantStats>,
+}
+
+impl ServiceStats {
+    /// Total granted weight (the paper's global efficiency).
+    pub fn total_weight(&self) -> f64 {
+        self.granted.iter().map(|a| a.weight).sum()
+    }
+
+    /// Total wall time spent in cycles.
+    pub fn total_cycle_time(&self) -> Duration {
+        self.cycles.iter().map(|c| c.total).sum()
+    }
+
+    /// Granted tasks per second of cycle wall time (`None` before the
+    /// first cycle finishes).
+    pub fn throughput(&self) -> Option<f64> {
+        let secs = self.total_cycle_time().as_secs_f64();
+        (secs > 0.0).then(|| self.granted.len() as f64 / secs)
+    }
+
+    /// Mean cycle wall time.
+    pub fn mean_cycle_time(&self) -> Option<Duration> {
+        (!self.cycles.is_empty()).then(|| self.total_cycle_time() / self.cycles.len() as u32)
+    }
+
+    /// Maximum cycle wall time.
+    pub fn max_cycle_time(&self) -> Option<Duration> {
+        self.cycles.iter().map(|c| c.total).max()
+    }
+
+    /// Peak admission-queue depth observed at cycle boundaries.
+    pub fn peak_queue_depth(&self) -> usize {
+        self.cycles.iter().map(|c| c.queue_depth).max().unwrap_or(0)
+    }
+
+    /// The fixed-size counter snapshot (no per-event data).
+    pub fn summary(&self) -> StatsSummary {
+        let cycle_time = self.total_cycle_time();
+        StatsSummary {
+            submitted: self.submitted,
+            admitted: self.admitted,
+            rejected: self.rejected_full + self.rejected_quota + self.rejected_invalid,
+            granted: self.granted.len() as u64,
+            granted_weight: self.total_weight(),
+            evicted: self.evicted.len() as u64,
+            cycles: self.cycles.len() as u64,
+            cycle_time,
+            throughput: self.throughput().unwrap_or(0.0),
+        }
+    }
+
+    /// The engine-compatible view of this run, so simulator-level
+    /// metrics ([`dpack_core::metrics`], fairness reports, delay CDFs)
+    /// apply unchanged to service runs.
+    pub fn to_online(&self) -> OnlineStats {
+        OnlineStats {
+            allocated: self.granted.clone(),
+            evicted: self.evicted.clone(),
+            scheduler_runtime: self.scheduler_runtime,
+            steps: self.cycles.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(granted: usize, millis: u64) -> CycleStats {
+        CycleStats {
+            now: 1.0,
+            ingested: granted,
+            evicted: 0,
+            local_granted: granted,
+            cross_granted: 0,
+            released: 0,
+            queue_depth: 3,
+            pending_after: 0,
+            algorithm: Duration::from_millis(millis / 2),
+            total: Duration::from_millis(millis),
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let mut s = ServiceStats::default();
+        assert_eq!(s.throughput(), None);
+        assert_eq!(s.mean_cycle_time(), None);
+        s.cycles.push(cycle(2, 10));
+        s.cycles.push(cycle(1, 30));
+        for i in 0..3u64 {
+            s.granted.push(AllocatedTask {
+                id: i,
+                weight: 2.0,
+                arrival: 0.0,
+                allocated_at: 1.0,
+            });
+        }
+        assert_eq!(s.total_weight(), 6.0);
+        assert_eq!(s.total_cycle_time(), Duration::from_millis(40));
+        assert_eq!(s.mean_cycle_time(), Some(Duration::from_millis(20)));
+        assert_eq!(s.max_cycle_time(), Some(Duration::from_millis(30)));
+        assert_eq!(s.peak_queue_depth(), 3);
+        let thr = s.throughput().unwrap();
+        assert!((thr - 75.0).abs() < 1e-9, "throughput {thr}");
+        let online = s.to_online();
+        assert_eq!(online.allocated.len(), 3);
+        assert_eq!(online.steps, 2);
+    }
+
+    #[test]
+    fn tenant_grant_rate() {
+        let t = TenantStats {
+            submitted: 10,
+            admitted: 8,
+            granted: 4,
+            granted_weight: 4.0,
+        };
+        assert_eq!(t.grant_rate(), Some(0.5));
+        assert_eq!(TenantStats::default().grant_rate(), None);
+    }
+
+    #[test]
+    fn cycle_overhead_clamps() {
+        let c = cycle(1, 10);
+        assert_eq!(c.overhead(), Duration::from_millis(5));
+        assert_eq!(c.granted(), 1);
+    }
+}

@@ -17,6 +17,9 @@
 //! unlock_steps        = 50
 //! task_timeout        = 5.0         # omit or set to "none" for no eviction
 //! scheduler           = dpack       # dpack | dpf | dpf-strict | fcfs | greedy-area
+//! backend             = engine      # engine | service
+//! shards              = 4           # service backend: ledger shards
+//! workers             = 2           # service backend: worker threads
 //! ```
 
 use std::collections::BTreeMap;
@@ -91,6 +94,40 @@ impl FromStr for SchedulerKind {
     }
 }
 
+impl SchedulerKind {
+    /// The service-crate policy equivalent to this kind.
+    pub fn to_service_choice(self) -> dpack_service::SchedulerChoice {
+        match self {
+            Self::DPack => dpack_service::SchedulerChoice::DPack,
+            Self::Dpf => dpack_service::SchedulerChoice::Dpf,
+            Self::DpfStrict => dpack_service::SchedulerChoice::DpfStrict,
+            Self::Fcfs => dpack_service::SchedulerChoice::Fcfs,
+            Self::GreedyArea => dpack_service::SchedulerChoice::GreedyArea,
+        }
+    }
+}
+
+/// Which execution backend replays the workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// The single-threaded [`dpack_core::online::OnlineEngine`].
+    Engine,
+    /// The sharded, concurrent `dpack-service` budget service.
+    Service,
+}
+
+impl FromStr for BackendKind {
+    type Err = ConfigError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "engine" | "online" => Ok(Self::Engine),
+            "service" | "dpack-service" => Ok(Self::Service),
+            other => Err(ConfigError(format!("unknown backend '{other}'"))),
+        }
+    }
+}
+
 /// A fully parsed experiment specification.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimulationSpec {
@@ -98,6 +135,12 @@ pub struct SimulationSpec {
     pub workload: WorkloadKind,
     /// Scheduling policy.
     pub scheduler: SchedulerKind,
+    /// Execution backend.
+    pub backend: BackendKind,
+    /// Ledger shards (service backend only).
+    pub shards: usize,
+    /// Worker threads (service backend only).
+    pub workers: usize,
     /// RNG seed.
     pub seed: u64,
     /// Number of blocks.
@@ -114,6 +157,9 @@ impl Default for SimulationSpec {
         Self {
             workload: WorkloadKind::Alibaba,
             scheduler: SchedulerKind::DPack,
+            backend: BackendKind::Engine,
+            shards: 4,
+            workers: 2,
             seed: 42,
             n_blocks: 30,
             n_tasks: 5000,
@@ -151,6 +197,9 @@ impl SimulationSpec {
             match key.as_str() {
                 "workload" => spec.workload = value.parse()?,
                 "scheduler" => spec.scheduler = value.parse()?,
+                "backend" => spec.backend = value.parse()?,
+                "shards" => spec.shards = parse_num(&key, &value)?,
+                "workers" => spec.workers = parse_num(&key, &value)?,
                 "seed" => spec.seed = parse_num(&key, &value)?,
                 "n_blocks" => spec.n_blocks = parse_num(&key, &value)?,
                 "n_tasks" => spec.n_tasks = parse_num(&key, &value)?,
@@ -170,7 +219,10 @@ impl SimulationSpec {
         if spec.n_blocks == 0 || spec.n_tasks == 0 {
             return Err(ConfigError("n_blocks and n_tasks must be positive".into()));
         }
-        if !(spec.sim.scheduling_period > 0.0) {
+        if spec.shards == 0 || spec.workers == 0 {
+            return Err(ConfigError("shards and workers must be positive".into()));
+        }
+        if spec.sim.scheduling_period <= 0.0 || spec.sim.scheduling_period.is_nan() {
             return Err(ConfigError("scheduling_period must be positive".into()));
         }
         Ok(spec)
@@ -226,16 +278,28 @@ impl SimulationSpec {
         }
     }
 
-    /// Runs the configured experiment.
+    /// Runs the configured experiment on the selected backend.
     pub fn run(&self) -> crate::SimulationResult {
         use dpack_core::schedulers::{DPack, Dpf, DpfStrict, Fcfs, GreedyArea};
         let wl = self.build_workload();
-        match self.scheduler {
-            SchedulerKind::DPack => crate::simulate(&wl, DPack::default(), &self.sim),
-            SchedulerKind::Dpf => crate::simulate(&wl, Dpf, &self.sim),
-            SchedulerKind::DpfStrict => crate::simulate(&wl, DpfStrict, &self.sim),
-            SchedulerKind::Fcfs => crate::simulate(&wl, Fcfs, &self.sim),
-            SchedulerKind::GreedyArea => crate::simulate(&wl, GreedyArea, &self.sim),
+        match self.backend {
+            BackendKind::Engine => match self.scheduler {
+                SchedulerKind::DPack => crate::simulate(&wl, DPack::default(), &self.sim),
+                SchedulerKind::Dpf => crate::simulate(&wl, Dpf, &self.sim),
+                SchedulerKind::DpfStrict => crate::simulate(&wl, DpfStrict, &self.sim),
+                SchedulerKind::Fcfs => crate::simulate(&wl, Fcfs, &self.sim),
+                SchedulerKind::GreedyArea => crate::simulate(&wl, GreedyArea, &self.sim),
+            },
+            BackendKind::Service => crate::simulate_service(
+                &wl,
+                &dpack_service::ServiceConfig {
+                    shards: self.shards,
+                    workers: self.workers,
+                    scheduler: self.scheduler.to_service_choice(),
+                    ..dpack_service::ServiceConfig::default()
+                },
+                &self.sim,
+            ),
         }
     }
 }
@@ -306,7 +370,7 @@ mod tests {
         .unwrap();
         let result = spec.run();
         assert!(result.allocated() > 0);
-        assert_eq!(result.n_submitted > 0, true);
+        assert!(result.n_submitted > 0);
     }
 
     #[test]
@@ -319,6 +383,27 @@ mod tests {
         assert_eq!(wl.blocks.len(), 5);
         assert_eq!(wl.tasks.len(), 50);
         wl.validate().unwrap();
+    }
+
+    #[test]
+    fn service_backend_runs_from_config() {
+        let spec = SimulationSpec::parse(
+            "workload = micro\nbackend = service\nshards = 2\nworkers = 2\n\
+             n_blocks = 6\nn_tasks = 60\nunlock_steps = 3\ndrain_steps = 8",
+        )
+        .unwrap();
+        assert_eq!(spec.backend, BackendKind::Service);
+        let result = spec.run();
+        assert!(result.allocated() > 0);
+    }
+
+    #[test]
+    fn backend_keys_are_validated() {
+        assert!(SimulationSpec::parse("backend = quantum").is_err());
+        assert!(SimulationSpec::parse("shards = 0").is_err());
+        assert!(SimulationSpec::parse("workers = 0").is_err());
+        let spec = SimulationSpec::parse("backend = engine").unwrap();
+        assert_eq!(spec.backend, BackendKind::Engine);
     }
 
     #[test]

@@ -26,16 +26,70 @@
 pub mod config;
 pub mod event;
 pub mod result;
+pub mod service_backend;
 
-pub use config::{SchedulerKind, SimulationSpec, WorkloadKind};
+pub use config::{BackendKind, SchedulerKind, SimulationSpec, WorkloadKind};
 pub use event::{Event, EventKind, EventQueue};
 pub use result::SimulationResult;
+pub use service_backend::simulate_service;
 
 use std::time::Instant;
 
 use dpack_core::online::{OnlineConfig, OnlineEngine};
+use dpack_core::problem::{Block, Task};
 use dpack_core::schedulers::Scheduler;
 use workloads::OnlineWorkload;
+
+/// One event of a workload replay, handed to the backend callback by
+/// [`replay_workload`].
+#[derive(Debug, Clone, Copy)]
+pub enum ReplayEvent<'a> {
+    /// A block becomes available.
+    Block(&'a Block),
+    /// A task is submitted.
+    Task(&'a Task),
+    /// A scheduling step runs at the given virtual time.
+    Tick(f64),
+}
+
+/// Drives a workload's deterministic event loop — block arrivals, task
+/// arrivals, scheduling ticks every `T` until the drain horizon — and
+/// hands each event to `on_event` in simulation order. Shared by the
+/// engine and service backends so the two replays cannot drift.
+pub fn replay_workload<F: FnMut(ReplayEvent<'_>)>(
+    workload: &OnlineWorkload,
+    config: &SimulationConfig,
+    mut on_event: F,
+) {
+    let mut queue = EventQueue::new();
+    for (i, b) in workload.blocks.iter().enumerate() {
+        queue.push(b.arrival, EventKind::BlockArrival(i));
+    }
+    for (i, t) in workload.tasks.iter().enumerate() {
+        queue.push(t.arrival, EventKind::TaskArrival(i));
+    }
+    // Scheduling ticks from T until the horizon.
+    let last_arrival = workload
+        .blocks
+        .iter()
+        .map(|b| b.arrival)
+        .chain(workload.tasks.iter().map(|t| t.arrival))
+        .fold(0.0f64, f64::max);
+    let horizon = last_arrival + config.drain_steps as f64 * config.scheduling_period;
+    let mut t = config.scheduling_period;
+    while t <= horizon {
+        queue.push(t, EventKind::ScheduleTick);
+        t += config.scheduling_period;
+    }
+
+    while let Some(ev) = queue.pop() {
+        match ev.kind {
+            EventKind::BlockArrival(i) => on_event(ReplayEvent::Block(&workload.blocks[i])),
+            EventKind::TaskArrival(i) => on_event(ReplayEvent::Task(&workload.tasks[i])),
+            EventKind::ScheduleTick => on_event(ReplayEvent::Tick(ev.time)),
+        }
+    }
+}
 
 /// Simulation parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -86,46 +140,21 @@ pub fn simulate<S: Scheduler>(
         },
     );
 
-    let mut queue = EventQueue::new();
-    for (i, b) in workload.blocks.iter().enumerate() {
-        queue.push(b.arrival, EventKind::BlockArrival(i));
-    }
-    for (i, t) in workload.tasks.iter().enumerate() {
-        queue.push(t.arrival, EventKind::TaskArrival(i));
-    }
-    // Scheduling ticks from T until the horizon.
-    let last_arrival = workload
-        .blocks
-        .iter()
-        .map(|b| b.arrival)
-        .chain(workload.tasks.iter().map(|t| t.arrival))
-        .fold(0.0f64, f64::max);
-    let horizon = last_arrival + config.drain_steps as f64 * config.scheduling_period;
-    let mut t = config.scheduling_period;
-    while t <= horizon {
-        queue.push(t, EventKind::ScheduleTick);
-        t += config.scheduling_period;
-    }
-
-    while let Some(ev) = queue.pop() {
-        match ev.kind {
-            EventKind::BlockArrival(i) => {
-                engine
-                    .add_block(workload.blocks[i].clone())
-                    .expect("workload blocks are unique and on the grid");
-            }
-            EventKind::TaskArrival(i) => {
-                engine
-                    .submit_task(workload.tasks[i].clone())
-                    .expect("workload tasks reference arrived blocks");
-            }
-            EventKind::ScheduleTick => {
-                engine
-                    .run_step(ev.time)
-                    .expect("budget-soundness invariant");
-            }
+    replay_workload(workload, config, |event| match event {
+        ReplayEvent::Block(b) => {
+            engine
+                .add_block(b.clone())
+                .expect("workload blocks are unique and on the grid");
         }
-    }
+        ReplayEvent::Task(t) => {
+            engine
+                .submit_task(t.clone())
+                .expect("workload tasks reference arrived blocks");
+        }
+        ReplayEvent::Tick(now) => {
+            engine.run_step(now).expect("budget-soundness invariant");
+        }
+    });
 
     let final_pending = engine.pending().len();
     let total_capacities = engine.total_capacities();

@@ -1,0 +1,160 @@
+//! The `dpack-service` backend: replaying a workload through the
+//! sharded budget service instead of the single-threaded
+//! [`dpack_core::online::OnlineEngine`].
+//!
+//! The same deterministic event loop as [`crate::simulate`] — block
+//! arrivals, task arrivals, scheduling ticks every `T` — but arrivals
+//! register/submit into a [`BudgetService`] and ticks run its batched
+//! cycle. With one shard and one worker the allocations are identical
+//! to the engine backend; with more shards the service's local-first
+//! discipline applies (single-shard tasks schedule per shard in
+//! parallel, cross-shard tasks go through the two-phase pass).
+
+use std::time::Instant;
+
+use dpack_service::{BudgetService, ServiceConfig};
+use workloads::OnlineWorkload;
+
+use crate::{replay_workload, ReplayEvent, SimulationConfig, SimulationResult};
+
+/// Runs a workload to completion on the service backend.
+///
+/// The service's `scheduling_period`, `unlock_steps` and
+/// `default_timeout` are taken from `config` (mirroring
+/// [`crate::simulate`]); sharding, worker count and scheduler choice
+/// come from `service_config`. The replay lifts the admission bounds
+/// (queue capacity, tenant quota, ingest batch): a trace replay is
+/// single-threaded, so backpressure would deadlock it, and admission
+/// limits are a live-service concern — exercised by the service's own
+/// tests and the `service_throughput` bench. All tasks are submitted
+/// as tenant 0 (workload traces carry no tenant labels).
+///
+/// # Panics
+///
+/// Panics if the workload is internally inconsistent (tasks referencing
+/// blocks that never arrive, duplicate block or task ids) — the same
+/// inputs on which [`crate::simulate`] panics.
+pub fn simulate_service(
+    workload: &OnlineWorkload,
+    service_config: &ServiceConfig,
+    config: &SimulationConfig,
+) -> SimulationResult {
+    let started = Instant::now();
+    let service = BudgetService::new(
+        workload.grid.clone(),
+        ServiceConfig {
+            scheduling_period: config.scheduling_period,
+            unlock_period: 1.0,
+            unlock_steps: config.unlock_steps,
+            default_timeout: config.task_timeout,
+            queue_capacity: usize::MAX,
+            tenant_quota: usize::MAX,
+            ingest_batch: usize::MAX,
+            ..*service_config
+        },
+    );
+
+    replay_workload(workload, config, |event| match event {
+        ReplayEvent::Block(b) => {
+            service
+                .register_block(b.clone())
+                .expect("workload blocks are unique and on the grid");
+        }
+        ReplayEvent::Task(t) => {
+            service
+                .submit(0, t.clone())
+                .expect("replay submissions must be admitted");
+        }
+        ReplayEvent::Tick(now) => {
+            service.run_cycle(now);
+        }
+    });
+
+    let final_pending = service.pending_count() + service.queue_depth();
+    SimulationResult {
+        stats: service.stats().to_online(),
+        n_submitted: workload.tasks.len(),
+        final_pending,
+        total_capacities: service.ledger().total_capacities(),
+        wall_time: started.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_accounting::{AlphaGrid, RdpCurve};
+    use dpack_core::problem::{Block, Task};
+    use dpack_core::schedulers::DPack;
+    use dpack_service::SchedulerChoice;
+
+    fn tiny_workload() -> OnlineWorkload {
+        let grid = AlphaGrid::new(vec![4.0, 16.0]).unwrap();
+        let cap = RdpCurve::constant(&grid, 1.0);
+        let blocks: Vec<Block> = (0..4u64)
+            .map(|j| Block::new(j, cap.clone(), j as f64))
+            .collect();
+        let tasks: Vec<Task> = (0..12u64)
+            .map(|i| {
+                let arrival = 0.2 + i as f64 * 0.3;
+                let newest = (arrival.floor() as u64).min(3);
+                let blocks = if i % 3 == 0 && newest > 0 {
+                    vec![newest - 1, newest] // Cross-shard at S=2.
+                } else {
+                    vec![newest]
+                };
+                Task::new(i, 1.0, blocks, RdpCurve::constant(&grid, 0.2), arrival)
+            })
+            .collect();
+        OnlineWorkload {
+            grid,
+            blocks,
+            tasks,
+        }
+    }
+
+    #[test]
+    fn sequential_backend_matches_engine_backend_exactly() {
+        let wl = tiny_workload();
+        let cfg = SimulationConfig {
+            unlock_steps: 2,
+            drain_steps: 6,
+            ..Default::default()
+        };
+        let engine = crate::simulate(&wl, DPack::default(), &cfg);
+        let service = simulate_service(
+            &wl,
+            &ServiceConfig {
+                shards: 1,
+                workers: 1,
+                scheduler: SchedulerChoice::DPack,
+                ..ServiceConfig::default()
+            },
+            &cfg,
+        );
+        assert_eq!(service.stats.allocated, engine.stats.allocated);
+        assert_eq!(service.final_pending, engine.final_pending);
+    }
+
+    #[test]
+    fn sharded_backend_is_sound_and_live() {
+        let wl = tiny_workload();
+        let cfg = SimulationConfig {
+            unlock_steps: 2,
+            drain_steps: 6,
+            ..Default::default()
+        };
+        let r = simulate_service(
+            &wl,
+            &ServiceConfig {
+                shards: 2,
+                workers: 2,
+                scheduler: SchedulerChoice::DPack,
+                ..ServiceConfig::default()
+            },
+            &cfg,
+        );
+        assert!(r.allocated() > 0);
+        assert_eq!(r.allocated() + r.final_pending, r.n_submitted);
+    }
+}

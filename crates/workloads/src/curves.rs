@@ -75,7 +75,7 @@ pub fn best_alpha(curve: &RdpCurve, capacity: &RdpCurve) -> Option<(usize, f64)>
             continue;
         }
         let ratio = curve.epsilon(i) / c;
-        if best.map_or(true, |(_, r)| ratio < r) {
+        if best.is_none_or(|(_, r)| ratio < r) {
             best = Some((i, ratio));
         }
     }
@@ -344,7 +344,7 @@ mod diagnostics {
     fn print_library_stats() {
         let lib = CurveLibrary::standard();
         let cap = lib.capacity();
-        for b in 0..8 {
+        for (b, alpha) in TARGET_ALPHAS.iter().enumerate() {
             let members = lib.bucket(b);
             // Steepness: cost at the cheapest *other* order divided by
             // the min — 1.0 means another order is equally cheap.
@@ -365,8 +365,7 @@ mod diagnostics {
             steep.sort_by(|a, b| a.total_cmp(b));
             let med = steep.get(steep.len() / 2).copied().unwrap_or(f64::NAN);
             println!(
-                "bucket α={:>2}: {:>3} curves, median adjacent-cost x{:.2}",
-                TARGET_ALPHAS[b],
+                "bucket α={alpha:>2}: {:>3} curves, median adjacent-cost x{:.2}",
                 members.len(),
                 med
             );

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything here runs offline (no crates.io access) and
+# must stay green. Run from the repository root.
+#
+#   ./scripts/ci.sh
+#
+# The proptest suites and criterion benches are feature-gated off by
+# default (they need crates that are unavailable offline); see
+# README.md "Offline builds".
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy (all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "CI OK"

