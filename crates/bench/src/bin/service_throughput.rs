@@ -33,6 +33,9 @@ fn run_service(state: &ProblemState, shards: usize, workers: usize) -> BudgetSer
             unlock_steps: 1,
             queue_capacity: 1024, // Small enough to exercise backpressure.
             scheduler: SchedulerChoice::DPack,
+            // The table reads the per-event logs (grants, cycles), so
+            // the run must keep them all regardless of sweep size.
+            retention: dpack_service::StatsRetention::Unbounded,
             ..ServiceConfig::default()
         },
     );

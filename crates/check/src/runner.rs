@@ -1,0 +1,454 @@
+//! The case runner: seeds, discards, shrinking, reporting.
+
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+
+use crate::shrink::shrink_draws;
+use crate::source::Source;
+use crate::strategy::Strategy;
+
+/// Environment variable overriding every suite's case count.
+pub const CASES_ENV: &str = "DPACK_CHECK_CASES";
+/// Environment variable replaying a single case by its printed seed.
+pub const SEED_ENV: &str = "DPACK_CHECK_SEED";
+
+/// A property failure: the message carried back to the report.
+///
+/// Produced by [`prop_assert!`](crate::prop_assert) /
+/// [`prop_assert_eq!`](crate::prop_assert_eq), by returning `Err`
+/// directly, or captured from a panic inside the property.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Failed {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl Failed {
+    /// A failure with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+/// What a property returns: `Ok(())` to pass, `Err` to fail the case.
+pub type PropResult = Result<(), Failed>;
+
+/// Runner configuration. Constructed by [`Config::new`], which applies
+/// the `DPACK_CHECK_CASES` / `DPACK_CHECK_SEED` environment overrides.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of cases to run.
+    pub cases: u32,
+    /// When set, run exactly one case from this seed (the reproduction
+    /// path printed by failure reports).
+    pub forced_seed: Option<u64>,
+    /// Budget of generator+property evaluations the shrinker may spend.
+    pub max_shrink_evals: u32,
+    /// How many filter-rejected cases to tolerate before giving up.
+    pub max_discards: u32,
+}
+
+impl Config {
+    /// A configuration running `cases` cases, after environment
+    /// overrides: `DPACK_CHECK_CASES=<n>` replaces the case count,
+    /// `DPACK_CHECK_SEED=<seed>` switches to single-case replay.
+    pub fn new(cases: u32) -> Self {
+        let cases = env_u64(CASES_ENV).map_or(cases, |n| n.clamp(1, u64::from(u32::MAX)) as u32);
+        Self {
+            cases,
+            forced_seed: env_u64(SEED_ENV),
+            max_shrink_evals: 1024,
+            max_discards: cases.saturating_mul(16).max(256),
+        }
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    match raw.trim().parse() {
+        Ok(v) => Some(v),
+        Err(_) => panic!("[dpack-check] {name}={raw:?} is not a u64"),
+    }
+}
+
+/// A passing run's summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Cases that ran and passed.
+    pub cases: u32,
+    /// Cases discarded by filters.
+    pub discards: u32,
+}
+
+/// A failing run: everything a report (or a meta-test) needs.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// The test name passed to [`run`].
+    pub test: String,
+    /// The seed that generated the failing case — `DPACK_CHECK_SEED`
+    /// input for reproduction.
+    pub seed: u64,
+    /// Which case hit the failure (0-based; 0 under a forced seed).
+    pub case: u32,
+    /// `Debug` rendering of the *shrunk* counterexample.
+    pub value: String,
+    /// The shrunk case's failure message.
+    pub message: String,
+    /// Shrink candidates adopted.
+    pub shrink_steps: u32,
+    /// Shrink candidates evaluated.
+    pub shrink_evals: u32,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[dpack-check] property '{}' failed", self.test)?;
+        writeln!(
+            f,
+            "  counterexample (after {} shrink steps, {} evals):",
+            self.shrink_steps, self.shrink_evals
+        )?;
+        for line in self.value.lines() {
+            writeln!(f, "    {line}")?;
+        }
+        writeln!(f, "  failure: {}", self.message)?;
+        writeln!(f, "  seed: {} (case {})", self.seed, self.case)?;
+        write!(
+            f,
+            "  reproduce: {SEED_ENV}={} cargo test -q {}",
+            self.seed, self.test
+        )
+    }
+}
+
+/// One generator + property evaluation over a source. `Ok(None)` means
+/// the case passed, `Ok(Some(_))` that it failed, `Err(())` that the
+/// strategy rejected (filter) or the *generator* panicked.
+fn eval_case<S: Strategy>(
+    strategy: &S,
+    prop: &dyn Fn(&S::Value) -> PropResult,
+    src: &mut Source,
+) -> Result<Option<(String, Failed)>, ()> {
+    let built = panic::catch_unwind(AssertUnwindSafe(|| strategy.try_build(src)));
+    let value = match built {
+        Ok(Ok(v)) => v,
+        Ok(Err(_rejected)) => return Err(()),
+        Err(_generator_panic) => return Err(()),
+    };
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| prop(&value)));
+    Ok(match outcome {
+        Ok(Ok(())) => None,
+        Ok(Err(failed)) => Some((format!("{value:#?}"), failed)),
+        Err(payload) => Some((format!("{value:#?}"), Failed::new(panic_message(&*payload)))),
+    })
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: <non-string payload>".to_string()
+    }
+}
+
+/// Runs `prop` against values of `strategy` under `config`, returning
+/// the (shrunk) failure instead of panicking — the programmatic core of
+/// [`check`], used directly by meta-tests.
+///
+/// # Errors
+///
+/// The first failing case, minimized by the shrinker.
+///
+/// # Panics
+///
+/// Panics if filters discard more than `config.max_discards` cases
+/// (the strategy is unsatisfiable in practice).
+pub fn run<S: Strategy>(
+    test: &str,
+    config: &Config,
+    strategy: &S,
+    prop: &dyn Fn(&S::Value) -> PropResult,
+) -> Result<RunSummary, Failure> {
+    // The seed of case `i` is a pure function of the test name, so
+    // cases are enumerated lazily (a cranked DPACK_CHECK_CASES must
+    // cost time, not memory).
+    let base = fnv1a(test.as_bytes());
+    let total = if config.forced_seed.is_some() {
+        1
+    } else {
+        config.cases
+    };
+
+    let mut discards = 0u32;
+    let mut passed = 0u32;
+    for case in 0..total {
+        let seed = config.forced_seed.unwrap_or_else(|| {
+            base.wrapping_add(u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        });
+        let mut src = Source::from_seed(seed);
+        match eval_case(strategy, prop, &mut src) {
+            Err(()) => {
+                discards += 1;
+                assert!(
+                    discards <= config.max_discards,
+                    "[dpack-check] '{test}' gave up: {discards} cases discarded by filters \
+                     (strategy too restrictive?)"
+                );
+            }
+            Ok(None) => passed += 1,
+            Ok(Some((_, first_failed))) => {
+                // Shrink: minimize the recorded draws, quieting the
+                // panic hook while candidates run (each failing
+                // candidate panics internally).
+                let draws = src.recorded().to_vec();
+                let quiet = QuietPanics::install();
+                let shrunk = shrink_draws(
+                    draws,
+                    ("<unshrunk>".to_string(), first_failed),
+                    |candidate| {
+                        let mut replay = Source::replay(candidate.to_vec());
+                        eval_case(strategy, prop, &mut replay).ok().flatten()
+                    },
+                    config.max_shrink_evals,
+                );
+                drop(quiet);
+                // Re-render the winning buffer once (the initial
+                // failure's value string was built pre-shrink).
+                let (value, message) = {
+                    let mut replay = Source::replay(shrunk.draws.clone());
+                    match eval_case(strategy, prop, &mut replay) {
+                        Ok(Some((value, failed))) => (value, failed.message),
+                        // The shrunk buffer must still fail; fall back
+                        // to the recorded failure if re-evaluation is
+                        // somehow flaky (e.g. an interior HashMap
+                        // iteration order dependence).
+                        _ => (shrunk.failure.0, shrunk.failure.1.message),
+                    }
+                };
+                return Err(Failure {
+                    test: test.to_string(),
+                    seed,
+                    case,
+                    value,
+                    message,
+                    shrink_steps: shrunk.adopted,
+                    shrink_evals: shrunk.evals,
+                });
+            }
+        }
+    }
+    Ok(RunSummary {
+        cases: passed,
+        discards,
+    })
+}
+
+/// Runs a property over 64 cases (or the `DPACK_CHECK_CASES` /
+/// `DPACK_CHECK_SEED` overrides), panicking with a full report —
+/// shrunk counterexample, failure message, reproducing seed — on the
+/// first failure.
+pub fn check<S: Strategy>(test: &str, strategy: S, prop: impl Fn(&S::Value) -> PropResult) {
+    check_cases(test, 64, strategy, prop)
+}
+
+/// [`check`] with an explicit default case count (still subject to the
+/// environment overrides).
+pub fn check_cases<S: Strategy>(
+    test: &str,
+    cases: u32,
+    strategy: S,
+    prop: impl Fn(&S::Value) -> PropResult,
+) {
+    let config = Config::new(cases);
+    if let Err(failure) = run(test, &config, &strategy, &|v| prop(v)) {
+        panic!("{failure}");
+    }
+}
+
+/// Temporarily replaces the global panic hook with a no-op so shrink
+/// candidates (which fail by panicking, by design) do not spam stderr.
+/// Restores the previous hook on drop.
+///
+/// The hook is process-global, so install/restore pairs are serialized
+/// through a lock: two concurrently-failing properties must not
+/// interleave (the loser would restore the other's no-op hook as "the
+/// real one", permanently swallowing all later panic output, including
+/// these failure reports). While a shrink is in flight, a panic in an
+/// unrelated concurrently-failing test loses its location line (the
+/// test still fails normally) — the standard trade-off property
+/// runners make.
+type PanicHook = Box<dyn Fn(&panic::PanicHookInfo<'_>) + Sync + Send>;
+
+static HOOK_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+struct QuietPanics {
+    previous: Option<PanicHook>,
+    _serialized: std::sync::MutexGuard<'static, ()>,
+}
+
+impl QuietPanics {
+    fn install() -> Self {
+        // A poisoned lock only means another shrink panicked while
+        // holding it; the hook invariant is restored by its Drop.
+        let guard = HOOK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(|_| {}));
+        Self {
+            previous: Some(previous),
+            _serialized: guard,
+        }
+    }
+}
+
+impl Drop for QuietPanics {
+    fn drop(&mut self) {
+        if let Some(previous) = self.previous.take() {
+            let _ = panic::take_hook();
+            panic::set_hook(previous);
+        }
+    }
+}
+
+/// FNV-1a over the test name: a stable, platform-independent base seed.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{ints, vecs};
+
+    #[test]
+    fn passing_properties_report_all_cases() {
+        let cfg = Config {
+            cases: 32,
+            forced_seed: None,
+            max_shrink_evals: 64,
+            max_discards: 64,
+        };
+        let summary = run("always_passes", &cfg, &ints(0..10u32), &|_| Ok(())).unwrap();
+        assert_eq!(summary.cases, 32);
+        assert_eq!(summary.discards, 0);
+    }
+
+    #[test]
+    fn seeds_are_stable_across_runs() {
+        // The same name and config must produce the same failing seed.
+        let cfg = Config {
+            cases: 64,
+            forced_seed: None,
+            max_shrink_evals: 256,
+            max_discards: 64,
+        };
+        let fail = |v: &u32| {
+            if *v >= 500 {
+                Err(Failed::new("too big"))
+            } else {
+                Ok(())
+            }
+        };
+        let a = run("stable_seeds", &cfg, &ints(0..1000u32), &fail).unwrap_err();
+        let b = run("stable_seeds", &cfg, &ints(0..1000u32), &fail).unwrap_err();
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.value, b.value);
+    }
+
+    #[test]
+    fn forced_seed_replays_the_same_counterexample() {
+        let cfg = Config {
+            cases: 64,
+            forced_seed: None,
+            max_shrink_evals: 512,
+            max_discards: 64,
+        };
+        let fail = |v: &Vec<u32>| {
+            if v.iter().any(|x| *x >= 700) {
+                Err(Failed::new("contains a big element"))
+            } else {
+                Ok(())
+            }
+        };
+        let strategy = vecs(ints(0..1000u32), 0..20);
+        let original = run("forced_replay", &cfg, &strategy, &fail).unwrap_err();
+        let forced = Config {
+            forced_seed: Some(original.seed),
+            ..cfg
+        };
+        let replayed = run("forced_replay", &forced, &strategy, &fail).unwrap_err();
+        assert_eq!(replayed.case, 0);
+        assert_eq!(
+            replayed.value, original.value,
+            "replay must re-shrink identically"
+        );
+        assert_eq!(replayed.message, original.message);
+    }
+
+    #[test]
+    fn shrinking_minimizes_through_collections() {
+        let cfg = Config {
+            cases: 64,
+            forced_seed: None,
+            max_shrink_evals: 1024,
+            max_discards: 64,
+        };
+        let fail = |v: &Vec<u64>| {
+            if v.iter().any(|x| *x >= 1000) {
+                Err(Failed::new("big"))
+            } else {
+                Ok(())
+            }
+        };
+        let failure =
+            run("shrinks_vec", &cfg, &vecs(ints(0..10_000u64), 0..30), &fail).unwrap_err();
+        assert_eq!(
+            failure.value,
+            format!("{:#?}", vec![1000u64]),
+            "expected the minimal counterexample"
+        );
+        assert!(failure.shrink_steps > 0);
+    }
+
+    #[test]
+    fn panics_inside_properties_are_failures_with_captured_messages() {
+        let cfg = Config {
+            cases: 16,
+            forced_seed: None,
+            max_shrink_evals: 128,
+            max_discards: 64,
+        };
+        let failure = run("panicking_prop", &cfg, &ints(0..10u32), &|v| {
+            assert!(*v > 100, "v was {v}");
+            Ok(())
+        })
+        .unwrap_err();
+        assert!(failure.message.contains("panic:"), "{}", failure.message);
+        assert!(failure.message.contains("v was"), "{}", failure.message);
+    }
+
+    #[test]
+    fn report_prints_seed_and_reproduction_line() {
+        let f = Failure {
+            test: "demo".into(),
+            seed: 1234,
+            case: 7,
+            value: "42".into(),
+            message: "boom".into(),
+            shrink_steps: 3,
+            shrink_evals: 50,
+        };
+        let report = f.to_string();
+        assert!(report.contains("DPACK_CHECK_SEED=1234"));
+        assert!(report.contains("seed: 1234"));
+        assert!(report.contains("boom"));
+    }
+}

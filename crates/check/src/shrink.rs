@@ -1,0 +1,172 @@
+//! Greedy minimization of a failing case's recorded draw buffer.
+//!
+//! The shrinker never touches generated values directly: it proposes
+//! smaller draw buffers and lets the caller re-run generator + property
+//! on each candidate. A candidate is adopted when the property still
+//! fails on it. Every built-in strategy maps smaller draws to smaller
+//! values, so minimizing the buffer minimizes the counterexample.
+//!
+//! Passes, repeated to a fixpoint (or until the evaluation budget runs
+//! out), in deterministic order:
+//!
+//! 1. **Span deletion** — remove contiguous chunks, halving the chunk
+//!    size from `len/2` down to 1. Deleting a span both shortens
+//!    collections (their length draw re-interprets the shorter stream)
+//!    and drops unlucky draws entirely.
+//! 2. **Per-draw minimization** — for each position, binary-search the
+//!    smallest replacement draw that keeps the property failing
+//!    (monotone strategies make the search exact; for non-monotone
+//!    cases it is still a sound greedy heuristic).
+
+/// The outcome of a shrink run.
+#[derive(Debug, Clone)]
+pub(crate) struct Shrunk<T> {
+    /// The minimized draw buffer.
+    pub draws: Vec<u64>,
+    /// The failure produced by the minimized buffer.
+    pub failure: T,
+    /// Candidates adopted (shrink steps).
+    pub adopted: u32,
+    /// Candidates evaluated (including rejected ones).
+    pub evals: u32,
+}
+
+/// Minimizes `draws` under `still_fails`, which re-runs generator and
+/// property and returns `Some(failure)` when the candidate still fails.
+pub(crate) fn shrink_draws<T>(
+    draws: Vec<u64>,
+    initial_failure: T,
+    mut still_fails: impl FnMut(&[u64]) -> Option<T>,
+    max_evals: u32,
+) -> Shrunk<T> {
+    let mut best = Shrunk {
+        draws,
+        failure: initial_failure,
+        adopted: 0,
+        evals: 0,
+    };
+
+    loop {
+        let mut improved = false;
+
+        // Pass 1: span deletion, largest chunks first.
+        let mut chunk = (best.draws.len() / 2).max(1);
+        while chunk >= 1 && !best.draws.is_empty() {
+            let mut start = 0;
+            while start < best.draws.len() {
+                if best.evals >= max_evals {
+                    return best;
+                }
+                let end = (start + chunk).min(best.draws.len());
+                let mut candidate = best.draws.clone();
+                candidate.drain(start..end);
+                best.evals += 1;
+                if let Some(failure) = still_fails(&candidate) {
+                    best.draws = candidate;
+                    best.failure = failure;
+                    best.adopted += 1;
+                    improved = true;
+                    // Re-try the same start: the next span slid into it.
+                } else {
+                    start += chunk;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+
+        // Pass 2: binary-search each draw toward zero.
+        for i in 0..best.draws.len() {
+            let original = best.draws[i];
+            if original == 0 {
+                continue;
+            }
+            // Invariant: `hi` fails (it is the current draw); search the
+            // smallest failing value in [lo, hi] assuming monotonicity.
+            let (mut lo, mut hi) = (0u64, original);
+            while lo < hi {
+                if best.evals >= max_evals {
+                    return best;
+                }
+                let mid = lo + (hi - lo) / 2;
+                let mut candidate = best.draws.clone();
+                candidate[i] = mid;
+                best.evals += 1;
+                if let Some(failure) = still_fails(&candidate) {
+                    best.draws = candidate;
+                    best.failure = failure;
+                    best.adopted += 1;
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            if best.draws[i] < original {
+                improved = true;
+            }
+        }
+
+        if !improved || best.evals >= max_evals {
+            return best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_a_single_draw_to_the_threshold() {
+        // "Fails" when the draw is >= 1000: the minimum is exactly 1000.
+        let out = shrink_draws(
+            vec![987_654_321],
+            (),
+            |d| (d.first().copied().unwrap_or(0) >= 1000).then_some(()),
+            10_000,
+        );
+        assert_eq!(out.draws, vec![1000]);
+        assert!(out.adopted > 0);
+    }
+
+    #[test]
+    fn deletes_irrelevant_draws() {
+        // Only the presence of some draw >= 50 matters.
+        let out = shrink_draws(
+            vec![3, 99, 7, 12, 60, 4],
+            (),
+            |d| d.iter().any(|&v| v >= 50).then_some(()),
+            10_000,
+        );
+        assert_eq!(out.draws, vec![50]);
+    }
+
+    #[test]
+    fn respects_the_eval_budget() {
+        let out = shrink_draws(
+            vec![u64::MAX; 64],
+            (),
+            |_| Some(()), // Everything fails: shrinking could run forever.
+            100,
+        );
+        assert!(out.evals <= 100);
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let run = || {
+            shrink_draws(
+                vec![17, 923, 5, 44_000, 8, 8, 123],
+                (),
+                |d| (d.iter().sum::<u64>() >= 500).then_some(()),
+                10_000,
+            )
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.draws, b.draws);
+        assert_eq!(a.adopted, b.adopted);
+        assert_eq!(a.evals, b.evals);
+    }
+}

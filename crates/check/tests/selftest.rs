@@ -1,0 +1,138 @@
+//! Meta-tests: dpack-check's failure pipeline end to end.
+//!
+//! These exercise the acceptance path for every suite built on this
+//! crate: a broken invariant must produce a *shrunk* counterexample
+//! with a printed seed that reproduces the exact same counterexample
+//! deterministically (the `DPACK_CHECK_SEED` workflow), using the
+//! programmatic [`run`] API so the panicking `check` wrapper stays
+//! untouched.
+
+use dpack_check::{
+    bools, check, floats, ints, prop_assert, prop_assert_eq, run, vecs, Config, Failure,
+    PropResult, Strategy,
+};
+
+fn config() -> Config {
+    Config {
+        cases: 128,
+        forced_seed: None,
+        max_shrink_evals: 2048,
+        max_discards: 2048,
+    }
+}
+
+/// A deliberately broken invariant: "no vector sums past 1500" over
+/// vectors that easily do.
+fn broken_invariant(v: &[u64]) -> PropResult {
+    let sum: u64 = v.iter().sum();
+    prop_assert!(sum < 1500, "sum {sum} exceeded the (wrong) bound");
+    Ok(())
+}
+
+fn broken_run(cfg: &Config) -> Failure {
+    run(
+        "selftest_broken_invariant",
+        cfg,
+        &vecs(ints(0..1000u64), 0..40),
+        &|v| broken_invariant(v),
+    )
+    .expect_err("the invariant is broken by construction")
+}
+
+#[test]
+fn broken_invariant_is_found_shrunk_and_seed_reproducible() {
+    let failure = broken_run(&config());
+
+    // The counterexample was minimized, not just reported raw.
+    assert!(failure.shrink_steps > 0, "no shrinking happened");
+    let shrunk: Vec<u64> = failure
+        .value
+        .split(|c: char| !c.is_ascii_digit())
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse().unwrap())
+        .collect();
+    let sum: u64 = shrunk.iter().sum();
+    // 1-minimality (the greedy guarantee): the shrunk case still
+    // fails, sits exactly on the threshold (no draw can be lowered),
+    // and no single element can be deleted.
+    assert_eq!(sum, 1500, "not draw-minimal: {shrunk:?}");
+    for (i, v) in shrunk.iter().enumerate() {
+        assert!(sum - v < 1500, "element {i} ({v}) is deletable: {shrunk:?}");
+    }
+
+    // The printed seed reproduces the identical shrunk counterexample.
+    let forced = Config {
+        forced_seed: Some(failure.seed),
+        ..config()
+    };
+    let replay = broken_run(&forced);
+    assert_eq!(replay.value, failure.value);
+    assert_eq!(replay.message, failure.message);
+
+    // And the report carries the reproduction line.
+    let report = failure.to_string();
+    assert!(report.contains(&format!("DPACK_CHECK_SEED={}", failure.seed)));
+}
+
+#[test]
+fn failure_runs_are_deterministic_end_to_end() {
+    let (a, b) = (broken_run(&config()), broken_run(&config()));
+    assert_eq!(a.seed, b.seed);
+    assert_eq!(a.case, b.case);
+    assert_eq!(a.value, b.value);
+    assert_eq!(a.shrink_steps, b.shrink_steps);
+    assert_eq!(a.shrink_evals, b.shrink_evals);
+}
+
+#[test]
+fn shrinking_reaches_through_map_and_filter() {
+    // A mapped + filtered strategy: the minimized case must satisfy
+    // the filter and still break the property — shrinking operates on
+    // the underlying draws, so combinators are transparent to it.
+    let strategy = vecs(
+        (ints(0..1000u64), floats(0.0..1.0)).prop_map(|(w, f)| (w, f)),
+        1..20,
+    )
+    .prop_filter("nonempty", |v| !v.is_empty());
+    let failure = run("selftest_map_filter", &config(), &strategy, &|v: &Vec<
+        (u64, f64),
+    >| {
+        prop_assert!(v.iter().all(|(w, _)| *w < 90), "an element is too heavy");
+        Ok(())
+    })
+    .expect_err("breakable");
+    // Minimal: exactly one pair, weight on the threshold, float at 0.
+    assert_eq!(failure.value.matches('(').count(), 1, "{}", failure.value);
+    assert!(failure.value.contains("90"), "{}", failure.value);
+    assert!(failure.value.contains("0.0"), "{}", failure.value);
+}
+
+#[test]
+fn passing_suites_stay_quiet() {
+    // The public `check` wrapper: a true invariant over mixed
+    // strategies runs to completion without panicking.
+    check(
+        "selftest_true_invariant",
+        (vecs(floats(0.0..2.0), 0..10), bools(), ints(1..5u32)),
+        |(xs, flip, k)| {
+            let sum: f64 = xs.iter().sum();
+            let sign = if *flip { 1.0 } else { 2.0 };
+            let scaled = sum * f64::from(*k) * sign;
+            prop_assert!(scaled >= 0.0);
+            prop_assert_eq!(scaled == 0.0, sum == 0.0);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn discard_heavy_strategies_still_complete() {
+    check(
+        "selftest_filter_discards",
+        ints(0..1000u32).prop_filter("divisible by 7", |n| n % 7 == 0),
+        |n| {
+            prop_assert_eq!(n % 7, 0);
+            Ok(())
+        },
+    );
+}

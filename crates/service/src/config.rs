@@ -4,6 +4,8 @@ use dpack_core::problem::{Allocation, ProblemState};
 use dpack_core::schedulers::{DPack, Dpf, DpfStrict, Fcfs, GreedyArea, Scheduler};
 use orchestrator::{LatencyModel, ParallelDPack, ParallelDpf};
 
+use crate::stats::StatsRetention;
+
 /// Which scheduling policy the service runs each cycle.
 ///
 /// DPack and DPF dispatch to the orchestrator's parallel wrappers when
@@ -83,6 +85,11 @@ pub struct ServiceConfig {
     /// in-process service measures its real overheads; inject the
     /// orchestrator's Kubernetes-like profile to reproduce Fig. 8.
     pub latency: LatencyModel,
+    /// How much per-event stats history to retain. The always-on
+    /// default is a bounded window; the simulator backend overrides it
+    /// to [`StatsRetention::Unbounded`] for allocation-for-allocation
+    /// parity with the engine.
+    pub retention: StatsRetention,
 }
 
 impl Default for ServiceConfig {
@@ -99,6 +106,7 @@ impl Default for ServiceConfig {
             ingest_batch: usize::MAX,
             scheduler: SchedulerChoice::DPack,
             latency: LatencyModel::zero(),
+            retention: StatsRetention::Window(65_536),
         }
     }
 }

@@ -63,4 +63,4 @@ pub use admission::{AdmissionError, AdmissionQueue, Submission, TenantId};
 pub use config::{SchedulerChoice, ServiceConfig};
 pub use ledger::{CommitOutcome, ShardedLedger};
 pub use service::{BudgetService, ServiceHandle};
-pub use stats::{CycleStats, ServiceStats, StatsSummary, TenantStats};
+pub use stats::{CycleStats, ServiceStats, StatsRetention, StatsSummary, TenantStats};

@@ -110,7 +110,7 @@ impl BudgetService {
             queue: AdmissionQueue::new(config.queue_capacity),
             pending: Mutex::new(Vec::new()),
             live: Mutex::new(LiveTasks::default()),
-            stats: Mutex::new(ServiceStats::default()),
+            stats: Mutex::new(ServiceStats::with_retention(config.retention)),
             cycle_lock: Mutex::new(()),
             config,
         }
@@ -434,12 +434,14 @@ impl BudgetService {
             let t = stats.tenants.entry(tenant).or_default();
             t.granted += 1;
             t.granted_weight += alloc.weight;
-            stats.granted.push(alloc);
+            stats.record_granted(alloc);
         }
         stats.released += released as u64;
-        stats.evicted.extend(evicted.into_iter().map(|(_, id)| id));
+        for (_, id) in evicted {
+            stats.record_evicted(id);
+        }
         stats.scheduler_runtime += algorithm;
-        stats.cycles.push(cycle.clone());
+        stats.record_cycle(cycle.clone());
         cycle
     }
 
@@ -840,6 +842,47 @@ mod tests {
         service.submit(0, simple_task(2, vec![0, 1], 0.1)).unwrap();
         assert_eq!(service.run_cycle(1.0).granted(), 1);
         assert!(service.ledger().unsound_blocks().is_empty());
+    }
+
+    #[test]
+    fn retention_window_bounds_service_logs() {
+        use crate::stats::StatsRetention;
+        let service = BudgetService::new(
+            grid(),
+            ServiceConfig {
+                retention: StatsRetention::Window(3),
+                ..immediate_unlock(2, 1)
+            },
+        );
+        service
+            .register_block(Block::new(0, RdpCurve::constant(&grid(), 100.0), 0.0))
+            .unwrap();
+        // 8 feasible grants and 2 timeout evictions across cycles.
+        for i in 0..8u64 {
+            service.submit(0, simple_task(i, vec![0], 0.1)).unwrap();
+        }
+        for i in 8..10u64 {
+            let mut t = Task::new(i, 1.0, vec![0], RdpCurve::constant(&grid(), 500.0), 0.0);
+            t.timeout = Some(1.5); // Evicted at the second cycle.
+            service.submit(0, t).unwrap();
+        }
+        for step in 1..=5u64 {
+            service.run_cycle(step as f64);
+        }
+        let stats = service.stats();
+        // Logs are evicted at capacity (oldest first)...
+        assert_eq!(stats.granted.len(), 3);
+        assert_eq!(stats.cycles.len(), 3);
+        assert!(stats.evicted.len() <= 3);
+        // ...while the counters and summary stay exact.
+        let summary = service.stats_summary();
+        assert_eq!(summary.granted, 8);
+        assert_eq!(summary.evicted, 2);
+        assert_eq!(summary.cycles, 5);
+        assert_eq!(stats.total_weight(), 8.0);
+        assert_eq!(stats.to_online().steps, 5);
+        // Tenant counters are unaffected by the window.
+        assert_eq!(stats.tenants[&0].granted, 8);
     }
 
     #[test]

@@ -6,13 +6,41 @@
 //! schedule / commit phases, queue depth, grant throughput, and
 //! per-tenant grant rates, all consumable by the bench binaries.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::time::Duration;
 
 use dpack_core::online::{AllocatedTask, OnlineStats};
 use dpack_core::problem::TaskId;
 
 use crate::admission::TenantId;
+
+/// How much per-event history [`ServiceStats`] retains.
+///
+/// The cumulative counters (submissions, grants, evictions, cycle
+/// time) are exact under any retention; only the per-event logs
+/// (`granted`, `evicted`, `cycles`) are bounded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StatsRetention {
+    /// Keep every per-event record. Required for simulator parity —
+    /// [`ServiceStats::to_online`] can only reproduce an engine run
+    /// allocation-for-allocation from the full log — so the simulator
+    /// backend requests it explicitly.
+    #[default]
+    Unbounded,
+    /// Keep only the most recent `n` records of each per-event log:
+    /// the always-on deployment shape, where the logs must not grow
+    /// with uptime.
+    Window(usize),
+}
+
+impl StatsRetention {
+    fn cap(self) -> usize {
+        match self {
+            Self::Unbounded => usize::MAX,
+            Self::Window(n) => n,
+        }
+    }
+}
 
 /// Timing and volume breakdown of one scheduling cycle.
 #[derive(Debug, Clone, PartialEq)]
@@ -78,7 +106,7 @@ impl TenantStats {
 
 /// A cheap, fixed-size snapshot of the service counters — safe to
 /// poll frequently from monitoring loops, unlike cloning the full
-/// [`ServiceStats`] record.
+/// [`ServiceStats`] record. Exact under any [`StatsRetention`].
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct StatsSummary {
     /// Submissions attempted.
@@ -104,14 +132,15 @@ pub struct StatsSummary {
 
 /// Cumulative statistics of a service's lifetime.
 ///
-/// Retention: `granted`, `evicted` and `cycles` are full per-event
-/// records — they are what makes service runs comparable
-/// allocation-for-allocation with the simulator, and the bench and
-/// fairness tooling consume them. An always-on deployment that runs
-/// indefinitely should poll [`ServiceStats::summary`] (fixed-size)
-/// rather than cloning the full record; bounding the per-event logs
-/// with a retention window is a ROADMAP follow-on alongside the
-/// ledger WAL.
+/// Retention: the `granted`, `evicted` and `cycles` per-event logs are
+/// bounded by the configured [`StatsRetention`] — under a `Window(n)`
+/// each log keeps only its `n` most recent records (eviction at
+/// capacity drops the oldest), so an always-on service's stats stay
+/// fixed-size. The scalar counters (`*_total`, submission/rejection
+/// counts, `scheduler_runtime`) are cumulative and exact regardless.
+/// Simulator-parity consumers ([`ServiceStats::to_online`], the bench
+/// and fairness tooling) need the full logs and run with
+/// [`StatsRetention::Unbounded`].
 #[derive(Debug, Clone, Default)]
 pub struct ServiceStats {
     /// Submissions attempted.
@@ -125,65 +154,120 @@ pub struct ServiceStats {
     /// Submissions rejected by validation (unknown block, wrong grid).
     pub rejected_invalid: u64,
     /// Granted tasks in commit order (shard-ascending within a cycle,
-    /// then the cross-shard pass).
-    pub granted: Vec<AllocatedTask>,
+    /// then the cross-shard pass), bounded by the retention window.
+    pub granted: VecDeque<AllocatedTask>,
+    /// Lifetime grant count (exact under any retention).
+    pub granted_total: u64,
+    /// Lifetime granted weight (exact under any retention).
+    pub granted_weight_total: f64,
     /// Scheduler-selected tasks a filter released (returned to pending).
     pub released: u64,
-    /// Tasks evicted by timeout.
-    pub evicted: Vec<TaskId>,
+    /// Tasks evicted by timeout, bounded by the retention window.
+    pub evicted: VecDeque<TaskId>,
+    /// Lifetime eviction count (exact under any retention).
+    pub evicted_total: u64,
     /// Summed scheduler runtime across cycles.
     pub scheduler_runtime: Duration,
-    /// Per-cycle reports.
-    pub cycles: Vec<CycleStats>,
+    /// Per-cycle reports, bounded by the retention window.
+    pub cycles: VecDeque<CycleStats>,
+    /// Lifetime cycle count (exact under any retention).
+    pub cycles_total: u64,
+    /// Lifetime wall time spent in cycles (exact under any retention).
+    pub cycle_time_total: Duration,
     /// Per-tenant counters.
     pub tenants: BTreeMap<TenantId, TenantStats>,
+    retention: StatsRetention,
+}
+
+fn trim<T>(log: &mut VecDeque<T>, cap: usize) {
+    while log.len() > cap {
+        log.pop_front();
+    }
 }
 
 impl ServiceStats {
-    /// Total granted weight (the paper's global efficiency).
-    pub fn total_weight(&self) -> f64 {
-        self.granted.iter().map(|a| a.weight).sum()
+    /// An empty record with the given retention policy.
+    pub fn with_retention(retention: StatsRetention) -> Self {
+        Self {
+            retention,
+            ..Self::default()
+        }
     }
 
-    /// Total wall time spent in cycles.
+    /// The retention policy bounding the per-event logs.
+    pub fn retention(&self) -> StatsRetention {
+        self.retention
+    }
+
+    /// Records a grant: bumps the lifetime counters and appends to the
+    /// (retention-bounded) log.
+    pub fn record_granted(&mut self, task: AllocatedTask) {
+        self.granted_total += 1;
+        self.granted_weight_total += task.weight;
+        self.granted.push_back(task);
+        trim(&mut self.granted, self.retention.cap());
+    }
+
+    /// Records a timeout eviction.
+    pub fn record_evicted(&mut self, id: TaskId) {
+        self.evicted_total += 1;
+        self.evicted.push_back(id);
+        trim(&mut self.evicted, self.retention.cap());
+    }
+
+    /// Records a finished cycle.
+    pub fn record_cycle(&mut self, cycle: CycleStats) {
+        self.cycles_total += 1;
+        self.cycle_time_total += cycle.total;
+        self.cycles.push_back(cycle);
+        trim(&mut self.cycles, self.retention.cap());
+    }
+
+    /// Lifetime granted weight (the paper's global efficiency).
+    pub fn total_weight(&self) -> f64 {
+        self.granted_weight_total
+    }
+
+    /// Lifetime wall time spent in cycles.
     pub fn total_cycle_time(&self) -> Duration {
-        self.cycles.iter().map(|c| c.total).sum()
+        self.cycle_time_total
     }
 
     /// Granted tasks per second of cycle wall time (`None` before the
     /// first cycle finishes).
     pub fn throughput(&self) -> Option<f64> {
-        let secs = self.total_cycle_time().as_secs_f64();
-        (secs > 0.0).then(|| self.granted.len() as f64 / secs)
+        let secs = self.cycle_time_total.as_secs_f64();
+        (secs > 0.0).then(|| self.granted_total as f64 / secs)
     }
 
-    /// Mean cycle wall time.
+    /// Mean cycle wall time over the service lifetime.
     pub fn mean_cycle_time(&self) -> Option<Duration> {
-        (!self.cycles.is_empty()).then(|| self.total_cycle_time() / self.cycles.len() as u32)
+        (self.cycles_total > 0).then(|| self.cycle_time_total / self.cycles_total as u32)
     }
 
-    /// Maximum cycle wall time.
+    /// Maximum cycle wall time over the *retained* cycles.
     pub fn max_cycle_time(&self) -> Option<Duration> {
         self.cycles.iter().map(|c| c.total).max()
     }
 
-    /// Peak admission-queue depth observed at cycle boundaries.
+    /// Peak admission-queue depth observed at *retained* cycle
+    /// boundaries.
     pub fn peak_queue_depth(&self) -> usize {
         self.cycles.iter().map(|c| c.queue_depth).max().unwrap_or(0)
     }
 
-    /// The fixed-size counter snapshot (no per-event data).
+    /// The fixed-size counter snapshot (no per-event data); exact
+    /// under any retention.
     pub fn summary(&self) -> StatsSummary {
-        let cycle_time = self.total_cycle_time();
         StatsSummary {
             submitted: self.submitted,
             admitted: self.admitted,
             rejected: self.rejected_full + self.rejected_quota + self.rejected_invalid,
-            granted: self.granted.len() as u64,
-            granted_weight: self.total_weight(),
-            evicted: self.evicted.len() as u64,
-            cycles: self.cycles.len() as u64,
-            cycle_time,
+            granted: self.granted_total,
+            granted_weight: self.granted_weight_total,
+            evicted: self.evicted_total,
+            cycles: self.cycles_total,
+            cycle_time: self.cycle_time_total,
             throughput: self.throughput().unwrap_or(0.0),
         }
     }
@@ -191,12 +275,16 @@ impl ServiceStats {
     /// The engine-compatible view of this run, so simulator-level
     /// metrics ([`dpack_core::metrics`], fairness reports, delay CDFs)
     /// apply unchanged to service runs.
+    ///
+    /// Allocation-for-allocation parity with an engine run requires
+    /// [`StatsRetention::Unbounded`]; under a window this view covers
+    /// only the retained tail of the logs (`steps` stays exact).
     pub fn to_online(&self) -> OnlineStats {
         OnlineStats {
-            allocated: self.granted.clone(),
-            evicted: self.evicted.clone(),
+            allocated: self.granted.iter().cloned().collect(),
+            evicted: self.evicted.iter().copied().collect(),
             scheduler_runtime: self.scheduler_runtime,
-            steps: self.cycles.len() as u64,
+            steps: self.cycles_total,
         }
     }
 }
@@ -220,20 +308,24 @@ mod tests {
         }
     }
 
+    fn granted(id: u64) -> AllocatedTask {
+        AllocatedTask {
+            id,
+            weight: 2.0,
+            arrival: 0.0,
+            allocated_at: 1.0,
+        }
+    }
+
     #[test]
     fn derived_metrics() {
         let mut s = ServiceStats::default();
         assert_eq!(s.throughput(), None);
         assert_eq!(s.mean_cycle_time(), None);
-        s.cycles.push(cycle(2, 10));
-        s.cycles.push(cycle(1, 30));
+        s.record_cycle(cycle(2, 10));
+        s.record_cycle(cycle(1, 30));
         for i in 0..3u64 {
-            s.granted.push(AllocatedTask {
-                id: i,
-                weight: 2.0,
-                arrival: 0.0,
-                allocated_at: 1.0,
-            });
+            s.record_granted(granted(i));
         }
         assert_eq!(s.total_weight(), 6.0);
         assert_eq!(s.total_cycle_time(), Duration::from_millis(40));
@@ -264,5 +356,67 @@ mod tests {
         let c = cycle(1, 10);
         assert_eq!(c.overhead(), Duration::from_millis(5));
         assert_eq!(c.granted(), 1);
+    }
+
+    #[test]
+    fn retention_window_evicts_oldest_but_counters_stay_exact() {
+        let mut s = ServiceStats::with_retention(StatsRetention::Window(4));
+        for i in 0..10u64 {
+            s.record_granted(granted(i));
+            s.record_evicted(100 + i);
+            s.record_cycle(cycle(1, 10));
+        }
+        // Eviction at capacity: only the 4 newest records survive.
+        assert_eq!(s.granted.len(), 4);
+        assert_eq!(
+            s.granted.iter().map(|a| a.id).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9]
+        );
+        assert_eq!(
+            s.evicted.iter().copied().collect::<Vec<_>>(),
+            vec![106, 107, 108, 109]
+        );
+        assert_eq!(s.cycles.len(), 4);
+        // The counters still see the full lifetime.
+        let sum = s.summary();
+        assert_eq!(sum.granted, 10);
+        assert_eq!(sum.evicted, 10);
+        assert_eq!(sum.cycles, 10);
+        assert_eq!(sum.granted_weight, 20.0);
+        assert_eq!(sum.cycle_time, Duration::from_millis(100));
+        assert_eq!(s.total_weight(), 20.0);
+        // Derived lifetime metrics use the counters, not the logs.
+        assert_eq!(s.mean_cycle_time(), Some(Duration::from_millis(10)));
+        let thr = s.throughput().unwrap();
+        assert!((thr - 100.0).abs() < 1e-9, "throughput {thr}");
+        // The online view is the retained tail, with exact steps.
+        let online = s.to_online();
+        assert_eq!(online.allocated.len(), 4);
+        assert_eq!(online.steps, 10);
+    }
+
+    #[test]
+    fn unbounded_retention_keeps_everything() {
+        let mut s = ServiceStats::with_retention(StatsRetention::Unbounded);
+        for i in 0..1000u64 {
+            s.record_granted(granted(i));
+        }
+        assert_eq!(s.granted.len(), 1000);
+        assert_eq!(s.summary().granted, 1000);
+        assert_eq!(
+            ServiceStats::default().retention(),
+            StatsRetention::Unbounded
+        );
+    }
+
+    #[test]
+    fn zero_window_keeps_counters_only() {
+        let mut s = ServiceStats::with_retention(StatsRetention::Window(0));
+        s.record_granted(granted(1));
+        s.record_cycle(cycle(1, 10));
+        assert!(s.granted.is_empty());
+        assert!(s.cycles.is_empty());
+        assert_eq!(s.summary().granted, 1);
+        assert_eq!(s.summary().cycles, 1);
     }
 }

@@ -1,0 +1,177 @@
+//! Two-phase commit atomicity under concurrency.
+//!
+//! The ledger's cross-shard commit acquires shard locks in ascending
+//! order and checks every filter before consuming anywhere. The
+//! sharpest failure mode is a task whose filter check fails on the
+//! *last* shard of that ascending order, after every earlier shard
+//! already passed: a buggy implementation would have charged shards
+//! 0..S-1 by then. These tests drain the highest shard's block, then
+//! hammer the earlier shards with concurrent local traffic while
+//! cross-shard commits keep failing at the last lock — and prove,
+//! by exact capacity accounting, that the failed commits never charged
+//! anything anywhere.
+
+use std::sync::Arc;
+
+use dp_accounting::{AlphaGrid, RdpCurve};
+use dpack_core::problem::{Block, Task};
+use dpack_service::ledger::{CommitOutcome, ShardedLedger};
+use dpack_service::{BudgetService, SchedulerChoice, ServiceConfig, StatsRetention};
+
+const SHARDS: usize = 4;
+
+fn grid() -> AlphaGrid {
+    AlphaGrid::new(vec![2.0, 8.0]).unwrap()
+}
+
+fn task(id: u64, blocks: Vec<u64>, eps: f64) -> Task {
+    Task::new(id, 1.0, blocks, RdpCurve::constant(&grid(), eps), 0.0)
+}
+
+/// Blocks 0..4 land on shards 0..4: block 3 is on the last shard of
+/// every ascending-order lock acquisition that involves it.
+fn drained_last_shard_ledger() -> ShardedLedger {
+    let ledger = ShardedLedger::new(grid(), SHARDS, 1.0, 1);
+    for j in 0..SHARDS as u64 {
+        ledger
+            .register_block(Block::new(j, RdpCurve::constant(&grid(), 1.0), 0.0))
+            .unwrap();
+    }
+    // Drain block 3 (shard 3) completely: any later check there fails.
+    assert_eq!(
+        ledger.commit_task(&task(1000, vec![3], 1.0)),
+        CommitOutcome::Committed
+    );
+    ledger
+}
+
+#[test]
+fn failing_on_the_last_shard_charges_nothing_under_concurrent_traffic() {
+    let ledger = Arc::new(drained_last_shard_ledger());
+
+    const LOCAL_COMMITS: u64 = 8;
+    const CROSS_ATTEMPTS: u64 = 25;
+    std::thread::scope(|s| {
+        // Concurrent shard-local traffic on shards 0..2: each thread
+        // fills its block with 8 × 0.125 = exactly the full capacity.
+        // Every one of these commits MUST succeed — if a failing cross
+        // commit ever partially charged a block, a later local commit
+        // would be refused and the count below would not add up.
+        for j in 0..3u64 {
+            let ledger = Arc::clone(&ledger);
+            s.spawn(move || {
+                for i in 0..LOCAL_COMMITS {
+                    let t = task(j * 100 + i, vec![j], 0.125);
+                    assert_eq!(
+                        ledger.commit_task(&t),
+                        CommitOutcome::Committed,
+                        "local commit refused: a cross-shard release leaked a charge"
+                    );
+                }
+            });
+        }
+        // Concurrent cross-shard attempts spanning all four shards.
+        // Phase 1 passes on shards 0..2 and fails on shard 3 — the
+        // last lock of the ascending acquisition — every single time.
+        let ledger = Arc::clone(&ledger);
+        s.spawn(move || {
+            for i in 0..CROSS_ATTEMPTS {
+                let t = task(5000 + i, vec![0, 1, 2, 3], 0.01);
+                assert_eq!(
+                    ledger.commit_task(&t),
+                    CommitOutcome::Released,
+                    "block 3 is drained; the cross commit must release"
+                );
+            }
+        });
+    });
+
+    // All-or-nothing, by exact accounting: the only charges anywhere
+    // are the drain (1 × block 3) and the 24 local commits.
+    assert_eq!(
+        ledger.granted_count(),
+        1 + 3 * LOCAL_COMMITS,
+        "a released cross-shard commit left a partial charge"
+    );
+    let snap = ledger.snapshot_all(1.0);
+    for j in 0..3u64 {
+        assert_eq!(
+            snap[&j].epsilon(0),
+            0.0,
+            "block {j} must be exactly full from local traffic alone"
+        );
+    }
+    assert_eq!(snap[&3].epsilon(0), 0.0, "block 3 holds only the drain");
+    assert!(ledger.unsound_blocks().is_empty());
+
+    // The drained block still refuses, the others are exactly full.
+    assert_eq!(
+        ledger.commit_task(&task(9999, vec![0], 0.001)),
+        CommitOutcome::Released
+    );
+}
+
+/// The same scenario end-to-end through the service loop: the released
+/// cross-shard task stays pending (not lost, nothing charged) while
+/// shard-local traffic proceeds.
+#[test]
+fn service_releases_last_shard_failures_without_charging() {
+    let service = BudgetService::new(
+        grid(),
+        ServiceConfig {
+            shards: SHARDS,
+            workers: 2,
+            unlock_steps: 1,
+            scheduler: SchedulerChoice::DPack,
+            retention: StatsRetention::Unbounded,
+            ..ServiceConfig::default()
+        },
+    );
+    for j in 0..SHARDS as u64 {
+        service
+            .register_block(Block::new(j, RdpCurve::constant(&grid(), 1.0), 0.0))
+            .unwrap();
+    }
+    // Drain block 3 via a shard-local grant.
+    service.submit(0, task(0, vec![3], 1.0)).unwrap();
+    service.run_cycle(1.0);
+    assert_eq!(service.stats_summary().granted, 1);
+
+    // A cross-shard task that will fail its check on shard 3 (the last
+    // lock), plus concurrent local traffic on shards 0..2.
+    service.submit(1, task(1, vec![0, 1, 2, 3], 0.25)).unwrap();
+    std::thread::scope(|s| {
+        for j in 0..3u64 {
+            let service = &service;
+            s.spawn(move || {
+                for i in 0..4u64 {
+                    service
+                        .submit(2 + j as u32, task(10 + j * 10 + i, vec![j], 0.25))
+                        .unwrap();
+                }
+            });
+        }
+        let service = &service;
+        s.spawn(move || {
+            for now in 2..=4u64 {
+                service.run_cycle(now as f64);
+            }
+        });
+    });
+    service.run_cycle(5.0);
+
+    // The cross-shard task is released every cycle, never granted,
+    // never lost: it is still pending.
+    let stats = service.stats();
+    assert!(
+        !stats.granted.iter().any(|a| a.id == 1),
+        "task 1 cannot commit while block 3 is drained"
+    );
+    assert_eq!(service.pending_count(), 1, "task 1 must stay pending");
+    // And it never charged shards 0..2: all 12 local 0.25-grants fit
+    // exactly (4 per block), which is only possible if the released
+    // task contributed zero consumption.
+    let granted_local = stats.granted.iter().filter(|a| a.id >= 10).count();
+    assert_eq!(granted_local, 12, "every local task must be granted");
+    assert!(service.ledger().unsound_blocks().is_empty());
+}

@@ -12,7 +12,7 @@
 
 use std::time::Instant;
 
-use dpack_service::{BudgetService, ServiceConfig};
+use dpack_service::{BudgetService, ServiceConfig, StatsRetention};
 use workloads::OnlineWorkload;
 
 use crate::{replay_workload, ReplayEvent, SimulationConfig, SimulationResult};
@@ -26,8 +26,12 @@ use crate::{replay_workload, ReplayEvent, SimulationConfig, SimulationResult};
 /// (queue capacity, tenant quota, ingest batch): a trace replay is
 /// single-threaded, so backpressure would deadlock it, and admission
 /// limits are a live-service concern — exercised by the service's own
-/// tests and the `service_throughput` bench. All tasks are submitted
-/// as tenant 0 (workload traces carry no tenant labels).
+/// tests and the `service_throughput` bench. Stats retention is forced
+/// to [`StatsRetention::Unbounded`]: simulator parity compares the run
+/// allocation-for-allocation with the engine, which needs the full
+/// per-event logs (the bounded window is for always-on deployments).
+/// All tasks are submitted as tenant 0 (workload traces carry no
+/// tenant labels).
 ///
 /// # Panics
 ///
@@ -50,6 +54,7 @@ pub fn simulate_service(
             queue_capacity: usize::MAX,
             tenant_quota: usize::MAX,
             ingest_batch: usize::MAX,
+            retention: StatsRetention::Unbounded,
             ..*service_config
         },
     );

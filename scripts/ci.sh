@@ -4,11 +4,27 @@
 #
 #   ./scripts/ci.sh
 #
-# The proptest suites and criterion benches are feature-gated off by
-# default (they need crates that are unavailable offline); see
-# README.md "Offline builds".
+# The property suites (dpack-check) run un-gated with a fixed default
+# case budget; crank them nightly-style with e.g.
+#
+#   DPACK_CHECK_CASES=5000 ./scripts/ci.sh
+#
+# A failing property prints its reproducing seed; replay one case with
+# DPACK_CHECK_SEED=<seed> (see README.md "Testing"). The criterion
+# micro-benches remain feature-gated off (criterion is unavailable
+# offline).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Fixed case budget by default, overridable for nightly-style runs.
+export DPACK_CHECK_CASES="${DPACK_CHECK_CASES:-64}"
+
+echo "==> checking that no proptest-tests feature gate remains"
+if grep -rn "proptest-tests" --include="*.rs" --include="*.toml" \
+    src crates tests Cargo.toml 2>/dev/null; then
+  echo "ERROR: stale 'proptest-tests' gate found — the property suites run un-gated on dpack-check" >&2
+  exit 1
+fi
 
 echo "==> cargo fmt --check"
 cargo fmt --check
@@ -19,7 +35,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test -q"
+echo "==> cargo test -q (DPACK_CHECK_CASES=${DPACK_CHECK_CASES})"
 cargo test -q
 
 echo "CI OK"

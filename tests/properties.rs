@@ -1,199 +1,268 @@
-// Gated: requires the non-default `proptest-tests` feature (proptest is
-// not available in the offline build environment; see README.md).
-#![cfg(feature = "proptest-tests")]
-
-//! Property-based tests on the cross-crate invariants.
+//! Property-based tests on the cross-crate invariants, on
+//! `dpack-check` (ported from the former proptest suite; runs in
+//! tier-1).
 
 use dpack::accounting::{block_capacity, fits, AlphaGrid, RdpCurve, RenyiFilter};
 use dpack::core::problem::{Block, ProblemState, Task};
 use dpack::core::schedulers::{DPack, Dpf, Fcfs, GreedyArea, Optimal, Scheduler};
 use dpack::solvers::privacy::{alpha_enumeration, solve, SolveLimits};
 use dpack::solvers::{exact, fptas, greedy, Item};
-use proptest::prelude::*;
+use dpack_check::{check_cases, floats, ints, prop_assert, prop_assert_eq, vecs, Strategy};
+
+const CASES: u32 = 64;
 
 /// A small strategy for non-negative demands.
 fn demand_vec(orders: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(0.0f64..1.5, orders)
+    vecs(floats(0.0..1.5), orders..orders + 1)
 }
 
 fn small_grid() -> AlphaGrid {
     AlphaGrid::new(vec![2.0, 4.0, 8.0]).expect("valid grid")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Composition is commutative and associative order-by-order.
+#[test]
+fn curve_composition_laws() {
+    check_cases(
+        "curve_composition_laws",
+        CASES,
+        (demand_vec(3), demand_vec(3), demand_vec(3)),
+        |(a, b, c)| {
+            let g = small_grid();
+            let (ca, cb, cc) = (
+                RdpCurve::new(&g, a.clone()).unwrap(),
+                RdpCurve::new(&g, b.clone()).unwrap(),
+                RdpCurve::new(&g, c.clone()).unwrap(),
+            );
+            let ab = ca.compose(&cb).unwrap();
+            let ba = cb.compose(&ca).unwrap();
+            prop_assert_eq!(ab.values(), ba.values());
+            let left = ab.compose(&cc).unwrap();
+            let right = ca.compose(&cb.compose(&cc).unwrap()).unwrap();
+            for i in 0..3 {
+                prop_assert!((left.epsilon(i) - right.epsilon(i)).abs() < 1e-12);
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Composition is commutative and associative order-by-order.
-    #[test]
-    fn curve_composition_laws(a in demand_vec(3), b in demand_vec(3), c in demand_vec(3)) {
-        let g = small_grid();
-        let (ca, cb, cc) = (
-            RdpCurve::new(&g, a).unwrap(),
-            RdpCurve::new(&g, b).unwrap(),
-            RdpCurve::new(&g, c).unwrap(),
-        );
-        let ab = ca.compose(&cb).unwrap();
-        let ba = cb.compose(&ca).unwrap();
-        prop_assert_eq!(ab.values(), ba.values());
-        let left = ab.compose(&cc).unwrap();
-        let right = ca.compose(&cb.compose(&cc).unwrap()).unwrap();
-        for i in 0..3 {
-            prop_assert!((left.epsilon(i) - right.epsilon(i)).abs() < 1e-12);
-        }
-    }
+/// A filter never lets cumulative consumption exceed capacity at
+/// every order simultaneously, no matter the demand sequence.
+#[test]
+fn filter_invariant_under_random_sequences() {
+    check_cases(
+        "filter_invariant_under_random_sequences",
+        CASES,
+        vecs(demand_vec(3), 1..40),
+        |demands| {
+            let g = small_grid();
+            let cap = RdpCurve::constant(&g, 2.0);
+            let mut filter = RenyiFilter::new(cap.clone());
+            for d in demands {
+                let _ = filter.try_consume(&RdpCurve::new(&g, d.clone()).unwrap());
+                let consumed = filter.consumed();
+                let ok = (0..g.len()).any(|i| fits(consumed.epsilon(i), cap.epsilon(i)));
+                prop_assert!(ok, "filter invariant broken: {:?}", consumed.values());
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// A filter never lets cumulative consumption exceed capacity at
-    /// every order simultaneously, no matter the demand sequence.
-    #[test]
-    fn filter_invariant_under_random_sequences(
-        demands in prop::collection::vec(demand_vec(3), 1..40)
-    ) {
-        let g = small_grid();
-        let cap = RdpCurve::constant(&g, 2.0);
-        let mut filter = RenyiFilter::new(cap.clone());
-        for d in demands {
-            let _ = filter.try_consume(&RdpCurve::new(&g, d).unwrap());
-            let consumed = filter.consumed();
-            let ok = (0..g.len()).any(|i| fits(consumed.epsilon(i), cap.epsilon(i)));
-            prop_assert!(ok, "filter invariant broken: {:?}", consumed.values());
-        }
-    }
+/// FPTAS value is sandwiched between (1−η)·OPT and OPT.
+#[test]
+fn fptas_sandwich() {
+    check_cases(
+        "fptas_sandwich",
+        CASES,
+        (
+            vecs(floats(0.01..3.0), 1..10),
+            vecs(floats(0.01..5.0), 1..10),
+            floats(0.5..6.0),
+            floats(0.05..0.9),
+        ),
+        |(weights, profits, cap, eta)| {
+            let (cap, eta) = (*cap, *eta);
+            let n = weights.len().min(profits.len());
+            let items: Vec<Item> = (0..n)
+                .map(|i| Item::new(weights[i], profits[i]).unwrap())
+                .collect();
+            let opt = exact::branch_and_bound(&items, cap, u64::MAX)
+                .solution
+                .profit;
+            let approx = fptas::fptas_value(&items, cap, eta);
+            prop_assert!(approx <= opt + 1e-9);
+            prop_assert!(approx >= (1.0 - eta) * opt - 1e-9);
+            // And greedy+best-item keeps its 1/2 bound.
+            let g = greedy::greedy_with_best_item(&items, cap).profit;
+            prop_assert!(g >= 0.5 * opt - 1e-9);
+            Ok(())
+        },
+    );
+}
 
-    /// FPTAS value is sandwiched between (1−η)·OPT and OPT.
-    #[test]
-    fn fptas_sandwich(
-        weights in prop::collection::vec(0.01f64..3.0, 1..10),
-        profits in prop::collection::vec(0.01f64..5.0, 1..10),
-        cap in 0.5f64..6.0,
-        eta in 0.05f64..0.9,
-    ) {
-        let n = weights.len().min(profits.len());
-        let items: Vec<Item> = (0..n)
-            .map(|i| Item::new(weights[i], profits[i]).unwrap())
-            .collect();
-        let opt = exact::branch_and_bound(&items, cap, u64::MAX).solution.profit;
-        let approx = fptas::fptas_value(&items, cap, eta);
-        prop_assert!(approx <= opt + 1e-9);
-        prop_assert!(approx >= (1.0 - eta) * opt - 1e-9);
-        // And greedy+best-item keeps its 1/2 bound.
-        let g = greedy::greedy_with_best_item(&items, cap).profit;
-        prop_assert!(g >= 0.5 * opt - 1e-9);
-    }
-
-    /// The privacy-knapsack branch-and-bound matches the α-enumeration
-    /// reference on tiny instances, and its solution is feasible.
-    #[test]
-    fn privacy_solver_matches_reference(
-        profits in prop::collection::vec(0.1f64..3.0, 2..7),
-        demand_seed in prop::collection::vec(0.0f64..1.2, 2 * 2 * 7),
-    ) {
-        let n = profits.len();
-        let (m, orders) = (2usize, 2usize);
-        let items: Vec<dpack::solvers::privacy::PrivacyItem> = (0..n)
-            .map(|i| dpack::solvers::privacy::PrivacyItem {
-                demand: (0..m)
-                    .map(|j| {
-                        (0..orders)
-                            .map(|a| demand_seed[(i * m * orders + j * orders + a) % demand_seed.len()])
-                            .collect()
-                    })
-                    .collect(),
-                profit: profits[i],
-            })
-            .collect();
-        let inst = dpack::solvers::privacy::PrivacyInstance {
-            capacity: vec![vec![1.0, 1.3]; m],
-            items,
-        };
-        let bb = solve(&inst, SolveLimits { node_budget: u64::MAX, time_limit: None });
-        let reference = alpha_enumeration(&inst);
-        prop_assert!((bb.solution.profit - reference.profit).abs() < 1e-9,
-            "bb {} vs reference {}", bb.solution.profit, reference.profit);
-        // Feasibility of the returned selection.
-        let mut used = vec![vec![0.0; orders]; m];
-        for &i in &bb.solution.selected {
-            for j in 0..m {
-                for a in 0..orders {
-                    used[j][a] += inst.items[i].demand[j][a];
+/// The privacy-knapsack branch-and-bound matches the α-enumeration
+/// reference on tiny instances, and its solution is feasible.
+#[test]
+fn privacy_solver_matches_reference() {
+    check_cases(
+        "privacy_solver_matches_reference",
+        CASES,
+        (
+            vecs(floats(0.1..3.0), 2..7),
+            vecs(floats(0.0..1.2), (2 * 2 * 7)..(2 * 2 * 7 + 1)),
+        ),
+        |(profits, demand_seed)| {
+            let n = profits.len();
+            let (m, orders) = (2usize, 2usize);
+            let items: Vec<dpack::solvers::privacy::PrivacyItem> = (0..n)
+                .map(|i| dpack::solvers::privacy::PrivacyItem {
+                    demand: (0..m)
+                        .map(|j| {
+                            (0..orders)
+                                .map(|a| {
+                                    demand_seed
+                                        [(i * m * orders + j * orders + a) % demand_seed.len()]
+                                })
+                                .collect()
+                        })
+                        .collect(),
+                    profit: profits[i],
+                })
+                .collect();
+            let inst = dpack::solvers::privacy::PrivacyInstance {
+                capacity: vec![vec![1.0, 1.3]; m],
+                items,
+            };
+            let bb = solve(
+                &inst,
+                SolveLimits {
+                    node_budget: u64::MAX,
+                    time_limit: None,
+                },
+            );
+            let reference = alpha_enumeration(&inst);
+            prop_assert!(
+                (bb.solution.profit - reference.profit).abs() < 1e-9,
+                "bb {} vs reference {}",
+                bb.solution.profit,
+                reference.profit
+            );
+            // Feasibility of the returned selection.
+            let mut used = vec![vec![0.0; orders]; m];
+            for &i in &bb.solution.selected {
+                for (j, used_j) in used.iter_mut().enumerate() {
+                    for (a, used_ja) in used_j.iter_mut().enumerate() {
+                        *used_ja += inst.items[i].demand[j][a];
+                    }
                 }
             }
-        }
-        prop_assert!(inst.usage_feasible(&used));
-    }
+            prop_assert!(inst.usage_feasible(&used));
+            Ok(())
+        },
+    );
+}
 
-    /// Every scheduler's allocation is feasible and duplicate-free on
-    /// random problem states, and Optimal dominates them all.
-    #[test]
-    fn schedulers_feasible_and_dominated_by_optimal(
-        demands in prop::collection::vec(demand_vec(3), 3..10),
-        weights in prop::collection::vec(0.1f64..3.0, 10),
-        caps in prop::collection::vec(0.4f64..2.0, 2),
-        block_mask in prop::collection::vec(0u8..3, 10),
-    ) {
-        let g = small_grid();
-        let blocks: Vec<Block> = caps
-            .iter()
-            .enumerate()
-            .map(|(j, c)| Block::new(j as u64, RdpCurve::constant(&g, *c), 0.0))
-            .collect();
-        let n_blocks = blocks.len() as u64;
-        let tasks: Vec<Task> = demands
-            .iter()
-            .enumerate()
-            .map(|(i, d)| {
-                let which = match block_mask[i % block_mask.len()] {
-                    0 => vec![0],
-                    1 => vec![1 % n_blocks],
-                    _ => (0..n_blocks).collect(),
-                };
-                Task::new(
-                    i as u64,
-                    weights[i % weights.len()],
-                    which,
-                    RdpCurve::new(&g, d.clone()).unwrap(),
-                    i as f64,
-                )
-            })
-            .collect();
-        let state = ProblemState::new(g.clone(), blocks, tasks).unwrap();
-        let opt = Optimal::unbounded().schedule(&state);
-        for s in [&DPack::default() as &dyn Scheduler, &Dpf, &GreedyArea, &Fcfs] {
-            let a = s.schedule(&state);
-            // Feasibility.
-            let mut used: std::collections::BTreeMap<u64, RdpCurve> = Default::default();
-            for id in &a.scheduled {
-                let t = state.task(*id).unwrap();
-                for b in &t.blocks {
-                    let e = used.entry(*b).or_insert_with(|| RdpCurve::zero(&g));
-                    *e = e.compose(&t.demand).unwrap();
+/// Every scheduler's allocation is feasible and duplicate-free on
+/// random problem states, and Optimal dominates them all.
+#[test]
+fn schedulers_feasible_and_dominated_by_optimal() {
+    check_cases(
+        "schedulers_feasible_and_dominated_by_optimal",
+        CASES,
+        (
+            vecs(demand_vec(3), 3..10),
+            vecs(floats(0.1..3.0), 10..11),
+            vecs(floats(0.4..2.0), 2..3),
+            vecs(ints(0u8..3), 10..11),
+        ),
+        |(demands, weights, caps, block_mask)| {
+            let g = small_grid();
+            let blocks: Vec<Block> = caps
+                .iter()
+                .enumerate()
+                .map(|(j, c)| Block::new(j as u64, RdpCurve::constant(&g, *c), 0.0))
+                .collect();
+            let n_blocks = blocks.len() as u64;
+            let tasks: Vec<Task> = demands
+                .iter()
+                .enumerate()
+                .map(|(i, d)| {
+                    let which = match block_mask[i % block_mask.len()] {
+                        0 => vec![0],
+                        1 => vec![1 % n_blocks],
+                        _ => (0..n_blocks).collect(),
+                    };
+                    Task::new(
+                        i as u64,
+                        weights[i % weights.len()],
+                        which,
+                        RdpCurve::new(&g, d.clone()).unwrap(),
+                        i as f64,
+                    )
+                })
+                .collect();
+            let state = ProblemState::new(g.clone(), blocks, tasks).unwrap();
+            let opt = Optimal::unbounded().schedule(&state);
+            for s in [
+                &DPack::default() as &dyn Scheduler,
+                &Dpf,
+                &GreedyArea,
+                &Fcfs,
+            ] {
+                let a = s.schedule(&state);
+                // Feasibility.
+                let mut used: std::collections::BTreeMap<u64, RdpCurve> = Default::default();
+                for id in &a.scheduled {
+                    let t = state.task(*id).unwrap();
+                    for b in &t.blocks {
+                        let e = used.entry(*b).or_insert_with(|| RdpCurve::zero(&g));
+                        *e = e.compose(&t.demand).unwrap();
+                    }
                 }
-            }
-            for (b, u) in &used {
-                let cap = &state.blocks()[b];
+                for (b, u) in &used {
+                    let cap = &state.blocks()[b];
+                    prop_assert!(
+                        (0..g.len()).any(|i| fits(u.epsilon(i), cap.epsilon(i))),
+                        "{}: block {b} infeasible",
+                        s.name()
+                    );
+                }
+                // Dominated by Optimal.
                 prop_assert!(
-                    (0..g.len()).any(|i| fits(u.epsilon(i), cap.epsilon(i))),
-                    "{}: block {b} infeasible", s.name()
+                    opt.total_weight >= a.total_weight - 1e-9,
+                    "{} beat Optimal: {} > {}",
+                    s.name(),
+                    a.total_weight,
+                    opt.total_weight
                 );
             }
-            // Dominated by Optimal.
-            prop_assert!(opt.total_weight >= a.total_weight - 1e-9,
-                "{} beat Optimal: {} > {}", s.name(), a.total_weight, opt.total_weight);
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// Block-capacity initialization round-trips through Eq. 2: filling
-    /// any usable order exactly and converting back recovers ε_G.
-    #[test]
-    fn capacity_round_trip(eps_g in 0.5f64..20.0, log_delta in -9.0f64..-2.0) {
-        let delta = 10f64.powf(log_delta);
-        let grid = AlphaGrid::standard();
-        let cap = block_capacity(&grid, eps_g, delta).unwrap();
-        for (i, a) in grid.iter() {
-            let c = cap.epsilon(i);
-            if c > 0.0 {
-                let back = c + (1.0 / delta).ln() / (a - 1.0);
-                prop_assert!((back - eps_g).abs() < 1e-9);
+/// Block-capacity initialization round-trips through Eq. 2: filling
+/// any usable order exactly and converting back recovers ε_G.
+#[test]
+fn capacity_round_trip() {
+    check_cases(
+        "capacity_round_trip",
+        CASES,
+        (floats(0.5..20.0), floats(-9.0..-2.0)),
+        |&(eps_g, log_delta)| {
+            let delta = 10f64.powf(log_delta);
+            let grid = AlphaGrid::standard();
+            let cap = block_capacity(&grid, eps_g, delta).unwrap();
+            for (i, a) in grid.iter() {
+                let c = cap.epsilon(i);
+                if c > 0.0 {
+                    let back = c + (1.0 / delta).ln() / (a - 1.0);
+                    prop_assert!((back - eps_g).abs() < 1e-9);
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
 }
