@@ -122,6 +122,30 @@ impl BlockLedger {
         }
     }
 
+    /// Rebuilds a ledger entry from persisted state (total capacity,
+    /// arrival, cumulative consumption, grant count) — the WAL
+    /// recovery path, which must reproduce the pre-crash entry
+    /// bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a consumption curve on a different grid than the
+    /// capacity.
+    pub fn restore(
+        total: RdpCurve,
+        arrival: f64,
+        consumed: RdpCurve,
+        granted_count: u64,
+    ) -> Result<Self, ProblemError> {
+        let filter = RenyiFilter::restore(total.clone(), consumed, granted_count)
+            .map_err(|e| ProblemError(format!("cannot restore block ledger: {e}")))?;
+        Ok(Self {
+            total,
+            filter,
+            arrival,
+        })
+    }
+
     /// The block's total capacity curve.
     pub fn total(&self) -> &RdpCurve {
         &self.total
@@ -523,6 +547,38 @@ mod tests {
             dp_accounting::fits(consumed, caps[&0].epsilon(a))
         });
         assert!(consumed_ok, "no order within capacity after commit");
+    }
+
+    #[test]
+    fn block_ledger_restore_round_trips_bit_identically() {
+        let g = grid();
+        let mut ledger = BlockLedger::new(Block::new(3, RdpCurve::constant(&g, 2.0), 1.5));
+        for i in 0..5 {
+            ledger
+                .commit(&RdpCurve::from_fn(&g, |a| 0.07 / a + i as f64 * 1e-4))
+                .unwrap();
+        }
+        let restored = BlockLedger::restore(
+            ledger.total().clone(),
+            ledger.arrival(),
+            ledger.consumed().clone(),
+            ledger.granted_count(),
+        )
+        .unwrap();
+        assert_eq!(restored.granted_count(), ledger.granted_count());
+        assert_eq!(restored.arrival(), ledger.arrival());
+        for i in 0..g.len() {
+            assert_eq!(
+                restored.consumed().epsilon(i).to_bits(),
+                ledger.consumed().epsilon(i).to_bits()
+            );
+        }
+        assert_eq!(
+            restored.available(2.0, 1.0, 4).values(),
+            ledger.available(2.0, 1.0, 4).values()
+        );
+        let other = RdpCurve::zero(&AlphaGrid::single(2.0).unwrap());
+        assert!(BlockLedger::restore(ledger.total().clone(), 0.0, other, 0).is_err());
     }
 
     #[test]

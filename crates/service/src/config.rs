@@ -54,6 +54,29 @@ impl SchedulerChoice {
     }
 }
 
+/// Write-ahead-log tuning for a durable service (see
+/// [`crate::BudgetService::recover`]). Separate from [`ServiceConfig`]
+/// because durability also needs a storage handle: the config stays
+/// `Copy`, the storage is passed alongside.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityOptions {
+    /// WAL segment rotation threshold in bytes.
+    pub segment_bytes: u64,
+    /// Fold the logs into snapshots every this many scheduling cycles
+    /// (`None` = only when [`crate::BudgetService::compact`] is called
+    /// explicitly).
+    pub snapshot_every_cycles: Option<u64>,
+}
+
+impl Default for DurabilityOptions {
+    fn default() -> Self {
+        Self {
+            segment_bytes: 1 << 20,
+            snapshot_every_cycles: Some(64),
+        }
+    }
+}
+
 /// Parameters of a [`crate::BudgetService`].
 #[derive(Debug, Clone, Copy)]
 pub struct ServiceConfig {
@@ -154,5 +177,8 @@ mod tests {
         assert_eq!(c.latency, LatencyModel::zero());
         let s = ServiceConfig::sequential();
         assert_eq!((s.shards, s.workers), (1, 1));
+        let d = DurabilityOptions::default();
+        assert!(d.segment_bytes > 0);
+        assert!(d.snapshot_every_cycles.unwrap() > 0);
     }
 }

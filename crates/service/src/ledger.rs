@@ -12,15 +12,39 @@
 //! commits cannot deadlock), every filter is checked, and only if *all*
 //! grant is the demand consumed anywhere. Otherwise nothing is charged
 //! and the task is released back to the caller.
+//!
+//! # Durability
+//!
+//! A ledger opened with [`ShardedLedger::open_durable`] writes ahead:
+//! each shard owns a `dpack-wal` log appended *under the shard lock and
+//! before the in-memory mutation*, and a coordinator log records the
+//! cross-shard two-phase-commit decisions (see [`crate::durability`]
+//! for the record formats and the recovery argument). A failed append
+//! releases the task instead of charging it — an unlogged grant must
+//! never reach the filters — and [`ShardedLedger::compact`] folds the
+//! logs into per-shard snapshots at a global quiescent point.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
 use dp_accounting::{AlphaGrid, RdpCurve};
 use dpack_core::online::BlockLedger;
 use dpack_core::problem::{Block, BlockId, ProblemError, Task};
+use dpack_wal::{Wal, WalError, WalOptions, WalStorage};
 
-type Shard = BTreeMap<BlockId, BlockLedger>;
+use crate::config::DurabilityOptions;
+use crate::durability::{self, BlockState, CoordRecord, ShardRecord};
+use crate::stats::DurabilityStats;
+
+/// One stripe: its block ledgers plus (when durable) its own log. The
+/// log lives *inside* the lock so append order always equals mutation
+/// order — the property that makes recovery bit-identical.
+#[derive(Debug, Default)]
+struct Shard {
+    blocks: BTreeMap<BlockId, BlockLedger>,
+    wal: Option<Wal>,
+}
 
 /// The sharded ledger: `S` lock-striped maps of block ledgers.
 #[derive(Debug)]
@@ -29,6 +53,14 @@ pub struct ShardedLedger {
     unlock_period: f64,
     unlock_steps: u32,
     shards: Vec<Mutex<Shard>>,
+    /// Cross-shard 2PC decision log; locked *after* shard locks
+    /// (commit) and compact takes the same order, so no cycle exists.
+    coord: Option<Mutex<Wal>>,
+    /// Next cross-shard attempt id (unique across recoveries).
+    next_attempt: AtomicU64,
+    /// Grants released because a WAL append failed.
+    wal_failures: AtomicU64,
+    compactions: AtomicU64,
 }
 
 /// The outcome of a (two-phase) commit attempt.
@@ -37,14 +69,22 @@ pub enum CommitOutcome {
     /// Every involved filter granted; the demand is charged on all
     /// requested blocks.
     Committed,
-    /// At least one filter refused; nothing was charged anywhere and
+    /// At least one filter refused — or, on a durable ledger, the
+    /// write-ahead append failed — nothing was charged anywhere and
     /// the task should stay pending.
     Released,
 }
 
+fn shard_dir(shard: usize) -> String {
+    format!("shard-{shard}")
+}
+
+const COORD_DIR: &str = "coord";
+
 impl ShardedLedger {
-    /// Creates a ledger with `shards` stripes and the §3.4 unlocking
-    /// schedule (`unlock_steps = 1` unlocks everything immediately).
+    /// Creates an in-memory (non-durable) ledger with `shards` stripes
+    /// and the §3.4 unlocking schedule (`unlock_steps = 1` unlocks
+    /// everything immediately).
     ///
     /// # Panics
     ///
@@ -61,8 +101,112 @@ impl ShardedLedger {
             grid,
             unlock_period,
             unlock_steps,
-            shards: (0..shards).map(|_| Mutex::new(Shard::new())).collect(),
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            coord: None,
+            next_attempt: AtomicU64::new(0),
+            wal_failures: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
         }
+    }
+
+    /// Opens a durable ledger in `storage`, recovering whatever state
+    /// the logs hold: per-shard snapshots are restored, then each
+    /// shard's records replay in append order — `Apply` records
+    /// unconditionally, `Intent` records iff the coordinator committed
+    /// their attempt (presumed abort otherwise) — reproducing the
+    /// pre-crash filter state bit-identically. On empty storage this
+    /// is simply a fresh durable ledger.
+    ///
+    /// # Errors
+    ///
+    /// Storage errors, or [`WalError::Corrupt`] if the logs cannot be
+    /// interpreted (they validate frame-by-frame, so this means a
+    /// format mismatch, not a torn tail).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same degenerate parameters as
+    /// [`ShardedLedger::new`].
+    pub fn open_durable(
+        grid: AlphaGrid,
+        shards: usize,
+        unlock_period: f64,
+        unlock_steps: u32,
+        storage: &dyn WalStorage,
+        opts: DurabilityOptions,
+    ) -> Result<Self, WalError> {
+        let mut ledger = Self::new(grid, shards, unlock_period, unlock_steps);
+        let wal_opts = WalOptions {
+            segment_bytes: opts.segment_bytes,
+        };
+
+        // Coordinator first: shard replay needs the decided set.
+        let (coord, recovered) = Wal::open(storage.sub(COORD_DIR)?, wal_opts)?;
+        let mut committed: BTreeSet<u64> = BTreeSet::new();
+        let mut max_attempt: Option<u64> = None;
+        for record in &recovered.records {
+            match CoordRecord::decode(record)? {
+                CoordRecord::Commit { attempt, .. } => {
+                    committed.insert(attempt);
+                    max_attempt = max_attempt.max(Some(attempt));
+                }
+                CoordRecord::Abort { attempt, .. } => {
+                    max_attempt = max_attempt.max(Some(attempt));
+                }
+            }
+        }
+        ledger.coord = Some(Mutex::new(coord));
+
+        for s in 0..shards {
+            let (wal, recovered) = Wal::open(storage.sub(&shard_dir(s))?, wal_opts)?;
+            let shard = ledger.shards[s].get_mut().expect("fresh ledger");
+            if let Some(snapshot) = &recovered.snapshot {
+                for state in durability::decode_snapshot(snapshot)? {
+                    let entry = state.to_ledger(&ledger.grid)?;
+                    shard.blocks.insert(state.id, entry);
+                }
+            }
+            for record in &recovered.records {
+                match ShardRecord::decode(record)? {
+                    ShardRecord::Block {
+                        id,
+                        arrival,
+                        capacity,
+                    } => {
+                        let capacity = RdpCurve::new(&ledger.grid, capacity)
+                            .map_err(|e| WalError::Corrupt(format!("block {id}: {e}")))?;
+                        shard
+                            .blocks
+                            .insert(id, BlockLedger::new(Block::new(id, capacity, arrival)));
+                    }
+                    ShardRecord::Apply {
+                        task,
+                        demand,
+                        blocks,
+                    } => replay_apply(&ledger.grid, shard, task, &demand, &blocks)?,
+                    ShardRecord::Intent {
+                        attempt,
+                        task,
+                        demand,
+                        blocks,
+                    } => {
+                        max_attempt = max_attempt.max(Some(attempt));
+                        if committed.contains(&attempt) {
+                            replay_apply(&ledger.grid, shard, task, &demand, &blocks)?;
+                        }
+                    }
+                }
+            }
+            shard.wal = Some(wal);
+        }
+
+        ledger.next_attempt = AtomicU64::new(max_attempt.map_or(0, |a| a + 1));
+        Ok(ledger)
+    }
+
+    /// Whether this ledger writes ahead.
+    pub fn is_durable(&self) -> bool {
+        self.coord.is_some()
     }
 
     /// The alpha grid all curves share.
@@ -86,11 +230,13 @@ impl ShardedLedger {
             .expect("ledger shard lock poisoned")
     }
 
-    /// Registers a newly arrived block on its shard.
+    /// Registers a newly arrived block on its shard, durably when the
+    /// ledger has a WAL (the registration is logged before it becomes
+    /// visible).
     ///
     /// # Errors
     ///
-    /// Rejects duplicate ids and grid mismatches.
+    /// Rejects duplicate ids, grid mismatches, and failed WAL appends.
     pub fn register_block(&self, block: Block) -> Result<(), ProblemError> {
         if block.capacity.grid() != &self.grid {
             return Err(ProblemError(format!(
@@ -99,27 +245,44 @@ impl ShardedLedger {
             )));
         }
         let mut shard = self.lock(self.shard_of(block.id));
-        if shard.contains_key(&block.id) {
+        if shard.blocks.contains_key(&block.id) {
             return Err(ProblemError(format!("duplicate block id {}", block.id)));
         }
-        shard.insert(block.id, BlockLedger::new(block));
+        if let Some(wal) = shard.wal.as_mut() {
+            let record = ShardRecord::Block {
+                id: block.id,
+                arrival: block.arrival,
+                capacity: block.capacity.values().to_vec(),
+            };
+            if let Err(e) = wal.append(&record.encode()) {
+                self.wal_failures.fetch_add(1, Ordering::Relaxed);
+                return Err(ProblemError(format!(
+                    "block {} not registered: {e}",
+                    block.id
+                )));
+            }
+        }
+        shard.blocks.insert(block.id, BlockLedger::new(block));
         Ok(())
     }
 
     /// Whether a block is registered.
     pub fn contains(&self, block: BlockId) -> bool {
-        self.lock(self.shard_of(block)).contains_key(&block)
+        self.lock(self.shard_of(block)).blocks.contains_key(&block)
     }
 
     /// Total number of registered blocks (sums across shards).
     pub fn n_blocks(&self) -> usize {
-        (0..self.shards.len()).map(|s| self.lock(s).len()).sum()
+        (0..self.shards.len())
+            .map(|s| self.lock(s).blocks.len())
+            .sum()
     }
 
     /// Snapshots one shard's available capacities at time `now` (§3.4
     /// unlocked-minus-consumed), holding only that shard's lock.
     pub fn snapshot_shard(&self, shard: usize, now: f64) -> BTreeMap<BlockId, RdpCurve> {
         self.lock(shard)
+            .blocks
             .iter()
             .map(|(id, b)| (*id, b.available(now, self.unlock_period, self.unlock_steps)))
             .collect()
@@ -139,7 +302,25 @@ impl ShardedLedger {
     pub fn total_capacities(&self) -> BTreeMap<BlockId, RdpCurve> {
         let mut all = BTreeMap::new();
         for s in 0..self.shards.len() {
-            all.extend(self.lock(s).iter().map(|(id, b)| (*id, b.total().clone())));
+            all.extend(
+                self.lock(s)
+                    .blocks
+                    .iter()
+                    .map(|(id, b)| (*id, b.total().clone())),
+            );
+        }
+        all
+    }
+
+    /// Every block's persisted-form state (arrival, capacity,
+    /// consumption bit patterns, grant count) — the recovery suites
+    /// compare these across crash/recover runs.
+    pub fn block_states(&self) -> BTreeMap<BlockId, BlockState> {
+        let mut all = BTreeMap::new();
+        for s in 0..self.shards.len() {
+            for (id, b) in self.lock(s).blocks.iter() {
+                all.insert(*id, block_state(*id, b));
+            }
         }
         all
     }
@@ -148,7 +329,12 @@ impl ShardedLedger {
     ///
     /// Locks the involved shards in ascending shard order, checks every
     /// block's filter, and consumes on all of them only if all grant —
-    /// the task either commits everywhere or nowhere.
+    /// the task either commits everywhere or nowhere. On a durable
+    /// ledger the grant is logged before any mutation: a single-shard
+    /// task appends one `Apply` record; a cross-shard task appends an
+    /// `Intent` per involved shard and then the coordinator's `Commit`
+    /// (any append failure releases the task, appending a best-effort
+    /// `Abort` so readers of the log can tell the attempt died).
     ///
     /// # Panics
     ///
@@ -170,6 +356,7 @@ impl ShardedLedger {
         for b in &task.blocks {
             let shard = &guards[&self.shard_of(*b)];
             let ledger = shard
+                .blocks
                 .get(b)
                 .unwrap_or_else(|| panic!("task {} references unregistered block {b}", task.id));
             if !ledger.check(&task.demand) {
@@ -177,17 +364,174 @@ impl ShardedLedger {
             }
         }
 
+        // Write-ahead phase: the grant must be durable before any
+        // filter mutates. Still under every involved lock, so log
+        // order is mutation order.
+        if self.coord.is_some() && !self.log_grant(task, &involved, &mut guards) {
+            return CommitOutcome::Released;
+        }
+
         // Phase 2: consume on every block; cannot fail after phase 1
         // because we still hold every involved lock.
         for b in &task.blocks {
             let shard = guards.get_mut(&self.shard_of(*b)).expect("locked above");
             shard
+                .blocks
                 .get_mut(b)
                 .expect("checked in phase 1")
                 .commit(&task.demand)
                 .expect("filter re-check cannot fail under the held locks");
         }
         CommitOutcome::Committed
+    }
+
+    /// Appends the write-ahead records for a checked grant. Returns
+    /// `false` (caller releases) if any append fails.
+    fn log_grant(
+        &self,
+        task: &Task,
+        involved: &[usize],
+        guards: &mut BTreeMap<usize, MutexGuard<'_, Shard>>,
+    ) -> bool {
+        let demand = task.demand.values().to_vec();
+        if let [only] = involved {
+            let record = ShardRecord::Apply {
+                task: task.id,
+                demand,
+                blocks: task.blocks.clone(),
+            };
+            let wal = guards
+                .get_mut(only)
+                .expect("locked above")
+                .wal
+                .as_mut()
+                .expect("durable ledger has a wal per shard");
+            if wal.append(&record.encode()).is_err() {
+                self.wal_failures.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            return true;
+        }
+
+        let attempt = self.next_attempt.fetch_add(1, Ordering::Relaxed);
+        let coord = self.coord.as_ref().expect("checked by caller");
+        for s in involved {
+            let blocks: Vec<BlockId> = task
+                .blocks
+                .iter()
+                .copied()
+                .filter(|b| self.shard_of(*b) == *s)
+                .collect();
+            let record = ShardRecord::Intent {
+                attempt,
+                task: task.id,
+                demand: demand.clone(),
+                blocks,
+            };
+            let wal = guards
+                .get_mut(s)
+                .expect("locked above")
+                .wal
+                .as_mut()
+                .expect("durable ledger has a wal per shard");
+            if wal.append(&record.encode()).is_err() {
+                // Presumed abort: without a coordinator Commit these
+                // intents charge nothing on recovery. The Abort record
+                // is advisory (and itself best-effort).
+                self.wal_failures.fetch_add(1, Ordering::Relaxed);
+                let abort = CoordRecord::Abort {
+                    attempt,
+                    task: task.id,
+                };
+                let mut coord = coord.lock().expect("coordinator lock poisoned");
+                let _ = coord.append(&abort.encode());
+                return false;
+            }
+        }
+        let commit = CoordRecord::Commit {
+            attempt,
+            task: task.id,
+        };
+        let mut coord = coord.lock().expect("coordinator lock poisoned");
+        if coord.append(&commit.encode()).is_err() {
+            // The decision never became durable: recovery will presume
+            // abort, so the in-memory state must not change either.
+            self.wal_failures.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        true
+    }
+
+    /// Folds the logs into per-shard snapshots and truncates the
+    /// coordinator, at a global quiescent point (all shard locks plus
+    /// the coordinator, in the commit path's order). Shards are
+    /// snapshotted before the coordinator is truncated — a crash
+    /// anywhere inside leaves a recoverable mix of old segments,
+    /// snapshots, and a coordinator that is at worst a superset of
+    /// what the surviving intents need.
+    ///
+    /// A log broken by an earlier failed append is
+    /// [repaired](Wal::repair) first, so a *transient* storage fault
+    /// (ENOSPC, EIO) only suppresses grants until the next compaction
+    /// cycle instead of until a process restart.
+    ///
+    /// No-op on a non-durable ledger.
+    ///
+    /// # Errors
+    ///
+    /// The first WAL error; shards already compacted stay compacted.
+    pub fn compact(&self) -> Result<(), WalError> {
+        let Some(coord) = &self.coord else {
+            return Ok(());
+        };
+        let mut guards: Vec<MutexGuard<'_, Shard>> =
+            (0..self.shards.len()).map(|s| self.lock(s)).collect();
+        for shard in &mut guards {
+            let wal = shard
+                .wal
+                .as_mut()
+                .expect("durable ledger has a wal per shard");
+            wal.repair()?;
+            let states: Vec<BlockState> = shard
+                .blocks
+                .iter()
+                .map(|(id, b)| block_state(*id, b))
+                .collect();
+            let payload = durability::encode_snapshot(&states);
+            shard
+                .wal
+                .as_mut()
+                .expect("durable ledger has a wal per shard")
+                .snapshot(&payload)?;
+        }
+        // Last: every live intent is now baked into a shard snapshot,
+        // so the decision log can restart empty.
+        let mut coord = coord.lock().expect("coordinator lock poisoned");
+        coord.repair()?;
+        coord.snapshot(&[])?;
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Write-ahead activity counters (`None` for an in-memory ledger).
+    pub fn durability_stats(&self) -> Option<DurabilityStats> {
+        let coord = self.coord.as_ref()?;
+        let mut stats = DurabilityStats {
+            failed_appends: self.wal_failures.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+            ..DurabilityStats::default()
+        };
+        for s in 0..self.shards.len() {
+            if let Some(wal) = &self.lock(s).wal {
+                let c = wal.counters();
+                stats.records += c.records;
+                stats.bytes += c.bytes;
+            }
+        }
+        let c = coord.lock().expect("coordinator lock poisoned").counters();
+        stats.records += c.records;
+        stats.bytes += c.bytes;
+        Some(stats)
     }
 
     /// The Prop. 6 soundness invariant over the whole ledger: every
@@ -197,7 +541,7 @@ impl ShardedLedger {
     pub fn unsound_blocks(&self) -> Vec<BlockId> {
         let mut bad = Vec::new();
         for s in 0..self.shards.len() {
-            for (id, b) in self.lock(s).iter() {
+            for (id, b) in self.lock(s).blocks.iter() {
                 if !b.is_sound() {
                     bad.push(*id);
                 }
@@ -212,6 +556,7 @@ impl ShardedLedger {
         (0..self.shards.len())
             .map(|s| {
                 self.lock(s)
+                    .blocks
                     .values()
                     .map(|b| b.granted_count())
                     .sum::<u64>()
@@ -220,10 +565,42 @@ impl ShardedLedger {
     }
 }
 
+fn block_state(id: BlockId, b: &BlockLedger) -> BlockState {
+    BlockState {
+        id,
+        arrival: b.arrival(),
+        total: b.total().values().to_vec(),
+        consumed: b.consumed().values().to_vec(),
+        granted: b.granted_count(),
+    }
+}
+
+/// Replays one logged grant on a shard being recovered.
+fn replay_apply(
+    grid: &AlphaGrid,
+    shard: &mut Shard,
+    task: u64,
+    demand: &[f64],
+    blocks: &[BlockId],
+) -> Result<(), WalError> {
+    let demand = RdpCurve::new(grid, demand.to_vec())
+        .map_err(|e| WalError::Corrupt(format!("task {task}: {e}")))?;
+    for b in blocks {
+        let entry = shard.blocks.get_mut(b).ok_or_else(|| {
+            WalError::Corrupt(format!("task {task} charges unregistered block {b}"))
+        })?;
+        entry
+            .commit(&demand)
+            .map_err(|e| WalError::Corrupt(format!("task {task} replay rejected: {e}")))?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use dp_accounting::AlphaGrid;
+    use dpack_wal::SimStorage;
 
     fn grid() -> AlphaGrid {
         AlphaGrid::new(vec![2.0, 8.0]).unwrap()
@@ -253,6 +630,8 @@ mod tests {
             assert!(l.contains(j));
         }
         assert!(!l.contains(99));
+        assert!(!l.is_durable());
+        assert_eq!(l.durability_stats(), None);
     }
 
     #[test]
@@ -332,5 +711,187 @@ mod tests {
     fn committing_an_unknown_block_panics() {
         let l = ledger(2);
         l.commit_task(&task(0, vec![55], 0.1));
+    }
+
+    fn durable(storage: &SimStorage) -> ShardedLedger {
+        ShardedLedger::open_durable(grid(), 4, 1.0, 1, storage, DurabilityOptions::default())
+            .unwrap()
+    }
+
+    fn assert_states_bit_identical(a: &ShardedLedger, b: &ShardedLedger) {
+        let (sa, sb) = (a.block_states(), b.block_states());
+        assert_eq!(sa.keys().collect::<Vec<_>>(), sb.keys().collect::<Vec<_>>());
+        for (id, x) in &sa {
+            let y = &sb[id];
+            assert_eq!(x.granted, y.granted, "block {id} grant count");
+            assert_eq!(x.arrival.to_bits(), y.arrival.to_bits());
+            let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&x.total), bits(&y.total), "block {id} total");
+            assert_eq!(bits(&x.consumed), bits(&y.consumed), "block {id} consumed");
+        }
+    }
+
+    #[test]
+    fn durable_ledger_recovers_commits_bit_identically() {
+        let sim = SimStorage::new();
+        let l = durable(&sim);
+        for j in 0..8u64 {
+            l.register_block(Block::new(j, RdpCurve::constant(&grid(), 1.0), 0.0))
+                .unwrap();
+        }
+        assert!(l.is_durable());
+        l.commit_task(&task(0, vec![2], 0.3));
+        l.commit_task(&task(1, vec![0, 1, 2], 0.25)); // Cross-shard.
+        l.commit_task(&task(2, vec![5], 0.7));
+        let recovered = durable(&sim.surviving());
+        assert_states_bit_identical(&l, &recovered);
+        assert_eq!(recovered.granted_count(), 5);
+        assert!(recovered.unsound_blocks().is_empty());
+        let stats = l.durability_stats().unwrap();
+        assert!(stats.records >= 14, "{stats:?}"); // 8 blocks + 3 local + 2 intents + 1 commit
+        assert_eq!(stats.failed_appends, 0);
+    }
+
+    #[test]
+    fn compaction_preserves_state_and_shrinks_the_logs() {
+        let sim = SimStorage::new();
+        let l = durable(&sim);
+        for j in 0..8u64 {
+            l.register_block(Block::new(j, RdpCurve::constant(&grid(), 2.0), 0.0))
+                .unwrap();
+        }
+        for i in 0..10u64 {
+            l.commit_task(&task(i, vec![i % 8, (i + 1) % 8], 0.1));
+        }
+        l.compact().unwrap();
+        assert_eq!(l.durability_stats().unwrap().compactions, 1);
+        // More traffic after the snapshot.
+        l.commit_task(&task(100, vec![3], 0.2));
+        let recovered = durable(&sim.surviving());
+        assert_states_bit_identical(&l, &recovered);
+        // Recovery after compaction must also keep working forward.
+        assert_eq!(
+            recovered.commit_task(&task(101, vec![4], 0.2)),
+            CommitOutcome::Committed
+        );
+    }
+
+    /// Bytes a given driver writes to a fresh durable ledger — used to
+    /// place crash points at exact record boundaries.
+    fn probe_bytes(drive: impl Fn(&ShardedLedger)) -> u64 {
+        let probe = SimStorage::new();
+        drive(&durable(&probe));
+        probe.bytes_written()
+    }
+
+    #[test]
+    fn a_crashed_wal_releases_grants_instead_of_charging() {
+        let register = |l: &ShardedLedger| {
+            for j in 0..8u64 {
+                l.register_block(Block::new(j, RdpCurve::constant(&grid(), 1.0), 0.0))
+                    .unwrap();
+            }
+        };
+        // Crash budget: registrations land exactly, nothing after.
+        let sim = SimStorage::with_crash_after(probe_bytes(register));
+        let l = durable(&sim);
+        register(&l);
+        let before = l.block_states();
+        assert_eq!(
+            l.commit_task(&task(0, vec![1], 0.4)),
+            CommitOutcome::Released,
+            "an unloggable grant must release"
+        );
+        assert_eq!(
+            l.commit_task(&task(1, vec![0, 1], 0.2)),
+            CommitOutcome::Released
+        );
+        assert!(l.durability_stats().unwrap().failed_appends >= 2);
+        // In-memory state is untouched and recovery sees zero grants.
+        assert_eq!(l.block_states(), before);
+        let recovered = durable(&sim.surviving());
+        assert_eq!(recovered.granted_count(), 0);
+        assert!(recovered.unsound_blocks().is_empty());
+        // The reopened (healthy) log accepts grants again.
+        assert_eq!(
+            recovered.commit_task(&task(0, vec![1], 0.4)),
+            CommitOutcome::Committed
+        );
+    }
+
+    #[test]
+    fn transient_storage_faults_heal_at_the_next_compaction() {
+        let sim = SimStorage::new();
+        let l = durable(&sim);
+        for j in 0..8u64 {
+            l.register_block(Block::new(j, RdpCurve::constant(&grid(), 1.0), 0.0))
+                .unwrap();
+        }
+        // An ENOSPC-like fault: appends fail cleanly, then recover.
+        sim.set_append_errors(true);
+        assert_eq!(
+            l.commit_task(&task(0, vec![0], 0.2)),
+            CommitOutcome::Released
+        );
+        assert_eq!(
+            l.commit_task(&task(1, vec![0, 1], 0.2)),
+            CommitOutcome::Released
+        );
+        sim.set_append_errors(false);
+        // Still broken until compaction repairs the logs...
+        assert_eq!(
+            l.commit_task(&task(0, vec![0], 0.2)),
+            CommitOutcome::Released
+        );
+        l.compact().unwrap();
+        // ...after which grants resume, and recovery agrees.
+        assert_eq!(
+            l.commit_task(&task(0, vec![0], 0.2)),
+            CommitOutcome::Committed
+        );
+        assert_eq!(
+            l.commit_task(&task(1, vec![0, 1], 0.2)),
+            CommitOutcome::Committed
+        );
+        let recovered = durable(&sim.surviving());
+        assert_states_bit_identical(&l, &recovered);
+        assert_eq!(recovered.granted_count(), 3);
+    }
+
+    #[test]
+    fn aborted_cross_shard_attempts_charge_nothing_on_recovery() {
+        let register = |l: &ShardedLedger| {
+            for j in 0..8u64 {
+                l.register_block(Block::new(j, RdpCurve::constant(&grid(), 1.0), 0.0))
+                    .unwrap();
+            }
+        };
+        let registered = probe_bytes(register);
+        let full_grant = probe_bytes(|l| {
+            register(l);
+            assert_eq!(
+                l.commit_task(&task(7, vec![0, 1], 0.25)),
+                CommitOutcome::Committed
+            );
+        }) - registered;
+        // Crash one byte short of the full cross-shard grant: both
+        // intents may land but the coordinator decision is torn.
+        let sim = SimStorage::with_crash_after(registered + full_grant - 1);
+        let l = durable(&sim);
+        register(&l);
+        assert_eq!(
+            l.commit_task(&task(7, vec![0, 1], 0.25)),
+            CommitOutcome::Released,
+            "a torn decision must release"
+        );
+        assert!(l.durability_stats().unwrap().failed_appends >= 1);
+        let recovered = durable(&sim.surviving());
+        assert_eq!(recovered.granted_count(), 0, "no partial 2PC may survive");
+        assert!(recovered.unsound_blocks().is_empty());
+        // Attempt ids move past the aborted attempt and commits resume.
+        assert_eq!(
+            recovered.commit_task(&task(7, vec![0, 1], 0.25)),
+            CommitOutcome::Committed
+        );
     }
 }

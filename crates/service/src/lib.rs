@@ -21,6 +21,12 @@
 //!   latency and per-tenant grant rates, consumable by the bench
 //!   binaries and convertible to the engine's
 //!   [`dpack_core::online::OnlineStats`] for the existing metrics.
+//! * **Durability** — a service opened with [`BudgetService::recover`]
+//!   writes ahead through `dpack-wal`: every grant is logged (per-shard
+//!   commit records; cross-shard grants via intent/commit/abort
+//!   two-phase records) before any filter mutates, and recovery
+//!   rebuilds the exact pre-crash ledger from snapshot + replay. See
+//!   [`durability`] for the record formats and crash-ordering argument.
 //!
 //! With `S = 1` shard and one worker the loop is decision-identical to
 //! [`dpack_core::online::OnlineEngine`]; the scheduling algorithms
@@ -55,12 +61,20 @@
 
 pub mod admission;
 pub mod config;
+pub mod durability;
 pub mod ledger;
 pub mod service;
 pub mod stats;
 
+/// The write-ahead-log crate the durable ledger is built on, re-exported
+/// so service users can name storages ([`wal::SimStorage`],
+/// [`wal::FsStorage`]) without a separate dependency.
+pub use dpack_wal as wal;
+
 pub use admission::{AdmissionError, AdmissionQueue, Submission, TenantId};
-pub use config::{SchedulerChoice, ServiceConfig};
+pub use config::{DurabilityOptions, SchedulerChoice, ServiceConfig};
 pub use ledger::{CommitOutcome, ShardedLedger};
 pub use service::{BudgetService, ServiceHandle};
-pub use stats::{CycleStats, ServiceStats, StatsRetention, StatsSummary, TenantStats};
+pub use stats::{
+    CycleStats, DurabilityStats, ServiceStats, StatsRetention, StatsSummary, TenantStats,
+};

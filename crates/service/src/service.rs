@@ -27,16 +27,18 @@
 //! [`OnlineEngine`](dpack_core::online::OnlineEngine) semantics, which
 //! the equivalence tests assert allocation-for-allocation.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use dp_accounting::AlphaGrid;
 use dpack_core::online::AllocatedTask;
 use dpack_core::problem::{Block, ProblemError, ProblemState, Task, TaskId};
+use dpack_wal::{FsStorage, WalError, WalStorage};
 use orchestrator::busy_wait;
 
 use crate::admission::{AdmissionError, AdmissionQueue, Submission, TenantId};
-use crate::config::ServiceConfig;
+use crate::config::{DurabilityOptions, ServiceConfig};
 use crate::ledger::{CommitOutcome, ShardedLedger};
 use crate::stats::{CycleStats, ServiceStats};
 
@@ -77,43 +79,127 @@ impl LiveTasks {
 /// The multi-tenant, sharded privacy-budget scheduling service.
 pub struct BudgetService {
     config: ServiceConfig,
+    durability: Option<DurabilityOptions>,
     ledger: ShardedLedger,
     queue: AdmissionQueue,
     pending: Mutex<Vec<Submission>>,
     live: Mutex<LiveTasks>,
     stats: Mutex<ServiceStats>,
     cycle_lock: Mutex<()>,
+    /// Cycles started (drives the compaction cadence without touching
+    /// the stats lock).
+    cycles_run: AtomicU64,
+    failed_compactions: AtomicU64,
 }
 
 impl BudgetService {
-    /// Creates a service on the given alpha grid.
+    /// Creates an in-memory service on the given alpha grid — state
+    /// does not survive a restart; see [`BudgetService::recover`] for
+    /// the durable variant.
     ///
     /// # Panics
     ///
     /// Panics on degenerate configuration (zero shards/workers/steps,
     /// non-positive periods, zero queue capacity).
     pub fn new(grid: AlphaGrid, config: ServiceConfig) -> Self {
-        assert!(config.workers >= 1, "need at least one worker thread");
-        assert!(
-            config.scheduling_period > 0.0 && config.scheduling_period.is_finite(),
-            "scheduling period must be finite and > 0"
-        );
         let ledger = ShardedLedger::new(
             grid,
             config.shards,
             config.unlock_period,
             config.unlock_steps,
         );
+        Self::from_parts(ledger, config, None)
+    }
+
+    /// Opens a durable service whose ledger writes ahead to `storage`,
+    /// recovering whatever committed state the logs hold — on empty
+    /// storage this is a fresh durable service; after a crash it
+    /// rebuilds the exact pre-crash ledger (bit-identical filter
+    /// state, with in-flight cross-shard grants resolved atomically by
+    /// the coordinator log). Queued and pending tasks are *not*
+    /// durable — an unacknowledged submission is the tenant's to
+    /// retry, as in PrivateKube's etcd deployment.
+    ///
+    /// # Errors
+    ///
+    /// Storage errors and log-format corruption; see
+    /// [`ShardedLedger::open_durable`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same degenerate configurations as
+    /// [`BudgetService::new`].
+    pub fn recover(
+        grid: AlphaGrid,
+        config: ServiceConfig,
+        storage: &dyn WalStorage,
+        opts: DurabilityOptions,
+    ) -> Result<Self, WalError> {
+        let ledger = ShardedLedger::open_durable(
+            grid,
+            config.shards,
+            config.unlock_period,
+            config.unlock_steps,
+            storage,
+            opts,
+        )?;
+        Ok(Self::from_parts(ledger, config, Some(opts)))
+    }
+
+    /// [`BudgetService::recover`] against a filesystem directory.
+    ///
+    /// # Errors
+    ///
+    /// See [`BudgetService::recover`].
+    pub fn recover_dir(
+        grid: AlphaGrid,
+        config: ServiceConfig,
+        dir: &std::path::Path,
+        opts: DurabilityOptions,
+    ) -> Result<Self, WalError> {
+        Self::recover(grid, config, &FsStorage::new(dir)?, opts)
+    }
+
+    fn from_parts(
+        ledger: ShardedLedger,
+        config: ServiceConfig,
+        durability: Option<DurabilityOptions>,
+    ) -> Self {
+        assert!(config.workers >= 1, "need at least one worker thread");
+        assert!(
+            config.scheduling_period > 0.0 && config.scheduling_period.is_finite(),
+            "scheduling period must be finite and > 0"
+        );
         assert!(config.tenant_quota >= 1, "tenant quota must be >= 1");
+        let mut stats = ServiceStats::with_retention(config.retention);
+        stats.durability = ledger.durability_stats();
         Self {
             ledger,
+            durability,
             queue: AdmissionQueue::new(config.queue_capacity),
             pending: Mutex::new(Vec::new()),
             live: Mutex::new(LiveTasks::default()),
-            stats: Mutex::new(ServiceStats::with_retention(config.retention)),
+            stats: Mutex::new(stats),
             cycle_lock: Mutex::new(()),
+            cycles_run: AtomicU64::new(0),
+            failed_compactions: AtomicU64::new(0),
             config,
         }
+    }
+
+    /// Folds the write-ahead logs into fresh snapshots now (no-op for
+    /// an in-memory service). Runs automatically every
+    /// [`DurabilityOptions::snapshot_every_cycles`] cycles.
+    ///
+    /// # Errors
+    ///
+    /// The first WAL error encountered.
+    pub fn compact(&self) -> Result<(), WalError> {
+        let result = self.ledger.compact();
+        if result.is_err() {
+            self.failed_compactions.fetch_add(1, Ordering::Relaxed);
+        }
+        result
     }
 
     /// The service configuration.
@@ -294,6 +380,7 @@ impl BudgetService {
     /// concurrent throughout.
     pub fn run_cycle(&self, now: f64) -> CycleStats {
         let _cycle = self.cycle_lock.lock().expect("cycle lock poisoned");
+        let cycle_index = self.cycles_run.fetch_add(1, Ordering::Relaxed) + 1;
         let started = Instant::now();
         let lat = self.config.latency;
 
@@ -413,6 +500,21 @@ impl BudgetService {
             }
         }
 
+        // Durable bookkeeping: fold the logs into snapshots on the
+        // configured cadence. Compaction also repairs logs broken by a
+        // transient storage fault, so grants resume then; a still-
+        // failing storage just counts a failed compaction and the
+        // service keeps (safely) releasing.
+        if let Some(every) = self.durability.and_then(|d| d.snapshot_every_cycles) {
+            if cycle_index.is_multiple_of(every) {
+                let _ = self.compact();
+            }
+        }
+        let durability = self.ledger.durability_stats().map(|mut d| {
+            d.failed_compactions = self.failed_compactions.load(Ordering::Relaxed);
+            d
+        });
+
         let cycle = CycleStats {
             now,
             ingested,
@@ -441,6 +543,7 @@ impl BudgetService {
             stats.record_evicted(id);
         }
         stats.scheduler_runtime += algorithm;
+        stats.durability = durability;
         stats.record_cycle(cycle.clone());
         cycle
     }

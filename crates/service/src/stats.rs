@@ -83,6 +83,23 @@ impl CycleStats {
     }
 }
 
+/// Write-ahead-log activity of a durable service — refreshed from the
+/// ledger at every cycle boundary. All counters are lifetime totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DurabilityStats {
+    /// Records acknowledged across all shard logs + the coordinator.
+    pub records: u64,
+    /// Framed bytes acknowledged.
+    pub bytes: u64,
+    /// Grants released (and registrations refused) because an append
+    /// failed — nonzero means the storage crashed or errored.
+    pub failed_appends: u64,
+    /// Snapshot compactions completed.
+    pub compactions: u64,
+    /// Compactions that failed with a WAL error.
+    pub failed_compactions: u64,
+}
+
 /// Per-tenant counters.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TenantStats {
@@ -176,6 +193,9 @@ pub struct ServiceStats {
     pub cycle_time_total: Duration,
     /// Per-tenant counters.
     pub tenants: BTreeMap<TenantId, TenantStats>,
+    /// Write-ahead-log activity (`None` for an in-memory service);
+    /// refreshed at cycle boundaries.
+    pub durability: Option<DurabilityStats>,
     retention: StatsRetention,
 }
 

@@ -2,14 +2,19 @@
 //! reproduce the online engine bit-identically — not just on one
 //! hardcoded scenario, but across a dpack-check generator sweep over
 //! schedulers (DPack/DPF/DPF-strict/FCFS), unlocking schedules,
-//! timeouts, and random arrival patterns.
+//! timeouts, and random arrival patterns. Both the in-memory service
+//! and the durable (write-ahead-logged) service are swept: durability
+//! must never change a scheduling decision.
 
 use dp_accounting::{block_capacity, AlphaGrid, RdpCurve};
 use dpack_check::{check_cases, floats, ints, options, prop_assert, prop_assert_eq, vecs};
 use dpack_core::online::{AllocatedTask, OnlineConfig, OnlineEngine};
 use dpack_core::problem::{Block, Task, TaskId};
 use dpack_core::schedulers::{DPack, Dpf, DpfStrict, Fcfs};
-use dpack_service::{BudgetService, SchedulerChoice, ServiceConfig, StatsRetention};
+use dpack_service::wal::SimStorage;
+use dpack_service::{
+    BudgetService, DurabilityOptions, SchedulerChoice, ServiceConfig, StatsRetention,
+};
 
 const STEPS: u64 = 12;
 const N_BLOCKS: u64 = 3;
@@ -84,6 +89,7 @@ fn drive_service(
     unlock_steps: u32,
     timeout: Option<f64>,
     specs: &[(f64, f64, u8)],
+    durable: bool,
 ) -> (Vec<AllocatedTask>, Vec<TaskId>, usize) {
     let g = grid();
     let cap = block_capacity(&g, 8.0, 1e-6).expect("valid");
@@ -93,20 +99,33 @@ fn drive_service(
         2 => SchedulerChoice::DpfStrict,
         _ => SchedulerChoice::Fcfs,
     };
-    let service = BudgetService::new(
-        g.clone(),
-        ServiceConfig {
-            shards: 1,
-            workers: 1,
-            scheduling_period: 1.0,
-            unlock_period: 1.0,
-            unlock_steps,
-            default_timeout: timeout,
-            scheduler,
-            retention: StatsRetention::Unbounded,
-            ..ServiceConfig::default()
-        },
-    );
+    let config = ServiceConfig {
+        shards: 1,
+        workers: 1,
+        scheduling_period: 1.0,
+        unlock_period: 1.0,
+        unlock_steps,
+        default_timeout: timeout,
+        scheduler,
+        retention: StatsRetention::Unbounded,
+        ..ServiceConfig::default()
+    };
+    let service = if durable {
+        // Small segments + a tight snapshot cadence so the sweep also
+        // exercises rotation and compaction on the hot path.
+        BudgetService::recover(
+            g.clone(),
+            config,
+            &SimStorage::new(),
+            DurabilityOptions {
+                segment_bytes: 256,
+                snapshot_every_cycles: Some(5),
+            },
+        )
+        .expect("fresh sim storage opens")
+    } else {
+        BudgetService::new(g.clone(), config)
+    };
     for j in 0..N_BLOCKS {
         service
             .register_block(Block::new(j, cap.clone(), j as f64))
@@ -143,13 +162,25 @@ fn sequential_service_matches_engine_across_the_sweep() {
             let (eng_alloc, eng_evicted, eng_pending) =
                 drive_engine(*scheduler_pick, *unlock_steps, *timeout, specs);
             let (svc_alloc, svc_evicted, svc_pending) =
-                drive_service(*scheduler_pick, *unlock_steps, *timeout, specs);
+                drive_service(*scheduler_pick, *unlock_steps, *timeout, specs, false);
             prop_assert_eq!(
                 &svc_alloc,
                 &eng_alloc,
                 "S=1 service diverged from the engine (scheduler {})",
                 scheduler_pick % 4
             );
+            // Durability is decision-invisible: the write-ahead-logged
+            // service makes the same allocations at the same steps.
+            let (dur_alloc, dur_evicted, dur_pending) =
+                drive_service(*scheduler_pick, *unlock_steps, *timeout, specs, true);
+            prop_assert_eq!(
+                &dur_alloc,
+                &eng_alloc,
+                "S=1 durable service diverged from the engine (scheduler {})",
+                scheduler_pick % 4
+            );
+            prop_assert_eq!(&dur_evicted, &svc_evicted);
+            prop_assert_eq!(dur_pending, svc_pending);
             // Evictions: same set (the eviction scan order inside a
             // step is an implementation detail).
             let mut eng_evicted = eng_evicted.clone();

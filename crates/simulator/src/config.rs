@@ -20,6 +20,9 @@
 //! backend             = engine      # engine | service
 //! shards              = 4           # service backend: ledger shards
 //! workers             = 2           # service backend: worker threads
+//! durability          = none        # service backend: none | sim
+//!                                   # (sim = write-ahead log on in-memory
+//!                                   #  SimStorage; decision-invisible)
 //! ```
 
 use std::collections::BTreeMap;
@@ -128,6 +131,29 @@ impl FromStr for BackendKind {
     }
 }
 
+/// Whether the service backend writes ahead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DurabilityKind {
+    /// In-memory ledger (the default).
+    #[default]
+    None,
+    /// WAL through `dpack-wal`'s in-memory `SimStorage` — exercises
+    /// the full logging path deterministically, without touching disk.
+    Sim,
+}
+
+impl FromStr for DurabilityKind {
+    type Err = ConfigError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "none" | "off" => Ok(Self::None),
+            "sim" | "wal" => Ok(Self::Sim),
+            other => Err(ConfigError(format!("unknown durability '{other}'"))),
+        }
+    }
+}
+
 /// A fully parsed experiment specification.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimulationSpec {
@@ -141,6 +167,8 @@ pub struct SimulationSpec {
     pub shards: usize,
     /// Worker threads (service backend only).
     pub workers: usize,
+    /// Write-ahead logging (service backend only).
+    pub durability: DurabilityKind,
     /// RNG seed.
     pub seed: u64,
     /// Number of blocks.
@@ -160,6 +188,7 @@ impl Default for SimulationSpec {
             backend: BackendKind::Engine,
             shards: 4,
             workers: 2,
+            durability: DurabilityKind::None,
             seed: 42,
             n_blocks: 30,
             n_tasks: 5000,
@@ -200,6 +229,7 @@ impl SimulationSpec {
                 "backend" => spec.backend = value.parse()?,
                 "shards" => spec.shards = parse_num(&key, &value)?,
                 "workers" => spec.workers = parse_num(&key, &value)?,
+                "durability" => spec.durability = value.parse()?,
                 "seed" => spec.seed = parse_num(&key, &value)?,
                 "n_blocks" => spec.n_blocks = parse_num(&key, &value)?,
                 "n_tasks" => spec.n_tasks = parse_num(&key, &value)?,
@@ -224,6 +254,11 @@ impl SimulationSpec {
         }
         if spec.sim.scheduling_period <= 0.0 || spec.sim.scheduling_period.is_nan() {
             return Err(ConfigError("scheduling_period must be positive".into()));
+        }
+        if spec.durability != DurabilityKind::None && spec.backend != BackendKind::Service {
+            return Err(ConfigError(
+                "durability requires 'backend = service'".into(),
+            ));
         }
         Ok(spec)
     }
@@ -290,16 +325,22 @@ impl SimulationSpec {
                 SchedulerKind::Fcfs => crate::simulate(&wl, Fcfs, &self.sim),
                 SchedulerKind::GreedyArea => crate::simulate(&wl, GreedyArea, &self.sim),
             },
-            BackendKind::Service => crate::simulate_service(
-                &wl,
-                &dpack_service::ServiceConfig {
+            BackendKind::Service => {
+                let service_config = dpack_service::ServiceConfig {
                     shards: self.shards,
                     workers: self.workers,
                     scheduler: self.scheduler.to_service_choice(),
                     ..dpack_service::ServiceConfig::default()
-                },
-                &self.sim,
-            ),
+                };
+                match self.durability {
+                    DurabilityKind::None => {
+                        crate::simulate_service(&wl, &service_config, &self.sim)
+                    }
+                    DurabilityKind::Sim => {
+                        crate::simulate_service_durable(&wl, &service_config, &self.sim)
+                    }
+                }
+            }
         }
     }
 }
@@ -404,6 +445,36 @@ mod tests {
         assert!(SimulationSpec::parse("workers = 0").is_err());
         let spec = SimulationSpec::parse("backend = engine").unwrap();
         assert_eq!(spec.backend, BackendKind::Engine);
+    }
+
+    #[test]
+    fn durability_toggle_parses_and_is_gated_to_the_service_backend() {
+        let spec = SimulationSpec::parse("backend = service\ndurability = sim").unwrap();
+        assert_eq!(spec.durability, DurabilityKind::Sim);
+        let spec = SimulationSpec::parse("backend = service").unwrap();
+        assert_eq!(spec.durability, DurabilityKind::None);
+        assert!(SimulationSpec::parse("durability = etcd").is_err());
+        // The engine backend has no ledger to log.
+        assert!(SimulationSpec::parse("durability = sim").is_err());
+        assert!(SimulationSpec::parse("backend = engine\ndurability = wal").is_err());
+    }
+
+    #[test]
+    fn durable_service_backend_runs_from_config() {
+        let spec = SimulationSpec::parse(
+            "workload = micro\nbackend = service\ndurability = sim\nshards = 2\nworkers = 2\n\
+             n_blocks = 6\nn_tasks = 60\nunlock_steps = 3\ndrain_steps = 8",
+        )
+        .unwrap();
+        let durable = spec.run();
+        assert!(durable.allocated() > 0);
+        // Durability is decision-invisible at the config level too.
+        let plain = SimulationSpec {
+            durability: DurabilityKind::None,
+            ..spec
+        }
+        .run();
+        assert_eq!(durable.stats.allocated, plain.stats.allocated);
     }
 
     #[test]

@@ -28,10 +28,10 @@ pub mod event;
 pub mod result;
 pub mod service_backend;
 
-pub use config::{BackendKind, SchedulerKind, SimulationSpec, WorkloadKind};
+pub use config::{BackendKind, DurabilityKind, SchedulerKind, SimulationSpec, WorkloadKind};
 pub use event::{Event, EventKind, EventQueue};
 pub use result::SimulationResult;
-pub use service_backend::simulate_service;
+pub use service_backend::{simulate_service, simulate_service_durable};
 
 use std::time::Instant;
 

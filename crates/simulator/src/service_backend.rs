@@ -12,7 +12,8 @@
 
 use std::time::Instant;
 
-use dpack_service::{BudgetService, ServiceConfig, StatsRetention};
+use dpack_service::wal::SimStorage;
+use dpack_service::{BudgetService, DurabilityOptions, ServiceConfig, StatsRetention};
 use workloads::OnlineWorkload;
 
 use crate::{replay_workload, ReplayEvent, SimulationConfig, SimulationResult};
@@ -43,21 +44,51 @@ pub fn simulate_service(
     service_config: &ServiceConfig,
     config: &SimulationConfig,
 ) -> SimulationResult {
+    run_service(workload, service_config, config, false)
+}
+
+/// [`simulate_service`] with write-ahead logging enabled (the
+/// `durability = sim` config toggle): the service runs through a
+/// `dpack-wal` ledger on in-memory [`SimStorage`], so every grant pays
+/// the logging path. Durability is decision-invisible — allocations
+/// are identical to [`simulate_service`] — which the tests assert.
+pub fn simulate_service_durable(
+    workload: &OnlineWorkload,
+    service_config: &ServiceConfig,
+    config: &SimulationConfig,
+) -> SimulationResult {
+    run_service(workload, service_config, config, true)
+}
+
+fn run_service(
+    workload: &OnlineWorkload,
+    service_config: &ServiceConfig,
+    config: &SimulationConfig,
+    durable: bool,
+) -> SimulationResult {
     let started = Instant::now();
-    let service = BudgetService::new(
-        workload.grid.clone(),
-        ServiceConfig {
-            scheduling_period: config.scheduling_period,
-            unlock_period: 1.0,
-            unlock_steps: config.unlock_steps,
-            default_timeout: config.task_timeout,
-            queue_capacity: usize::MAX,
-            tenant_quota: usize::MAX,
-            ingest_batch: usize::MAX,
-            retention: StatsRetention::Unbounded,
-            ..*service_config
-        },
-    );
+    let resolved = ServiceConfig {
+        scheduling_period: config.scheduling_period,
+        unlock_period: 1.0,
+        unlock_steps: config.unlock_steps,
+        default_timeout: config.task_timeout,
+        queue_capacity: usize::MAX,
+        tenant_quota: usize::MAX,
+        ingest_batch: usize::MAX,
+        retention: StatsRetention::Unbounded,
+        ..*service_config
+    };
+    let service = if durable {
+        BudgetService::recover(
+            workload.grid.clone(),
+            resolved,
+            &SimStorage::new(),
+            DurabilityOptions::default(),
+        )
+        .expect("fresh sim storage opens")
+    } else {
+        BudgetService::new(workload.grid.clone(), resolved)
+    };
 
     replay_workload(workload, config, |event| match event {
         ReplayEvent::Block(b) => {
@@ -139,6 +170,26 @@ mod tests {
         );
         assert_eq!(service.stats.allocated, engine.stats.allocated);
         assert_eq!(service.final_pending, engine.final_pending);
+    }
+
+    #[test]
+    fn durable_backend_is_decision_identical_to_the_in_memory_one() {
+        let wl = tiny_workload();
+        let cfg = SimulationConfig {
+            unlock_steps: 2,
+            drain_steps: 6,
+            ..Default::default()
+        };
+        let service_config = ServiceConfig {
+            shards: 2,
+            workers: 2,
+            scheduler: SchedulerChoice::DPack,
+            ..ServiceConfig::default()
+        };
+        let plain = simulate_service(&wl, &service_config, &cfg);
+        let durable = simulate_service_durable(&wl, &service_config, &cfg);
+        assert_eq!(durable.stats.allocated, plain.stats.allocated);
+        assert_eq!(durable.final_pending, plain.final_pending);
     }
 
     #[test]

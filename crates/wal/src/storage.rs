@@ -1,0 +1,442 @@
+//! Storage backends for the WAL.
+//!
+//! The log is written against a tiny flat-namespace storage abstraction
+//! ([`WalStorage`]) rather than `std::fs` directly, so the same WAL code
+//! runs on a real directory ([`FsStorage`]) and on a deterministic
+//! in-memory store that injects crashes and torn writes at a chosen
+//! byte offset ([`SimStorage`]) — the fault-injection surface the
+//! recovery test suites are built on.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// A flat namespace of append-only files.
+///
+/// Semantics the WAL relies on:
+///
+/// * [`append`](WalStorage::append) is durable on `Ok`: bytes that were
+///   acknowledged survive a crash. On `Err`, an arbitrary *prefix* of
+///   the requested bytes may have been persisted (a torn write) — the
+///   WAL's framing is what makes such tails detectable.
+/// * Files are never modified except by appending at the end,
+///   truncating to a prefix, or removal.
+/// * [`sub`](WalStorage::sub) opens a nested namespace (a
+///   subdirectory), so one root can hold many independent logs.
+pub trait WalStorage: Send {
+    /// Opens a nested namespace under this one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors (e.g. directory creation).
+    fn sub(&self, name: &str) -> io::Result<Box<dyn WalStorage>>;
+
+    /// Lists the file names in this namespace (no order guarantee).
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors.
+    fn list(&self) -> io::Result<Vec<String>>;
+
+    /// Reads a whole file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors; a missing file is an error.
+    fn read(&self, name: &str) -> io::Result<Vec<u8>>;
+
+    /// Appends `data` to a file, creating it if missing, and makes the
+    /// bytes durable before returning `Ok`.
+    ///
+    /// # Errors
+    ///
+    /// On error, any prefix of `data` may have been persisted.
+    fn append(&self, name: &str, data: &[u8]) -> io::Result<()>;
+
+    /// Truncates a file to `len` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors; a missing file is an error.
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()>;
+
+    /// Removes a file. Removing a missing file is not an error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors.
+    fn remove(&self, name: &str) -> io::Result<()>;
+}
+
+/// The real-filesystem backend: one directory per namespace.
+#[derive(Debug, Clone)]
+pub struct FsStorage {
+    dir: PathBuf,
+}
+
+impl FsStorage {
+    /// Opens (creating if needed) a directory-backed storage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation errors.
+    pub fn new(dir: impl AsRef<Path>) -> io::Result<Self> {
+        std::fs::create_dir_all(dir.as_ref())?;
+        Ok(Self {
+            dir: dir.as_ref().to_path_buf(),
+        })
+    }
+
+    /// The backing directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Makes this directory's entries durable. File data syncs are not
+    /// enough on their own: a newly created segment/snapshot file whose
+    /// directory entry was never fsynced can vanish wholesale on power
+    /// loss, losing acknowledged records.
+    fn sync_dir(&self) -> io::Result<()> {
+        #[cfg(unix)]
+        {
+            std::fs::File::open(&self.dir)?.sync_all()
+        }
+        #[cfg(not(unix))]
+        {
+            // Directories cannot be opened for syncing here; metadata
+            // durability is best-effort on these platforms.
+            Ok(())
+        }
+    }
+}
+
+impl WalStorage for FsStorage {
+    fn sub(&self, name: &str) -> io::Result<Box<dyn WalStorage>> {
+        Ok(Box::new(Self::new(self.dir.join(name))?))
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                names.push(entry.file_name().to_string_lossy().into_owned());
+            }
+        }
+        Ok(names)
+    }
+
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        std::fs::read(self.dir.join(name))
+    }
+
+    fn append(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        use std::io::Write;
+        let path = self.dir.join(name);
+        let created = !path.exists();
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        file.write_all(data)?;
+        file.sync_data()?;
+        if created {
+            // The data is durable but the file's directory entry may
+            // not be; acknowledged ⇒ durable requires both.
+            self.sync_dir()?;
+        }
+        Ok(())
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()> {
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(self.dir.join(name))?;
+        file.set_len(len)?;
+        file.sync_data()
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        match std::fs::remove_file(self.dir.join(name)) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+            Ok(()) => self.sync_dir(),
+        }
+    }
+}
+
+/// Shared state of a [`SimStorage`] tree (all [`sub`](WalStorage::sub)
+/// scopes of one root share it, including the crash budget).
+#[derive(Debug)]
+struct SimState {
+    /// Fully-qualified name → contents.
+    files: BTreeMap<String, Vec<u8>>,
+    /// Total bytes acknowledged by `append` so far.
+    written: u64,
+    /// Crash once `written` would exceed this budget; the crossing
+    /// append persists only its in-budget prefix (a torn write).
+    crash_at: Option<u64>,
+    crashed: bool,
+    /// Transient-fault mode: appends fail cleanly (no bytes persisted)
+    /// while set — an ENOSPC/EIO stand-in, unlike the permanent crash.
+    failing: bool,
+}
+
+/// Deterministic in-memory storage with seeded crash injection.
+///
+/// A storage built with [`SimStorage::with_crash_after`]`(n)` behaves
+/// normally until the `n`-th appended byte: the append that crosses the
+/// budget persists only its first `n − written` bytes (a mid-record
+/// torn write when the budget lands inside a frame) and fails, and
+/// every subsequent write fails — the process-level view of a machine
+/// losing power. Reads stay available so a test can inspect the wreck,
+/// and [`SimStorage::surviving`] clones the persisted bytes into a
+/// fresh, uncrashed storage: what a reboot would see.
+///
+/// Clones and [`sub`](WalStorage::sub) scopes share one crash budget,
+/// so a single drawn byte offset crashes an entire multi-log service
+/// atomically — which is exactly how the recovery property suites
+/// drive it.
+#[derive(Debug, Clone)]
+pub struct SimStorage {
+    inner: Arc<Mutex<SimState>>,
+    prefix: String,
+}
+
+/// The error kind injected crashes surface as.
+pub const CRASH_ERROR: &str = "injected crash";
+
+fn crash_error() -> io::Error {
+    io::Error::other(CRASH_ERROR)
+}
+
+impl SimStorage {
+    /// A storage that never crashes.
+    pub fn new() -> Self {
+        Self::build(None)
+    }
+
+    /// A storage that crashes at the given total appended-byte offset.
+    pub fn with_crash_after(bytes: u64) -> Self {
+        Self::build(Some(bytes))
+    }
+
+    fn build(crash_at: Option<u64>) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(SimState {
+                files: BTreeMap::new(),
+                written: 0,
+                crash_at,
+                crashed: false,
+                failing: false,
+            })),
+            prefix: String::new(),
+        }
+    }
+
+    /// Toggles transient-fault mode: while on, every append fails
+    /// cleanly (no bytes persisted, no torn tail) — the storage is
+    /// healthy again the moment it is switched off, unlike a crash.
+    pub fn set_append_errors(&self, failing: bool) {
+        self.lock().failing = failing;
+    }
+
+    fn lock(&self) -> MutexGuard<'_, SimState> {
+        self.inner.lock().expect("sim storage lock poisoned")
+    }
+
+    fn key(&self, name: &str) -> String {
+        if self.prefix.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}/{name}", self.prefix)
+        }
+    }
+
+    /// Whether the injected crash has fired.
+    pub fn crashed(&self) -> bool {
+        self.lock().crashed
+    }
+
+    /// Total bytes acknowledged so far (the crash-budget clock).
+    pub fn bytes_written(&self) -> u64 {
+        self.lock().written
+    }
+
+    /// A fresh, uncrashed storage holding a deep copy of the persisted
+    /// bytes — the state a reboot recovers from.
+    pub fn surviving(&self) -> SimStorage {
+        let state = self.lock();
+        Self {
+            inner: Arc::new(Mutex::new(SimState {
+                files: state.files.clone(),
+                written: 0,
+                crash_at: None,
+                crashed: false,
+                failing: false,
+            })),
+            prefix: String::new(),
+        }
+    }
+}
+
+impl Default for SimStorage {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WalStorage for SimStorage {
+    fn sub(&self, name: &str) -> io::Result<Box<dyn WalStorage>> {
+        Ok(Box::new(Self {
+            inner: Arc::clone(&self.inner),
+            prefix: self.key(name),
+        }))
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        let state = self.lock();
+        let prefix = if self.prefix.is_empty() {
+            String::new()
+        } else {
+            format!("{}/", self.prefix)
+        };
+        Ok(state
+            .files
+            .keys()
+            .filter_map(|k| k.strip_prefix(&prefix))
+            .filter(|rest| !rest.contains('/'))
+            .map(str::to_string)
+            .collect())
+    }
+
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        self.lock()
+            .files
+            .get(&self.key(name))
+            .cloned()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no file {name}")))
+    }
+
+    fn append(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        let key = self.key(name);
+        let mut state = self.lock();
+        if state.crashed {
+            return Err(crash_error());
+        }
+        if state.failing {
+            return Err(io::Error::other("injected transient fault"));
+        }
+        let budget = state.crash_at.map(|c| c.saturating_sub(state.written));
+        match budget {
+            Some(b) if (b as usize) < data.len() => {
+                // The crossing write: persist the in-budget prefix
+                // (possibly empty — or mid-record) and crash.
+                state
+                    .files
+                    .entry(key)
+                    .or_default()
+                    .extend_from_slice(&data[..b as usize]);
+                state.written += b;
+                state.crashed = true;
+                Err(crash_error())
+            }
+            _ => {
+                state.files.entry(key).or_default().extend_from_slice(data);
+                state.written += data.len() as u64;
+                Ok(())
+            }
+        }
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()> {
+        let key = self.key(name);
+        let mut state = self.lock();
+        if state.crashed {
+            return Err(crash_error());
+        }
+        match state.files.get_mut(&key) {
+            Some(contents) => {
+                contents.truncate(len as usize);
+                Ok(())
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no file {name}"),
+            )),
+        }
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        let key = self.key(name);
+        let mut state = self.lock();
+        if state.crashed {
+            return Err(crash_error());
+        }
+        state.files.remove(&key);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_storage_appends_and_scopes() {
+        let root = SimStorage::new();
+        root.append("a", b"one").unwrap();
+        let scoped = root.sub("shard-0").unwrap();
+        scoped.append("a", b"two").unwrap();
+        assert_eq!(root.read("a").unwrap(), b"one");
+        assert_eq!(scoped.read("a").unwrap(), b"two");
+        assert_eq!(root.list().unwrap(), vec!["a".to_string()]);
+        assert_eq!(scoped.list().unwrap(), vec!["a".to_string()]);
+        assert_eq!(root.bytes_written(), 6);
+    }
+
+    #[test]
+    fn crash_budget_tears_the_crossing_write() {
+        let s = SimStorage::with_crash_after(5);
+        s.append("f", b"abc").unwrap();
+        // This write crosses the budget at byte 5: two bytes land.
+        assert!(s.append("f", b"defg").is_err());
+        assert!(s.crashed());
+        assert_eq!(s.read("f").unwrap(), b"abcde");
+        // Everything after the crash fails.
+        assert!(s.append("g", b"x").is_err());
+        assert!(s.remove("f").is_err());
+        // ...but the surviving copy is a fresh, writable storage.
+        let reborn = s.surviving();
+        assert_eq!(reborn.read("f").unwrap(), b"abcde");
+        reborn.append("f", b"!").unwrap();
+        assert!(!reborn.crashed());
+    }
+
+    #[test]
+    fn crash_budget_on_the_boundary_acknowledges_the_write() {
+        let s = SimStorage::with_crash_after(3);
+        s.append("f", b"abc").unwrap();
+        assert!(!s.crashed());
+        assert!(s.append("f", b"d").is_err());
+        assert_eq!(s.read("f").unwrap(), b"abc");
+    }
+
+    #[test]
+    fn fs_storage_round_trips() {
+        let tmp = crate::TempDir::new("fs-storage").unwrap();
+        let fs = FsStorage::new(tmp.path()).unwrap();
+        fs.append("seg", b"hello ").unwrap();
+        fs.append("seg", b"world").unwrap();
+        assert_eq!(fs.read("seg").unwrap(), b"hello world");
+        fs.truncate("seg", 5).unwrap();
+        assert_eq!(fs.read("seg").unwrap(), b"hello");
+        let nested = fs.sub("inner").unwrap();
+        nested.append("x", b"1").unwrap();
+        assert_eq!(fs.list().unwrap(), vec!["seg".to_string()]);
+        fs.remove("seg").unwrap();
+        fs.remove("seg").unwrap(); // Idempotent.
+        assert!(fs.list().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,85 @@
+//! A panic-safe temporary directory for fs-backed WAL tests.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A temporary directory removed on drop — including during the unwind
+/// of a failing test, so fs-backed suites cannot litter the machine
+/// (the cleanup gap `scripts/ci.sh` used to have). All fs-backed WAL
+/// tests go through this.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+impl TempDir {
+    /// Creates a uniquely named directory under the system temp dir.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation errors.
+    pub fn new(label: &str) -> std::io::Result<Self> {
+        let pid = std::process::id();
+        loop {
+            let n = NEXT.fetch_add(1, Ordering::Relaxed);
+            let path = std::env::temp_dir().join(format!("dpack-wal-{label}-{pid}-{n}"));
+            match std::fs::create_dir(&path) {
+                Ok(()) => return Ok(Self { path }),
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        // Best effort: a failed removal must not turn one test failure
+        // into a double panic.
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn removes_itself_on_drop_even_on_panic() {
+        let path = {
+            let tmp = TempDir::new("drop").unwrap();
+            std::fs::write(tmp.path().join("f"), b"x").unwrap();
+            tmp.path().to_path_buf()
+        };
+        assert!(!path.exists());
+
+        let leaked = std::panic::catch_unwind(|| {
+            let tmp = TempDir::new("panic").unwrap();
+            let p = tmp.path().to_path_buf();
+            std::fs::write(tmp.path().join("f"), b"x").unwrap();
+            // The unwind must still run tmp's Drop.
+            assert!(p.exists());
+            panic!("boom: {}", p.display());
+        })
+        .unwrap_err();
+        let msg = leaked
+            .downcast_ref::<String>()
+            .expect("string panic payload");
+        let p = PathBuf::from(msg.trim_start_matches("boom: "));
+        assert!(!p.exists(), "panicking test leaked {p:?}");
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let a = TempDir::new("uniq").unwrap();
+        let b = TempDir::new("uniq").unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+}

@@ -1,0 +1,214 @@
+//! dpack-check property suite for the WAL.
+//!
+//! The central invariant: for **any** seeded op sequence (appends of
+//! arbitrary payloads, snapshots, segment rotation) and **any** crash
+//! point — including a crash landing mid-record, which `SimStorage`
+//! models as a torn prefix write — reopening yields **exactly the
+//! acknowledged records, in order**: never a corrupt record, never a
+//! reordering, never a loss of an acknowledged append, never a ghost
+//! from a torn one.
+
+use dpack_check::{check_cases, ints, prop_assert, prop_assert_eq, vecs, Config, Failed, Strategy};
+use dpack_wal::{FsStorage, SimStorage, TempDir, Wal, WalOptions, WalStorage};
+
+const CASES: u32 = 64;
+
+/// One drawn op: `pick < 5` appends the payload, `pick == 5` snapshots.
+type Op = (u8, Vec<u8>);
+/// (ops, segment_bytes pick, crash byte offset).
+type Scenario = (Vec<Op>, u8, u64);
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    vecs(
+        (
+            ints(0u8..6),
+            vecs(ints(0u64..256), 0..24).prop_map(|v| v.iter().map(|x| *x as u8).collect()),
+        ),
+        1..40,
+    )
+}
+
+fn segment_bytes(pick: u8) -> u64 {
+    // Small segments force rotation mid-sequence; 1 MiB never rotates.
+    [32, 64, 256, 1 << 20][usize::from(pick) % 4]
+}
+
+/// Applies ops, extending `history` with every append the log
+/// acknowledged (oldest first) — the model the recovered state must
+/// reproduce exactly. Snapshots persist the *full* history so far,
+/// length-prefixed, so a recovered (snapshot, suffix) pair decodes
+/// back to it.
+fn drive(wal: &mut Wal, ops: &[Op], history: &mut Vec<Vec<u8>>) {
+    for (pick, payload) in ops {
+        if *pick == 5 {
+            if wal.snapshot(&encode_list(history)).is_err() {
+                break;
+            }
+        } else if wal.append(payload).is_ok() {
+            history.push(payload.clone());
+        } else {
+            break;
+        }
+    }
+}
+
+fn encode_list(records: &[Vec<u8>]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    for r in records {
+        buf.extend_from_slice(&(u32::try_from(r.len()).expect("small records")).to_le_bytes());
+        buf.extend_from_slice(r);
+    }
+    buf
+}
+
+fn decode_list(mut bytes: &[u8]) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    while !bytes.is_empty() {
+        let len = u32::from_le_bytes(bytes[..4].try_into().expect("length prefix")) as usize;
+        out.push(bytes[4..4 + len].to_vec());
+        bytes = &bytes[4 + len..];
+    }
+    out
+}
+
+/// Reopens the surviving bytes and flattens (snapshot, suffix) back
+/// into the logical record list.
+fn recovered_history(storage: &SimStorage, segment_bytes: u64) -> Vec<Vec<u8>> {
+    let (_, rec) = Wal::open(Box::new(storage.surviving()), WalOptions { segment_bytes })
+        .expect("open on surviving storage");
+    let mut history = decode_list(rec.snapshot.as_deref().unwrap_or_default());
+    history.extend(rec.records.iter().cloned());
+    history
+}
+
+/// Acknowledged-prefix recovery under arbitrary ops and crash points.
+#[test]
+fn reopen_yields_exactly_the_acknowledged_records() {
+    check_cases(
+        "reopen_yields_exactly_the_acknowledged_records",
+        CASES,
+        (ops_strategy(), ints(0u8..4), ints(0u64..6000)),
+        |(ops, seg_pick, crash_at): &Scenario| {
+            let seg = segment_bytes(*seg_pick);
+            let sim = SimStorage::with_crash_after(*crash_at);
+            let (mut wal, rec) =
+                Wal::open(Box::new(sim.clone()), WalOptions { segment_bytes: seg })
+                    .map_err(|e| Failed::new(format!("open: {e}")))?;
+            prop_assert!(rec.records.is_empty(), "fresh log must be empty");
+            let mut acked = Vec::new();
+            drive(&mut wal, ops, &mut acked);
+            let history = recovered_history(&sim, seg);
+            prop_assert_eq!(
+                &history,
+                &acked,
+                "recovered history diverged (crash_at {}, seg {})",
+                crash_at,
+                seg
+            );
+            // Recovery is deterministic: a second reboot agrees.
+            prop_assert_eq!(recovered_history(&sim, seg), history);
+            Ok(())
+        },
+    );
+}
+
+/// Without a crash the same holds and the log stays appendable across
+/// arbitrarily many reopen cycles.
+#[test]
+fn reopen_without_crash_is_lossless_and_appendable() {
+    check_cases(
+        "reopen_without_crash_is_lossless_and_appendable",
+        CASES,
+        (ops_strategy(), ints(0u8..4)),
+        |(ops, seg_pick): &(Vec<Op>, u8)| {
+            let seg = segment_bytes(*seg_pick);
+            let sim = SimStorage::new();
+            // Split the ops over two sessions with a reopen between.
+            let half = ops.len() / 2;
+            let mut acked = Vec::new();
+            for chunk in [&ops[..half], &ops[half..]] {
+                let (mut wal, rec) =
+                    Wal::open(Box::new(sim.clone()), WalOptions { segment_bytes: seg })
+                        .map_err(|e| Failed::new(format!("open: {e}")))?;
+                let mut history = decode_list(rec.snapshot.as_deref().unwrap_or_default());
+                history.extend(rec.records);
+                prop_assert_eq!(&history, &acked, "reopen lost or invented records");
+                drive(&mut wal, chunk, &mut acked);
+            }
+            prop_assert_eq!(recovered_history(&sim, seg), acked);
+            Ok(())
+        },
+    );
+}
+
+/// The fs backend round-trips the same histories (no crash injection —
+/// that is `SimStorage`'s job), through the panic-safe [`TempDir`].
+#[test]
+fn fs_backend_round_trips_histories() {
+    check_cases(
+        "fs_backend_round_trips_histories",
+        16,
+        (ops_strategy(), ints(0u8..4)),
+        |(ops, seg_pick): &(Vec<Op>, u8)| {
+            let seg = segment_bytes(*seg_pick);
+            let tmp = TempDir::new("prop-fs").map_err(|e| Failed::new(format!("tempdir: {e}")))?;
+            let fs = FsStorage::new(tmp.path()).map_err(|e| Failed::new(format!("fs: {e}")))?;
+            let (mut wal, _) = Wal::open(
+                fs.sub("log")
+                    .map_err(|e| Failed::new(format!("sub: {e}")))?,
+                WalOptions { segment_bytes: seg },
+            )
+            .map_err(|e| Failed::new(format!("open: {e}")))?;
+            let mut acked = Vec::new();
+            drive(&mut wal, ops, &mut acked);
+            drop(wal);
+            let (_, rec) = Wal::open(
+                fs.sub("log")
+                    .map_err(|e| Failed::new(format!("sub: {e}")))?,
+                WalOptions { segment_bytes: seg },
+            )
+            .map_err(|e| Failed::new(format!("reopen: {e}")))?;
+            let mut history = decode_list(rec.snapshot.as_deref().unwrap_or_default());
+            history.extend(rec.records);
+            prop_assert_eq!(history, acked);
+            Ok(())
+        },
+    );
+}
+
+/// Meta: the shrinker minimizes a failing (ops, crash-point) pair — a
+/// deliberately broken property must come back as the smallest op list
+/// and the smallest crash offset that still fail.
+#[test]
+fn shrinker_minimizes_the_failing_op_crash_pair() {
+    let config = Config {
+        cases: 64,
+        forced_seed: None,
+        max_shrink_evals: 2048,
+        max_discards: 256,
+    };
+    let strategy = (
+        vecs(ints(0u64..100), 0..20), // Op payload stand-ins.
+        ints(0u64..6000),             // Crash offset.
+    );
+    // "Bug": any non-empty op list fails, whatever the crash point.
+    let failure = dpack_check::run(
+        "shrinker_minimizes_the_failing_op_crash_pair",
+        &config,
+        &strategy,
+        &|(ops, _crash)| {
+            if ops.is_empty() {
+                Ok(())
+            } else {
+                Err(Failed::new("synthetic failure"))
+            }
+        },
+    )
+    .expect_err("the synthetic property must fail");
+    assert_eq!(
+        failure.value,
+        format!("{:#?}", (vec![0u64], 0u64)),
+        "expected the 1-minimal op/crash pair, got:\n{}",
+        failure.value
+    );
+}

@@ -36,6 +36,35 @@ echo "==> cargo build --release"
 cargo build --release
 
 echo "==> cargo test -q (DPACK_CHECK_CASES=${DPACK_CHECK_CASES})"
+before_tests="$(git status --porcelain)"
 cargo test -q
+
+# Fs-backed WAL tests route through dpack-wal's TempDir (removed on
+# drop, even on panic), so tests must not litter the workspace or
+# mutate tracked files; fail loudly if the tree changed across the run.
+echo "==> checking the tests left the workspace as they found it"
+after_tests="$(git status --porcelain)"
+if [ "${before_tests}" != "${after_tests}" ]; then
+  echo "ERROR: tests changed the workspace:" >&2
+  diff <(echo "${before_tests}") <(echo "${after_tests}") >&2 || true
+  exit 1
+fi
+
+# Replay-determinism guard: the crash-recovery harness must produce
+# byte-identical output when replayed from the same seed — a diff here
+# means a failure report would not reproduce. The timing line of the
+# test summary is the only legitimately nondeterministic output.
+echo "==> replay determinism guard (recovery suite, fixed DPACK_CHECK_SEED)"
+run_recovery_seeded() {
+  DPACK_CHECK_SEED=20250742 cargo test -q -p dpack-service --test recovery 2>&1 \
+    | sed 's/finished in [0-9.]*s//'
+}
+first="$(run_recovery_seeded)"
+second="$(run_recovery_seeded)"
+if [ "${first}" != "${second}" ]; then
+  echo "ERROR: recovery suite output diverged between two runs of the same seed:" >&2
+  diff <(echo "${first}") <(echo "${second}") >&2 || true
+  exit 1
+fi
 
 echo "CI OK"
