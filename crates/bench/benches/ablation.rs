@@ -1,21 +1,18 @@
-// Gated: requires the non-default `criterion-benches` feature (criterion
-// is not available in the offline build environment; see README.md).
-#![cfg(feature = "criterion-benches")]
-
 //! Ablation bench: the two design choices of §3.3 separately.
 //!
 //! DPack = (area metric over blocks) + (best-alpha focus over orders).
 //! This bench reports the allocation quality of DPF (neither), the
 //! greedy-area heuristic of Eq. 4 (area only), and DPack (both) on a
 //! workload heterogeneous in *both* dimensions, plus their runtimes.
-//! The quality numbers are printed once; criterion measures runtime.
+//! The quality numbers are printed once; the vendored micro harness
+//! measures runtime (`--smoke` for the CI rot guard).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dpack_bench::micro::Micro;
 use dpack_core::schedulers::{DPack, Dpf, GreedyArea, Scheduler};
 use workloads::curves::CurveLibrary;
 use workloads::microbenchmark::{generate, MicrobenchmarkConfig};
 
-fn bench_ablation(c: &mut Criterion) {
+fn main() {
     let lib = CurveLibrary::standard();
     let cfg = MicrobenchmarkConfig {
         n_tasks: 800,
@@ -34,14 +31,11 @@ fn bench_ablation(c: &mut Criterion) {
         let a = s.schedule(&state);
         println!("  {:<12} {:>5} tasks", s.name(), a.scheduled.len());
     }
+    println!();
 
-    let mut group = c.benchmark_group("ablation");
-    group.sample_size(10);
-    group.bench_function("DPF", |b| b.iter(|| Dpf.schedule(&state)));
-    group.bench_function("GreedyArea", |b| b.iter(|| GreedyArea.schedule(&state)));
-    group.bench_function("DPack", |b| b.iter(|| DPack::default().schedule(&state)));
-    group.finish();
+    let mut m = Micro::new("ablation — scheduler runtimes");
+    m.bench("ablation/DPF", || Dpf.schedule(&state));
+    m.bench("ablation/GreedyArea", || GreedyArea.schedule(&state));
+    m.bench("ablation/DPack", || DPack::default().schedule(&state));
+    m.finish();
 }
-
-criterion_group!(benches, bench_ablation);
-criterion_main!(benches);

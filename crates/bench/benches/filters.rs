@@ -1,34 +1,26 @@
-// Gated: requires the non-default `criterion-benches` feature (criterion
-// is not available in the offline build environment; see README.md).
-#![cfg(feature = "criterion-benches")]
-
-//! Criterion benches for privacy-filter throughput: accept/reject
+//! Micro-benches for privacy-filter throughput: accept/reject
 //! decisions per second, the hot path of every scheduling commit.
+//! Runs on the vendored `dpack_bench::micro` harness (`--smoke` for
+//! the 1-iteration CI rot guard).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dp_accounting::{block_capacity, AlphaGrid, RdpCurve, RenyiFilter};
+use dpack_bench::micro::Micro;
 
-fn bench_filters(c: &mut Criterion) {
+fn main() {
     let grid = AlphaGrid::standard();
     let cap = block_capacity(&grid, 10.0, 1e-7).expect("valid");
     let demand = RdpCurve::from_fn(&grid, |a| 0.001 * a);
 
-    c.bench_function("filter/check", |b| {
-        let filter = RenyiFilter::new(cap.clone());
-        b.iter(|| filter.check(&demand).expect("same grid"))
+    let mut m = Micro::new("filters — RenyiFilter hot path");
+    let filter = RenyiFilter::new(cap.clone());
+    m.bench("filter/check", || filter.check(&demand).expect("same grid"));
+    m.bench("filter/consume_until_exhausted", || {
+        let mut filter = RenyiFilter::new(cap.clone());
+        let mut granted = 0u32;
+        while filter.try_consume(&demand).is_ok() {
+            granted += 1;
+        }
+        granted
     });
-
-    c.bench_function("filter/consume_until_exhausted", |b| {
-        b.iter(|| {
-            let mut filter = RenyiFilter::new(cap.clone());
-            let mut granted = 0u32;
-            while filter.try_consume(&demand).is_ok() {
-                granted += 1;
-            }
-            granted
-        })
-    });
+    m.finish();
 }
-
-criterion_group!(benches, bench_filters);
-criterion_main!(benches);

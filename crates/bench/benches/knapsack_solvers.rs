@@ -1,12 +1,9 @@
-// Gated: requires the non-default `criterion-benches` feature (criterion
-// is not available in the offline build environment; see README.md).
-#![cfg(feature = "criterion-benches")]
-
-//! Criterion benches for the knapsack solvers: greedy vs FPTAS vs exact
+//! Micro-benches for the knapsack solvers: greedy vs FPTAS vs exact
 //! branch-and-bound on single knapsacks, and the privacy-knapsack
-//! branch-and-bound on small RDP instances.
+//! branch-and-bound on small RDP instances. Runs on the vendored
+//! `dpack_bench::micro` harness (`--smoke` for the CI rot guard).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpack_bench::micro::Micro;
 use knapsack::exact::branch_and_bound;
 use knapsack::fptas::fptas_value;
 use knapsack::greedy::greedy_with_best_item;
@@ -26,28 +23,21 @@ fn items(n: usize, seed: u64) -> Vec<Item> {
         .collect()
 }
 
-fn bench_single(c: &mut Criterion) {
-    let mut group = c.benchmark_group("single_knapsack");
-    group.sample_size(20);
+fn main() {
+    let mut m = Micro::new("knapsack_solvers — single + privacy knapsacks");
     for &n in &[50usize, 200] {
         let it = items(n, 0xBEEF);
         let cap = n as f64 * 0.2;
-        group.bench_with_input(BenchmarkId::new("greedy", n), &it, |b, it| {
-            b.iter(|| greedy_with_best_item(it, cap))
+        m.bench(&format!("single/greedy/{n}"), || {
+            greedy_with_best_item(&it, cap)
         });
-        group.bench_with_input(BenchmarkId::new("fptas_0.33", n), &it, |b, it| {
-            b.iter(|| fptas_value(it, cap, 0.33))
+        m.bench(&format!("single/fptas_0.33/{n}"), || {
+            fptas_value(&it, cap, 0.33)
         });
-        group.bench_with_input(BenchmarkId::new("exact_bb", n), &it, |b, it| {
-            b.iter(|| branch_and_bound(it, cap, 5_000_000))
+        m.bench(&format!("single/exact_bb/{n}"), || {
+            branch_and_bound(&it, cap, 5_000_000)
         });
     }
-    group.finish();
-}
-
-fn bench_privacy(c: &mut Criterion) {
-    let mut group = c.benchmark_group("privacy_knapsack");
-    group.sample_size(10);
     for &n in &[12usize, 20] {
         let mut state = 0xFACEu64;
         let mut next = move || {
@@ -67,20 +57,15 @@ fn bench_privacy(c: &mut Criterion) {
                 })
                 .collect(),
         };
-        group.bench_with_input(BenchmarkId::new("exact", n), &inst, |b, inst| {
-            b.iter(|| {
-                solve(
-                    inst,
-                    SolveLimits {
-                        node_budget: 10_000_000,
-                        time_limit: None,
-                    },
-                )
-            })
+        m.bench(&format!("privacy/exact/{n}"), || {
+            solve(
+                &inst,
+                SolveLimits {
+                    node_budget: 10_000_000,
+                    time_limit: None,
+                },
+            )
         });
     }
-    group.finish();
+    m.finish();
 }
-
-criterion_group!(benches, bench_single, bench_privacy);
-criterion_main!(benches);

@@ -1,44 +1,30 @@
-// Gated: requires the non-default `criterion-benches` feature (criterion
-// is not available in the offline build environment; see README.md).
-#![cfg(feature = "criterion-benches")]
+//! Micro-benches for the RDP accounting substrate: curve evaluation,
+//! composition and conversion throughput. Runs on the vendored
+//! `dpack_bench::micro` harness (`--smoke` for the CI rot guard).
 
-//! Criterion benches for the RDP accounting substrate: curve
-//! evaluation, composition and conversion throughput.
-
-use criterion::{criterion_group, criterion_main, Criterion};
 use dp_accounting::mechanisms::{
     GaussianMechanism, LaplaceMechanism, Mechanism, SubsampledGaussian,
 };
 use dp_accounting::{block_capacity, rdp_to_dp, AlphaGrid};
+use dpack_bench::micro::Micro;
 
-fn bench_curves(c: &mut Criterion) {
+fn main() {
     let grid = AlphaGrid::standard();
-    c.bench_function("curve/gaussian", |b| {
-        let m = GaussianMechanism::new(2.0).expect("valid");
-        b.iter(|| m.curve(&grid))
-    });
-    c.bench_function("curve/laplace", |b| {
-        let m = LaplaceMechanism::new(1.5).expect("valid");
-        b.iter(|| m.curve(&grid))
-    });
-    c.bench_function("curve/subsampled_gaussian", |b| {
-        let m = SubsampledGaussian::new(1.0, 0.01).expect("valid");
-        b.iter(|| m.curve(&grid))
-    });
-}
+    let mut m = Micro::new("rdp_accounting — curves, composition, conversion");
 
-fn bench_composition_and_conversion(c: &mut Criterion) {
-    let grid = AlphaGrid::standard();
-    let step = SubsampledGaussian::new(1.0, 0.01)
-        .expect("valid")
-        .curve(&grid);
-    c.bench_function("compose/1000_steps", |b| b.iter(|| step.compose_k(1000)));
+    let gaussian = GaussianMechanism::new(2.0).expect("valid");
+    m.bench("curve/gaussian", || gaussian.curve(&grid));
+    let laplace = LaplaceMechanism::new(1.5).expect("valid");
+    m.bench("curve/laplace", || laplace.curve(&grid));
+    let subsampled = SubsampledGaussian::new(1.0, 0.01).expect("valid");
+    m.bench("curve/subsampled_gaussian", || subsampled.curve(&grid));
+
+    let step = subsampled.curve(&grid);
+    m.bench("compose/1000_steps", || step.compose_k(1000));
     let run = step.compose_k(1000);
-    c.bench_function("convert/rdp_to_dp", |b| b.iter(|| rdp_to_dp(&run, 1e-6)));
-    c.bench_function("convert/block_capacity", |b| {
-        b.iter(|| block_capacity(&grid, 10.0, 1e-7))
+    m.bench("convert/rdp_to_dp", || rdp_to_dp(&run, 1e-6));
+    m.bench("convert/block_capacity", || {
+        block_capacity(&grid, 10.0, 1e-7)
     });
+    m.finish();
 }
-
-criterion_group!(benches, bench_curves, bench_composition_and_conversion);
-criterion_main!(benches);

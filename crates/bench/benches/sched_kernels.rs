@@ -1,20 +1,16 @@
-// Gated: requires the non-default `criterion-benches` feature (criterion
-// is not available in the offline build environment; see README.md).
-#![cfg(feature = "criterion-benches")]
-
-//! Criterion benches for the scheduling kernels: one full `schedule()`
+//! Micro-benches for the scheduling kernels: one full `schedule()`
 //! pass per scheduler at two load levels (the Fig. 5 regime, without
-//! the Optimal solver).
+//! the Optimal solver). Runs on the vendored `dpack_bench::micro`
+//! harness (`--smoke` for the CI rot guard).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpack_bench::micro::Micro;
 use dpack_core::schedulers::{DPack, Dpf, Fcfs, GreedyArea, Scheduler};
 use workloads::curves::CurveLibrary;
 use workloads::microbenchmark::{generate, MicrobenchmarkConfig};
 
-fn bench_schedulers(c: &mut Criterion) {
+fn main() {
     let lib = CurveLibrary::standard();
-    let mut group = c.benchmark_group("schedule");
-    group.sample_size(10);
+    let mut m = Micro::new("sched_kernels — full schedule() passes");
     for &n in &[1000usize, 5000] {
         let cfg = MicrobenchmarkConfig {
             n_tasks: n,
@@ -26,21 +22,14 @@ fn bench_schedulers(c: &mut Criterion) {
             ..Default::default()
         };
         let state = generate(&lib, &cfg, 42);
-        group.bench_with_input(BenchmarkId::new("DPack", n), &state, |b, s| {
-            b.iter(|| DPack::default().schedule(s))
+        m.bench(&format!("schedule/DPack/{n}"), || {
+            DPack::default().schedule(&state)
         });
-        group.bench_with_input(BenchmarkId::new("DPF", n), &state, |b, s| {
-            b.iter(|| Dpf.schedule(s))
+        m.bench(&format!("schedule/DPF/{n}"), || Dpf.schedule(&state));
+        m.bench(&format!("schedule/GreedyArea/{n}"), || {
+            GreedyArea.schedule(&state)
         });
-        group.bench_with_input(BenchmarkId::new("GreedyArea", n), &state, |b, s| {
-            b.iter(|| GreedyArea.schedule(s))
-        });
-        group.bench_with_input(BenchmarkId::new("FCFS", n), &state, |b, s| {
-            b.iter(|| Fcfs.schedule(s))
-        });
+        m.bench(&format!("schedule/FCFS/{n}"), || Fcfs.schedule(&state));
     }
-    group.finish();
+    m.finish();
 }
-
-criterion_group!(benches, bench_schedulers);
-criterion_main!(benches);

@@ -12,6 +12,12 @@ pub struct Args {
     pub full: bool,
     /// Output directory for CSVs (`--out`, default `results`).
     pub out_dir: String,
+    /// Run the Kubernetes-profile latency sweep too (`--latency`,
+    /// service benches only).
+    pub latency: bool,
+    /// Write a machine-readable summary to this path (`--json <path>`,
+    /// service benches only).
+    pub json: Option<String>,
 }
 
 impl Default for Args {
@@ -21,6 +27,8 @@ impl Default for Args {
             panel: None,
             full: false,
             out_dir: "results".into(),
+            latency: false,
+            json: None,
         }
     }
 }
@@ -58,7 +66,13 @@ impl Args {
                 "--out" => {
                     args.out_dir = it.next().unwrap_or_else(|| panic!("--out needs a path"));
                 }
-                other => panic!("unknown flag {other} (expected --seed/--panel/--full/--out)"),
+                "--latency" => args.latency = true,
+                "--json" => {
+                    args.json = Some(it.next().unwrap_or_else(|| panic!("--json needs a path")));
+                }
+                other => panic!(
+                    "unknown flag {other} (expected --seed/--panel/--full/--out/--latency/--json)"
+                ),
             }
         }
         args
@@ -89,13 +103,26 @@ mod tests {
 
     #[test]
     fn all_flags() {
-        let a = parse(&["--seed", "7", "--panel", "b", "--full", "--out", "tmp"]);
+        let a = parse(&[
+            "--seed",
+            "7",
+            "--panel",
+            "b",
+            "--full",
+            "--out",
+            "tmp",
+            "--latency",
+            "--json",
+            "out.json",
+        ]);
         assert_eq!(a.seed, 7);
         assert_eq!(a.panel, Some('b'));
         assert!(a.full);
         assert_eq!(a.out_dir, "tmp");
         assert!(!a.wants_panel('a'));
         assert!(a.wants_panel('b'));
+        assert!(a.latency);
+        assert_eq!(a.json.as_deref(), Some("out.json"));
     }
 
     #[test]

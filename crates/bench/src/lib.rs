@@ -8,6 +8,7 @@
 //! quick default sizes).
 
 pub mod cli;
+pub mod micro;
 pub mod table;
 
 use dpack_core::problem::ProblemState;

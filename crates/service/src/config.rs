@@ -66,6 +66,11 @@ pub struct DurabilityOptions {
     /// (`None` = only when [`crate::BudgetService::compact`] is called
     /// explicitly).
     pub snapshot_every_cycles: Option<u64>,
+    /// Group commit (default): a scheduling cycle stages its grants'
+    /// records per shard and flushes them with one write + one sync
+    /// per shard per cycle. `false` reverts to one sync per record —
+    /// the pre-batching baseline the benches compare against.
+    pub group_commit: bool,
 }
 
 impl Default for DurabilityOptions {
@@ -73,6 +78,7 @@ impl Default for DurabilityOptions {
         Self {
             segment_bytes: 1 << 20,
             snapshot_every_cycles: Some(64),
+            group_commit: true,
         }
     }
 }

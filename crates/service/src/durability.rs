@@ -226,9 +226,19 @@ const TAG_COMMIT: u8 = 1;
 const TAG_ABORT: u8 = 2;
 
 impl ShardRecord {
-    /// Serializes the record.
+    /// Serializes the record into a fresh buffer (cold paths; the
+    /// commit paths stage into a reusable scratch via
+    /// [`ShardRecord::encode_into`]).
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::new();
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Serializes the record by appending to `buf` — no allocation
+    /// beyond the buffer's own growth, so a scheduling cycle can stage
+    /// every grant of a shard into one scratch buffer.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
         match self {
             Self::Block {
                 id,
@@ -236,9 +246,9 @@ impl ShardRecord {
                 capacity,
             } => {
                 buf.push(TAG_BLOCK);
-                put_u64(&mut buf, *id);
-                put_f64(&mut buf, *arrival);
-                put_f64s(&mut buf, capacity);
+                put_u64(buf, *id);
+                put_f64(buf, *arrival);
+                put_f64s(buf, capacity);
             }
             Self::Apply {
                 task,
@@ -246,9 +256,9 @@ impl ShardRecord {
                 blocks,
             } => {
                 buf.push(TAG_APPLY);
-                put_u64(&mut buf, *task);
-                put_f64s(&mut buf, demand);
-                put_u64s(&mut buf, blocks);
+                put_u64(buf, *task);
+                put_f64s(buf, demand);
+                put_u64s(buf, blocks);
             }
             Self::Intent {
                 attempt,
@@ -257,13 +267,12 @@ impl ShardRecord {
                 blocks,
             } => {
                 buf.push(TAG_INTENT);
-                put_u64(&mut buf, *attempt);
-                put_u64(&mut buf, *task);
-                put_f64s(&mut buf, demand);
-                put_u64s(&mut buf, blocks);
+                put_u64(buf, *attempt);
+                put_u64(buf, *task);
+                put_f64s(buf, demand);
+                put_u64s(buf, blocks);
             }
         }
-        buf
     }
 
     /// Deserializes a record.
@@ -300,15 +309,20 @@ impl ShardRecord {
 impl CoordRecord {
     /// Serializes the record.
     pub fn encode(&self) -> Vec<u8> {
-        let mut buf = Vec::new();
+        let mut buf = Vec::with_capacity(17);
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Serializes the record by appending to `buf`.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
         let (tag, attempt, task) = match self {
             Self::Commit { attempt, task } => (TAG_COMMIT, *attempt, *task),
             Self::Abort { attempt, task } => (TAG_ABORT, *attempt, *task),
         };
         buf.push(tag);
-        put_u64(&mut buf, attempt);
-        put_u64(&mut buf, task);
-        buf
+        put_u64(buf, attempt);
+        put_u64(buf, task);
     }
 
     /// Deserializes a record.
@@ -330,6 +344,31 @@ impl CoordRecord {
             ))),
         }
     }
+}
+
+/// Encodes an [`ShardRecord::Apply`] directly from borrowed parts —
+/// the hot commit path stages records without building the owned enum
+/// (no demand/blocks `Vec` clones, no per-record buffer).
+pub fn encode_apply_into(buf: &mut Vec<u8>, task: TaskId, demand: &[f64], blocks: &[BlockId]) {
+    buf.push(TAG_APPLY);
+    put_u64(buf, task);
+    put_f64s(buf, demand);
+    put_u64s(buf, blocks);
+}
+
+/// Encodes a [`ShardRecord::Intent`] directly from borrowed parts.
+pub fn encode_intent_into(
+    buf: &mut Vec<u8>,
+    attempt: u64,
+    task: TaskId,
+    demand: &[f64],
+    blocks: &[BlockId],
+) {
+    buf.push(TAG_INTENT);
+    put_u64(buf, attempt);
+    put_u64(buf, task);
+    put_f64s(buf, demand);
+    put_u64s(buf, blocks);
 }
 
 /// Serializes a shard snapshot (every block's persisted state).
@@ -405,6 +444,37 @@ mod tests {
         {
             assert_eq!(capacity[1].to_bits(), (0.1f64 + 0.2).to_bits());
         }
+    }
+
+    #[test]
+    fn borrowed_encoders_match_the_owned_records_byte_for_byte() {
+        // The zero-copy staging path must stay wire-compatible with
+        // the enum codecs recovery decodes with.
+        let demand = vec![0.25, 0.1 + 0.2];
+        let blocks = vec![3u64, 9];
+        let mut buf = Vec::new();
+        encode_apply_into(&mut buf, 42, &demand, &blocks);
+        assert_eq!(
+            buf,
+            ShardRecord::Apply {
+                task: 42,
+                demand: demand.clone(),
+                blocks: blocks.clone(),
+            }
+            .encode()
+        );
+        buf.clear();
+        encode_intent_into(&mut buf, 7, 42, &demand, &blocks);
+        assert_eq!(
+            buf,
+            ShardRecord::Intent {
+                attempt: 7,
+                task: 42,
+                demand,
+                blocks,
+            }
+            .encode()
+        );
     }
 
     #[test]

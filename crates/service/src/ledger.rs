@@ -23,6 +23,17 @@
 //! releases the task instead of charging it — an unlogged grant must
 //! never reach the filters — and [`ShardedLedger::compact`] folds the
 //! logs into per-shard snapshots at a global quiescent point.
+//!
+//! The grant path is **batch-first**: a scheduling cycle commits its
+//! shard-local grants through [`ShardedLedger::commit_shard_batch`]
+//! (stage → one group-committed flush → mutate) and its cross-shard
+//! grants through [`ShardedLedger::commit_cross_batch`] (intents join
+//! their home shard's batch; each decision stays a single synchronous
+//! coordinator append), so durable throughput pays about one sync per
+//! shard per cycle instead of one per record. [`Wal::append_batch`]'s
+//! all-or-nothing acknowledgement is what keeps the recovery argument
+//! intact: a failed flush releases the whole batch and recovery is
+//! guaranteed to resurface none of it.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -30,7 +41,7 @@ use std::sync::{Mutex, MutexGuard};
 
 use dp_accounting::{AlphaGrid, RdpCurve};
 use dpack_core::online::BlockLedger;
-use dpack_core::problem::{Block, BlockId, ProblemError, Task};
+use dpack_core::problem::{Block, BlockId, ProblemError, Task, TaskId};
 use dpack_wal::{Wal, WalError, WalOptions, WalStorage};
 
 use crate::config::DurabilityOptions;
@@ -44,6 +55,12 @@ use crate::stats::DurabilityStats;
 struct Shard {
     blocks: BTreeMap<BlockId, BlockLedger>,
     wal: Option<Wal>,
+    /// Reusable staging buffer for a cycle's batched records: cleared
+    /// per batch, never shrunk, so the steady-state commit path does
+    /// no per-record (or even per-cycle) allocation.
+    scratch: Vec<u8>,
+    /// Record boundaries into `scratch` (kept alongside it for reuse).
+    bounds: Vec<usize>,
 }
 
 /// The sharded ledger: `S` lock-striped maps of block ledgers.
@@ -61,6 +78,9 @@ pub struct ShardedLedger {
     /// Grants released because a WAL append failed.
     wal_failures: AtomicU64,
     compactions: AtomicU64,
+    /// Whether batched commits flush with one group-commit sync per
+    /// shard (the default) or one sync per record (the baseline).
+    group_commit: bool,
 }
 
 /// The outcome of a (two-phase) commit attempt.
@@ -106,6 +126,7 @@ impl ShardedLedger {
             next_attempt: AtomicU64::new(0),
             wal_failures: AtomicU64::new(0),
             compactions: AtomicU64::new(0),
+            group_commit: true,
         }
     }
 
@@ -136,6 +157,7 @@ impl ShardedLedger {
         opts: DurabilityOptions,
     ) -> Result<Self, WalError> {
         let mut ledger = Self::new(grid, shards, unlock_period, unlock_steps);
+        ledger.group_commit = opts.group_commit;
         let wal_opts = WalOptions {
             segment_bytes: opts.segment_bytes,
         };
@@ -462,6 +484,302 @@ impl ShardedLedger {
         true
     }
 
+    /// Commits a scheduling cycle's shard-local grants as **one
+    /// group-committed batch** under a single acquisition of the shard
+    /// lock. Every task must have all of its blocks on `shard` (the
+    /// cycle's partition guarantees it).
+    ///
+    /// Semantics match committing the tasks one by one in order: each
+    /// task's filter check sees the consumption of the tasks staged
+    /// before it (a shadow copy of the touched block ledgers carries
+    /// that state), and the outcomes vector lines up with `tasks`. On
+    /// a durable ledger the staged records flush with one write + one
+    /// sync ([`Wal::append_batch`]); only then do the real filters
+    /// mutate — by swapping the shadow in, so the in-memory state is
+    /// bit-for-bit the state the staging arithmetic computed and the
+    /// state replaying the batch reproduces. A failed flush releases
+    /// the *whole* batch, which is sound because a failed
+    /// `append_batch` is guaranteed to resurface nothing.
+    ///
+    /// With [`DurabilityOptions::group_commit`] off (the benchmark
+    /// baseline) or on a non-durable ledger, this degrades to the
+    /// sequential per-task path under the same single lock hold.
+    ///
+    /// [`DurabilityOptions::group_commit`]:
+    /// crate::config::DurabilityOptions::group_commit
+    ///
+    /// # Panics
+    ///
+    /// Panics if a task references an unregistered block, like
+    /// [`ShardedLedger::commit_task`].
+    pub fn commit_shard_batch(&self, shard: usize, tasks: &[&Task]) -> Vec<CommitOutcome> {
+        if tasks.is_empty() {
+            return Vec::new();
+        }
+        debug_assert!(tasks
+            .iter()
+            .all(|t| t.blocks.iter().all(|b| self.shard_of(*b) == shard)));
+        let mut guard = self.lock(shard);
+        let stripe = &mut *guard;
+        if stripe.wal.is_none() || !self.group_commit {
+            return tasks
+                .iter()
+                .map(|task| self.commit_one_local(stripe, task))
+                .collect();
+        }
+
+        // Stage: check against the shadow, encode into the reusable
+        // scratch, consume on the shadow.
+        let mut outcomes = vec![CommitOutcome::Released; tasks.len()];
+        let mut shadow: BTreeMap<BlockId, BlockLedger> = BTreeMap::new();
+        let mut staged: Vec<usize> = Vec::with_capacity(tasks.len());
+        stripe.scratch.clear();
+        stripe.bounds.clear();
+        stripe.bounds.push(0);
+        for (i, task) in tasks.iter().enumerate() {
+            let granted = task.blocks.iter().all(|b| {
+                shadow
+                    .get(b)
+                    .unwrap_or_else(|| lookup(&stripe.blocks, task.id, *b))
+                    .check(&task.demand)
+            });
+            if !granted {
+                continue;
+            }
+            durability::encode_apply_into(
+                &mut stripe.scratch,
+                task.id,
+                task.demand.values(),
+                &task.blocks,
+            );
+            stripe.bounds.push(stripe.scratch.len());
+            for b in &task.blocks {
+                shadow
+                    .entry(*b)
+                    .or_insert_with(|| lookup(&stripe.blocks, task.id, *b).clone())
+                    .commit(&task.demand)
+                    .expect("checked against the shadow");
+            }
+            staged.push(i);
+        }
+        if staged.is_empty() {
+            return outcomes;
+        }
+
+        // Flush: one write, one sync, then (and only then) mutate.
+        let views: Vec<&[u8]> = stripe
+            .bounds
+            .windows(2)
+            .map(|w| &stripe.scratch[w[0]..w[1]])
+            .collect();
+        let wal = stripe.wal.as_mut().expect("checked above");
+        if wal.append_batch(&views).is_err() {
+            // All-or-nothing: no record of this batch survives, so
+            // releasing every staged grant keeps live ≡ recovered.
+            self.wal_failures.fetch_add(1, Ordering::Relaxed);
+            return outcomes;
+        }
+        for (b, entry) in shadow {
+            stripe.blocks.insert(b, entry);
+        }
+        for i in staged {
+            outcomes[i] = CommitOutcome::Committed;
+        }
+        outcomes
+    }
+
+    /// The sequential (non-batched) local commit: check, write-ahead
+    /// with its own sync when durable, mutate. One task, lock already
+    /// held.
+    fn commit_one_local(&self, stripe: &mut Shard, task: &Task) -> CommitOutcome {
+        for b in &task.blocks {
+            if !lookup(&stripe.blocks, task.id, *b).check(&task.demand) {
+                return CommitOutcome::Released;
+            }
+        }
+        if let Some(wal) = stripe.wal.as_mut() {
+            stripe.scratch.clear();
+            durability::encode_apply_into(
+                &mut stripe.scratch,
+                task.id,
+                task.demand.values(),
+                &task.blocks,
+            );
+            if wal.append(&stripe.scratch).is_err() {
+                self.wal_failures.fetch_add(1, Ordering::Relaxed);
+                return CommitOutcome::Released;
+            }
+        }
+        for b in &task.blocks {
+            stripe
+                .blocks
+                .get_mut(b)
+                .expect("checked above")
+                .commit(&task.demand)
+                .expect("filter re-check cannot fail under the held lock");
+        }
+        CommitOutcome::Committed
+    }
+
+    /// Commits a scheduling cycle's cross-shard grants as one batch:
+    /// the union of involved shard locks is taken in ascending order
+    /// (the same global order as everything else, so still
+    /// deadlock-free), each granted task's per-shard `Intent` records
+    /// join their home shard's staged batch, the batches flush with
+    /// one sync per shard — and then each attempt is decided by its
+    /// own **single synchronous** coordinator `Commit` append, exactly
+    /// as in the per-task path, so the presumed-abort recovery
+    /// argument is untouched: an intent whose decision never became
+    /// durable charges nothing. Real filters mutate per task only
+    /// after that task's decision is durable.
+    ///
+    /// Falls back to per-task [`ShardedLedger::commit_task`] on a
+    /// non-durable ledger or with group commit off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a task references an unregistered block.
+    pub fn commit_cross_batch(&self, tasks: &[&Task]) -> Vec<CommitOutcome> {
+        if tasks.is_empty() {
+            return Vec::new();
+        }
+        if self.coord.is_none() || !self.group_commit {
+            return tasks.iter().map(|t| self.commit_task(t)).collect();
+        }
+
+        let involved: BTreeSet<usize> = tasks
+            .iter()
+            .flat_map(|t| t.blocks.iter().map(|b| self.shard_of(*b)))
+            .collect();
+        let mut guards: BTreeMap<usize, MutexGuard<'_, Shard>> =
+            involved.iter().map(|s| (*s, self.lock(*s))).collect();
+        for stripe in guards.values_mut() {
+            stripe.scratch.clear();
+            stripe.bounds.clear();
+            stripe.bounds.push(0);
+        }
+
+        // Stage every grantable task: shadow-checked, intents encoded
+        // into each home shard's scratch.
+        let mut outcomes = vec![CommitOutcome::Released; tasks.len()];
+        let mut shadow: BTreeMap<BlockId, BlockLedger> = BTreeMap::new();
+        let mut staged: Vec<(usize, u64)> = Vec::new(); // (task index, attempt)
+        for (i, task) in tasks.iter().enumerate() {
+            let granted = task.blocks.iter().all(|b| {
+                shadow
+                    .get(b)
+                    .unwrap_or_else(|| lookup(&guards[&self.shard_of(*b)].blocks, task.id, *b))
+                    .check(&task.demand)
+            });
+            if !granted {
+                continue;
+            }
+            let attempt = self.next_attempt.fetch_add(1, Ordering::Relaxed);
+            let mut task_shards: Vec<usize> =
+                task.blocks.iter().map(|b| self.shard_of(*b)).collect();
+            task_shards.sort_unstable();
+            task_shards.dedup();
+            for s in task_shards {
+                let blocks: Vec<BlockId> = task
+                    .blocks
+                    .iter()
+                    .copied()
+                    .filter(|b| self.shard_of(*b) == s)
+                    .collect();
+                let stripe = &mut **guards.get_mut(&s).expect("locked above");
+                durability::encode_intent_into(
+                    &mut stripe.scratch,
+                    attempt,
+                    task.id,
+                    task.demand.values(),
+                    &blocks,
+                );
+                let end = stripe.scratch.len();
+                stripe.bounds.push(end);
+            }
+            for b in &task.blocks {
+                shadow
+                    .entry(*b)
+                    .or_insert_with(|| {
+                        lookup(&guards[&self.shard_of(*b)].blocks, task.id, *b).clone()
+                    })
+                    .commit(&task.demand)
+                    .expect("checked against the shadow");
+            }
+            staged.push((i, attempt));
+        }
+        if staged.is_empty() {
+            return outcomes;
+        }
+
+        // Flush each home shard's intent batch: one sync per shard.
+        let coord = self.coord.as_ref().expect("checked above");
+        for stripe in guards.values_mut() {
+            let stripe = &mut **stripe;
+            if stripe.scratch.is_empty() {
+                continue;
+            }
+            let views: Vec<&[u8]> = stripe
+                .bounds
+                .windows(2)
+                .map(|w| &stripe.scratch[w[0]..w[1]])
+                .collect();
+            let wal = stripe
+                .wal
+                .as_mut()
+                .expect("durable ledger has a wal per shard");
+            if wal.append_batch(&views).is_err() {
+                // Presumed abort: no attempt in this batch got (or
+                // will get) a durable decision, so nothing is charged
+                // anywhere — on recovery or in memory. The aborts are
+                // advisory, as in the per-task path.
+                self.wal_failures.fetch_add(1, Ordering::Relaxed);
+                let mut coord = coord.lock().expect("coordinator lock poisoned");
+                for (i, attempt) in &staged {
+                    let abort = CoordRecord::Abort {
+                        attempt: *attempt,
+                        task: tasks[*i].id,
+                    };
+                    let _ = coord.append(&abort.encode());
+                }
+                return outcomes;
+            }
+        }
+
+        // Decide: one synchronous coordinator append per attempt; the
+        // real filters mutate (in staging order) only once their
+        // attempt's decision is durable.
+        let mut coord = coord.lock().expect("coordinator lock poisoned");
+        let mut decision = Vec::with_capacity(17);
+        for (i, attempt) in staged {
+            let task = tasks[i];
+            decision.clear();
+            CoordRecord::Commit {
+                attempt,
+                task: task.id,
+            }
+            .encode_into(&mut decision);
+            if coord.append(&decision).is_err() {
+                // The coordinator log is broken: this and every later
+                // attempt presumes abort; earlier commits stand.
+                self.wal_failures.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+            for b in &task.blocks {
+                guards
+                    .get_mut(&self.shard_of(*b))
+                    .expect("locked above")
+                    .blocks
+                    .get_mut(b)
+                    .expect("checked while staging")
+                    .commit(&task.demand)
+                    .expect("staged arithmetic cannot diverge");
+            }
+            outcomes[i] = CommitOutcome::Committed;
+        }
+        outcomes
+    }
+
     /// Folds the logs into per-shard snapshots and truncates the
     /// coordinator, at a global quiescent point (all shard locks plus
     /// the coordinator, in the commit path's order). Shards are
@@ -521,16 +839,20 @@ impl ShardedLedger {
             compactions: self.compactions.load(Ordering::Relaxed),
             ..DurabilityStats::default()
         };
+        let mut counters = dpack_wal::WalCounters::default();
         for s in 0..self.shards.len() {
             if let Some(wal) = &self.lock(s).wal {
-                let c = wal.counters();
-                stats.records += c.records;
-                stats.bytes += c.bytes;
+                counters.absorb(wal.counters());
             }
         }
-        let c = coord.lock().expect("coordinator lock poisoned").counters();
-        stats.records += c.records;
-        stats.bytes += c.bytes;
+        counters.absorb(coord.lock().expect("coordinator lock poisoned").counters());
+        stats.records = counters.records;
+        stats.bytes = counters.bytes;
+        stats.sync_calls = counters.syncs;
+        stats.batches = counters.batches;
+        stats.batched_records = counters.batched_records;
+        stats.batch_min = counters.batch_min;
+        stats.batch_max = counters.batch_max;
         Some(stats)
     }
 
@@ -563,6 +885,14 @@ impl ShardedLedger {
             })
             .sum()
     }
+}
+
+/// Resolves a block or panics with the commit paths' shared contract:
+/// admission validates block existence, and blocks are never removed.
+fn lookup(blocks: &BTreeMap<BlockId, BlockLedger>, task: TaskId, b: BlockId) -> &BlockLedger {
+    blocks
+        .get(&b)
+        .unwrap_or_else(|| panic!("task {task} references unregistered block {b}"))
 }
 
 fn block_state(id: BlockId, b: &BlockLedger) -> BlockState {
@@ -856,6 +1186,147 @@ mod tests {
         let recovered = durable(&sim.surviving());
         assert_states_bit_identical(&l, &recovered);
         assert_eq!(recovered.granted_count(), 3);
+    }
+
+    /// Committing the same tasks one by one — the semantics the batch
+    /// paths must reproduce decision-for-decision and bit-for-bit.
+    fn sequential_reference(tasks: &[Task]) -> (Vec<CommitOutcome>, ShardedLedger) {
+        let l = ledger(4);
+        let outcomes = tasks.iter().map(|t| l.commit_task(t)).collect();
+        (outcomes, l)
+    }
+
+    #[test]
+    fn shard_batch_matches_sequential_commits_bit_identically() {
+        // Mixed feasible/infeasible single-shard traffic on shard 1:
+        // task 2 must see task 1's consumption when it is checked.
+        let tasks = vec![
+            task(0, vec![1], 0.6),
+            task(1, vec![5], 0.5),
+            task(2, vec![1], 0.6), // Refused: 0.6 + 0.6 > 1.0.
+            task(3, vec![1], 0.4), // Fits exactly.
+        ];
+        let (want, reference) = sequential_reference(&tasks);
+
+        for durable_storage in [None, Some(SimStorage::new())] {
+            let l = match &durable_storage {
+                Some(sim) => durable(sim),
+                None => ledger(4),
+            };
+            for j in 0..8u64 {
+                if !l.contains(j) {
+                    l.register_block(Block::new(j, RdpCurve::constant(&grid(), 1.0), 0.0))
+                        .unwrap();
+                }
+            }
+            let refs: Vec<&Task> = tasks.iter().collect();
+            let outcomes = l.commit_shard_batch(1, &refs);
+            assert_eq!(outcomes, want);
+            assert_states_bit_identical(&l, &reference);
+            if let Some(sim) = &durable_storage {
+                // One flush for the whole batch, and recovery agrees.
+                let stats = l.durability_stats().unwrap();
+                assert_eq!(stats.batches, 1);
+                assert_eq!((stats.batch_min, stats.batch_max), (3, 3));
+                assert_eq!(stats.sync_calls, 8 + 1, "8 registrations + 1 batch");
+                assert_states_bit_identical(&l, &durable(&sim.surviving()));
+            }
+        }
+    }
+
+    #[test]
+    fn cross_batch_matches_sequential_commits_and_recovers() {
+        let tasks = vec![
+            task(0, vec![0, 1], 0.6),
+            task(1, vec![1, 2, 3], 0.5), // Refused on block 1.
+            task(2, vec![2, 3], 0.8),
+            task(3, vec![0, 1], 0.4), // Fits exactly after task 0.
+        ];
+        let (want, reference) = sequential_reference(&tasks);
+        let sim = SimStorage::new();
+        let l = durable(&sim);
+        for j in 0..8u64 {
+            l.register_block(Block::new(j, RdpCurve::constant(&grid(), 1.0), 0.0))
+                .unwrap();
+        }
+        let refs: Vec<&Task> = tasks.iter().collect();
+        let outcomes = l.commit_cross_batch(&refs);
+        assert_eq!(outcomes, want);
+        assert_states_bit_identical(&l, &reference);
+        // Intents batched per home shard (blocks 0..4 span shards
+        // 0..4), decisions one synchronous append per attempt.
+        let stats = l.durability_stats().unwrap();
+        assert!(stats.batches >= 2, "{stats:?}");
+        assert_states_bit_identical(&l, &durable(&sim.surviving()));
+        assert!(l.unsound_blocks().is_empty());
+    }
+
+    #[test]
+    fn a_crash_inside_a_shard_batch_releases_everything() {
+        let register = |l: &ShardedLedger| {
+            for j in 0..8u64 {
+                l.register_block(Block::new(j, RdpCurve::constant(&grid(), 1.0), 0.0))
+                    .unwrap();
+            }
+        };
+        let tasks: Vec<Task> = (0..4u64).map(|i| task(i, vec![1], 0.2)).collect();
+        // Sweep crash points across the whole batched flush: whatever
+        // byte the power dies on, the batch must vanish as a unit.
+        let batch_bytes = probe_bytes(|l| {
+            register(l);
+            let refs: Vec<&Task> = tasks.iter().collect();
+            l.commit_shard_batch(1, &refs);
+        }) - probe_bytes(register);
+        for extra in [0, 1, batch_bytes / 2, batch_bytes - 1] {
+            let sim = SimStorage::with_crash_after(probe_bytes(register) + extra);
+            let l = durable(&sim);
+            register(&l);
+            let before = l.block_states();
+            let refs: Vec<&Task> = tasks.iter().collect();
+            let outcomes = l.commit_shard_batch(1, &refs);
+            assert!(
+                outcomes.iter().all(|o| *o == CommitOutcome::Released),
+                "crash at +{extra}: {outcomes:?}"
+            );
+            assert_eq!(l.block_states(), before, "unlogged grants must not charge");
+            assert!(l.durability_stats().unwrap().failed_appends >= 1);
+            let recovered = durable(&sim.surviving());
+            assert_eq!(
+                recovered.granted_count(),
+                0,
+                "crash at +{extra} resurfaced part of a failed batch"
+            );
+            assert_states_bit_identical(&l, &recovered);
+        }
+    }
+
+    #[test]
+    fn group_commit_off_restores_the_per_record_baseline() {
+        let sim = SimStorage::new();
+        let l = ShardedLedger::open_durable(
+            grid(),
+            4,
+            1.0,
+            1,
+            &sim,
+            DurabilityOptions {
+                group_commit: false,
+                ..DurabilityOptions::default()
+            },
+        )
+        .unwrap();
+        for j in 0..8u64 {
+            l.register_block(Block::new(j, RdpCurve::constant(&grid(), 1.0), 0.0))
+                .unwrap();
+        }
+        let tasks: Vec<Task> = (0..4u64).map(|i| task(i, vec![1], 0.2)).collect();
+        let refs: Vec<&Task> = tasks.iter().collect();
+        let outcomes = l.commit_shard_batch(1, &refs);
+        assert!(outcomes.iter().all(|o| *o == CommitOutcome::Committed));
+        let stats = l.durability_stats().unwrap();
+        assert_eq!(stats.batches, 0, "baseline must not batch");
+        assert_eq!(stats.sync_calls, 8 + 4, "one sync per record");
+        assert_states_bit_identical(&l, &durable(&sim.surviving()));
     }
 
     #[test]

@@ -25,8 +25,12 @@
 //!   writes ahead through `dpack-wal`: every grant is logged (per-shard
 //!   commit records; cross-shard grants via intent/commit/abort
 //!   two-phase records) before any filter mutates, and recovery
-//!   rebuilds the exact pre-crash ledger from snapshot + replay. See
-//!   [`durability`] for the record formats and crash-ordering argument.
+//!   rebuilds the exact pre-crash ledger from snapshot + replay. The
+//!   grant path is batch-first: a cycle's grants on one shard flush as
+//!   a single group-committed write + sync
+//!   ([`ShardedLedger::commit_shard_batch`]), amortizing the fsync
+//!   that would otherwise gate durable throughput. See [`durability`]
+//!   for the record formats and crash-ordering argument.
 //!
 //! With `S = 1` shard and one worker the loop is decision-identical to
 //! [`dpack_core::online::OnlineEngine`]; the scheduling algorithms

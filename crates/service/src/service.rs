@@ -47,6 +47,14 @@ type TaggedTask = (TenantId, Task);
 /// An available-capacity snapshot, keyed by block id.
 type Snapshot = std::collections::BTreeMap<dpack_core::problem::BlockId, dp_accounting::RdpCurve>;
 
+/// Which ledger batch-commit path a scheduling pass feeds.
+enum CommitTarget {
+    /// Shard-local grants, batched under that shard's lock.
+    Local(usize),
+    /// Cross-shard grants, two-phase-committed as a batch.
+    Cross,
+}
+
 /// One shard worker's cycle outcome.
 struct ShardResult {
     shard: usize,
@@ -461,8 +469,13 @@ impl BudgetService {
         let mut algorithm: Duration = shard_results.iter().map(|r| r.algorithm).sum();
         if !cross_tasks.is_empty() {
             let snapshot = self.ledger.snapshot_all(now);
-            let (granted, rel, algo) =
-                self.schedule_and_commit(snapshot, cross_tasks, self.config.workers, now);
+            let (granted, rel, algo) = self.schedule_and_commit(
+                snapshot,
+                cross_tasks,
+                self.config.workers,
+                now,
+                CommitTarget::Cross,
+            );
             cross_granted = granted;
             released += rel;
             algorithm += algo;
@@ -570,15 +583,19 @@ impl BudgetService {
         (shard_tasks, cross)
     }
 
-    /// Schedules `subs` over `available` capacities and commits each
-    /// grant through the ledger. Tasks move into the snapshot state;
-    /// commits read them back out of it.
+    /// Schedules `subs` over `available` capacities and commits the
+    /// selected grants through the ledger **as one batch**: a cycle's
+    /// grants on one shard cost one write-ahead sync (shard-local
+    /// batch under that shard's lock; cross-shard intents join their
+    /// home shard's batch, decisions stay per-attempt). Tasks move
+    /// into the snapshot state; commits read them back out of it.
     fn schedule_and_commit(
         &self,
         available: Snapshot,
         subs: Vec<TaggedTask>,
         threads: usize,
         now: f64,
+        target: CommitTarget,
     ) -> (Vec<(TenantId, AllocatedTask)>, usize, Duration) {
         let tenant_of: std::collections::BTreeMap<TaskId, TenantId> = subs
             .iter()
@@ -588,15 +605,23 @@ impl BudgetService {
         let state = ProblemState::from_available(self.ledger.grid().clone(), available, tasks)
             .expect("admission validated every pending task");
         let allocation = self.config.scheduler.schedule(&state, threads);
+        let scheduled: Vec<&Task> = allocation
+            .scheduled
+            .iter()
+            .map(|id| state.task(*id).expect("scheduler only returns state tasks"))
+            .collect();
+        let outcomes = match target {
+            CommitTarget::Local(shard) => self.ledger.commit_shard_batch(shard, &scheduled),
+            CommitTarget::Cross => self.ledger.commit_cross_batch(&scheduled),
+        };
         let mut granted = Vec::new();
         let mut released = 0usize;
-        for id in &allocation.scheduled {
-            let task = state.task(*id).expect("scheduler only returns state tasks");
-            match self.ledger.commit_task(task) {
+        for (task, outcome) in scheduled.iter().zip(outcomes) {
+            match outcome {
                 CommitOutcome::Committed => granted.push((
-                    tenant_of[id],
+                    tenant_of[&task.id],
                     AllocatedTask {
-                        id: *id,
+                        id: task.id,
                         weight: task.weight,
                         arrival: task.arrival,
                         allocated_at: now,
@@ -609,10 +634,12 @@ impl BudgetService {
     }
 
     /// One shard's cycle: snapshot its blocks, schedule its local
-    /// tasks single-threaded, commit grants against its own lock.
+    /// tasks single-threaded, commit grants against its own lock in
+    /// one group-committed batch.
     fn run_shard_cycle(&self, shard: usize, subs: Vec<TaggedTask>, now: f64) -> ShardResult {
         let snapshot = self.ledger.snapshot_shard(shard, now);
-        let (granted, released, algorithm) = self.schedule_and_commit(snapshot, subs, 1, now);
+        let (granted, released, algorithm) =
+            self.schedule_and_commit(snapshot, subs, 1, now, CommitTarget::Local(shard));
         ShardResult {
             shard,
             granted,

@@ -91,13 +91,35 @@ pub struct DurabilityStats {
     pub records: u64,
     /// Framed bytes acknowledged.
     pub bytes: u64,
-    /// Grants released (and registrations refused) because an append
-    /// failed — nonzero means the storage crashed or errored.
+    /// Write-ahead failures that released work instead of charging it
+    /// — nonzero means the storage crashed or errored. Counts failure
+    /// *events*, not released grants: one failed group-commit flush
+    /// releases its whole batch but counts once.
     pub failed_appends: u64,
     /// Snapshot compactions completed.
     pub compactions: u64,
     /// Compactions that failed with a WAL error.
     pub failed_compactions: u64,
+    /// Storage writes acknowledged — the fsync count on a syncing
+    /// backend. Group commit's whole point is keeping this near
+    /// `shards × cycles + compactions` instead of `records`.
+    pub sync_calls: u64,
+    /// Group-commit batches flushed across all shard logs.
+    pub batches: u64,
+    /// Records that went through a batch (the rest were singleton
+    /// appends: registrations, coordinator decisions).
+    pub batched_records: u64,
+    /// Smallest flushed batch (0 until the first batch).
+    pub batch_min: u64,
+    /// Largest flushed batch.
+    pub batch_max: u64,
+}
+
+impl DurabilityStats {
+    /// Mean records per flushed batch (`None` before the first batch).
+    pub fn records_per_batch_mean(&self) -> Option<f64> {
+        (self.batches > 0).then(|| self.batched_records as f64 / self.batches as f64)
+    }
 }
 
 /// Per-tenant counters.

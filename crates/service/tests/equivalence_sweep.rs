@@ -120,6 +120,7 @@ fn drive_service(
             DurabilityOptions {
                 segment_bytes: 256,
                 snapshot_every_cycles: Some(5),
+                ..DurabilityOptions::default()
             },
         )
         .expect("fresh sim storage opens")

@@ -63,9 +63,11 @@ fn config() -> ServiceConfig {
 fn opts() -> DurabilityOptions {
     DurabilityOptions {
         // Small segments + frequent snapshots: rotation and compaction
-        // both happen inside every case's lifetime.
+        // both happen inside every case's lifetime; group commit on
+        // (the default), so the crash sweep exercises batched flushes.
         segment_bytes: 512,
         snapshot_every_cycles: Some(3),
+        ..DurabilityOptions::default()
     }
 }
 

@@ -8,9 +8,11 @@
 //! rebuilt natively with no dependencies.
 //!
 //! * [`Wal`] — framed, checksummed records over rotating segments,
-//!   torn-tail truncation on [`Wal::open`], and [`Wal::snapshot`]
-//!   compaction (see the [`log`] module docs for the on-disk format
-//!   and crash-ordering argument).
+//!   torn-tail truncation on [`Wal::open`], [`Wal::append_batch`]
+//!   group commit (N records, one write + one sync, acknowledged and
+//!   recovered all-or-nothing), and [`Wal::snapshot`] compaction (see
+//!   the [`log`] module docs for the on-disk format and crash-ordering
+//!   argument).
 //! * [`WalStorage`] — the storage abstraction; [`FsStorage`] is the
 //!   real directory backend.
 //! * [`SimStorage`] — deterministic in-memory storage that injects a
@@ -42,6 +44,6 @@ pub mod log;
 pub mod storage;
 pub mod temp;
 
-pub use log::{Recovered, Wal, WalCounters, WalError, WalOptions};
+pub use log::{AppendReceipt, Recovered, Wal, WalCounters, WalError, WalOptions};
 pub use storage::{FsStorage, SimStorage, WalStorage, CRASH_ERROR};
 pub use temp::TempDir;

@@ -19,6 +19,29 @@
 //! boundary, so recovery always yields a *prefix* of the acknowledged
 //! records, never a corrupt or reordered one.
 //!
+//! # Group commit
+//!
+//! [`Wal::append_batch`] makes `N` records durable with **one** write
+//! and one sync: the records are framed back to back into a reusable
+//! scratch buffer, preceded by a batch header frame
+//!
+//! ```text
+//! ┌──────────┬─────────────┬─────────────┐
+//! │ 0xD8  u8 │ count u32 LE│ check u64 LE│
+//! └──────────┴─────────────┴─────────────┘
+//! ```
+//!
+//! and the whole thing is handed to the storage as a single append.
+//! Each record keeps its own frame, so a crash inside the batch tears
+//! at most one record — but a batch is acknowledged as a unit, so
+//! recovery treats it as a unit too: a header whose `count` frames are
+//! not all intact marks the torn tail, and truncation drops the batch
+//! wholesale (only the torn suffix of the log — everything before the
+//! header is untouched). The invariant callers rely on is therefore
+//! unchanged by batching: **a record is recovered iff its append was
+//! acknowledged** — never a prefix of a failed batch, which would
+//! surface grants the caller already released.
+//!
 //! A snapshot file holds one framed record: the caller's compacted
 //! state. `snap-<seq>` means "this state covers every segment with
 //! sequence `< seq`"; [`Wal::snapshot`] writes the new snapshot first
@@ -35,8 +58,13 @@ use crate::storage::WalStorage;
 const HEADER: usize = 1 + 4 + 8;
 /// First byte of every frame; anything else is corruption.
 const MAGIC: u8 = 0xD7;
+/// First byte of a batch header: `count` record frames follow and are
+/// valid only as a unit.
+const MAGIC_BATCH: u8 = 0xD8;
 /// Upper bound on a single record, to reject absurd torn lengths fast.
 const MAX_RECORD: u32 = 1 << 28;
+/// Upper bound on records per batch, for the same reason.
+const MAX_BATCH: u32 = 1 << 20;
 
 /// An error from the WAL.
 #[derive(Debug)]
@@ -105,12 +133,58 @@ pub struct Recovered {
 /// Cumulative write counters of one [`Wal`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WalCounters {
-    /// Records acknowledged by [`Wal::append`].
+    /// Records acknowledged by [`Wal::append`] and
+    /// [`Wal::append_batch`].
     pub records: u64,
-    /// Framed bytes acknowledged by [`Wal::append`].
+    /// Framed bytes acknowledged (headers included).
     pub bytes: u64,
     /// Snapshots taken by [`Wal::snapshot`].
     pub snapshots: u64,
+    /// Storage writes acknowledged — each is one write + one sync on a
+    /// syncing backend, so this is the fsync count group commit
+    /// amortizes. Appends, batch flushes, and snapshot writes all
+    /// count one each.
+    pub syncs: u64,
+    /// Batches acknowledged by [`Wal::append_batch`].
+    pub batches: u64,
+    /// Records acknowledged inside batches (`records` minus the
+    /// singleton appends).
+    pub batched_records: u64,
+    /// Smallest acknowledged batch (0 until the first batch).
+    pub batch_min: u64,
+    /// Largest acknowledged batch.
+    pub batch_max: u64,
+}
+
+impl WalCounters {
+    /// Folds another log's counters into this one (aggregating across
+    /// a multi-log service). Keeps the `batch_min == 0 ⇒ no batches
+    /// yet` convention in one place.
+    pub fn absorb(&mut self, other: WalCounters) {
+        self.records += other.records;
+        self.bytes += other.bytes;
+        self.snapshots += other.snapshots;
+        self.syncs += other.syncs;
+        self.batches += other.batches;
+        self.batched_records += other.batched_records;
+        self.batch_max = self.batch_max.max(other.batch_max);
+        if other.batch_min > 0 {
+            self.batch_min = if self.batch_min == 0 {
+                other.batch_min
+            } else {
+                self.batch_min.min(other.batch_min)
+            };
+        }
+    }
+}
+
+/// What one acknowledged [`Wal::append_batch`] made durable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendReceipt {
+    /// Records in the batch.
+    pub records: usize,
+    /// Framed bytes written (batch header included).
+    pub bytes: u64,
 }
 
 /// An append-only write-ahead log over a [`WalStorage`] namespace.
@@ -122,6 +196,9 @@ pub struct Wal {
     active_len: u64,
     broken: bool,
     counters: WalCounters,
+    /// Reusable framing buffer: appends and batch flushes encode into
+    /// it instead of allocating per record.
+    scratch: Vec<u8>,
 }
 
 impl fmt::Debug for Wal {
@@ -170,8 +247,8 @@ fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
 
 const FNV_INIT: u64 = 0xcbf2_9ce4_8422_2325;
 
-/// Frames a payload: magic, length, checksum, payload.
-fn frame(payload: &[u8]) -> Vec<u8> {
+/// Frames a payload into `out`: magic, length, checksum, payload.
+fn frame_into(out: &mut Vec<u8>, payload: &[u8]) {
     let len = u32::try_from(payload.len()).expect("record exceeds u32 length");
     assert!(
         len <= MAX_RECORD,
@@ -179,36 +256,97 @@ fn frame(payload: &[u8]) -> Vec<u8> {
     );
     let len_le = len.to_le_bytes();
     let check = fnv1a(fnv1a(FNV_INIT, &len_le), payload);
-    let mut out = Vec::with_capacity(HEADER + payload.len());
+    out.reserve(HEADER + payload.len());
     out.push(MAGIC);
     out.extend_from_slice(&len_le);
     out.extend_from_slice(&check.to_le_bytes());
     out.extend_from_slice(payload);
+}
+
+/// Frames a payload into a fresh buffer (cold paths and tests; hot
+/// paths reuse a scratch buffer via [`frame_into`]).
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER + payload.len());
+    frame_into(&mut out, payload);
     out
+}
+
+/// Frames a batch header into `out`: `count` record frames follow.
+fn frame_batch_header(out: &mut Vec<u8>, count: u32) {
+    let count_le = count.to_le_bytes();
+    let check = fnv1a(FNV_INIT, &count_le);
+    out.push(MAGIC_BATCH);
+    out.extend_from_slice(&count_le);
+    out.extend_from_slice(&check.to_le_bytes());
+}
+
+/// Parses one record frame at `bytes[at..]`; returns the payload and
+/// the offset past the frame, or `None` if the frame is torn, corrupt,
+/// or not a record frame.
+fn parse_record(bytes: &[u8], at: usize) -> Option<(&[u8], usize)> {
+    let rest = &bytes[at..];
+    if rest.len() < HEADER || rest[0] != MAGIC {
+        return None;
+    }
+    let len = u32::from_le_bytes(rest[1..5].try_into().expect("sized slice"));
+    if len > MAX_RECORD || rest.len() - HEADER < len as usize {
+        return None;
+    }
+    let check = u64::from_le_bytes(rest[5..13].try_into().expect("sized slice"));
+    let payload = &rest[HEADER..HEADER + len as usize];
+    if fnv1a(fnv1a(FNV_INIT, &len.to_le_bytes()), payload) != check {
+        return None;
+    }
+    Some((payload, at + HEADER + len as usize))
 }
 
 /// Parses frames from the start of `bytes`; returns the records and the
 /// byte offset of the first invalid frame (== `bytes.len()` when the
-/// whole file is valid).
+/// whole file is valid). A batch (header + `count` record frames) is
+/// valid only as a unit: if any of its frames is torn, the whole batch
+/// — from its header on — is the torn tail.
 fn parse_frames(bytes: &[u8]) -> (Vec<Vec<u8>>, usize) {
     let mut records = Vec::new();
     let mut at = 0usize;
     while bytes.len() - at >= HEADER {
-        let rest = &bytes[at..];
-        if rest[0] != MAGIC {
-            break;
+        match bytes[at] {
+            MAGIC => match parse_record(bytes, at) {
+                Some((payload, next)) => {
+                    records.push(payload.to_vec());
+                    at = next;
+                }
+                None => break,
+            },
+            MAGIC_BATCH => {
+                let rest = &bytes[at..];
+                let count = u32::from_le_bytes(rest[1..5].try_into().expect("sized slice"));
+                let check = u64::from_le_bytes(rest[5..13].try_into().expect("sized slice"));
+                if !(2..=MAX_BATCH).contains(&count)
+                    || fnv1a(FNV_INIT, &count.to_le_bytes()) != check
+                {
+                    break;
+                }
+                // The batch stands or falls as a unit: collect all
+                // `count` frames before committing any of them.
+                let mut batch = Vec::with_capacity(count as usize);
+                let mut cursor = at + HEADER;
+                for _ in 0..count {
+                    match parse_record(bytes, cursor) {
+                        Some((payload, next)) => {
+                            batch.push(payload.to_vec());
+                            cursor = next;
+                        }
+                        None => break,
+                    }
+                }
+                if batch.len() < count as usize {
+                    break;
+                }
+                records.append(&mut batch);
+                at = cursor;
+            }
+            _ => break,
         }
-        let len = u32::from_le_bytes(rest[1..5].try_into().expect("sized slice"));
-        if len > MAX_RECORD || rest.len() - HEADER < len as usize {
-            break;
-        }
-        let check = u64::from_le_bytes(rest[5..13].try_into().expect("sized slice"));
-        let payload = &rest[HEADER..HEADER + len as usize];
-        if fnv1a(fnv1a(FNV_INIT, &len.to_le_bytes()), payload) != check {
-            break;
-        }
-        records.push(payload.to_vec());
-        at += HEADER + len as usize;
     }
     (records, at)
 }
@@ -326,6 +464,7 @@ impl Wal {
                 active_len,
                 broken: false,
                 counters: WalCounters::default(),
+                scratch: Vec::new(),
             },
             recovered,
         ))
@@ -364,19 +503,93 @@ impl Wal {
         if self.broken {
             return Err(WalError::Broken);
         }
-        let framed = frame(payload);
-        if let Err(e) = self.storage.append(&seg_name(self.active_seq), &framed) {
+        self.scratch.clear();
+        frame_into(&mut self.scratch, payload);
+        if let Err(e) = self
+            .storage
+            .append(&seg_name(self.active_seq), &self.scratch)
+        {
             self.broken = true;
             return Err(WalError::Io(e));
         }
-        self.active_len += framed.len() as u64;
         self.counters.records += 1;
-        self.counters.bytes += framed.len() as u64;
+        self.counters.syncs += 1;
+        self.finish_write(self.scratch.len() as u64);
+        Ok(())
+    }
+
+    /// Appends a batch of records durably with **one** storage write
+    /// and one sync — the group-commit primitive. On `Ok` every record
+    /// in the batch survives any crash; on `Err` *none* does: the
+    /// batch is framed so that recovery drops a partially persisted
+    /// batch wholesale (see the module docs), which is what lets a
+    /// caller that released the batch's work on failure trust that no
+    /// prefix of it resurfaces after reboot.
+    ///
+    /// An empty batch is a no-op; a single-record batch is equivalent
+    /// to [`Wal::append`] (no batch header is written).
+    ///
+    /// # Errors
+    ///
+    /// Like [`Wal::append`], a failure marks the log
+    /// [`WalError::Broken`] until reopened or repaired.
+    pub fn append_batch(&mut self, payloads: &[&[u8]]) -> Result<AppendReceipt, WalError> {
+        if self.broken {
+            return Err(WalError::Broken);
+        }
+        if payloads.is_empty() {
+            return Ok(AppendReceipt {
+                records: 0,
+                bytes: 0,
+            });
+        }
+        let count = u32::try_from(payloads.len()).expect("batch exceeds u32 records");
+        assert!(
+            count <= MAX_BATCH,
+            "batch exceeds the {MAX_BATCH}-record cap"
+        );
+        self.scratch.clear();
+        if count >= 2 {
+            frame_batch_header(&mut self.scratch, count);
+        }
+        for payload in payloads {
+            frame_into(&mut self.scratch, payload);
+        }
+        if let Err(e) = self
+            .storage
+            .append(&seg_name(self.active_seq), &self.scratch)
+        {
+            self.broken = true;
+            return Err(WalError::Io(e));
+        }
+        let n = payloads.len() as u64;
+        self.counters.records += n;
+        self.counters.syncs += 1;
+        self.counters.batches += 1;
+        self.counters.batched_records += n;
+        self.counters.batch_min = if self.counters.batch_min == 0 {
+            n
+        } else {
+            self.counters.batch_min.min(n)
+        };
+        self.counters.batch_max = self.counters.batch_max.max(n);
+        let bytes = self.scratch.len() as u64;
+        self.finish_write(bytes);
+        Ok(AppendReceipt {
+            records: payloads.len(),
+            bytes,
+        })
+    }
+
+    /// Bookkeeping shared by acknowledged writes: byte counters and
+    /// segment rotation.
+    fn finish_write(&mut self, bytes: u64) {
+        self.active_len += bytes;
+        self.counters.bytes += bytes;
         if self.active_len >= self.opts.segment_bytes {
             self.active_seq += 1;
             self.active_len = 0;
         }
-        Ok(())
     }
 
     /// Compacts the log: writes `state` as a snapshot covering every
@@ -400,6 +613,7 @@ impl Wal {
             return Err(WalError::Io(e));
         }
         self.counters.snapshots += 1;
+        self.counters.syncs += 1;
         let old_active = self.active_seq;
         self.active_seq = new_base;
         self.active_len = 0;
@@ -580,6 +794,109 @@ mod tests {
         wal.append(b"final").unwrap();
         let (_, rec) = reopen(&sim);
         assert_eq!(rec.records.len(), 3);
+    }
+
+    #[test]
+    fn append_batch_recovers_in_order_with_one_sync() {
+        let sim = SimStorage::new();
+        let (mut wal, _) = Wal::open(Box::new(sim.clone()), WalOptions::default()).unwrap();
+        wal.append(b"solo").unwrap();
+        let batch: Vec<Vec<u8>> = (0..5u8).map(|i| vec![i; 4]).collect();
+        let views: Vec<&[u8]> = batch.iter().map(Vec::as_slice).collect();
+        let receipt = wal.append_batch(&views).unwrap();
+        assert_eq!(receipt.records, 5);
+        assert_eq!(receipt.bytes, HEADER as u64 + 5 * (HEADER as u64 + 4));
+        let c = wal.counters();
+        assert_eq!(c.records, 6);
+        assert_eq!(c.syncs, 2, "one sync for the solo, one for the batch");
+        assert_eq!((c.batches, c.batched_records), (1, 5));
+        assert_eq!((c.batch_min, c.batch_max), (5, 5));
+        let (_, rec) = reopen(&sim);
+        let mut want = vec![b"solo".to_vec()];
+        want.extend(batch);
+        assert_eq!(rec.records, want);
+    }
+
+    #[test]
+    fn empty_and_singleton_batches_degenerate_cleanly() {
+        let sim = SimStorage::new();
+        let (mut wal, _) = Wal::open(Box::new(sim.clone()), WalOptions::default()).unwrap();
+        assert_eq!(
+            wal.append_batch(&[]).unwrap(),
+            AppendReceipt {
+                records: 0,
+                bytes: 0
+            }
+        );
+        assert_eq!(wal.counters().syncs, 0, "empty batch must not sync");
+        // A 1-record batch is a plain append: no header on disk.
+        wal.append_batch(&[b"only"]).unwrap();
+        assert_eq!(sim.bytes_written(), HEADER as u64 + 4);
+        assert_eq!(wal.counters().batch_min, 1);
+        let (_, rec) = reopen(&sim);
+        assert_eq!(rec.records, vec![b"only".to_vec()]);
+    }
+
+    #[test]
+    fn a_crash_inside_any_record_of_a_batch_drops_the_whole_batch() {
+        // Sweep every byte offset across a 3-record batched write: the
+        // records before it must survive untouched, the batch must
+        // vanish as a unit (all-or-nothing acknowledgement), and
+        // nothing later may appear.
+        let batch: Vec<Vec<u8>> = (0..3u8).map(|i| vec![i; 6]).collect();
+        let views: Vec<&[u8]> = batch.iter().map(Vec::as_slice).collect();
+        let batch_bytes = (HEADER + 3 * (HEADER + 6)) as u64;
+        for extra in 0..batch_bytes {
+            let sim = SimStorage::new();
+            let (mut wal, _) = Wal::open(Box::new(sim.clone()), WalOptions::default()).unwrap();
+            wal.append(b"before").unwrap();
+            sim.arm_crash_after(extra);
+            assert!(
+                matches!(wal.append_batch(&views), Err(WalError::Io(_))),
+                "crash at +{extra} must fail the batch"
+            );
+            assert!(matches!(wal.append(b"later"), Err(WalError::Broken)));
+            let (_, rec) = reopen(&sim);
+            assert_eq!(
+                rec.records,
+                vec![b"before".to_vec()],
+                "crash at +{extra} leaked part of the batch"
+            );
+        }
+        // On the boundary (the full batch landed) everything survives.
+        let sim = SimStorage::new();
+        let (mut wal, _) = Wal::open(Box::new(sim.clone()), WalOptions::default()).unwrap();
+        wal.append(b"before").unwrap();
+        sim.arm_crash_after(batch_bytes);
+        wal.append_batch(&views).unwrap();
+        let (_, rec) = reopen(&sim);
+        assert_eq!(rec.records.len(), 4);
+    }
+
+    #[test]
+    fn batches_interleave_with_appends_snapshots_and_rotation() {
+        let sim = SimStorage::new();
+        let (mut wal, _) =
+            Wal::open(Box::new(sim.clone()), WalOptions { segment_bytes: 64 }).unwrap();
+        let batch: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i; 8]).collect();
+        let views: Vec<&[u8]> = batch.iter().map(Vec::as_slice).collect();
+        wal.append_batch(&views).unwrap(); // Oversized batch rotates after.
+        wal.append(b"single").unwrap();
+        wal.append_batch(&views).unwrap();
+        let segs = sim
+            .list()
+            .unwrap()
+            .into_iter()
+            .filter(|n| n.starts_with("seg-"))
+            .count();
+        assert!(segs > 1, "no rotation happened");
+        let (_, rec) = reopen(&sim);
+        assert_eq!(rec.records.len(), 9);
+        wal.snapshot(b"folded").unwrap();
+        wal.append_batch(&views).unwrap();
+        let (_, rec) = reopen(&sim);
+        assert_eq!(rec.snapshot.as_deref(), Some(&b"folded"[..]));
+        assert_eq!(rec.records, batch);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! recovery test suites are built on.
 
 use std::collections::BTreeMap;
+use std::fs::File;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -70,9 +71,18 @@ pub trait WalStorage: Send {
 }
 
 /// The real-filesystem backend: one directory per namespace.
+///
+/// Append handles are opened once per file and cached for the file's
+/// lifetime — the WAL appends to one active segment at a time, so the
+/// hot path pays a `write` + `sync_data` and nothing else: no
+/// per-append `open`, no per-append path resolution, and a directory
+/// fsync only when a file is created (segment rotation, snapshots) or
+/// removed (compaction), never per append. Clones share the cache.
 #[derive(Debug, Clone)]
 pub struct FsStorage {
     dir: PathBuf,
+    /// name → cached append handle (evicted on remove).
+    handles: Arc<Mutex<BTreeMap<String, File>>>,
 }
 
 impl FsStorage {
@@ -85,6 +95,7 @@ impl FsStorage {
         std::fs::create_dir_all(dir.as_ref())?;
         Ok(Self {
             dir: dir.as_ref().to_path_buf(),
+            handles: Arc::new(Mutex::new(BTreeMap::new())),
         })
     }
 
@@ -133,12 +144,25 @@ impl WalStorage for FsStorage {
 
     fn append(&self, name: &str, data: &[u8]) -> io::Result<()> {
         use std::io::Write;
-        let path = self.dir.join(name);
-        let created = !path.exists();
-        let mut file = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(path)?;
+        let mut handles = self.handles.lock().expect("fs handle cache poisoned");
+        let created;
+        let file = match handles.entry(name.to_string()) {
+            std::collections::btree_map::Entry::Occupied(e) => {
+                created = false;
+                e.into_mut()
+            }
+            std::collections::btree_map::Entry::Vacant(v) => {
+                // Cache miss: resolve and open once per file lifetime.
+                let path = self.dir.join(name);
+                created = !path.exists();
+                v.insert(
+                    std::fs::OpenOptions::new()
+                        .create(true)
+                        .append(true)
+                        .open(path)?,
+                )
+            }
+        };
         file.write_all(data)?;
         file.sync_data()?;
         if created {
@@ -154,10 +178,18 @@ impl WalStorage for FsStorage {
             .write(true)
             .open(self.dir.join(name))?;
         file.set_len(len)?;
+        // The cached append handle (if any) stays valid: O_APPEND
+        // positions every write at the new end.
         file.sync_data()
     }
 
     fn remove(&self, name: &str) -> io::Result<()> {
+        // Evict first so a later append reopens (and re-creates) the
+        // file instead of writing into an unlinked inode.
+        self.handles
+            .lock()
+            .expect("fs handle cache poisoned")
+            .remove(name);
         match std::fs::remove_file(self.dir.join(name)) {
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
             Err(e) => Err(e),
@@ -240,6 +272,16 @@ impl SimStorage {
     /// healthy again the moment it is switched off, unlike a crash.
     pub fn set_append_errors(&self, failing: bool) {
         self.lock().failing = failing;
+    }
+
+    /// Arms (or re-arms) the crash `bytes` appended bytes from *now* —
+    /// so a test can run its setup on healthy storage and then place
+    /// the crash at an exact offset inside an upcoming write, e.g.
+    /// inside the `k`-th record of a batched flush, without probing
+    /// the setup's byte count first.
+    pub fn arm_crash_after(&self, bytes: u64) {
+        let mut state = self.lock();
+        state.crash_at = Some(state.written + bytes);
     }
 
     fn lock(&self) -> MutexGuard<'_, SimState> {

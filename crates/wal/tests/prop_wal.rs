@@ -176,6 +176,78 @@ fn fs_backend_round_trips_histories() {
     );
 }
 
+/// The group-commit invariant under arbitrary batching and crash
+/// points: batched ops acknowledge all-or-nothing, so reopening still
+/// yields **exactly** the acknowledged records — a crash inside any
+/// record of a batched write (header, mid-record, between records)
+/// must drop the whole failed batch and nothing before it.
+#[test]
+fn batched_appends_recover_exactly_the_acknowledged_records() {
+    // One drawn op: `pick == 0` snapshots, `pick == 1` single-appends
+    // the first payload, otherwise the payloads go through
+    // `append_batch` as one group commit.
+    type BatchOp = (u8, Vec<Vec<u8>>);
+    let payloads = || {
+        vecs(
+            vecs(ints(0u64..256), 0..12).prop_map(|v| v.iter().map(|x| *x as u8).collect()),
+            1..10,
+        )
+    };
+    check_cases(
+        "batched_appends_recover_exactly_the_acknowledged_records",
+        CASES,
+        (
+            vecs((ints(0u8..8), payloads()), 1..24),
+            ints(0u8..4),
+            ints(0u64..6000),
+        ),
+        |(ops, seg_pick, crash_at): &(Vec<BatchOp>, u8, u64)| {
+            let seg = segment_bytes(*seg_pick);
+            let sim = SimStorage::with_crash_after(*crash_at);
+            let (mut wal, _) = Wal::open(Box::new(sim.clone()), WalOptions { segment_bytes: seg })
+                .map_err(|e| Failed::new(format!("open: {e}")))?;
+            let mut acked: Vec<Vec<u8>> = Vec::new();
+            for (pick, payloads) in ops {
+                let result = match pick {
+                    0 => wal.snapshot(&encode_list(&acked)).err().map(|_| ()),
+                    1 => match wal.append(&payloads[0]) {
+                        Ok(()) => {
+                            acked.push(payloads[0].clone());
+                            None
+                        }
+                        Err(_) => Some(()),
+                    },
+                    _ => {
+                        let views: Vec<&[u8]> = payloads.iter().map(Vec::as_slice).collect();
+                        match wal.append_batch(&views) {
+                            Ok(receipt) => {
+                                prop_assert_eq!(receipt.records, payloads.len());
+                                acked.extend(payloads.iter().cloned());
+                                None
+                            }
+                            Err(_) => Some(()),
+                        }
+                    }
+                };
+                if result.is_some() {
+                    break;
+                }
+            }
+            // All-or-nothing batches: the surviving bytes replay to
+            // exactly the acknowledged sequence, never a prefix of a
+            // failed batch.
+            prop_assert_eq!(
+                recovered_history(&sim, seg),
+                acked,
+                "recovered history diverged (crash_at {}, seg {})",
+                crash_at,
+                seg
+            );
+            Ok(())
+        },
+    );
+}
+
 /// Meta: the shrinker minimizes a failing (ops, crash-point) pair — a
 /// deliberately broken property must come back as the smallest op list
 /// and the smallest crash offset that still fail.

@@ -10,19 +10,24 @@
 #   DPACK_CHECK_CASES=5000 ./scripts/ci.sh
 #
 # A failing property prints its reproducing seed; replay one case with
-# DPACK_CHECK_SEED=<seed> (see README.md "Testing"). The criterion
-# micro-benches remain feature-gated off (criterion is unavailable
-# offline).
+# DPACK_CHECK_SEED=<seed> (see README.md "Testing"). The micro-benches
+# run on the vendored std-only harness (crates/bench/src/micro.rs) and
+# are smoke-run here (1 iteration) so they cannot rot.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 # Fixed case budget by default, overridable for nightly-style runs.
 export DPACK_CHECK_CASES="${DPACK_CHECK_CASES:-64}"
 
-echo "==> checking that no proptest-tests feature gate remains"
+echo "==> checking that no stale feature gate remains"
 if grep -rn "proptest-tests" --include="*.rs" --include="*.toml" \
     src crates tests Cargo.toml 2>/dev/null; then
   echo "ERROR: stale 'proptest-tests' gate found — the property suites run un-gated on dpack-check" >&2
+  exit 1
+fi
+if grep -rn "criterion-benches" --include="*.rs" --include="*.toml" \
+    src crates tests Cargo.toml 2>/dev/null; then
+  echo "ERROR: stale 'criterion-benches' gate found — the micro-benches run un-gated on the vendored harness" >&2
   exit 1
 fi
 
@@ -49,6 +54,21 @@ if [ "${before_tests}" != "${after_tests}" ]; then
   diff <(echo "${before_tests}") <(echo "${after_tests}") >&2 || true
   exit 1
 fi
+
+# The vendored micro-benches must keep compiling *and running*; smoke
+# mode runs each benchmark for exactly one iteration.
+echo "==> vendored micro-benches (smoke mode)"
+for b in ablation filters knapsack_solvers rdp_accounting sched_kernels; do
+  cargo bench -q -p dpack-bench --bench "${b}" -- --smoke
+done
+
+# Perf trajectory: record durable vs non-durable service throughput
+# (group commit vs per-record sync vs in-memory) for this PR. The
+# binary itself asserts the group-commit sync bound
+# (syncs <= shards x cycles on the grant path).
+echo "==> service_throughput -> BENCH_4.json"
+cargo run --release -q -p dpack-bench --bin service_throughput -- --json BENCH_4.json
+grep -E "speedup|ops_per_sec" BENCH_4.json
 
 # Replay-determinism guard: the crash-recovery harness must produce
 # byte-identical output when replayed from the same seed — a diff here
