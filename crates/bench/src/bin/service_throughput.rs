@@ -22,6 +22,13 @@
 //! `--full` scales the instances up; `--seed`/`--out` as usual;
 //! `--json <path>` writes a machine-readable summary (CI records it as
 //! `BENCH_4.json` for the perf trajectory).
+//!
+//! `--remote` replaces the sweeps with the **remote submission
+//! surface** comparison: the same grant-and-decide workload driven (a)
+//! in-process through [`BudgetService::submit_async`] tickets and (b)
+//! through `dpack-net` over a real `127.0.0.1` TCP socket with a
+//! pipelining client, both against a background cycle thread. The
+//! `--json` summary for this mode is CI's `BENCH_5.json`.
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -321,6 +328,154 @@ fn latency_sweep(n_tasks: usize) -> Vec<(String, ModeReport)> {
     out
 }
 
+/// In-flight window for the remote/in-process decision pipelines: deep
+/// enough that the submitter never stalls on a cycle boundary, shallow
+/// enough that admission is never the bottleneck being hidden.
+const PIPELINE_WINDOW: usize = 256;
+
+/// A fresh service for the submission-surface comparison; capacity
+/// fits the whole workload so the measurement is grant throughput.
+fn remote_service(grid: &AlphaGrid, n_tasks: usize) -> (std::sync::Arc<BudgetService>, f64) {
+    let service = std::sync::Arc::new(BudgetService::new(
+        grid.clone(),
+        ServiceConfig {
+            shards: DURABLE_SHARDS,
+            workers: 2,
+            unlock_steps: 1,
+            scheduler: SchedulerChoice::DPack,
+            retention: StatsRetention::Window(1024),
+            ..ServiceConfig::default()
+        },
+    ));
+    let eps = 0.9 * DURABLE_BLOCKS as f64 / n_tasks as f64;
+    for j in 0..DURABLE_BLOCKS {
+        service
+            .register_block(Block::new(j, RdpCurve::constant(grid, 1.0), 0.0))
+            .expect("unique blocks");
+    }
+    (service, eps)
+}
+
+fn bench_task(grid: &AlphaGrid, id: u64, eps: f64) -> Task {
+    Task::new(
+        id,
+        1.0,
+        vec![id % DURABLE_BLOCKS],
+        RdpCurve::constant(grid, eps),
+        0.0,
+    )
+}
+
+/// Final-decision throughput through the in-process async surface:
+/// submit_async with a bounded in-flight window, waiting tickets out
+/// as the window fills.
+fn run_inprocess_decisions(n_tasks: usize) -> f64 {
+    let grid = AlphaGrid::new(vec![2.0, 4.0, 8.0, 16.0]).expect("valid grid");
+    let (service, eps) = remote_service(&grid, n_tasks);
+    let cycles = dpack_service::ServiceHandle::spawn(
+        std::sync::Arc::clone(&service),
+        Duration::from_millis(1),
+    );
+    let started = Instant::now();
+    let mut inflight = std::collections::VecDeque::new();
+    let mut granted = 0u64;
+    for id in 0..n_tasks as u64 {
+        let ticket = service
+            .submit_async((id % N_TENANTS as u64) as u32, bench_task(&grid, id, eps))
+            .expect("fits");
+        inflight.push_back(ticket);
+        if inflight.len() >= PIPELINE_WINDOW {
+            let t = inflight.pop_front().expect("non-empty");
+            granted += u64::from(matches!(t.wait(), dpack_service::Decision::Granted { .. }));
+        }
+    }
+    for t in inflight {
+        granted += u64::from(matches!(t.wait(), dpack_service::Decision::Granted { .. }));
+    }
+    let wall = started.elapsed();
+    cycles.stop();
+    assert_eq!(granted, n_tasks as u64, "workload must fit");
+    assert!(service.ledger().unsound_blocks().is_empty());
+    n_tasks as f64 / wall.as_secs_f64()
+}
+
+/// The same decision pipeline through `dpack-net` over a real
+/// `127.0.0.1` socket.
+fn run_remote_decisions(n_tasks: usize) -> f64 {
+    let grid = AlphaGrid::new(vec![2.0, 4.0, 8.0, 16.0]).expect("valid grid");
+    let (service, eps) = remote_service(&grid, n_tasks);
+    let server = dpack_net::NetServer::bind(std::sync::Arc::clone(&service), "127.0.0.1:0")
+        .expect("bind loopback");
+    let cycles = dpack_service::ServiceHandle::spawn(
+        std::sync::Arc::clone(&service),
+        Duration::from_millis(1),
+    );
+    let mut client = dpack_net::NetClient::connect(server.local_addr()).expect("connect");
+    let started = Instant::now();
+    let mut inflight = std::collections::VecDeque::new();
+    let mut granted = 0u64;
+    for id in 0..n_tasks as u64 {
+        let handle = client
+            .submit_nowait((id % N_TENANTS as u64) as u32, &bench_task(&grid, id, eps))
+            .expect("send");
+        inflight.push_back(handle);
+        if inflight.len() >= PIPELINE_WINDOW {
+            let h = inflight.pop_front().expect("non-empty");
+            granted += u64::from(client.wait_decision(h).expect("decision").is_granted());
+        }
+    }
+    for h in inflight {
+        granted += u64::from(client.wait_decision(h).expect("decision").is_granted());
+    }
+    let wall = started.elapsed();
+    cycles.stop();
+    server.stop();
+    assert_eq!(granted, n_tasks as u64, "workload must fit");
+    assert!(service.ledger().unsound_blocks().is_empty());
+    n_tasks as f64 / wall.as_secs_f64()
+}
+
+/// The `--remote` mode: remote vs in-process **final-decision**
+/// throughput on the same workload. Both surfaces answer with the
+/// decision (not an enqueue ack), so the numbers isolate what the wire
+/// adds: framing, checksums, syscalls, and the reactor sweep.
+fn remote_comparison(n_tasks: usize, json: Option<&str>) {
+    let inprocess = run_inprocess_decisions(n_tasks);
+    let remote = run_remote_decisions(n_tasks);
+    let relative = remote / inprocess;
+    let mut t = Table::new(vec!["surface", "granted", "decisions/s"]);
+    t.row(vec![
+        "in-process submit_async".into(),
+        n_tasks.to_string(),
+        fmt(inprocess, 0),
+    ]);
+    t.row(vec![
+        "remote tcp loopback".into(),
+        n_tasks.to_string(),
+        fmt(remote, 0),
+    ]);
+    t.print();
+    println!(
+        "\nremote tenants reach {:.0}% of the in-process decision rate \
+         (window {PIPELINE_WINDOW}, {DURABLE_SHARDS} shards)",
+        100.0 * relative
+    );
+    if let Some(path) = json {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"bench\": \"service_throughput_remote\",");
+        let _ = writeln!(s, "  \"tasks\": {n_tasks},");
+        let _ = writeln!(s, "  \"shards\": {DURABLE_SHARDS},");
+        let _ = writeln!(s, "  \"pipeline_window\": {PIPELINE_WINDOW},");
+        let _ = writeln!(s, "  \"inprocess_decisions_ops_per_sec\": {inprocess:.1},");
+        let _ = writeln!(s, "  \"remote_decisions_ops_per_sec\": {remote:.1},");
+        let _ = writeln!(s, "  \"remote_relative_to_inprocess\": {relative:.3}");
+        s.push_str("}\n");
+        std::fs::write(path, s).expect("write json");
+        println!("\nwrote {path}");
+    }
+}
+
 fn json_escape_free(s: &str) -> &str {
     // Labels here are ASCII identifiers; keep the writer honest.
     debug_assert!(!s.contains('"') && !s.contains('\\'));
@@ -398,6 +553,14 @@ fn write_json(
 fn main() {
     let args = dpack_bench::cli::Args::parse();
     let n_tasks = if args.full { 10_000 } else { 2_000 };
+    if args.remote {
+        println!(
+            "dpack-net remote submission surface — {} tasks, {} blocks, {} tenants\n",
+            n_tasks, DURABLE_BLOCKS, N_TENANTS
+        );
+        remote_comparison(n_tasks, args.json.as_deref());
+        return;
+    }
     println!(
         "dpack-service throughput — {} tasks, 32 blocks, {} tenants, DPack\n",
         n_tasks, N_TENANTS

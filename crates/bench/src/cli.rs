@@ -15,6 +15,9 @@ pub struct Args {
     /// Run the Kubernetes-profile latency sweep too (`--latency`,
     /// service benches only).
     pub latency: bool,
+    /// Measure the remote (TCP-loopback) submission surface instead of
+    /// the in-process sweeps (`--remote`, service benches only).
+    pub remote: bool,
     /// Write a machine-readable summary to this path (`--json <path>`,
     /// service benches only).
     pub json: Option<String>,
@@ -28,6 +31,7 @@ impl Default for Args {
             full: false,
             out_dir: "results".into(),
             latency: false,
+            remote: false,
             json: None,
         }
     }
@@ -67,11 +71,13 @@ impl Args {
                     args.out_dir = it.next().unwrap_or_else(|| panic!("--out needs a path"));
                 }
                 "--latency" => args.latency = true,
+                "--remote" => args.remote = true,
                 "--json" => {
                     args.json = Some(it.next().unwrap_or_else(|| panic!("--json needs a path")));
                 }
                 other => panic!(
-                    "unknown flag {other} (expected --seed/--panel/--full/--out/--latency/--json)"
+                    "unknown flag {other} \
+                     (expected --seed/--panel/--full/--out/--latency/--remote/--json)"
                 ),
             }
         }
@@ -112,6 +118,7 @@ mod tests {
             "--out",
             "tmp",
             "--latency",
+            "--remote",
             "--json",
             "out.json",
         ]);
@@ -122,6 +129,7 @@ mod tests {
         assert!(!a.wants_panel('a'));
         assert!(a.wants_panel('b'));
         assert!(a.latency);
+        assert!(a.remote);
         assert_eq!(a.json.as_deref(), Some("out.json"));
     }
 

@@ -32,6 +32,14 @@ impl Failed {
     }
 }
 
+impl fmt::Display for Failed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "property failed: {}", self.message)
+    }
+}
+
+impl std::error::Error for Failed {}
+
 /// What a property returns: `Ok(())` to pass, `Err` to fail the case.
 pub type PropResult = Result<(), Failed>;
 
@@ -101,6 +109,8 @@ pub struct Failure {
     /// Shrink candidates evaluated.
     pub shrink_evals: u32,
 }
+
+impl std::error::Error for Failure {}
 
 impl fmt::Display for Failure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

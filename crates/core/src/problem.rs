@@ -105,8 +105,11 @@ impl Block {
 #[derive(Debug, Clone)]
 pub struct ProblemState {
     grid: AlphaGrid,
-    /// Available capacity per block.
-    blocks: BTreeMap<BlockId, RdpCurve>,
+    /// Available capacity per block. Shared, not owned: the service's
+    /// cycle-stable snapshot cache hands the same map to many cycles,
+    /// so the state must not force a per-cycle deep copy of every
+    /// curve ([`ProblemState::from_available_shared`]).
+    blocks: std::sync::Arc<BTreeMap<BlockId, RdpCurve>>,
     /// Pending tasks, in arrival order.
     tasks: Vec<Task>,
 }
@@ -138,7 +141,7 @@ impl ProblemState {
         }
         let state = Self {
             grid,
-            blocks: map,
+            blocks: std::sync::Arc::new(map),
             tasks: Vec::new(),
         };
         state.with_tasks(tasks)
@@ -151,7 +154,23 @@ impl ProblemState {
         available: BTreeMap<BlockId, RdpCurve>,
         tasks: Vec<Task>,
     ) -> Result<Self, ProblemError> {
-        for (id, c) in &available {
+        Self::from_available_shared(grid, std::sync::Arc::new(available), tasks)
+    }
+
+    /// [`ProblemState::from_available`] over an already-shared capacity
+    /// map — the zero-copy path for callers that cache snapshots (the
+    /// service's striped ledger serves one `Arc` per shard per cycle;
+    /// cloning every curve into an owned map would undo that).
+    ///
+    /// # Errors
+    ///
+    /// The same validation as [`ProblemState::from_available`].
+    pub fn from_available_shared(
+        grid: AlphaGrid,
+        available: std::sync::Arc<BTreeMap<BlockId, RdpCurve>>,
+        tasks: Vec<Task>,
+    ) -> Result<Self, ProblemError> {
+        for (id, c) in available.iter() {
             if c.grid() != &grid {
                 return Err(ProblemError(format!("block {id} is on a different grid")));
             }
@@ -204,7 +223,7 @@ impl ProblemState {
 
     /// Available capacity per block, keyed by block id.
     pub fn blocks(&self) -> &BTreeMap<BlockId, RdpCurve> {
-        &self.blocks
+        self.blocks.as_ref()
     }
 
     /// The pending tasks.

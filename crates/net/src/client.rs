@@ -1,0 +1,323 @@
+//! The remote tenant's client library.
+//!
+//! [`NetClient`] is a synchronous client with **pipelining**: the
+//! `*_nowait` methods send a request and return a [`ReplyHandle`]
+//! immediately, so a tenant can keep any number of submissions in
+//! flight and collect decisions later. Responses arrive in whatever
+//! order the server resolves them (a stats reply overtakes a
+//! submission that is still waiting on its scheduling cycle); the
+//! client matches them to handles by request id and stashes
+//! out-of-order arrivals.
+//!
+//! [`ClientPool`] shares a fixed set of connections across threads:
+//! [`ClientPool::get`] checks a connection out (blocking while all are
+//! busy) and the guard returns it on drop, panic-safe.
+
+use std::collections::BTreeMap;
+use std::net::ToSocketAddrs;
+use std::sync::{Arc, Condvar, Mutex};
+
+use dp_accounting::AlphaGrid;
+use dpack_core::problem::{Block, Task, TaskId};
+use dpack_service::BudgetService;
+
+use crate::error::NetError;
+use crate::transport::{LoopbackTransport, TcpTransport, Transport};
+use crate::wire::{
+    Outcome, Request, RequestFrame, Response, ResponseFrame, WireStats, WireTask, MAX_FRAME,
+};
+
+/// A claim on one in-flight request's response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "an unredeemed handle leaves its response in the stash forever"]
+pub struct ReplyHandle(u64);
+
+/// A synchronous, pipelining protocol client over any [`Transport`].
+pub struct NetClient {
+    transport: Box<dyn Transport>,
+    next_id: u64,
+    /// Responses that arrived while waiting for a different id.
+    stash: BTreeMap<u64, Response>,
+}
+
+impl NetClient {
+    /// Wraps an arbitrary transport.
+    pub fn new(transport: Box<dyn Transport>) -> Self {
+        Self {
+            transport,
+            next_id: 1,
+            stash: BTreeMap::new(),
+        }
+    }
+
+    /// Connects over TCP to a [`crate::NetServer`].
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, NetError> {
+        Ok(Self::new(Box::new(TcpTransport::connect(addr)?)))
+    }
+
+    /// A client wired straight to an in-process service (no sockets);
+    /// see [`LoopbackTransport`] for the receive semantics.
+    pub fn loopback(service: Arc<BudgetService>) -> Self {
+        Self::new(Box::new(LoopbackTransport::new(service)))
+    }
+
+    fn send(&mut self, body: Request) -> Result<ReplyHandle, NetError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let payload = RequestFrame { id, body }.encode();
+        // Refuse rather than let the frame encoder's size assertion
+        // fire: a single request this large (a giant batch) is a
+        // caller error the protocol cannot carry.
+        if payload.len() > MAX_FRAME as usize {
+            return Err(NetError::Protocol(format!(
+                "request of {} bytes exceeds the {MAX_FRAME}-byte frame cap",
+                payload.len()
+            )));
+        }
+        self.transport.send_frame(&payload)?;
+        Ok(ReplyHandle(id))
+    }
+
+    /// Receives until the response for `handle` arrives, stashing
+    /// others.
+    fn recv_for(&mut self, handle: ReplyHandle) -> Result<Response, NetError> {
+        if let Some(resp) = self.stash.remove(&handle.0) {
+            return Ok(resp);
+        }
+        loop {
+            let payload = self.transport.recv_frame()?;
+            let ResponseFrame { id, body } = ResponseFrame::decode(&payload)?;
+            // A request-id-0 error is the server's parting shot before
+            // it drops a connection it no longer trusts.
+            if id == 0 {
+                if let Response::Error { code, message } = body {
+                    return Err(NetError::Remote { code, message });
+                }
+                return Err(NetError::Protocol("response with request id 0".into()));
+            }
+            if id == handle.0 {
+                return Ok(body);
+            }
+            self.stash.insert(id, body);
+        }
+    }
+
+    fn unexpected(body: &Response) -> NetError {
+        match body {
+            Response::Error { code, message } => NetError::Remote {
+                code: *code,
+                message: message.clone(),
+            },
+            other => NetError::Protocol(format!("response type mismatch: {other:?}")),
+        }
+    }
+
+    /// The server's alpha grid — remote tenants build their demand and
+    /// capacity curves on it.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures, or a grid the accounting layer
+    /// rejects.
+    pub fn grid(&mut self) -> Result<AlphaGrid, NetError> {
+        let handle = self.send(Request::Hello)?;
+        match self.recv_for(handle)? {
+            Response::Hello { alphas } => AlphaGrid::new(alphas)
+                .map_err(|e| NetError::Protocol(format!("server sent an invalid grid: {e}"))),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Pipelines one submission; redeem the handle with
+    /// [`NetClient::wait_decision`].
+    ///
+    /// # Errors
+    ///
+    /// Transport failures (the submission may or may not have reached
+    /// the server).
+    pub fn submit_nowait(&mut self, tenant: u32, task: &Task) -> Result<ReplyHandle, NetError> {
+        self.send(Request::Submit {
+            tenant,
+            task: WireTask::from_task(task),
+        })
+    }
+
+    /// Redeems a [`NetClient::submit_nowait`] handle: blocks until the
+    /// service's **final decision** for that task arrives.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures. A rejection is *not* an error —
+    /// it is an [`Outcome::Rejected`] decision.
+    pub fn wait_decision(&mut self, handle: ReplyHandle) -> Result<Outcome, NetError> {
+        match self.recv_for(handle)? {
+            Response::Decision { outcome, .. } => Ok(outcome),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Submits one task and blocks for its final decision.
+    ///
+    /// # Errors
+    ///
+    /// See [`NetClient::wait_decision`].
+    pub fn submit(&mut self, tenant: u32, task: &Task) -> Result<Outcome, NetError> {
+        let handle = self.submit_nowait(tenant, task)?;
+        self.wait_decision(handle)
+    }
+
+    /// Submits a batch in one frame and blocks until every decision is
+    /// made; decisions come back in submission order.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures (individual rejections are
+    /// decisions, not errors).
+    pub fn submit_batch(
+        &mut self,
+        tenant: u32,
+        tasks: &[Task],
+    ) -> Result<Vec<(TaskId, Outcome)>, NetError> {
+        let handle = self.send(Request::SubmitBatch {
+            tenant,
+            tasks: tasks.iter().map(WireTask::from_task).collect(),
+        })?;
+        match self.recv_for(handle)? {
+            Response::BatchDecision { decisions } => Ok(decisions),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Registers a data block.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Remote`] with [`crate::ErrorCode::BlockRejected`]
+    /// when the service refuses it; transport failures otherwise.
+    pub fn register_block(&mut self, block: &Block) -> Result<(), NetError> {
+        let handle = self.send(Request::RegisterBlock {
+            id: block.id,
+            arrival: block.arrival,
+            capacity: block.capacity.values().to_vec(),
+        })?;
+        match self.recv_for(handle)? {
+            Response::BlockRegistered { .. } => Ok(()),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Reads the service counters.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures.
+    pub fn stats(&mut self) -> Result<WireStats, NetError> {
+        let handle = self.send(Request::Stats)?;
+        match self.recv_for(handle)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Reads every block's available budget at virtual time `now`.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures.
+    pub fn snapshot(&mut self, now: f64) -> Result<BTreeMap<u64, Vec<f64>>, NetError> {
+        let handle = self.send(Request::Snapshot { now })?;
+        match self.recv_for(handle)? {
+            Response::Snapshot { blocks } => Ok(blocks.into_iter().collect()),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+}
+
+/// A fixed-size pool of protocol clients shared across threads.
+pub struct ClientPool {
+    idle: Mutex<Vec<NetClient>>,
+    available: Condvar,
+    size: usize,
+}
+
+impl ClientPool {
+    /// Opens `size` TCP connections to one server.
+    ///
+    /// # Errors
+    ///
+    /// The first connection failure (already-opened connections drop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    pub fn connect(addr: impl ToSocketAddrs + Copy, size: usize) -> Result<Self, NetError> {
+        assert!(size >= 1, "a pool needs at least one connection");
+        let clients = (0..size)
+            .map(|_| NetClient::connect(addr))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            idle: Mutex::new(clients),
+            available: Condvar::new(),
+            size,
+        })
+    }
+
+    /// The pool's connection count.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Checks a connection out, blocking while all are in use. The
+    /// guard derefs to [`NetClient`] and returns the connection on
+    /// drop — including on panic, so a poisoned caller cannot leak
+    /// pool capacity.
+    pub fn get(&self) -> PooledClient<'_> {
+        let mut idle = self.idle.lock().expect("pool lock poisoned");
+        loop {
+            if let Some(client) = idle.pop() {
+                return PooledClient {
+                    pool: self,
+                    client: Some(client),
+                };
+            }
+            idle = self.available.wait(idle).expect("pool lock poisoned");
+        }
+    }
+
+    fn put_back(&self, client: NetClient) {
+        self.idle.lock().expect("pool lock poisoned").push(client);
+        self.available.notify_one();
+    }
+}
+
+/// A checked-out pool connection; returns itself on drop.
+pub struct PooledClient<'a> {
+    pool: &'a ClientPool,
+    client: Option<NetClient>,
+}
+
+impl std::ops::Deref for PooledClient<'_> {
+    type Target = NetClient;
+
+    fn deref(&self) -> &NetClient {
+        self.client.as_ref().expect("present until drop")
+    }
+}
+
+impl std::ops::DerefMut for PooledClient<'_> {
+    fn deref_mut(&mut self) -> &mut NetClient {
+        self.client.as_mut().expect("present until drop")
+    }
+}
+
+impl Drop for PooledClient<'_> {
+    fn drop(&mut self) {
+        if let Some(client) = self.client.take() {
+            self.pool.put_back(client);
+        }
+    }
+}

@@ -1,0 +1,642 @@
+//! The remote frontend's server side: a shared request-processing core
+//! and a poll-based TCP reactor around it.
+//!
+//! # Design
+//!
+//! [`ServiceCore`] is the transport-independent half: one wire request
+//! in, either an immediate response or a [`PendingReply`] out. A
+//! submission's reply is *pending* by construction — the service
+//! answers with the **final decision** (via
+//! [`dpack_service::BudgetService::submit_async`] tickets), which a
+//! later scheduling cycle produces. The loopback transport calls the
+//! core synchronously; the TCP reactor polls pending replies in its
+//! sweep.
+//!
+//! [`NetServer`] is the socket half: a single-threaded reactor over
+//! nonblocking `std::net` sockets in the house style — vendored,
+//! deterministic, no async runtime. Each sweep accepts new
+//! connections, reads whatever bytes are available (clients may
+//! pipeline any number of requests), processes complete frames, polls
+//! pending decisions, and flushes write buffers. Request ids make
+//! out-of-order completion safe: a stats request answers immediately
+//! even while earlier submissions are still awaiting their cycle.
+//!
+//! The reactor never blocks on any one connection (a slow reader only
+//! grows its own write buffer) and a protocol violation answers with a
+//! final [`Response::Error`] frame before the connection closes.
+//!
+//! Scheduling cycles are *not* the server's job: the embedded
+//! [`BudgetService`] is shared (an `Arc`), and whoever owns it drives
+//! [`BudgetService::run_cycle`] — a [`dpack_service::ServiceHandle`]
+//! loop in production, the test itself in deterministic tests.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use dpack_service::{BudgetService, Decision, SubmissionTicket};
+
+use crate::error::{admission_code, ErrorCode, NetError};
+use crate::wire::{
+    frame_into, FrameDecoder, Outcome, Request, RequestFrame, Response, ResponseFrame, WireStats,
+    MAX_FRAME,
+};
+
+/// Replaces a reply that cannot fit in one frame with an `Error`
+/// response for the same request id. A tenant can legitimately request
+/// more than a frame holds (a snapshot of a very large ledger), and an
+/// oversized reply must degrade to an error — never trip the frame
+/// encoder's size assertion inside the reactor.
+fn clamp_reply(payload: Vec<u8>) -> Vec<u8> {
+    if payload.len() <= MAX_FRAME as usize {
+        return payload;
+    }
+    // `tag u8 ‖ request id u64` prefixes every encoded response.
+    let id = u64::from_le_bytes(payload[1..9].try_into().expect("sized"));
+    ResponseFrame {
+        id,
+        body: Response::Error {
+            code: ErrorCode::Protocol,
+            message: format!(
+                "response of {} bytes exceeds the {MAX_FRAME}-byte frame cap",
+                payload.len()
+            ),
+        },
+    }
+    .encode()
+}
+
+/// One slot of a (possibly batched) submission reply.
+#[derive(Debug)]
+enum Slot {
+    /// Decided at admission time (rejections) or by an earlier poll.
+    Done(u64, Outcome),
+    /// Awaiting the scheduling cycle's decision.
+    Waiting(SubmissionTicket),
+}
+
+impl Slot {
+    fn poll(&mut self) -> bool {
+        if let Slot::Waiting(ticket) = self {
+            match ticket.try_decision() {
+                Some(d) => *self = Slot::Done(ticket.task_id(), decision_outcome(d)),
+                None => return false,
+            }
+        }
+        true
+    }
+
+    fn block(&mut self) {
+        if let Slot::Waiting(ticket) = self {
+            let d = ticket.wait();
+            *self = Slot::Done(ticket.task_id(), decision_outcome(d));
+        }
+    }
+}
+
+fn decision_outcome(d: Decision) -> Outcome {
+    match d {
+        Decision::Granted { allocated_at } => Outcome::Granted { allocated_at },
+        Decision::Evicted => Outcome::Evicted,
+    }
+}
+
+/// A reply that resolves when the scheduling loop decides the
+/// submission(s) it answers.
+#[derive(Debug)]
+pub struct PendingReply {
+    request_id: u64,
+    /// `false` encodes a single [`Response::Decision`]; `true` a
+    /// [`Response::BatchDecision`] (even for a 1-task batch, so the
+    /// reply shape always matches the request shape).
+    batch: bool,
+    slots: Vec<Slot>,
+}
+
+impl PendingReply {
+    fn encode(self) -> Vec<u8> {
+        let decisions: Vec<(u64, Outcome)> = self
+            .slots
+            .into_iter()
+            .map(|s| match s {
+                Slot::Done(task, outcome) => (task, outcome),
+                Slot::Waiting(_) => unreachable!("encode is called only once resolved"),
+            })
+            .collect();
+        let body = if self.batch {
+            Response::BatchDecision { decisions }
+        } else {
+            let (task, outcome) = decisions.into_iter().next().expect("single slot");
+            Response::Decision { task, outcome }
+        };
+        clamp_reply(
+            ResponseFrame {
+                id: self.request_id,
+                body,
+            }
+            .encode(),
+        )
+    }
+
+    /// Polls every undecided slot; returns the encoded response once
+    /// all are decided. Never blocks.
+    pub fn try_poll(&mut self) -> Option<Vec<u8>> {
+        let mut all = true;
+        for slot in &mut self.slots {
+            all &= slot.poll();
+        }
+        all.then(|| {
+            std::mem::replace(
+                self,
+                PendingReply {
+                    request_id: 0,
+                    batch: false,
+                    slots: Vec::new(),
+                },
+            )
+            .encode()
+        })
+    }
+
+    /// Parks until every slot is decided and returns the encoded
+    /// response (the loopback transport's path; cycles must be driven
+    /// by another thread or before this call).
+    pub fn wait(mut self) -> Vec<u8> {
+        for slot in &mut self.slots {
+            slot.block();
+        }
+        self.encode()
+    }
+}
+
+/// What [`ServiceCore::handle`] produced for one request.
+#[derive(Debug)]
+pub enum Step {
+    /// The response payload, ready to send.
+    Reply(Vec<u8>),
+    /// A submission awaiting its cycle decision.
+    Pending(PendingReply),
+}
+
+/// The transport-independent request processor: decodes one request
+/// payload, runs it against the embedded service, and produces either
+/// an immediate reply or a pending one.
+#[derive(Clone)]
+pub struct ServiceCore {
+    service: Arc<BudgetService>,
+}
+
+impl ServiceCore {
+    /// Wraps a shared service.
+    pub fn new(service: Arc<BudgetService>) -> Self {
+        Self { service }
+    }
+
+    /// The embedded service.
+    pub fn service(&self) -> &Arc<BudgetService> {
+        &self.service
+    }
+
+    /// Processes one request payload.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Protocol`] when the payload does not decode — the
+    /// caller should send [`protocol_error_frame`] and drop the
+    /// connection, since frame boundaries can no longer be trusted to
+    /// carry meaning.
+    pub fn handle(&self, payload: &[u8]) -> Result<Step, NetError> {
+        let RequestFrame { id, body } = RequestFrame::decode(payload)?;
+        let step = match body {
+            Request::Hello => Step::Reply(
+                ResponseFrame {
+                    id,
+                    body: Response::Hello {
+                        alphas: self.service.ledger().grid().orders().to_vec(),
+                    },
+                }
+                .encode(),
+            ),
+            Request::Submit { tenant, task } => {
+                let slot = self.submit_slot(tenant, task);
+                self.submission_step(id, false, vec![slot])
+            }
+            Request::SubmitBatch { tenant, tasks } => {
+                let slots = tasks
+                    .into_iter()
+                    .map(|t| self.submit_slot(tenant, t))
+                    .collect();
+                self.submission_step(id, true, slots)
+            }
+            Request::RegisterBlock {
+                id: block_id,
+                arrival,
+                capacity,
+            } => {
+                let body = self.register(block_id, arrival, capacity);
+                Step::Reply(ResponseFrame { id, body }.encode())
+            }
+            Request::Stats => {
+                let summary = self.service.stats_summary();
+                let stats = WireStats {
+                    submitted: summary.submitted,
+                    admitted: summary.admitted,
+                    rejected: summary.rejected,
+                    granted: summary.granted,
+                    evicted: summary.evicted,
+                    cycles: summary.cycles,
+                    granted_weight: summary.granted_weight,
+                    throughput: summary.throughput,
+                    queue_depth: self.service.queue_depth() as u64,
+                    pending: self.service.pending_count() as u64,
+                };
+                Step::Reply(
+                    ResponseFrame {
+                        id,
+                        body: Response::Stats(stats),
+                    }
+                    .encode(),
+                )
+            }
+            Request::Snapshot { now } => {
+                // The uncached path on purpose: a tenant polling
+                // snapshots at arbitrary `now`s must not evict the
+                // per-shard cycle-stable cache the scheduling loop
+                // relies on.
+                let ledger = self.service.ledger();
+                let blocks = (0..ledger.n_shards())
+                    .flat_map(|s| ledger.snapshot_shard_uncached(s, now))
+                    .map(|(id, curve)| (id, curve.values().to_vec()))
+                    .collect();
+                Step::Reply(
+                    ResponseFrame {
+                        id,
+                        body: Response::Snapshot { blocks },
+                    }
+                    .encode(),
+                )
+            }
+        };
+        Ok(match step {
+            Step::Reply(payload) => Step::Reply(clamp_reply(payload)),
+            pending => pending,
+        })
+    }
+
+    /// Submits one wire task; an admission rejection *is* the final
+    /// decision, so it fills the slot immediately.
+    fn submit_slot(&self, tenant: u32, task: crate::wire::WireTask) -> Slot {
+        let task_id = task.id;
+        let result = task
+            .into_task(self.service.ledger().grid())
+            .and_then(|t| self.service.submit_async(tenant, t));
+        match result {
+            Ok(ticket) => Slot::Waiting(ticket),
+            Err(e) => Slot::Done(
+                task_id,
+                Outcome::Rejected {
+                    code: admission_code(&e),
+                    message: e.to_string(),
+                },
+            ),
+        }
+    }
+
+    fn submission_step(&self, id: u64, batch: bool, slots: Vec<Slot>) -> Step {
+        let mut pending = PendingReply {
+            request_id: id,
+            batch,
+            slots,
+        };
+        match pending.try_poll() {
+            Some(reply) => Step::Reply(reply),
+            None => Step::Pending(pending),
+        }
+    }
+
+    fn register(&self, block_id: u64, arrival: f64, capacity: Vec<f64>) -> Response {
+        let grid = self.service.ledger().grid();
+        let capacity = match dp_accounting::RdpCurve::new(grid, capacity) {
+            Ok(c) => c,
+            Err(e) => {
+                return Response::Error {
+                    code: ErrorCode::BlockRejected,
+                    message: format!("capacity does not fit the grid: {e}"),
+                }
+            }
+        };
+        let block = dpack_core::problem::Block::new(block_id, capacity, arrival);
+        match self.service.register_block(block) {
+            Ok(()) => Response::BlockRegistered { id: block_id },
+            Err(e) => Response::Error {
+                code: ErrorCode::BlockRejected,
+                message: e.to_string(),
+            },
+        }
+    }
+}
+
+/// The framed `Error` response a peer gets right before the server
+/// drops a connection that violated the protocol.
+pub fn protocol_error_frame(err: &NetError) -> Vec<u8> {
+    let mut out = Vec::new();
+    frame_into(
+        &mut out,
+        &ResponseFrame {
+            id: 0,
+            body: Response::Error {
+                code: ErrorCode::Protocol,
+                message: err.to_string(),
+            },
+        }
+        .encode(),
+    );
+    out
+}
+
+/// One client connection's reactor state.
+struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    /// Encoded-but-unflushed response bytes.
+    wbuf: Vec<u8>,
+    /// Written prefix of `wbuf`.
+    wpos: usize,
+    pending: Vec<PendingReply>,
+    /// Flush what is buffered, then drop the connection.
+    close_after_flush: bool,
+    /// The client half-closed; answer what is pending, then finish.
+    eof: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            decoder: FrameDecoder::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            pending: Vec::new(),
+            close_after_flush: false,
+            eof: false,
+        }
+    }
+
+    fn queue(&mut self, payload: &[u8]) {
+        frame_into(&mut self.wbuf, payload);
+    }
+
+    /// Reads available bytes and processes complete frames. Returns
+    /// `false` when the connection is finished (EOF or fatal error),
+    /// `true` with `progress` updated otherwise.
+    fn pump_read(&mut self, core: &ServiceCore, progress: &mut bool) -> bool {
+        if self.close_after_flush || self.eof {
+            return true; // Ignore further input; just drain the buffer.
+        }
+        let mut chunk = [0u8; 8192];
+        // Per-sweep read budget: a tenant streaming pipelined requests
+        // faster than they are processed must not monopolize the sweep
+        // — other connections' reads, pending decisions, and flushes
+        // run between budget slices. Unread bytes stay in the kernel
+        // buffer (and eventually push back on the sender).
+        let mut budget = READ_BUDGET;
+        loop {
+            if budget == 0 {
+                return true;
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    // Half-close: a pipelining client may shut its
+                    // write side down and still await the decisions.
+                    self.eof = true;
+                    return true;
+                }
+                Ok(n) => {
+                    *progress = true;
+                    budget = budget.saturating_sub(n);
+                    self.decoder.extend(&chunk[..n]);
+                    loop {
+                        match self.decoder.next_frame() {
+                            Ok(Some(payload)) => match core.handle(&payload) {
+                                Ok(Step::Reply(reply)) => self.queue(&reply),
+                                Ok(Step::Pending(p)) => self.pending.push(p),
+                                Err(e) => {
+                                    self.wbuf.extend_from_slice(&protocol_error_frame(&e));
+                                    self.close_after_flush = true;
+                                    return true;
+                                }
+                            },
+                            Ok(None) => break,
+                            Err(e) => {
+                                self.wbuf.extend_from_slice(&protocol_error_frame(&e));
+                                self.close_after_flush = true;
+                                return true;
+                            }
+                        }
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+    }
+
+    /// Polls pending decisions into the write buffer.
+    fn pump_pending(&mut self, progress: &mut bool) {
+        let mut i = 0;
+        while i < self.pending.len() {
+            if let Some(reply) = self.pending[i].try_poll() {
+                self.queue(&reply);
+                self.pending.swap_remove(i);
+                *progress = true;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Flushes buffered bytes. Returns `false` when the connection is
+    /// finished.
+    fn pump_write(&mut self, progress: &mut bool) -> bool {
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => return false,
+                Ok(n) => {
+                    self.wpos += n;
+                    *progress = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+        if self.wpos == self.wbuf.len() {
+            self.wbuf.clear();
+            self.wpos = 0;
+            if self.close_after_flush {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether the reactor still has work or obligations here.
+    fn idle_done(&self) -> bool {
+        self.pending.is_empty() && self.wpos >= self.wbuf.len()
+    }
+}
+
+/// A TCP server exposing a [`BudgetService`] to remote tenants.
+///
+/// Runs one reactor thread; stop it with [`NetServer::stop`] (also on
+/// drop). Pending decisions on live connections are answered as cycles
+/// resolve them; at shutdown, unanswered connections are dropped and
+/// clients observe [`NetError::Closed`].
+pub struct NetServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Binds and spawns the reactor. Bind to port 0 to let the OS pick
+    /// ([`NetServer::local_addr`] reports the choice).
+    ///
+    /// # Errors
+    ///
+    /// Socket bind/configuration errors.
+    pub fn bind(service: Arc<BudgetService>, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let reactor_stop = Arc::clone(&stop);
+        let core = ServiceCore::new(service);
+        let thread = std::thread::Builder::new()
+            .name("dpack-net-reactor".into())
+            .spawn(move || reactor(listener, core, &reactor_stop))
+            .expect("spawn reactor thread");
+        Ok(Self {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (with the OS-assigned port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals the reactor and joins it. Connections still waiting on
+    /// decisions are dropped.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(thread) = self.thread.take() {
+            thread.join().expect("reactor thread panicked");
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// How long the reactor parks when a sweep made no progress. Pending
+/// decisions resolve at scheduling-cycle granularity, so a sub-cycle
+/// park costs latency nobody observes.
+const IDLE_PARK: Duration = Duration::from_micros(200);
+
+/// Bytes one connection may feed into the processor per sweep — the
+/// fairness slice between connections (see [`Conn::pump_read`]).
+const READ_BUDGET: usize = 64 * 1024;
+
+fn reactor(listener: TcpListener, core: ServiceCore, stop: &AtomicBool) {
+    let mut conns: Vec<Conn> = Vec::new();
+    while !stop.load(Ordering::Acquire) {
+        let mut progress = false;
+
+        // Accept whatever is queued.
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                        continue; // Misconfigured socket: drop it.
+                    }
+                    conns.push(Conn::new(stream));
+                    progress = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+
+        // Sweep every connection: read → process → poll pending →
+        // write; drop the finished ones.
+        let mut i = 0;
+        while i < conns.len() {
+            let conn = &mut conns[i];
+            let mut alive = conn.pump_read(&core, &mut progress);
+            conn.pump_pending(&mut progress);
+            alive &= conn.pump_write(&mut progress);
+            // A half-closed connection finishes once fully answered.
+            alive &= !(conn.eof && conn.idle_done());
+            if alive {
+                i += 1;
+            } else {
+                conns.swap_remove(i);
+                progress = true;
+            }
+        }
+
+        // No bytes moved and no decision resolved this sweep: park.
+        // Connections merely *waiting* on a scheduling cycle must not
+        // keep the reactor spinning — their decisions resolve at cycle
+        // granularity, far coarser than the park.
+        if !progress {
+            std::thread::park_timeout(IDLE_PARK);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oversized_replies_degrade_to_an_error_frame_not_a_panic() {
+        // A synthetic response payload past the frame cap (any tag; the
+        // clamp only needs the `tag ‖ request id` prefix).
+        let mut huge = vec![0x06u8];
+        huge.extend_from_slice(&42u64.to_le_bytes());
+        huge.resize(MAX_FRAME as usize + 1, 0);
+        let clamped = clamp_reply(huge);
+        assert!(clamped.len() <= MAX_FRAME as usize);
+        let resp = ResponseFrame::decode(&clamped).expect("valid error frame");
+        assert_eq!(resp.id, 42, "the error answers the original request");
+        assert!(matches!(
+            resp.body,
+            Response::Error {
+                code: ErrorCode::Protocol,
+                ..
+            }
+        ));
+        // In-bounds replies pass through untouched.
+        let small = ResponseFrame {
+            id: 7,
+            body: Response::BlockRegistered { id: 1 },
+        }
+        .encode();
+        assert_eq!(clamp_reply(small.clone()), small);
+    }
+}

@@ -1,0 +1,134 @@
+//! Client-side transports: how framed bytes reach a server.
+//!
+//! The [`Transport`] trait is the seam that lets every protocol test
+//! run without a socket: [`TcpTransport`] carries frames over a real
+//! `TcpStream`, [`LoopbackTransport`] hands them straight to an
+//! in-process [`ServiceCore`] — same codecs, same request semantics,
+//! no reactor, no ports. The client is written against the trait and
+//! cannot tell the difference.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+
+use dpack_service::BudgetService;
+
+use crate::error::NetError;
+use crate::server::{ServiceCore, Step};
+use crate::wire::{frame_into, FrameDecoder};
+
+/// A bidirectional, ordered frame pipe to a server.
+///
+/// `send_frame` takes the *message payload* (unframed); the transport
+/// adds the frame header. `recv_frame` returns the next inbound
+/// payload, blocking until one is available.
+pub trait Transport: Send {
+    /// Sends one message payload.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures ([`NetError::Io`], [`NetError::Closed`]).
+    fn send_frame(&mut self, payload: &[u8]) -> Result<(), NetError>;
+
+    /// Receives the next message payload, blocking until it arrives.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or [`NetError::Protocol`] when the inbound
+    /// stream is corrupt.
+    fn recv_frame(&mut self) -> Result<Vec<u8>, NetError>;
+}
+
+/// Frames over a blocking `TcpStream`.
+pub struct TcpTransport {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    scratch: Vec<u8>,
+}
+
+impl TcpTransport {
+    /// Connects to a [`crate::NetServer`] (or anything speaking the
+    /// protocol).
+    ///
+    /// # Errors
+    ///
+    /// Socket connect/configuration failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            decoder: FrameDecoder::new(),
+            scratch: Vec::new(),
+        })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send_frame(&mut self, payload: &[u8]) -> Result<(), NetError> {
+        self.scratch.clear();
+        frame_into(&mut self.scratch, payload);
+        self.stream.write_all(&self.scratch)?;
+        Ok(())
+    }
+
+    fn recv_frame(&mut self) -> Result<Vec<u8>, NetError> {
+        loop {
+            if let Some(payload) = self.decoder.next_frame()? {
+                return Ok(payload);
+            }
+            let mut chunk = [0u8; 8192];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(NetError::Closed),
+                Ok(n) => self.decoder.extend(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(NetError::Io(e)),
+            }
+        }
+    }
+}
+
+/// An in-memory transport wired directly to a [`ServiceCore`] — the
+/// protocol without the sockets. `send_frame` runs the request
+/// synchronously; `recv_frame` serves buffered immediate replies
+/// first, then parks on the oldest pending decision (so something must
+/// drive [`BudgetService::run_cycle`] — a background
+/// [`dpack_service::ServiceHandle`] or the test itself — before or
+/// while receiving).
+pub struct LoopbackTransport {
+    core: ServiceCore,
+    ready: VecDeque<Vec<u8>>,
+    pending: VecDeque<crate::server::PendingReply>,
+}
+
+impl LoopbackTransport {
+    /// Attaches to a shared service.
+    pub fn new(service: Arc<BudgetService>) -> Self {
+        Self {
+            core: ServiceCore::new(service),
+            ready: VecDeque::new(),
+            pending: VecDeque::new(),
+        }
+    }
+}
+
+impl Transport for LoopbackTransport {
+    fn send_frame(&mut self, payload: &[u8]) -> Result<(), NetError> {
+        match self.core.handle(payload)? {
+            Step::Reply(reply) => self.ready.push_back(reply),
+            Step::Pending(p) => self.pending.push_back(p),
+        }
+        Ok(())
+    }
+
+    fn recv_frame(&mut self) -> Result<Vec<u8>, NetError> {
+        if let Some(reply) = self.ready.pop_front() {
+            return Ok(reply);
+        }
+        match self.pending.pop_front() {
+            Some(p) => Ok(p.wait()),
+            None => Err(NetError::Closed),
+        }
+    }
+}

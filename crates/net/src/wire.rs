@@ -1,0 +1,1068 @@
+//! The wire protocol: framing and message codecs.
+//!
+//! # Framing
+//!
+//! Every message — request and response alike — travels in one frame,
+//! the same magic+len+checksum discipline as the WAL's on-disk format
+//! (a torn or corrupted stream is detected at the frame boundary,
+//! never half-decoded):
+//!
+//! ```text
+//! ┌──────────┬────────────┬──────────────┬──────────────┐
+//! │ 0xDA  u8 │ len u32 LE │ check u64 LE │ payload[len] │
+//! └──────────┴────────────┴──────────────┴──────────────┘
+//! ```
+//!
+//! with `check = fnv1a64(len_le ‖ payload)`. A frame whose magic,
+//! length bound, or checksum fails marks the stream unrecoverable —
+//! unlike a log file there is no "truncate and resume" for a socket,
+//! so both ends drop the connection.
+//!
+//! # Messages
+//!
+//! The payload is `tag u8 ‖ request_id u64 ‖ body`. The request id is
+//! chosen by the client and echoed verbatim in the response, which is
+//! what makes **pipelining** work: a client may send any number of
+//! requests before reading, and the server may answer *out of order*
+//! (submissions resolve at a later scheduling cycle; stats answer
+//! immediately). All integers and float bit patterns are
+//! little-endian; curves travel as raw `f64::to_bits` so a budget
+//! round-trips bit-exactly.
+//!
+//! Lists carry a `u32` length validated against the bytes actually
+//! remaining before any allocation, so a hostile length prefix is a
+//! decode error, never a huge allocation.
+
+use std::fmt;
+
+use dp_accounting::AlphaGrid;
+use dpack_core::problem::Task;
+use dpack_service::AdmissionError;
+
+use crate::error::{ErrorCode, NetError};
+
+/// First byte of every frame (distinct from the WAL's 0xD7/0xD8 so a
+/// file/socket mix-up fails loudly).
+pub const MAGIC: u8 = 0xDA;
+/// Frame header bytes: magic + length + checksum.
+pub const HEADER: usize = 1 + 4 + 8;
+/// Upper bound on one frame's payload; a peer claiming more is
+/// violating the protocol (far above any real message, far below an
+/// allocation attack).
+pub const MAX_FRAME: u32 = 1 << 24;
+/// Upper bound on tasks in one [`Request::SubmitBatch`]. Bounding the
+/// *request* bounds its `BatchDecision` reply too — an unbounded batch
+/// of minimal tasks could otherwise decode fine yet produce a reply
+/// larger than [`MAX_FRAME`] (rejection outcomes are bigger than the
+/// malformed tasks that cause them).
+pub const MAX_BATCH_TASKS: u32 = 4096;
+
+const FNV_INIT: u64 = 0xcbf2_9ce4_8422_2325;
+
+fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
+    let mut hash = state;
+    for b in bytes {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Frames a payload into `out`.
+///
+/// # Panics
+///
+/// Panics if the payload exceeds [`MAX_FRAME`] (a local bug: messages
+/// are bounded far below it).
+pub fn frame_into(out: &mut Vec<u8>, payload: &[u8]) {
+    let len = u32::try_from(payload.len()).expect("frame exceeds u32 length");
+    assert!(len <= MAX_FRAME, "frame exceeds the {MAX_FRAME}-byte cap");
+    let len_le = len.to_le_bytes();
+    let check = fnv1a(fnv1a(FNV_INIT, &len_le), payload);
+    out.reserve(HEADER + payload.len());
+    out.push(MAGIC);
+    out.extend_from_slice(&len_le);
+    out.extend_from_slice(&check.to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Frames a payload into a fresh buffer.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER + payload.len());
+    frame_into(&mut out, payload);
+    out
+}
+
+/// Incremental frame decoder over a byte stream: feed reads in with
+/// [`FrameDecoder::extend`], pop complete payloads with
+/// [`FrameDecoder::next_frame`]. Both the server reactor (nonblocking
+/// reads arrive in arbitrary chunks) and the blocking client transport
+/// run their inbound bytes through this.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (compacted opportunistically).
+    at: usize,
+}
+
+impl FrameDecoder {
+    /// Creates an empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw bytes read from the stream.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact before growing: the steady state keeps the buffer at
+        // one in-flight frame.
+        if self.at > 0 && self.at == self.buf.len() {
+            self.buf.clear();
+            self.at = 0;
+        } else if self.at > 4096 {
+            self.buf.drain(..self.at);
+            self.at = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete frame's payload, `Ok(None)` if more bytes
+    /// are needed.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Protocol`] on bad magic, an oversized length, or a
+    /// checksum mismatch — the stream cannot be resynchronized and the
+    /// connection should be dropped.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, NetError> {
+        let rest = &self.buf[self.at..];
+        if rest.len() < HEADER {
+            return Ok(None);
+        }
+        if rest[0] != MAGIC {
+            return Err(NetError::Protocol(format!(
+                "bad frame magic 0x{:02X}",
+                rest[0]
+            )));
+        }
+        let len = u32::from_le_bytes(rest[1..5].try_into().expect("sized slice"));
+        if len > MAX_FRAME {
+            return Err(NetError::Protocol(format!(
+                "frame length {len} exceeds the {MAX_FRAME}-byte cap"
+            )));
+        }
+        if rest.len() - HEADER < len as usize {
+            return Ok(None);
+        }
+        let check = u64::from_le_bytes(rest[5..13].try_into().expect("sized slice"));
+        let payload = &rest[HEADER..HEADER + len as usize];
+        if fnv1a(fnv1a(FNV_INIT, &len.to_le_bytes()), payload) != check {
+            return Err(NetError::Protocol("frame checksum mismatch".into()));
+        }
+        let payload = payload.to_vec();
+        self.at += HEADER + len as usize;
+        Ok(Some(payload))
+    }
+
+    /// Bytes buffered but not yet consumed.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.at
+    }
+}
+
+// ---- primitive codec --------------------------------------------------
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    put_u64(buf, v.to_bits());
+}
+
+fn put_len(buf: &mut Vec<u8>, n: usize) {
+    put_u32(buf, u32::try_from(n).expect("list exceeds u32 length"));
+}
+
+fn put_f64s(buf: &mut Vec<u8>, vs: &[f64]) {
+    put_len(buf, vs.len());
+    for v in vs {
+        put_f64(buf, *v);
+    }
+}
+
+fn put_u64s(buf: &mut Vec<u8>, vs: &[u64]) {
+    put_len(buf, vs.len());
+    for v in vs {
+        put_u64(buf, *v);
+    }
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_len(buf, s.len());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn bad(what: impl Into<String>) -> NetError {
+    NetError::Protocol(what.into())
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], NetError> {
+        if self.bytes.len() < n {
+            return Err(bad("message truncated"));
+        }
+        let (head, tail) = self.bytes.split_at(n);
+        self.bytes = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, NetError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, NetError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("sized")))
+    }
+
+    fn u32(&mut self) -> Result<u32, NetError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("sized")))
+    }
+
+    fn u64(&mut self) -> Result<u64, NetError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("sized")))
+    }
+
+    fn f64(&mut self) -> Result<f64, NetError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// A list length validated against the bytes actually remaining
+    /// (`elem_bytes` per element) — a hostile length prefix must be a
+    /// protocol error, never an allocation request.
+    fn list_len(&mut self, elem_bytes: usize) -> Result<usize, NetError> {
+        let n = self.u32()? as usize;
+        if n.checked_mul(elem_bytes)
+            .is_none_or(|b| b > self.bytes.len())
+        {
+            return Err(bad("list length exceeds the message"));
+        }
+        Ok(n)
+    }
+
+    fn f64s(&mut self) -> Result<Vec<f64>, NetError> {
+        let n = self.list_len(8)?;
+        (0..n).map(|_| self.f64()).collect()
+    }
+
+    fn u64s(&mut self) -> Result<Vec<u64>, NetError> {
+        let n = self.list_len(8)?;
+        (0..n).map(|_| self.u64()).collect()
+    }
+
+    fn str(&mut self) -> Result<String, NetError> {
+        let n = self.list_len(1)?;
+        String::from_utf8(self.take(n)?.to_vec()).map_err(|_| bad("string is not utf-8"))
+    }
+
+    fn done(self) -> Result<(), NetError> {
+        if self.bytes.is_empty() {
+            Ok(())
+        } else {
+            Err(bad("trailing bytes after message"))
+        }
+    }
+}
+
+// ---- task / block payloads -------------------------------------------
+
+/// A task as it travels on the wire: curve values without a grid (the
+/// server rebuilds them on its own grid; mismatched lengths surface as
+/// [`ErrorCode::GridMismatch`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireTask {
+    /// The task id (the commit key; unique while live).
+    pub id: u64,
+    /// Utility weight.
+    pub weight: f64,
+    /// Arrival in virtual time.
+    pub arrival: f64,
+    /// Relative eviction timeout.
+    pub timeout: Option<f64>,
+    /// Per-order demand values (bit-exact).
+    pub demand: Vec<f64>,
+    /// Requested block ids.
+    pub blocks: Vec<u64>,
+}
+
+impl WireTask {
+    /// Captures an in-process task for the wire.
+    pub fn from_task(task: &Task) -> Self {
+        Self {
+            id: task.id,
+            weight: task.weight,
+            arrival: task.arrival,
+            timeout: task.timeout,
+            demand: task.demand.values().to_vec(),
+            blocks: task.blocks.clone(),
+        }
+    }
+
+    /// Rebuilds the in-process task on the service's grid. The block
+    /// list is carried **verbatim** — deliberately not normalized the
+    /// way [`Task::new`] sorts and deduplicates — so the service's
+    /// admission validation judges exactly what the tenant sent, and a
+    /// malformed remote submission is rejected precisely when the same
+    /// raw task would be rejected in-process (the equivalence the
+    /// protocol suite asserts).
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionError::GridMismatch`] when the demand values do not
+    /// fit the grid — the same rejection an in-process mismatch gets.
+    pub fn into_task(self, grid: &AlphaGrid) -> Result<Task, AdmissionError> {
+        let demand = dp_accounting::RdpCurve::new(grid, self.demand)
+            .map_err(|_| AdmissionError::GridMismatch { task: self.id })?;
+        let mut task = Task::new(self.id, self.weight, Vec::new(), demand, self.arrival);
+        task.blocks = self.blocks;
+        task.timeout = self.timeout;
+        Ok(task)
+    }
+
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        put_u64(buf, self.id);
+        put_f64(buf, self.weight);
+        put_f64(buf, self.arrival);
+        match self.timeout {
+            Some(t) => {
+                buf.push(1);
+                put_f64(buf, t);
+            }
+            None => buf.push(0),
+        }
+        put_f64s(buf, &self.demand);
+        put_u64s(buf, &self.blocks);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, NetError> {
+        let id = r.u64()?;
+        let weight = r.f64()?;
+        let arrival = r.f64()?;
+        let timeout = match r.u8()? {
+            0 => None,
+            1 => Some(r.f64()?),
+            t => return Err(bad(format!("bad timeout flag {t}"))),
+        };
+        Ok(Self {
+            id,
+            weight,
+            arrival,
+            timeout,
+            demand: r.f64s()?,
+            blocks: r.u64s()?,
+        })
+    }
+}
+
+/// The final outcome of one submitted task, as reported to a remote
+/// tenant. This is a *decision*, not a transport error: the request
+/// round-trip succeeded and the service answered.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// A scheduling cycle committed the grant.
+    Granted {
+        /// Virtual time of the committing cycle.
+        allocated_at: f64,
+    },
+    /// Admission refused the task; the code is stable
+    /// ([`crate::error::admission_code`]).
+    Rejected {
+        /// The stable rejection code.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The task timed out in the pending set and was evicted.
+    Evicted,
+}
+
+impl Outcome {
+    /// Whether this outcome is a grant.
+    pub fn is_granted(&self) -> bool {
+        matches!(self, Self::Granted { .. })
+    }
+
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        match self {
+            Self::Granted { allocated_at } => {
+                buf.push(1);
+                put_f64(buf, *allocated_at);
+            }
+            Self::Rejected { code, message } => {
+                buf.push(2);
+                put_u16(buf, code.as_u16());
+                put_str(buf, message);
+            }
+            Self::Evicted => buf.push(3),
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, NetError> {
+        Ok(match r.u8()? {
+            1 => Self::Granted {
+                allocated_at: r.f64()?,
+            },
+            2 => {
+                let raw = r.u16()?;
+                let code = ErrorCode::from_u16(raw)
+                    .ok_or_else(|| bad(format!("unknown error code {raw}")))?;
+                Self::Rejected {
+                    code,
+                    message: r.str()?,
+                }
+            }
+            3 => Self::Evicted,
+            t => return Err(bad(format!("unknown outcome tag {t}"))),
+        })
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Granted { allocated_at } => write!(f, "granted at t={allocated_at}"),
+            Self::Rejected { code, message } => write!(f, "rejected [{code}]: {message}"),
+            Self::Evicted => write!(f, "evicted (timeout)"),
+        }
+    }
+}
+
+/// Service counters as reported over the wire (a fixed-size subset of
+/// [`dpack_service::StatsSummary`] plus the live queue/pending depths).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WireStats {
+    /// Submissions attempted.
+    pub submitted: u64,
+    /// Submissions admitted.
+    pub admitted: u64,
+    /// Submissions rejected at admission.
+    pub rejected: u64,
+    /// Tasks granted budget.
+    pub granted: u64,
+    /// Tasks evicted by timeout.
+    pub evicted: u64,
+    /// Scheduling cycles run.
+    pub cycles: u64,
+    /// Sum of granted weights.
+    pub granted_weight: f64,
+    /// Granted tasks per second of cycle wall time.
+    pub throughput: f64,
+    /// Current admission-queue depth.
+    pub queue_depth: u64,
+    /// Tasks ingested but not yet granted or evicted.
+    pub pending: u64,
+}
+
+impl WireStats {
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        for v in [
+            self.submitted,
+            self.admitted,
+            self.rejected,
+            self.granted,
+            self.evicted,
+            self.cycles,
+        ] {
+            put_u64(buf, v);
+        }
+        put_f64(buf, self.granted_weight);
+        put_f64(buf, self.throughput);
+        put_u64(buf, self.queue_depth);
+        put_u64(buf, self.pending);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, NetError> {
+        Ok(Self {
+            submitted: r.u64()?,
+            admitted: r.u64()?,
+            rejected: r.u64()?,
+            granted: r.u64()?,
+            evicted: r.u64()?,
+            cycles: r.u64()?,
+            granted_weight: r.f64()?,
+            throughput: r.f64()?,
+            queue_depth: r.u64()?,
+            pending: r.u64()?,
+        })
+    }
+}
+
+// ---- requests ---------------------------------------------------------
+
+const REQ_HELLO: u8 = 1;
+const REQ_SUBMIT: u8 = 2;
+const REQ_SUBMIT_BATCH: u8 = 3;
+const REQ_REGISTER_BLOCK: u8 = 4;
+const REQ_STATS: u8 = 5;
+const REQ_SNAPSHOT: u8 = 6;
+
+/// A client request body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Protocol handshake: asks for the service's alpha grid so the
+    /// tenant can build demand curves that fit.
+    Hello,
+    /// Submit one task; the response is the **final decision**.
+    Submit {
+        /// The submitting tenant.
+        tenant: u32,
+        /// The task.
+        task: WireTask,
+    },
+    /// Submit many tasks in one frame; one response carries every
+    /// decision once the last one is made.
+    SubmitBatch {
+        /// The submitting tenant.
+        tenant: u32,
+        /// The tasks, decided independently.
+        tasks: Vec<WireTask>,
+    },
+    /// Register a data block (arrives with its full capacity curve).
+    RegisterBlock {
+        /// The block id.
+        id: u64,
+        /// Arrival in virtual time.
+        arrival: f64,
+        /// Per-order capacity values (bit-exact).
+        capacity: Vec<f64>,
+    },
+    /// Read the service counters.
+    Stats,
+    /// Read every block's available budget at a virtual time.
+    Snapshot {
+        /// The §3.4 unlocking time to evaluate at.
+        now: f64,
+    },
+}
+
+/// A framed request: client-chosen id + body. The id is echoed in the
+/// response, enabling pipelining and out-of-order completion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestFrame {
+    /// Client-chosen correlation id.
+    pub id: u64,
+    /// The request body.
+    pub body: Request,
+}
+
+impl RequestFrame {
+    /// Serializes the message payload (unframed).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match &self.body {
+            Request::Hello => {
+                buf.push(REQ_HELLO);
+                put_u64(&mut buf, self.id);
+            }
+            Request::Submit { tenant, task } => {
+                buf.push(REQ_SUBMIT);
+                put_u64(&mut buf, self.id);
+                put_u32(&mut buf, *tenant);
+                task.encode_into(&mut buf);
+            }
+            Request::SubmitBatch { tenant, tasks } => {
+                buf.push(REQ_SUBMIT_BATCH);
+                put_u64(&mut buf, self.id);
+                put_u32(&mut buf, *tenant);
+                put_len(&mut buf, tasks.len());
+                for t in tasks {
+                    t.encode_into(&mut buf);
+                }
+            }
+            Request::RegisterBlock {
+                id,
+                arrival,
+                capacity,
+            } => {
+                buf.push(REQ_REGISTER_BLOCK);
+                put_u64(&mut buf, self.id);
+                put_u64(&mut buf, *id);
+                put_f64(&mut buf, *arrival);
+                put_f64s(&mut buf, capacity);
+            }
+            Request::Stats => {
+                buf.push(REQ_STATS);
+                put_u64(&mut buf, self.id);
+            }
+            Request::Snapshot { now } => {
+                buf.push(REQ_SNAPSHOT);
+                put_u64(&mut buf, self.id);
+                put_f64(&mut buf, *now);
+            }
+        }
+        buf
+    }
+
+    /// Deserializes a message payload.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Protocol`] on an unknown tag, malformed body, or
+    /// trailing bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, NetError> {
+        let mut r = Reader::new(bytes);
+        let tag = r.u8()?;
+        let id = r.u64()?;
+        let body = match tag {
+            REQ_HELLO => Request::Hello,
+            REQ_SUBMIT => Request::Submit {
+                tenant: r.u32()?,
+                task: WireTask::decode(&mut r)?,
+            },
+            REQ_SUBMIT_BATCH => {
+                let tenant = r.u32()?;
+                // A task is at least id+weight+arrival+flag+two list
+                // lengths = 33 bytes.
+                let n = r.list_len(33)?;
+                if n > MAX_BATCH_TASKS as usize {
+                    return Err(bad(format!(
+                        "batch of {n} tasks exceeds the {MAX_BATCH_TASKS}-task cap"
+                    )));
+                }
+                let tasks = (0..n)
+                    .map(|_| WireTask::decode(&mut r))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Request::SubmitBatch { tenant, tasks }
+            }
+            REQ_REGISTER_BLOCK => Request::RegisterBlock {
+                id: r.u64()?,
+                arrival: r.f64()?,
+                capacity: r.f64s()?,
+            },
+            REQ_STATS => Request::Stats,
+            REQ_SNAPSHOT => Request::Snapshot { now: r.f64()? },
+            t => return Err(bad(format!("unknown request tag {t}"))),
+        };
+        r.done()?;
+        Ok(Self { id, body })
+    }
+}
+
+// ---- responses --------------------------------------------------------
+
+const RESP_HELLO: u8 = 1;
+const RESP_DECISION: u8 = 2;
+const RESP_BATCH: u8 = 3;
+const RESP_BLOCK_REGISTERED: u8 = 4;
+const RESP_STATS: u8 = 5;
+const RESP_SNAPSHOT: u8 = 6;
+const RESP_ERROR: u8 = 7;
+
+/// A server response body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The handshake answer: the service's Rényi orders.
+    Hello {
+        /// The alpha grid, ascending.
+        alphas: Vec<f64>,
+    },
+    /// The final decision for one submitted task.
+    Decision {
+        /// The task the decision is for.
+        task: u64,
+        /// Its outcome.
+        outcome: Outcome,
+    },
+    /// The final decisions for a batch, in submission order.
+    BatchDecision {
+        /// `(task id, outcome)` per submitted task.
+        decisions: Vec<(u64, Outcome)>,
+    },
+    /// The block was registered.
+    BlockRegistered {
+        /// The registered block id.
+        id: u64,
+    },
+    /// The service counters.
+    Stats(WireStats),
+    /// Every block's available budget values at the requested time.
+    Snapshot {
+        /// `(block id, per-order available values)` ascending by id.
+        blocks: Vec<(u64, Vec<f64>)>,
+    },
+    /// The request failed; the code is stable.
+    Error {
+        /// The stable failure code.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// A framed response: the echoed request id + body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponseFrame {
+    /// The request id this answers.
+    pub id: u64,
+    /// The response body.
+    pub body: Response,
+}
+
+impl ResponseFrame {
+    /// Serializes the message payload (unframed).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match &self.body {
+            Response::Hello { alphas } => {
+                buf.push(RESP_HELLO);
+                put_u64(&mut buf, self.id);
+                put_f64s(&mut buf, alphas);
+            }
+            Response::Decision { task, outcome } => {
+                buf.push(RESP_DECISION);
+                put_u64(&mut buf, self.id);
+                put_u64(&mut buf, *task);
+                outcome.encode_into(&mut buf);
+            }
+            Response::BatchDecision { decisions } => {
+                buf.push(RESP_BATCH);
+                put_u64(&mut buf, self.id);
+                put_len(&mut buf, decisions.len());
+                for (task, outcome) in decisions {
+                    put_u64(&mut buf, *task);
+                    outcome.encode_into(&mut buf);
+                }
+            }
+            Response::BlockRegistered { id } => {
+                buf.push(RESP_BLOCK_REGISTERED);
+                put_u64(&mut buf, self.id);
+                put_u64(&mut buf, *id);
+            }
+            Response::Stats(stats) => {
+                buf.push(RESP_STATS);
+                put_u64(&mut buf, self.id);
+                stats.encode_into(&mut buf);
+            }
+            Response::Snapshot { blocks } => {
+                buf.push(RESP_SNAPSHOT);
+                put_u64(&mut buf, self.id);
+                put_len(&mut buf, blocks.len());
+                for (id, values) in blocks {
+                    put_u64(&mut buf, *id);
+                    put_f64s(&mut buf, values);
+                }
+            }
+            Response::Error { code, message } => {
+                buf.push(RESP_ERROR);
+                put_u64(&mut buf, self.id);
+                put_u16(&mut buf, code.as_u16());
+                put_str(&mut buf, message);
+            }
+        }
+        buf
+    }
+
+    /// Deserializes a message payload.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Protocol`] on an unknown tag, malformed body, or
+    /// trailing bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, NetError> {
+        let mut r = Reader::new(bytes);
+        let tag = r.u8()?;
+        let id = r.u64()?;
+        let body = match tag {
+            RESP_HELLO => Response::Hello { alphas: r.f64s()? },
+            RESP_DECISION => Response::Decision {
+                task: r.u64()?,
+                outcome: Outcome::decode(&mut r)?,
+            },
+            RESP_BATCH => {
+                // A decision is at least task id + outcome tag = 9.
+                let n = r.list_len(9)?;
+                let decisions = (0..n)
+                    .map(|_| Ok((r.u64()?, Outcome::decode(&mut r)?)))
+                    .collect::<Result<Vec<_>, NetError>>()?;
+                Response::BatchDecision { decisions }
+            }
+            RESP_BLOCK_REGISTERED => Response::BlockRegistered { id: r.u64()? },
+            RESP_STATS => Response::Stats(WireStats::decode(&mut r)?),
+            RESP_SNAPSHOT => {
+                // A snapshot entry is at least id + list length = 12.
+                let n = r.list_len(12)?;
+                let blocks = (0..n)
+                    .map(|_| Ok((r.u64()?, r.f64s()?)))
+                    .collect::<Result<Vec<_>, NetError>>()?;
+                Response::Snapshot { blocks }
+            }
+            RESP_ERROR => {
+                let raw = r.u16()?;
+                let code = ErrorCode::from_u16(raw)
+                    .ok_or_else(|| bad(format!("unknown error code {raw}")))?;
+                Response::Error {
+                    code,
+                    message: r.str()?,
+                }
+            }
+            t => return Err(bad(format!("unknown response tag {t}"))),
+        };
+        r.done()?;
+        Ok(Self { id, body })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_through_the_incremental_decoder() {
+        let payloads: Vec<Vec<u8>> = vec![vec![], vec![1, 2, 3], vec![0xDA; 100]];
+        let mut stream = Vec::new();
+        for p in &payloads {
+            frame_into(&mut stream, p);
+        }
+        // Feed one byte at a time: frames pop exactly at boundaries.
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for b in &stream {
+            dec.extend(&[*b]);
+            while let Some(p) = dec.next_frame().expect("valid stream") {
+                got.push(p);
+            }
+        }
+        assert_eq!(got, payloads);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn corrupt_frames_are_protocol_errors() {
+        let mut ok = frame(b"hello");
+        ok[HEADER + 1] ^= 0x40; // Flip a payload bit.
+        let mut dec = FrameDecoder::new();
+        dec.extend(&ok);
+        assert!(matches!(dec.next_frame(), Err(NetError::Protocol(_))));
+        // Bad magic.
+        let mut dec = FrameDecoder::new();
+        dec.extend(&[0x00; HEADER]);
+        assert!(dec.next_frame().is_err());
+        // Oversized length claim fails before any buffering happens.
+        let mut dec = FrameDecoder::new();
+        let mut huge = vec![MAGIC];
+        huge.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        huge.extend_from_slice(&[0u8; 8]);
+        dec.extend(&huge);
+        assert!(dec.next_frame().is_err());
+    }
+
+    fn sample_task() -> WireTask {
+        WireTask {
+            id: 42,
+            weight: 2.5,
+            arrival: 0.1 + 0.2, // Not 0.3: bit-exactness matters.
+            timeout: Some(7.0),
+            demand: vec![0.25, f64::MIN_POSITIVE, 1.0],
+            blocks: vec![1, 5, 9],
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let requests = vec![
+            RequestFrame {
+                id: 1,
+                body: Request::Hello,
+            },
+            RequestFrame {
+                id: u64::MAX,
+                body: Request::Submit {
+                    tenant: 7,
+                    task: sample_task(),
+                },
+            },
+            RequestFrame {
+                id: 3,
+                body: Request::SubmitBatch {
+                    tenant: 0,
+                    tasks: vec![sample_task(), sample_task()],
+                },
+            },
+            RequestFrame {
+                id: 4,
+                body: Request::RegisterBlock {
+                    id: 11,
+                    arrival: 2.0,
+                    capacity: vec![1.0, -3.5],
+                },
+            },
+            RequestFrame {
+                id: 5,
+                body: Request::Stats,
+            },
+            RequestFrame {
+                id: 6,
+                body: Request::Snapshot { now: 4.25 },
+            },
+        ];
+        for req in requests {
+            let back = RequestFrame::decode(&req.encode()).expect("round trip");
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let responses = vec![
+            ResponseFrame {
+                id: 1,
+                body: Response::Hello {
+                    alphas: vec![2.0, 4.0],
+                },
+            },
+            ResponseFrame {
+                id: 2,
+                body: Response::Decision {
+                    task: 9,
+                    outcome: Outcome::Granted { allocated_at: 3.0 },
+                },
+            },
+            ResponseFrame {
+                id: 3,
+                body: Response::BatchDecision {
+                    decisions: vec![
+                        (1, Outcome::Evicted),
+                        (
+                            2,
+                            Outcome::Rejected {
+                                code: ErrorCode::DuplicateTask,
+                                message: "task id 2 is already queued or pending".into(),
+                            },
+                        ),
+                    ],
+                },
+            },
+            ResponseFrame {
+                id: 4,
+                body: Response::BlockRegistered { id: 11 },
+            },
+            ResponseFrame {
+                id: 5,
+                body: Response::Stats(WireStats {
+                    submitted: 10,
+                    admitted: 9,
+                    rejected: 1,
+                    granted: 8,
+                    evicted: 1,
+                    cycles: 4,
+                    granted_weight: 8.0,
+                    throughput: 123.5,
+                    queue_depth: 2,
+                    pending: 1,
+                }),
+            },
+            ResponseFrame {
+                id: 6,
+                body: Response::Snapshot {
+                    blocks: vec![(0, vec![0.5, 0.25]), (3, vec![])],
+                },
+            },
+            ResponseFrame {
+                id: 7,
+                body: Response::Error {
+                    code: ErrorCode::Protocol,
+                    message: "bad".into(),
+                },
+            },
+        ];
+        for resp in responses {
+            let back = ResponseFrame::decode(&resp.encode()).expect("round trip");
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn wire_tasks_rebuild_bit_exactly_or_reject_on_grid_mismatch() {
+        let grid = AlphaGrid::new(vec![2.0, 4.0, 8.0]).unwrap();
+        let wire = sample_task();
+        let task = wire.clone().into_task(&grid).expect("3 values fit");
+        assert_eq!(task.id, 42);
+        assert_eq!(task.timeout, Some(7.0));
+        assert_eq!(
+            task.demand
+                .values()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            wire.demand.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(WireTask::from_task(&task), wire);
+        let narrow = AlphaGrid::new(vec![2.0, 4.0]).unwrap();
+        assert!(matches!(
+            wire.into_task(&narrow),
+            Err(AdmissionError::GridMismatch { task: 42 })
+        ));
+    }
+
+    #[test]
+    fn over_cap_batches_are_rejected_at_decode() {
+        // Bounding the request bounds the reply: the cap is what keeps
+        // a maximal BatchDecision under MAX_FRAME.
+        let tiny = WireTask {
+            id: 0,
+            weight: 1.0,
+            arrival: 0.0,
+            timeout: None,
+            demand: vec![],
+            blocks: vec![],
+        };
+        let frame = |n: usize| {
+            RequestFrame {
+                id: 1,
+                body: Request::SubmitBatch {
+                    tenant: 0,
+                    tasks: vec![tiny.clone(); n],
+                },
+            }
+            .encode()
+        };
+        assert!(RequestFrame::decode(&frame(MAX_BATCH_TASKS as usize)).is_ok());
+        assert!(RequestFrame::decode(&frame(MAX_BATCH_TASKS as usize + 1)).is_err());
+    }
+
+    #[test]
+    fn malformed_messages_are_errors_not_panics() {
+        assert!(RequestFrame::decode(&[]).is_err());
+        assert!(RequestFrame::decode(&[99, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
+        assert!(ResponseFrame::decode(&[99, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
+        // Trailing garbage is rejected.
+        let mut bytes = RequestFrame {
+            id: 1,
+            body: Request::Stats,
+        }
+        .encode();
+        bytes.push(0);
+        assert!(RequestFrame::decode(&bytes).is_err());
+        // Hostile list length: claims 2^32-1 tasks in a tiny message.
+        let mut bytes = vec![REQ_SUBMIT_BATCH];
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(RequestFrame::decode(&bytes).is_err());
+    }
+}

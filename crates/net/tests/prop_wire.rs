@@ -1,0 +1,392 @@
+//! dpack-check property suite for the wire protocol.
+//!
+//! Three layers:
+//!
+//! 1. **Codec roundtrip** — every message type, with arbitrary
+//!    contents, decodes back to exactly what was encoded (floats by
+//!    bit pattern: `PartialEq` on the message types compares the
+//!    decoded values, and the curve fields are written as raw bits).
+//! 2. **Adversarial frames** — truncating, bit-flipping, or
+//!    length-inflating a valid frame stream never panics and never
+//!    yields a frame whose payload differs from the original at that
+//!    position; arbitrary junk through the message decoders never
+//!    panics.
+//! 3. **Loopback equivalence** — an arbitrary submission workload
+//!    driven through the full protocol stack over the in-memory
+//!    [`LoopbackTransport`] produces, task for task, the same final
+//!    outcomes as the same workload submitted in-process to a twin
+//!    service — and leaves the two ledgers in bit-identical states.
+
+use std::sync::Arc;
+
+use dp_accounting::{AlphaGrid, RdpCurve};
+use dpack_check::{check_cases, floats, ints, prop_assert, prop_assert_eq, vecs, Strategy};
+use dpack_core::problem::{Block, Task};
+use dpack_net::wire::{frame, FrameDecoder, HEADER};
+use dpack_net::{
+    admission_code, ErrorCode, NetClient, Outcome, Request, RequestFrame, Response, ResponseFrame,
+    WireStats, WireTask,
+};
+use dpack_service::{BudgetService, ServiceConfig};
+
+const CASES: u32 = 48;
+
+// ---- generators -------------------------------------------------------
+
+fn wire_task_strategy() -> impl Strategy<Value = WireTask> {
+    (
+        ints(0u64..1_000),
+        floats(0.0..4.0),
+        (ints(0u8..2), floats(0.0..8.0)),
+        vecs(floats(0.0..2.0), 0..5),
+        vecs(ints(0u64..64), 0..5),
+    )
+        .prop_map(|(id, weight, (tpick, tval), demand, blocks)| WireTask {
+            id,
+            weight,
+            arrival: (id % 7) as f64 * 0.5,
+            timeout: (tpick == 1).then_some(tval),
+            demand,
+            blocks,
+        })
+}
+
+/// A scenario drawing one request of every shape (`pick` selects).
+type RequestSeed = (u8, u64, u32, Vec<WireTask>, f64);
+
+fn request_from_seed((pick, id, tenant, mut tasks, now): RequestSeed) -> RequestFrame {
+    let body = match pick % 6 {
+        0 => Request::Hello,
+        1 => Request::Submit {
+            tenant,
+            task: tasks.pop().unwrap_or(WireTask {
+                id: 1,
+                weight: 1.0,
+                arrival: 0.0,
+                timeout: None,
+                demand: vec![0.1],
+                blocks: vec![0],
+            }),
+        },
+        2 => Request::SubmitBatch { tenant, tasks },
+        3 => Request::RegisterBlock {
+            id: id.wrapping_mul(3),
+            arrival: now,
+            capacity: tasks.first().map(|t| t.demand.clone()).unwrap_or_default(),
+        },
+        4 => Request::Stats,
+        _ => Request::Snapshot { now },
+    };
+    RequestFrame { id, body }
+}
+
+type ResponseSeed = (u8, u64, Vec<WireTask>, u16, f64);
+
+fn response_from_seed((pick, id, tasks, raw_code, now): ResponseSeed) -> ResponseFrame {
+    let code = ErrorCode::from_u16(1 + raw_code % 6).expect("admission codes are dense 1..=6");
+    let outcome_of = |t: &WireTask| match t.id % 3 {
+        0 => Outcome::Granted { allocated_at: now },
+        1 => Outcome::Rejected {
+            code,
+            message: format!("task {} refused", t.id),
+        },
+        _ => Outcome::Evicted,
+    };
+    let body = match pick % 7 {
+        0 => Response::Hello {
+            alphas: tasks.first().map(|t| t.demand.clone()).unwrap_or_default(),
+        },
+        1 => Response::Decision {
+            task: id,
+            outcome: tasks.first().map(&outcome_of).unwrap_or(Outcome::Evicted),
+        },
+        2 => Response::BatchDecision {
+            decisions: tasks.iter().map(|t| (t.id, outcome_of(t))).collect(),
+        },
+        3 => Response::BlockRegistered { id },
+        4 => Response::Stats(WireStats {
+            submitted: id,
+            admitted: id / 2,
+            rejected: id / 3,
+            granted: id / 4,
+            evicted: id / 5,
+            cycles: id / 6,
+            granted_weight: now,
+            throughput: now * 2.0,
+            queue_depth: id % 7,
+            pending: id % 11,
+        }),
+        5 => Response::Snapshot {
+            blocks: tasks
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (i as u64, t.demand.clone()))
+                .collect(),
+        },
+        _ => Response::Error {
+            code,
+            message: "detail".into(),
+        },
+    };
+    ResponseFrame { id, body }
+}
+
+// ---- 1: roundtrips ----------------------------------------------------
+
+#[test]
+fn prop_every_request_shape_round_trips() {
+    check_cases(
+        "every_request_shape_round_trips",
+        CASES,
+        (
+            ints(0u8..6),
+            ints(0u64..u64::MAX),
+            ints(0u32..16),
+            vecs(wire_task_strategy(), 0..4),
+            floats(0.0..100.0),
+        ),
+        |seed| {
+            let req = request_from_seed(seed.clone());
+            let back = RequestFrame::decode(&req.encode())
+                .map_err(|e| dpack_check::Failed::new(format!("decode failed: {e}")))?;
+            prop_assert_eq!(back, req);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn prop_every_response_shape_round_trips() {
+    check_cases(
+        "every_response_shape_round_trips",
+        CASES,
+        (
+            ints(0u8..7),
+            ints(1u64..u64::MAX),
+            vecs(wire_task_strategy(), 0..4),
+            ints(0u16..100),
+            floats(0.0..100.0),
+        ),
+        |seed| {
+            let resp = response_from_seed(seed.clone());
+            let back = ResponseFrame::decode(&resp.encode())
+                .map_err(|e| dpack_check::Failed::new(format!("decode failed: {e}")))?;
+            prop_assert_eq!(back, resp);
+            Ok(())
+        },
+    );
+}
+
+// ---- 2: adversarial frames -------------------------------------------
+
+/// (two payloads, mutation pick, byte index seed, bit seed).
+type MutationSeed = (Vec<u8>, Vec<u8>, u8, u64, u8);
+
+#[test]
+fn prop_mutated_frames_never_panic_and_never_misdecode() {
+    check_cases(
+        "mutated_frames_never_panic_and_never_misdecode",
+        CASES,
+        (
+            vecs(ints(0u64..256).prop_map(|v| v as u8), 0..40),
+            vecs(ints(0u64..256).prop_map(|v| v as u8), 0..40),
+            ints(0u8..4),
+            ints(0u64..1_000),
+            ints(0u8..8),
+        ),
+        |(first, second, pick, index, bit): &MutationSeed| {
+            let originals = [first.clone(), second.clone()];
+            let mut stream = Vec::new();
+            for p in &originals {
+                stream.extend_from_slice(&frame(p));
+            }
+            match pick % 4 {
+                0 => {
+                    // Truncate anywhere.
+                    stream.truncate(*index as usize % (stream.len() + 1));
+                }
+                1 => {
+                    // Flip one bit anywhere.
+                    let at = *index as usize % stream.len();
+                    stream[at] ^= 1 << bit;
+                }
+                2 => {
+                    // Inflate the first length field (claims more
+                    // payload than exists).
+                    let len = u32::from_le_bytes(stream[1..5].try_into().expect("sized")) as usize;
+                    let bigger = (len + 1 + *index as usize % 512) as u32;
+                    stream[1..5].copy_from_slice(&bigger.to_le_bytes());
+                }
+                _ => {
+                    // Append garbage after valid frames.
+                    stream.extend(std::iter::repeat_n(*bit, 1 + *index as usize % 32));
+                }
+            }
+            let mut dec = FrameDecoder::new();
+            dec.extend(&stream);
+            let mut decoded = Vec::new();
+            // An Ok(None) or Err end are both acceptable outcomes.
+            while let Ok(Some(p)) = dec.next_frame() {
+                decoded.push(p);
+            }
+            prop_assert!(
+                decoded.len() <= originals.len(),
+                "decoded {} frames from a 2-frame stream",
+                decoded.len()
+            );
+            for (i, p) in decoded.iter().enumerate() {
+                // A frame that decodes must be one of the originals at
+                // its position — never a different "valid" message.
+                prop_assert_eq!(p.clone(), originals[i].clone());
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn prop_message_decoders_never_panic_on_junk() {
+    check_cases(
+        "message_decoders_never_panic_on_junk",
+        CASES,
+        vecs(ints(0u64..256).prop_map(|v| v as u8), 0..64),
+        |junk| {
+            // Either result is fine; what is being tested is that no
+            // input can panic or over-allocate.
+            let _ = RequestFrame::decode(junk);
+            let _ = ResponseFrame::decode(junk);
+            let mut dec = FrameDecoder::new();
+            dec.extend(junk);
+            let _ = dec.next_frame();
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn oversized_frame_headers_are_rejected_not_buffered() {
+    // A peer claiming a 16 MiB+1 frame is cut off immediately — the
+    // decoder must not wait for (or allocate) the claimed bytes.
+    let mut huge = vec![dpack_net::wire::MAGIC];
+    huge.extend_from_slice(&(dpack_net::wire::MAX_FRAME + 1).to_le_bytes());
+    huge.extend_from_slice(&[0u8; 8]);
+    let mut dec = FrameDecoder::new();
+    dec.extend(&huge);
+    assert!(dec.next_frame().is_err());
+    assert!(dec.buffered() <= HEADER);
+}
+
+// ---- 3: loopback equivalence -----------------------------------------
+
+/// One drawn submission: (block picks, eps, weight pick, reuse-id).
+type SubSeed = (Vec<u64>, f64, u8, bool);
+
+fn service(grid: &AlphaGrid) -> BudgetService {
+    BudgetService::new(
+        grid.clone(),
+        ServiceConfig {
+            shards: 2,
+            workers: 1,
+            unlock_steps: 1,
+            default_timeout: Some(2.0),
+            ..ServiceConfig::default()
+        },
+    )
+}
+
+#[test]
+fn prop_loopback_protocol_is_equivalent_to_in_process_submission() {
+    let grid = AlphaGrid::new(vec![2.0, 8.0]).expect("valid grid");
+    check_cases(
+        "loopback_protocol_is_equivalent_to_in_process_submission",
+        24,
+        vecs(
+            (
+                vecs(ints(0u64..8), 0..3), // Blocks 6..8 are unknown.
+                floats(0.0..1.5),
+                ints(0u8..8),
+                dpack_check::bools(),
+            ),
+            1..20,
+        ),
+        |subs: &Vec<SubSeed>| {
+            let remote_service = Arc::new(service(&grid));
+            let twin = service(&grid);
+            let mut client = NetClient::loopback(Arc::clone(&remote_service));
+            prop_assert_eq!(client.grid().expect("hello"), grid.clone());
+            for j in 0..6u64 {
+                let block = Block::new(j, RdpCurve::constant(&grid, 1.0), 0.0);
+                client.register_block(&block).expect("register");
+                twin.register_block(block).expect("register");
+            }
+
+            // Same submission order through both surfaces. Ids repeat
+            // on purpose (`reuse` draws a duplicate) — both sides must
+            // reject the duplicate identically.
+            let mut handles = Vec::new();
+            let mut twin_rejects: Vec<Option<ErrorCode>> = Vec::new();
+            for (i, (blocks, eps, wpick, reuse)) in subs.iter().enumerate() {
+                let id = if *reuse && i > 0 {
+                    (i - 1) as u64
+                } else {
+                    i as u64
+                };
+                let weight = if *wpick == 0 { 0.0 } else { f64::from(*wpick) };
+                let mut task = Task::new(
+                    id,
+                    weight,
+                    blocks.clone(),
+                    RdpCurve::constant(&grid, *eps),
+                    0.0,
+                );
+                task.blocks = blocks.clone(); // Undo normalization: raw lists travel as-is.
+                let tenant = (i % 3) as u32;
+                handles.push(client.submit_nowait(tenant, &task).expect("send"));
+                twin_rejects.push(twin.submit(tenant, task).err().map(|e| admission_code(&e)));
+            }
+
+            // Drive both services through the same cycles — past the
+            // 2.0 timeout horizon, so every pending task resolves.
+            for step in 1..=4u64 {
+                let now = step as f64;
+                remote_service.run_cycle(now);
+                twin.run_cycle(now);
+            }
+
+            // Task-for-task outcome equivalence.
+            let twin_stats = twin.stats();
+            for (i, handle) in handles.into_iter().enumerate() {
+                let outcome = client.wait_decision(handle).expect("decision");
+                match (&outcome, &twin_rejects[i]) {
+                    (Outcome::Rejected { code, .. }, Some(twin_code)) => {
+                        prop_assert_eq!(*code, *twin_code)
+                    }
+                    (Outcome::Granted { .. } | Outcome::Evicted, None) => {}
+                    other => {
+                        return Err(dpack_check::Failed::new(format!(
+                            "submission {i}: remote {:?} vs twin rejection {:?}",
+                            other.0, other.1
+                        )))
+                    }
+                }
+            }
+            let granted_remote = remote_service.stats_summary().granted;
+            prop_assert_eq!(granted_remote, twin_stats.granted.len() as u64);
+
+            // And the ledgers are bit-identical.
+            let (a, b) = (
+                remote_service.ledger().block_states(),
+                twin.ledger().block_states(),
+            );
+            prop_assert_eq!(a.len(), b.len());
+            for (id, x) in &a {
+                let y = &b[id];
+                prop_assert_eq!(x.granted, y.granted);
+                let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+                prop_assert_eq!(bits(&x.consumed), bits(&y.consumed));
+                prop_assert_eq!(bits(&x.total), bits(&y.total));
+            }
+            Ok(())
+        },
+    );
+}

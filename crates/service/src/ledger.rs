@@ -37,7 +37,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use dp_accounting::{AlphaGrid, RdpCurve};
 use dpack_core::online::BlockLedger;
@@ -61,6 +61,25 @@ struct Shard {
     scratch: Vec<u8>,
     /// Record boundaries into `scratch` (kept alongside it for reuse).
     bounds: Vec<usize>,
+    /// Cycle-stable snapshot cache (see
+    /// [`ShardedLedger::snapshot_shard_shared`]).
+    snap: Option<SnapCache>,
+    /// Set by every mutation (registration, commit, recovery replay);
+    /// a set flag invalidates `snap` until the next rebuild.
+    dirty: bool,
+}
+
+/// A cached available-capacity view of one shard.
+#[derive(Debug)]
+struct SnapCache {
+    /// The virtual time the view was computed at.
+    now: f64,
+    /// Whether every block was fully unlocked at `now` — the §3.4
+    /// fraction is monotone in `now` and `available` is independent of
+    /// `now` once it reaches 1, so a fully-unlocked clean view stays
+    /// bit-exact for every later `now`.
+    all_unlocked: bool,
+    view: Arc<BTreeMap<BlockId, RdpCurve>>,
 }
 
 /// The sharded ledger: `S` lock-striped maps of block ledgers.
@@ -78,6 +97,9 @@ pub struct ShardedLedger {
     /// Grants released because a WAL append failed.
     wal_failures: AtomicU64,
     compactions: AtomicU64,
+    /// Snapshot-cache traffic (served from cache vs rebuilt).
+    snap_hits: AtomicU64,
+    snap_misses: AtomicU64,
     /// Whether batched commits flush with one group-commit sync per
     /// shard (the default) or one sync per record (the baseline).
     group_commit: bool,
@@ -126,6 +148,8 @@ impl ShardedLedger {
             next_attempt: AtomicU64::new(0),
             wal_failures: AtomicU64::new(0),
             compactions: AtomicU64::new(0),
+            snap_hits: AtomicU64::new(0),
+            snap_misses: AtomicU64::new(0),
             group_commit: true,
         }
     }
@@ -266,6 +290,18 @@ impl ShardedLedger {
                 block.id
             )));
         }
+        // A non-finite arrival pins the §3.4 unlocked fraction at 0
+        // forever (`(now − NaN).ceil()` never exceeds 0), leaving a
+        // block that exists but can never serve a grant — and every
+        // task referencing it admitted-but-undecidable. Blocks arrive
+        // bit-verbatim over the wire, so reject it here like the task
+        // validator rejects non-finite arrivals.
+        if !block.arrival.is_finite() {
+            return Err(ProblemError(format!(
+                "block {} arrival must be finite",
+                block.id
+            )));
+        }
         let mut shard = self.lock(self.shard_of(block.id));
         if shard.blocks.contains_key(&block.id) {
             return Err(ProblemError(format!("duplicate block id {}", block.id)));
@@ -285,6 +321,7 @@ impl ShardedLedger {
             }
         }
         shard.blocks.insert(block.id, BlockLedger::new(block));
+        shard.dirty = true;
         Ok(())
     }
 
@@ -302,7 +339,75 @@ impl ShardedLedger {
 
     /// Snapshots one shard's available capacities at time `now` (§3.4
     /// unlocked-minus-consumed), holding only that shard's lock.
+    ///
+    /// This is the shared, cache-backed view scheduling cycles read:
+    /// a clean shard (no commit or registration since the last
+    /// snapshot) at the same `now` — or at any later `now` once every
+    /// block is fully unlocked — serves the cached `Arc` instead of
+    /// recomputing and re-allocating every block's curve. Results are
+    /// bit-identical to [`ShardedLedger::snapshot_shard_uncached`] by
+    /// construction (a valid cache entry *is* a previous uncached
+    /// computation whose inputs have not changed), which the cache
+    /// suite asserts value-for-value.
+    pub fn snapshot_shard_shared(
+        &self,
+        shard: usize,
+        now: f64,
+    ) -> Arc<BTreeMap<BlockId, RdpCurve>> {
+        let mut guard = self.lock(shard);
+        self.shard_snapshot_locked(&mut guard, now)
+    }
+
+    /// [`ShardedLedger::snapshot_shard_shared`] with the lock already
+    /// held.
+    fn shard_snapshot_locked(
+        &self,
+        guard: &mut Shard,
+        now: f64,
+    ) -> Arc<BTreeMap<BlockId, RdpCurve>> {
+        if !guard.dirty {
+            if let Some(cache) = &guard.snap {
+                if cache.now.to_bits() == now.to_bits() || (cache.all_unlocked && now >= cache.now)
+                {
+                    self.snap_hits.fetch_add(1, Ordering::Relaxed);
+                    return Arc::clone(&cache.view);
+                }
+            }
+        }
+        self.snap_misses.fetch_add(1, Ordering::Relaxed);
+        let view: Arc<BTreeMap<BlockId, RdpCurve>> = Arc::new(
+            guard
+                .blocks
+                .iter()
+                .map(|(id, b)| (*id, b.available(now, self.unlock_period, self.unlock_steps)))
+                .collect(),
+        );
+        let all_unlocked = guard
+            .blocks
+            .values()
+            .all(|b| b.unlocked_fraction(now, self.unlock_period, self.unlock_steps) >= 1.0);
+        guard.snap = Some(SnapCache {
+            now,
+            all_unlocked,
+            view: Arc::clone(&view),
+        });
+        guard.dirty = false;
+        view
+    }
+
+    /// One shard's available capacities as an owned map (clones out of
+    /// the shared view; hot paths use
+    /// [`ShardedLedger::snapshot_shard_shared`]).
     pub fn snapshot_shard(&self, shard: usize, now: f64) -> BTreeMap<BlockId, RdpCurve> {
+        (*self.snapshot_shard_shared(shard, now)).clone()
+    }
+
+    /// The cache-free reference computation: always recomputes every
+    /// block's available curve under the shard lock. The cache suite
+    /// asserts [`ShardedLedger::snapshot_shard_shared`] against this
+    /// path bit-for-bit; production callers should prefer the cached
+    /// one.
+    pub fn snapshot_shard_uncached(&self, shard: usize, now: f64) -> BTreeMap<BlockId, RdpCurve> {
         self.lock(shard)
             .blocks
             .iter()
@@ -311,13 +416,25 @@ impl ShardedLedger {
     }
 
     /// Snapshots all shards' available capacities at time `now`, taking
-    /// shard locks one at a time.
+    /// shard locks one at a time. Clean shards are served from the
+    /// per-shard cache (the cross-shard pass re-reads the ledger right
+    /// after the shard-local commits, so shards untouched by those
+    /// commits cost a map extend, not a recompute).
     pub fn snapshot_all(&self, now: f64) -> BTreeMap<BlockId, RdpCurve> {
         let mut all = BTreeMap::new();
         for s in 0..self.shards.len() {
-            all.extend(self.snapshot_shard(s, now));
+            let view = self.snapshot_shard_shared(s, now);
+            all.extend(view.iter().map(|(id, c)| (*id, c.clone())));
         }
         all
+    }
+
+    /// Snapshot-cache counters: `(served from cache, rebuilt)`.
+    pub fn snapshot_cache_counters(&self) -> (u64, u64) {
+        (
+            self.snap_hits.load(Ordering::Relaxed),
+            self.snap_misses.load(Ordering::Relaxed),
+        )
     }
 
     /// Total (initial) capacities of all blocks, for fairness metrics.
@@ -403,6 +520,7 @@ impl ShardedLedger {
                 .expect("checked in phase 1")
                 .commit(&task.demand)
                 .expect("filter re-check cannot fail under the held locks");
+            shard.dirty = true;
         }
         CommitOutcome::Committed
     }
@@ -582,6 +700,7 @@ impl ShardedLedger {
         for (b, entry) in shadow {
             stripe.blocks.insert(b, entry);
         }
+        stripe.dirty = true;
         for i in staged {
             outcomes[i] = CommitOutcome::Committed;
         }
@@ -618,6 +737,7 @@ impl ShardedLedger {
                 .commit(&task.demand)
                 .expect("filter re-check cannot fail under the held lock");
         }
+        stripe.dirty = true;
         CommitOutcome::Committed
     }
 
@@ -766,14 +886,14 @@ impl ShardedLedger {
                 break;
             }
             for b in &task.blocks {
-                guards
-                    .get_mut(&self.shard_of(*b))
-                    .expect("locked above")
+                let stripe = guards.get_mut(&self.shard_of(*b)).expect("locked above");
+                stripe
                     .blocks
                     .get_mut(b)
                     .expect("checked while staging")
                     .commit(&task.demand)
                     .expect("staged arithmetic cannot diverge");
+                stripe.dirty = true;
             }
             outcomes[i] = CommitOutcome::Committed;
         }
@@ -975,6 +1095,16 @@ mod tests {
         assert!(l
             .register_block(Block::new(100, RdpCurve::constant(&other, 1.0), 0.0))
             .is_err());
+        // A non-finite arrival would freeze the unlock fraction at 0
+        // forever — rejected like any other malformed registration.
+        for arrival in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(
+                l.register_block(Block::new(101, RdpCurve::constant(&g, 1.0), arrival))
+                    .is_err(),
+                "arrival {arrival} registered"
+            );
+        }
+        assert!(!l.contains(101));
     }
 
     #[test]
@@ -1034,6 +1164,95 @@ mod tests {
             l.commit_task(&task(999, vec![3], 0.25)),
             CommitOutcome::Released
         );
+    }
+
+    /// Bit-identity of the cached snapshot path against the reference
+    /// (always-recompute) path, at a given time.
+    fn assert_snapshots_bit_identical(l: &ShardedLedger, now: f64) {
+        for s in 0..l.n_shards() {
+            let cached = l.snapshot_shard_shared(s, now);
+            let reference = l.snapshot_shard_uncached(s, now);
+            assert_eq!(
+                cached.keys().collect::<Vec<_>>(),
+                reference.keys().collect::<Vec<_>>(),
+                "shard {s} at now={now}"
+            );
+            for (id, want) in &reference {
+                let got = &cached[id];
+                let bits =
+                    |c: &RdpCurve| c.values().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(got), bits(want), "shard {s} block {id} at now={now}");
+            }
+        }
+    }
+
+    #[test]
+    fn cached_snapshots_match_the_cloning_path_bit_identically() {
+        // Gradual unlocking (4 steps) + interleaved mutations: every
+        // combination of {cache cold, cache warm, dirty, time moved,
+        // fully unlocked} must serve exactly what a recompute serves.
+        let g = grid();
+        let l = ShardedLedger::new(g.clone(), 4, 1.0, 4);
+        for j in 0..8u64 {
+            l.register_block(Block::new(j, RdpCurve::constant(&g, 1.0), 0.2 * j as f64))
+                .unwrap();
+        }
+        let mut id = 100u64;
+        for step in 1..=12u64 {
+            let now = step as f64 * 0.75;
+            assert_snapshots_bit_identical(&l, now);
+            // Same now again: served from cache, still identical.
+            assert_snapshots_bit_identical(&l, now);
+            // Mutate a couple of shards, then re-check at the same now.
+            l.commit_task(&task(id, vec![step % 8], 0.01));
+            l.commit_task(&task(id + 1, vec![step % 8, (step + 1) % 8], 0.01));
+            id += 2;
+            assert_snapshots_bit_identical(&l, now);
+        }
+        let (hits, misses) = l.snapshot_cache_counters();
+        assert!(hits > 0, "the warm re-reads must hit the cache");
+        assert!(misses > 0, "mutations must invalidate");
+    }
+
+    #[test]
+    fn clean_fully_unlocked_shards_serve_the_cache_across_cycles() {
+        let g = grid();
+        // unlock_steps = 1: available is independent of `now` from the
+        // start, so a clean shard should rebuild exactly once no matter
+        // how many cycle times read it.
+        let l = ShardedLedger::new(g.clone(), 2, 1.0, 1);
+        for j in 0..4u64 {
+            l.register_block(Block::new(j, RdpCurve::constant(&g, 1.0), 0.0))
+                .unwrap();
+        }
+        let first = l.snapshot_shard_shared(0, 1.0);
+        for step in 2..=20u64 {
+            let again = l.snapshot_shard_shared(0, step as f64);
+            assert!(
+                Arc::ptr_eq(&first, &again),
+                "clean shard must reuse its view"
+            );
+        }
+        let (hits, misses) = l.snapshot_cache_counters();
+        assert_eq!((hits, misses), (19, 1));
+        // A commit invalidates; the rebuilt view reflects it and the
+        // reference path agrees bit-for-bit.
+        l.commit_task(&task(0, vec![0], 0.5));
+        let rebuilt = l.snapshot_shard_shared(0, 21.0);
+        assert!(!Arc::ptr_eq(&first, &rebuilt));
+        assert_snapshots_bit_identical(&l, 21.0);
+        // Still-locked ledgers must NOT reuse across time: with 4
+        // unlock steps the view at t=1 and t=2 differ.
+        let locked = ShardedLedger::new(g.clone(), 1, 1.0, 4);
+        locked
+            .register_block(Block::new(0, RdpCurve::constant(&g, 1.0), 0.0))
+            .unwrap();
+        let early = l.snapshot_shard_shared(0, 21.0); // Warm unrelated cache.
+        drop(early);
+        let at1 = locked.snapshot_shard_shared(0, 1.0);
+        let at2 = locked.snapshot_shard_shared(0, 2.0);
+        assert!((at1[&0].epsilon(0) - 0.25).abs() < 1e-12);
+        assert!((at2[&0].epsilon(0) - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -69,6 +69,7 @@ pub mod durability;
 pub mod ledger;
 pub mod service;
 pub mod stats;
+pub mod ticket;
 
 /// The write-ahead-log crate the durable ledger is built on, re-exported
 /// so service users can name storages ([`wal::SimStorage`],
@@ -82,3 +83,4 @@ pub use service::{BudgetService, ServiceHandle};
 pub use stats::{
     CycleStats, DurabilityStats, ServiceStats, StatsRetention, StatsSummary, TenantStats,
 };
+pub use ticket::{Decision, SubmissionTicket};

@@ -41,11 +41,15 @@ use crate::admission::{AdmissionError, AdmissionQueue, Submission, TenantId};
 use crate::config::{DurabilityOptions, ServiceConfig};
 use crate::ledger::{CommitOutcome, ShardedLedger};
 use crate::stats::{CycleStats, ServiceStats};
+use crate::ticket::{Decision, SubmissionTicket, TicketCell};
 
 /// A tenant-tagged task on its way through a scheduling cycle.
 type TaggedTask = (TenantId, Task);
-/// An available-capacity snapshot, keyed by block id.
-type Snapshot = std::collections::BTreeMap<dpack_core::problem::BlockId, dp_accounting::RdpCurve>;
+/// A shared available-capacity snapshot, keyed by block id — shard
+/// cycles read the ledger's cycle-stable cached views without cloning
+/// curves.
+type Snapshot =
+    Arc<std::collections::BTreeMap<dpack_core::problem::BlockId, dp_accounting::RdpCurve>>;
 
 /// Which ledger batch-commit path a scheduling pass feeds.
 enum CommitTarget {
@@ -93,6 +97,12 @@ pub struct BudgetService {
     pending: Mutex<Vec<Submission>>,
     live: Mutex<LiveTasks>,
     stats: Mutex<ServiceStats>,
+    /// Completion cells for [`BudgetService::submit_async`] tasks, keyed
+    /// by task id; an entry lives exactly as long as its task is live.
+    /// Lock order: this lock is taken *before* the live/stats locks on
+    /// the submit path and alone on the resolution path, so no cycle
+    /// exists.
+    tickets: Mutex<std::collections::BTreeMap<TaskId, Arc<TicketCell>>>,
     cycle_lock: Mutex<()>,
     /// Cycles started (drives the compaction cadence without touching
     /// the stats lock).
@@ -187,6 +197,7 @@ impl BudgetService {
             queue: AdmissionQueue::new(config.queue_capacity),
             pending: Mutex::new(Vec::new()),
             live: Mutex::new(LiveTasks::default()),
+            tickets: Mutex::new(std::collections::BTreeMap::new()),
             stats: Mutex::new(stats),
             cycle_lock: Mutex::new(()),
             cycles_run: AtomicU64::new(0),
@@ -242,6 +253,18 @@ impl BudgetService {
         // locks (block existence) and scans the demand curve, so
         // serializing producers through it would defeat the striping.
         let validated = self.validate(&task);
+        self.admit(tenant, task, validated)
+    }
+
+    /// The admission tail shared by [`BudgetService::submit`] and
+    /// [`BudgetService::submit_async`]: stateful gates + counters for
+    /// an already-validated task.
+    fn admit(
+        &self,
+        tenant: TenantId,
+        task: Task,
+        validated: Result<(), AdmissionError>,
+    ) -> Result<(), AdmissionError> {
         // The stats lock is held only across the enqueue and counter
         // updates, making them atomic with the task becoming visible
         // to a concurrent cycle — a monitor can never observe a grant
@@ -285,6 +308,23 @@ impl BudgetService {
             return Err(AdmissionError::InvalidTask {
                 task: task.id,
                 reason: "weight must be finite and > 0",
+            });
+        }
+        // A non-finite arrival or timeout would make the eviction rule
+        // `now − arrival > dt` unsatisfiable: the task could never be
+        // evicted, pinning its id, quota slot, and any completion
+        // ticket forever — remotely submittable state that never
+        // drains, so it must be an admission rejection.
+        if !task.arrival.is_finite() {
+            return Err(AdmissionError::InvalidTask {
+                task: task.id,
+                reason: "arrival must be finite",
+            });
+        }
+        if task.timeout.is_some_and(|t| !t.is_finite() || t < 0.0) {
+            return Err(AdmissionError::InvalidTask {
+                task: task.id,
+                reason: "timeout must be finite and >= 0",
             });
         }
         if task
@@ -340,6 +380,44 @@ impl BudgetService {
         live.ids.insert(id);
         *live.per_tenant.entry(tenant).or_insert(0) += 1;
         Ok(())
+    }
+
+    /// Submits a task and returns a completion handle that resolves to
+    /// the **final decision** — [`Decision::Granted`] when a scheduling
+    /// cycle commits the grant, [`Decision::Evicted`] when the task
+    /// times out — instead of the enqueue ack [`BudgetService::submit`]
+    /// answers with. This is the submission surface remote frontends
+    /// build on: an RPC handler parks the request on the ticket and
+    /// replies with the outcome.
+    ///
+    /// The ticket is registered atomically with the enqueue: a cycle
+    /// that grants the task is guaranteed to see (and resolve) it, with
+    /// no window where a decision could race past an unregistered
+    /// ticket.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionError`] exactly as [`BudgetService::submit`]; a
+    /// rejected submission never creates a ticket (the rejection *is*
+    /// the final decision).
+    pub fn submit_async(
+        &self,
+        tenant: TenantId,
+        task: Task,
+    ) -> Result<SubmissionTicket, AdmissionError> {
+        let id = task.id;
+        // Validation (shard-lock probes, demand scan) runs before the
+        // ticket lock so concurrent async submitters keep the striped
+        // ledger's parallelism; the lock is held only across the short
+        // admit + insert, which is what makes the ticket visible to
+        // any cycle that can see the task (resolution takes this same
+        // lock).
+        let validated = self.validate(&task);
+        let mut tickets = self.tickets.lock().expect("ticket map lock poisoned");
+        self.admit(tenant, task, validated)?;
+        let cell = Arc::new(TicketCell::default());
+        tickets.insert(id, Arc::clone(&cell));
+        Ok(SubmissionTicket::new(id, cell))
     }
 
     /// [`BudgetService::submit`] with backpressure handling: on a full
@@ -468,7 +546,7 @@ impl BudgetService {
         let mut released: usize = shard_results.iter().map(|r| r.released).sum();
         let mut algorithm: Duration = shard_results.iter().map(|r| r.algorithm).sum();
         if !cross_tasks.is_empty() {
-            let snapshot = self.ledger.snapshot_all(now);
+            let snapshot = Arc::new(self.ledger.snapshot_all(now));
             let (granted, rel, algo) = self.schedule_and_commit(
                 snapshot,
                 cross_tasks,
@@ -496,6 +574,36 @@ impl BudgetService {
             pending.retain(|s| !granted_ids.contains(&s.task.id));
             pending.len()
         };
+        // Resolve submit_async completion handles now that the
+        // decisions are committed (taken with no other lock held; the
+        // submit path takes this lock before the live/stats locks).
+        // This must happen *before* the live-task release below: once
+        // an id stops being live it may be resubmitted, and a fresh
+        // ticket under a reused id must never receive (or shadow) the
+        // previous task's decision — until this block runs, a
+        // resubmission is still rejected as a duplicate.
+        {
+            let mut tickets = self.tickets.lock().expect("ticket map lock poisoned");
+            if !tickets.is_empty() {
+                let granted = shard_results
+                    .iter()
+                    .flat_map(|r| r.granted.iter())
+                    .chain(cross_granted.iter());
+                for (_, alloc) in granted {
+                    if let Some(cell) = tickets.remove(&alloc.id) {
+                        cell.resolve(Decision::Granted {
+                            allocated_at: alloc.allocated_at,
+                        });
+                    }
+                }
+                for (_, id) in &evicted {
+                    if let Some(cell) = tickets.remove(id) {
+                        cell.resolve(Decision::Evicted);
+                    }
+                }
+            }
+        }
+
         // Granted and evicted tasks are no longer live: their ids may
         // be reused and their tenants' quota slots free up.
         {
@@ -602,8 +710,9 @@ impl BudgetService {
             .map(|(tenant, task)| (task.id, *tenant))
             .collect();
         let tasks: Vec<Task> = subs.into_iter().map(|(_, task)| task).collect();
-        let state = ProblemState::from_available(self.ledger.grid().clone(), available, tasks)
-            .expect("admission validated every pending task");
+        let state =
+            ProblemState::from_available_shared(self.ledger.grid().clone(), available, tasks)
+                .expect("admission validated every pending task");
         let allocation = self.config.scheduler.schedule(&state, threads);
         let scheduled: Vec<&Task> = allocation
             .scheduled
@@ -637,7 +746,7 @@ impl BudgetService {
     /// tasks single-threaded, commit grants against its own lock in
     /// one group-committed batch.
     fn run_shard_cycle(&self, shard: usize, subs: Vec<TaggedTask>, now: f64) -> ShardResult {
-        let snapshot = self.ledger.snapshot_shard(shard, now);
+        let snapshot = self.ledger.snapshot_shard_shared(shard, now);
         let (granted, released, algorithm) =
             self.schedule_and_commit(snapshot, subs, 1, now, CommitTarget::Local(shard));
         ShardResult {
@@ -869,6 +978,47 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_arrival_or_timeout_is_rejected_at_admission() {
+        // `now − arrival > dt` is unsatisfiable for NaN/∞ inputs, so
+        // such a task could never be evicted — admission must refuse
+        // it (these fields arrive bit-verbatim from remote tenants).
+        let service = BudgetService::new(grid(), immediate_unlock(2, 1));
+        service
+            .register_block(Block::new(0, RdpCurve::constant(&grid(), 1.0), 0.0))
+            .unwrap();
+        for arrival in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let t = Task::new(0, 1.0, vec![0], RdpCurve::constant(&grid(), 0.1), arrival);
+            assert!(
+                matches!(
+                    service.submit(0, t),
+                    Err(AdmissionError::InvalidTask { .. })
+                ),
+                "arrival {arrival} admitted"
+            );
+        }
+        for timeout in [f64::NAN, f64::INFINITY, -1.0] {
+            let t = Task::new(1, 1.0, vec![0], RdpCurve::constant(&grid(), 0.1), 0.0)
+                .with_timeout(timeout);
+            assert!(
+                matches!(
+                    service.submit(0, t),
+                    Err(AdmissionError::InvalidTask { .. })
+                ),
+                "timeout {timeout} admitted"
+            );
+        }
+        // Finite timeouts (zero included) stay legal: at now=1.0 the
+        // zero-timeout task (1.0 − 0.0 > 0.0) evicts on ingest while
+        // the roomier one is granted.
+        let t = Task::new(2, 1.0, vec![0], RdpCurve::constant(&grid(), 0.1), 0.0).with_timeout(0.0);
+        service.submit(0, t).unwrap();
+        let t = Task::new(3, 1.0, vec![0], RdpCurve::constant(&grid(), 0.1), 0.0).with_timeout(2.0);
+        service.submit(0, t).unwrap();
+        let cycle = service.run_cycle(1.0);
+        assert_eq!((cycle.granted(), cycle.evicted), (1, 1));
+    }
+
+    #[test]
     fn duplicate_task_ids_are_rejected_until_resolved() {
         let service = BudgetService::new(
             grid(),
@@ -1094,6 +1244,90 @@ mod tests {
         assert_eq!(stats.admitted, 200);
         // 0.05 × 25 per block = 1.25 ≤ 2.0: everything fits.
         assert_eq!(stats.granted.len(), 200);
+        assert!(service.ledger().unsound_blocks().is_empty());
+    }
+
+    #[test]
+    fn async_tickets_resolve_to_the_cycle_decision() {
+        let service = BudgetService::new(
+            grid(),
+            ServiceConfig {
+                default_timeout: Some(1.5),
+                ..immediate_unlock(2, 1)
+            },
+        );
+        service
+            .register_block(Block::new(0, RdpCurve::constant(&grid(), 1.0), 0.0))
+            .unwrap();
+        // Feasible task: resolves Granted at the committing cycle.
+        let granted = service
+            .submit_async(0, simple_task(0, vec![0], 0.3))
+            .unwrap();
+        // Infeasible task: stays pending until its timeout evicts it.
+        let evicted = service
+            .submit_async(1, simple_task(1, vec![0], 9.0))
+            .unwrap();
+        assert!(!granted.is_resolved() && !evicted.is_resolved());
+        service.run_cycle(1.0);
+        assert_eq!(
+            granted.try_decision(),
+            Some(Decision::Granted { allocated_at: 1.0 })
+        );
+        assert_eq!(evicted.try_decision(), None, "still pending");
+        service.run_cycle(3.0); // 3.0 − 0.0 > 1.5: evicted.
+        assert_eq!(evicted.wait(), Decision::Evicted);
+        // A rejected submission is its own final decision: no ticket.
+        assert!(matches!(
+            service.submit_async(2, simple_task(1, vec![9], 0.1)),
+            Err(AdmissionError::UnknownBlock { .. })
+        ));
+        assert!(service.tickets.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn async_tickets_resolve_under_concurrent_submitters_and_cycles() {
+        let service = Arc::new(BudgetService::new(
+            grid(),
+            ServiceConfig {
+                queue_capacity: 64,
+                ..immediate_unlock(4, 2)
+            },
+        ));
+        for j in 0..8u64 {
+            service
+                .register_block(Block::new(j, RdpCurve::constant(&grid(), 4.0), 0.0))
+                .unwrap();
+        }
+        let handle = ServiceHandle::spawn(Arc::clone(&service), Duration::from_millis(1));
+        std::thread::scope(|s| {
+            for tenant in 0..4u32 {
+                let service = Arc::clone(&service);
+                s.spawn(move || {
+                    for i in 0..40u64 {
+                        let id = tenant as u64 * 1000 + i;
+                        let t = simple_task(id, vec![id % 8], 0.05);
+                        let ticket = loop {
+                            match service.submit_async(tenant, t.clone()) {
+                                Ok(ticket) => break ticket,
+                                Err(AdmissionError::QueueFull { .. }) => {
+                                    std::thread::sleep(Duration::from_micros(50));
+                                }
+                                Err(e) => panic!("unexpected rejection: {e}"),
+                            }
+                        };
+                        // Every ticket resolves Granted: capacity fits
+                        // the whole workload.
+                        assert!(matches!(
+                            ticket.wait_timeout(Duration::from_secs(20)),
+                            Some(Decision::Granted { .. })
+                        ));
+                    }
+                });
+            }
+        });
+        let service = handle.stop();
+        assert_eq!(service.stats_summary().granted, 160);
+        assert!(service.tickets.lock().unwrap().is_empty());
         assert!(service.ledger().unsound_blocks().is_empty());
     }
 

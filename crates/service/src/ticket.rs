@@ -1,0 +1,151 @@
+//! Completion handles for asynchronous submissions.
+//!
+//! [`crate::BudgetService::submit`] answers with an *enqueue* ack: the
+//! task passed admission and will be considered by future cycles, but
+//! the grant/reject decision has not been made. A remote tenant wants
+//! the **final decision** — that is what
+//! [`crate::BudgetService::submit_async`] provides: it returns a
+//! [`SubmissionTicket`] that resolves to a [`Decision`] at the moment
+//! the scheduling cycle commits the grant (or evicts the task), so an
+//! RPC frontend can park the request and answer with the outcome
+//! instead of a mere ack.
+//!
+//! Tickets are plain condvar cells — no executor, no waker machinery —
+//! so they work from any thread: a poll-based reactor checks
+//! [`SubmissionTicket::try_decision`] in its sweep loop, a synchronous
+//! caller parks on [`SubmissionTicket::wait`].
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use dpack_core::problem::TaskId;
+
+/// The final outcome of an admitted submission.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Decision {
+    /// A scheduling cycle committed the grant.
+    Granted {
+        /// Virtual time of the committing cycle.
+        allocated_at: f64,
+    },
+    /// The task timed out and was evicted from the pending set without
+    /// ever being granted.
+    Evicted,
+}
+
+/// The shared cell a ticket and the scheduling loop both hold. The
+/// service keeps its side keyed by task id until the task resolves, so
+/// a dropped ticket (a disconnected tenant) costs one map entry for
+/// the task's live lifetime and nothing after.
+#[derive(Debug, Default)]
+pub(crate) struct TicketCell {
+    state: Mutex<Option<Decision>>,
+    cond: Condvar,
+}
+
+impl TicketCell {
+    pub(crate) fn resolve(&self, decision: Decision) {
+        let mut state = self.state.lock().expect("ticket lock poisoned");
+        debug_assert!(state.is_none(), "a ticket resolves exactly once");
+        *state = Some(decision);
+        self.cond.notify_all();
+    }
+}
+
+/// A completion handle for one asynchronously submitted task: resolves
+/// exactly once, when a scheduling cycle decides the task's fate.
+///
+/// Cloning is cheap (an `Arc` bump); every clone observes the same
+/// resolution.
+#[derive(Debug, Clone)]
+pub struct SubmissionTicket {
+    task: TaskId,
+    pub(crate) inner: Arc<TicketCell>,
+}
+
+impl SubmissionTicket {
+    pub(crate) fn new(task: TaskId, inner: Arc<TicketCell>) -> Self {
+        Self { task, inner }
+    }
+
+    /// The submitted task's id.
+    pub fn task_id(&self) -> TaskId {
+        self.task
+    }
+
+    /// The decision, if a cycle has made one — never blocks, so a
+    /// reactor can poll many tickets per sweep.
+    pub fn try_decision(&self) -> Option<Decision> {
+        *self.inner.state.lock().expect("ticket lock poisoned")
+    }
+
+    /// Whether the ticket has resolved.
+    pub fn is_resolved(&self) -> bool {
+        self.try_decision().is_some()
+    }
+
+    /// Parks until the decision is made. The caller must ensure cycles
+    /// are running (a background [`crate::ServiceHandle`] or another
+    /// thread driving [`crate::BudgetService::run_cycle`]); a pending
+    /// task with no timeout may otherwise never resolve.
+    pub fn wait(&self) -> Decision {
+        let mut state = self.inner.state.lock().expect("ticket lock poisoned");
+        loop {
+            if let Some(decision) = *state {
+                return decision;
+            }
+            state = self.inner.cond.wait(state).expect("ticket lock poisoned");
+        }
+    }
+
+    /// [`SubmissionTicket::wait`] with a deadline; `None` on timeout.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Decision> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut state = self.inner.state.lock().expect("ticket lock poisoned");
+        loop {
+            if let Some(decision) = *state {
+                return Some(decision);
+            }
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            let (next, _) = self
+                .inner
+                .cond
+                .wait_timeout(state, left)
+                .expect("ticket lock poisoned");
+            state = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tickets_resolve_across_threads() {
+        let cell = Arc::new(TicketCell::default());
+        let ticket = SubmissionTicket::new(7, Arc::clone(&cell));
+        assert_eq!(ticket.task_id(), 7);
+        assert!(!ticket.is_resolved());
+        assert_eq!(ticket.try_decision(), None);
+        assert_eq!(ticket.wait_timeout(Duration::from_millis(5)), None);
+        let waiter = ticket.clone();
+        std::thread::scope(|s| {
+            let h = s.spawn(move || waiter.wait());
+            std::thread::sleep(Duration::from_millis(10));
+            cell.resolve(Decision::Granted { allocated_at: 3.0 });
+            assert_eq!(
+                h.join().expect("waiter"),
+                Decision::Granted { allocated_at: 3.0 }
+            );
+        });
+        assert_eq!(
+            ticket.wait_timeout(Duration::from_millis(1)),
+            Some(Decision::Granted { allocated_at: 3.0 })
+        );
+        assert_eq!(ticket.wait(), Decision::Granted { allocated_at: 3.0 });
+    }
+}

@@ -94,7 +94,14 @@ impl fmt::Display for WalError {
     }
 }
 
-impl std::error::Error for WalError {}
+impl std::error::Error for WalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<io::Error> for WalError {
     fn from(e: io::Error) -> Self {

@@ -1,0 +1,101 @@
+//! A remote tenant talking to the budget service over a real socket.
+//!
+//! Starts a [`BudgetService`] with a background cycle loop, exposes it
+//! through `dpack-net` on `127.0.0.1`, and drives it exactly as a
+//! remote tenant would: handshake for the alpha grid, register blocks,
+//! submit tasks (pipelined), read stats and a budget snapshot — all
+//! answered with **final decisions**, not enqueue acks. CI runs this
+//! as the client↔server smoke test.
+//!
+//! ```sh
+//! cargo run --release --example remote_tenant
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dpack::accounting::{AlphaGrid, RdpCurve};
+use dpack::core::problem::{Block, Task};
+use dpack_net::{ErrorCode, NetClient, NetServer, Outcome};
+use dpack_service::{BudgetService, ServiceConfig, ServiceHandle};
+
+fn main() {
+    // The operator's side: an always-on service behind a socket.
+    let grid = AlphaGrid::new(vec![2.0, 4.0, 16.0]).expect("valid grid");
+    let service = Arc::new(BudgetService::new(
+        grid,
+        ServiceConfig {
+            shards: 4,
+            workers: 2,
+            unlock_steps: 1,
+            ..ServiceConfig::default()
+        },
+    ));
+    let server = NetServer::bind(Arc::clone(&service), "127.0.0.1:0").expect("bind loopback");
+    let cycles = ServiceHandle::spawn(Arc::clone(&service), Duration::from_millis(1));
+    println!("service listening on {}", server.local_addr());
+
+    // The tenant's side: everything below travels over the socket.
+    let mut client = NetClient::connect(server.local_addr()).expect("connect");
+    let grid = client.grid().expect("handshake");
+    println!("server grid: {:?}", grid.orders());
+
+    for j in 0..8u64 {
+        client
+            .register_block(&Block::new(j, RdpCurve::constant(&grid, 1.0), 0.0))
+            .expect("register");
+    }
+    println!("registered 8 blocks of capacity 1.0");
+
+    // Pipeline a burst of submissions, then collect final decisions.
+    let mut handles = Vec::new();
+    for i in 0..16u64 {
+        let task = Task::new(i, 1.0, vec![i % 8], RdpCurve::constant(&grid, 0.4), 0.0);
+        handles.push(client.submit_nowait(7, &task).expect("send"));
+    }
+    let mut granted = 0;
+    for h in handles {
+        if client.wait_decision(h).expect("decision").is_granted() {
+            granted += 1;
+        }
+    }
+    println!("burst of 16: {granted} granted (2 x 0.4 fits per block)");
+    assert_eq!(granted, 16);
+
+    // A third 0.4 on block 0 cannot fit: it waits in the pending set
+    // until its timeout evicts it, and the parked decision resolves to
+    // `evicted` — while a malformed submission is rejected immediately
+    // with its stable error code.
+    let over = Task::new(100, 1.0, vec![0], RdpCurve::constant(&grid, 0.4), 0.0).with_timeout(1.0);
+    let bad = Task::new(100, 1.0, vec![99], RdpCurve::constant(&grid, 0.1), 0.0);
+    let decisions = client.submit_batch(7, &[over, bad]).expect("batch");
+    for (task, outcome) in &decisions {
+        println!("task {task}: {outcome}");
+    }
+    assert!(matches!(
+        decisions[1].1,
+        Outcome::Rejected {
+            code: ErrorCode::UnknownBlock,
+            ..
+        }
+    ));
+
+    let stats = client.stats().expect("stats");
+    println!(
+        "server stats: submitted={} granted={} rejected={}",
+        stats.submitted, stats.granted, stats.rejected
+    );
+    assert_eq!(stats.granted, 16);
+    assert_eq!(stats.rejected, 1);
+
+    let snapshot = client.snapshot(10.0).expect("snapshot");
+    let spent = snapshot
+        .values()
+        .filter(|curve| curve.iter().all(|eps| *eps < 0.3))
+        .count();
+    println!("snapshot: {spent}/8 blocks nearly spent");
+
+    cycles.stop();
+    server.stop();
+    println!("remote tenant smoke: OK");
+}

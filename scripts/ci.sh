@@ -70,6 +70,19 @@ echo "==> service_throughput -> BENCH_4.json"
 cargo run --release -q -p dpack-bench --bin service_throughput -- --json BENCH_4.json
 grep -E "speedup|ops_per_sec" BENCH_4.json
 
+# Remote frontend smoke: a real tenant over a real 127.0.0.1 socket —
+# handshake, block registration, pipelined submits answered with final
+# decisions, stats, snapshot, graceful shutdown. The example asserts
+# every step.
+echo "==> remote frontend smoke (example over 127.0.0.1)"
+cargo run --release -q --example remote_tenant
+
+# Perf trajectory for the remote surface: final-decision throughput
+# through dpack-net vs the in-process async surface, same workload.
+echo "==> service_throughput --remote -> BENCH_5.json"
+cargo run --release -q -p dpack-bench --bin service_throughput -- --remote --json BENCH_5.json
+grep -E "ops_per_sec|relative" BENCH_5.json
+
 # Replay-determinism guard: the crash-recovery harness must produce
 # byte-identical output when replayed from the same seed — a diff here
 # means a failure report would not reproduce. The timing line of the

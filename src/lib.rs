@@ -35,6 +35,7 @@
 
 pub use dp_accounting as accounting;
 pub use dpack_core as core;
+pub use dpack_net as net;
 pub use dpack_service as service;
 pub use knapsack as solvers;
 pub use orchestrator as orchestration;
