@@ -29,6 +29,15 @@
 //! through `dpack-net` over a real `127.0.0.1` TCP socket with a
 //! pipelining client, both against a background cycle thread. The
 //! `--json` summary for this mode is CI's `BENCH_5.json`.
+//!
+//! `--obs` replaces the sweeps with the **observability cost**
+//! comparison: the in-memory grant path driven with the `dpack-obs`
+//! instrumentation live (`Obs::wall`) vs disabled (`Obs::off`), plus
+//! the latency percentiles the metrics registry collects on a
+//! group-commit durable run — grant latency, WAL append+fsync, cycle
+//! time, and the batch-size distribution, read back exactly as a
+//! remote scraper would see them. The `--json` summary for this mode
+//! is CI's `BENCH_6.json`.
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -37,6 +46,7 @@ use std::time::{Duration, Instant};
 use dp_accounting::{AlphaGrid, RdpCurve};
 use dpack_bench::table::{fmt, Table};
 use dpack_core::problem::{Block, ProblemState, Task};
+use dpack_service::obs::Obs;
 use dpack_service::wal::TempDir;
 use dpack_service::{
     BudgetService, DurabilityOptions, SchedulerChoice, ServiceConfig, StatsRetention, TenantId,
@@ -476,6 +486,173 @@ fn remote_comparison(n_tasks: usize, json: Option<&str>) {
     }
 }
 
+fn obs_leg_config() -> ServiceConfig {
+    ServiceConfig {
+        shards: DURABLE_SHARDS,
+        workers: 2,
+        unlock_steps: 1,
+        scheduler: SchedulerChoice::DPack,
+        retention: StatsRetention::Window(1024),
+        ..ServiceConfig::default()
+    }
+}
+
+/// Replays the microbenchmark instance through a service in `CHUNK`
+/// submissions per cycle (single-threaded, no sleeps: the two `--obs`
+/// legs must differ only in instrumentation) and returns decisions/s.
+/// Scheduling is deterministic, so both legs do identical grant work.
+fn run_obs_leg(state: &ProblemState, obs: std::sync::Arc<Obs>) -> f64 {
+    let service = BudgetService::with_obs(state.grid().clone(), obs_leg_config(), obs);
+    for (id, cap) in state.blocks() {
+        service
+            .register_block(Block::new(*id, cap.clone(), 0.0))
+            .expect("unique blocks");
+    }
+    let tasks = state.tasks();
+    let started = Instant::now();
+    let mut now = 1.0f64;
+    for chunk in tasks.chunks(CHUNK) {
+        for task in chunk {
+            service
+                .submit((task.id % N_TENANTS as u64) as u32, task.clone())
+                .expect("validated workload");
+        }
+        service.run_cycle(now);
+        now += 1.0;
+    }
+    service.run_cycle(now);
+    let wall = started.elapsed();
+    assert!(service.ledger().unsound_blocks().is_empty());
+    tasks.len() as f64 / wall.as_secs_f64()
+}
+
+/// One group-commit durable run over the same instance, harvested
+/// through the metrics registry the way `NetClient::metrics()` would
+/// see it.
+fn run_grant_percentiles(state: &ProblemState) -> dpack_service::obs::MetricsSnapshot {
+    let tmp = TempDir::new("svc-obs").expect("tempdir");
+    let service = BudgetService::recover_dir(
+        state.grid().clone(),
+        obs_leg_config(),
+        tmp.path(),
+        DurabilityOptions {
+            group_commit: true,
+            snapshot_every_cycles: None,
+            ..DurabilityOptions::default()
+        },
+    )
+    .expect("fresh directory opens");
+    for (id, cap) in state.blocks() {
+        service
+            .register_block(Block::new(*id, cap.clone(), 0.0))
+            .expect("unique blocks");
+    }
+    let mut now = 1.0f64;
+    for chunk in state.tasks().chunks(CHUNK) {
+        for task in chunk {
+            service
+                .submit((task.id % N_TENANTS as u64) as u32, task.clone())
+                .expect("validated workload");
+        }
+        service.run_cycle(now);
+        now += 1.0;
+    }
+    service.obs().registry.snapshot()
+}
+
+/// The `--obs` mode: instrumentation overhead (registry+recorder live
+/// vs disabled, best of `OBS_ROUNDS` each) and the hot-path latency
+/// percentiles off one group-commit durable run.
+fn obs_comparison(state: &ProblemState, json: Option<&str>) {
+    const OBS_ROUNDS: usize = 5;
+    let n_tasks = state.tasks().len();
+    // One discarded warmup, then back-to-back on/off pairs. The
+    // overhead is judged from the best *paired* ratio: adjacent legs
+    // share frequency/allocator drift, so the pairing cancels the
+    // machine noise that a best-of-each comparison leaves in.
+    run_obs_leg(state, Obs::wall());
+    let (mut on, mut off, mut ratio) = (0.0f64, 0.0f64, 0.0f64);
+    for _ in 0..OBS_ROUNDS {
+        let on_i = run_obs_leg(state, Obs::wall());
+        let off_i = run_obs_leg(state, Obs::off());
+        on = on.max(on_i);
+        off = off.max(off_i);
+        ratio = ratio.max(on_i / off_i);
+    }
+    let overhead = (1.0 - ratio).max(0.0);
+
+    let mut t = Table::new(vec!["instrumentation", "tasks", "decisions/s"]);
+    t.row(vec![
+        "on (live registry + recorder)".into(),
+        n_tasks.to_string(),
+        fmt(on, 0),
+    ]);
+    t.row(vec![
+        "off (disabled handles)".into(),
+        n_tasks.to_string(),
+        fmt(off, 0),
+    ]);
+    t.print();
+    println!(
+        "\ninstrumentation overhead: {:.2}% of grant throughput \
+         (best paired ratio over {OBS_ROUNDS} on/off rounds)",
+        100.0 * overhead
+    );
+    assert!(
+        overhead < 0.03,
+        "observability must cost under 3% of grant throughput, measured {overhead:.4}"
+    );
+
+    let snap = run_grant_percentiles(state);
+    let hist = |name: &str| {
+        snap.histogram(name, "")
+            .unwrap_or_else(|| panic!("instrumented durable run records {name}"))
+    };
+    let grant = hist("dpack_grant_latency_nanos");
+    let append = hist("dpack_wal_append_nanos");
+    let batch = hist("dpack_wal_batch_records");
+    let cycle = hist("dpack_cycle_nanos");
+    let mut p = Table::new(vec!["histogram", "count", "p50", "p95", "p99", "max"]);
+    for (name, h) in [
+        ("grant latency (ns)", grant),
+        ("wal append+fsync (ns)", append),
+        ("records per wal batch", batch),
+        ("cycle (ns)", cycle),
+    ] {
+        p.row(vec![
+            name.into(),
+            h.count.to_string(),
+            h.p50().to_string(),
+            h.p95().to_string(),
+            h.p99().to_string(),
+            h.max.to_string(),
+        ]);
+    }
+    println!("\ngroup-commit durable run, as scraped from the registry:");
+    p.print();
+
+    if let Some(path) = json {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"bench\": \"service_throughput_obs\",");
+        let _ = writeln!(s, "  \"tasks\": {n_tasks},");
+        let _ = writeln!(s, "  \"shards\": {DURABLE_SHARDS},");
+        let _ = writeln!(s, "  \"obs_on_ops_per_sec\": {on:.1},");
+        let _ = writeln!(s, "  \"obs_off_ops_per_sec\": {off:.1},");
+        let _ = writeln!(s, "  \"instrumentation_overhead_ratio\": {overhead:.4},");
+        let _ = writeln!(s, "  \"grant_latency_p50_nanos\": {},", grant.p50());
+        let _ = writeln!(s, "  \"grant_latency_p99_nanos\": {},", grant.p99());
+        let _ = writeln!(s, "  \"wal_append_p50_nanos\": {},", append.p50());
+        let _ = writeln!(s, "  \"wal_append_p99_nanos\": {},", append.p99());
+        let _ = writeln!(s, "  \"cycle_p99_nanos\": {},", cycle.p99());
+        let _ = writeln!(s, "  \"wal_batch_records_mean\": {:.1},", batch.mean());
+        let _ = writeln!(s, "  \"wal_batch_records_max\": {}", batch.max);
+        s.push_str("}\n");
+        std::fs::write(path, s).expect("write json");
+        println!("\nwrote {path}");
+    }
+}
+
 fn json_escape_free(s: &str) -> &str {
     // Labels here are ASCII identifiers; keep the writer honest.
     debug_assert!(!s.contains('"') && !s.contains('\\'));
@@ -559,6 +736,27 @@ fn main() {
             n_tasks, DURABLE_BLOCKS, N_TENANTS
         );
         remote_comparison(n_tasks, args.json.as_deref());
+        return;
+    }
+    if args.obs {
+        println!(
+            "dpack-obs instrumentation cost — {} tasks, 32 blocks, {} shards\n",
+            n_tasks, DURABLE_SHARDS
+        );
+        let state = generate(
+            &CurveLibrary::standard(),
+            &MicrobenchmarkConfig {
+                n_tasks,
+                n_blocks: 32,
+                mu_blocks: 2.0,
+                sigma_blocks: 1.5,
+                sigma_alpha: 2.0,
+                eps_min: 0.01,
+                ..Default::default()
+            },
+            args.seed,
+        );
+        obs_comparison(&state, args.json.as_deref());
         return;
     }
     println!(

@@ -18,6 +18,10 @@ pub struct Args {
     /// Measure the remote (TCP-loopback) submission surface instead of
     /// the in-process sweeps (`--remote`, service benches only).
     pub remote: bool,
+    /// Measure observability overhead (instrumentation on vs off) and
+    /// report latency percentiles instead of the sweeps (`--obs`,
+    /// service benches only).
+    pub obs: bool,
     /// Write a machine-readable summary to this path (`--json <path>`,
     /// service benches only).
     pub json: Option<String>,
@@ -32,6 +36,7 @@ impl Default for Args {
             out_dir: "results".into(),
             latency: false,
             remote: false,
+            obs: false,
             json: None,
         }
     }
@@ -72,12 +77,13 @@ impl Args {
                 }
                 "--latency" => args.latency = true,
                 "--remote" => args.remote = true,
+                "--obs" => args.obs = true,
                 "--json" => {
                     args.json = Some(it.next().unwrap_or_else(|| panic!("--json needs a path")));
                 }
                 other => panic!(
                     "unknown flag {other} \
-                     (expected --seed/--panel/--full/--out/--latency/--remote/--json)"
+                     (expected --seed/--panel/--full/--out/--latency/--remote/--obs/--json)"
                 ),
             }
         }
@@ -119,6 +125,7 @@ mod tests {
             "tmp",
             "--latency",
             "--remote",
+            "--obs",
             "--json",
             "out.json",
         ]);

@@ -235,6 +235,37 @@ impl NetClient {
             other => Err(Self::unexpected(&other)),
         }
     }
+
+    /// Scrapes the service's metrics registry: every counter, gauge,
+    /// and histogram as one point-in-time snapshot. Render it with
+    /// [`dpack_obs::MetricsSnapshot::render`] for the Prometheus-style
+    /// text exposition.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures.
+    pub fn metrics(&mut self) -> Result<dpack_obs::MetricsSnapshot, NetError> {
+        let handle = self.send(Request::Metrics)?;
+        match self.recv_for(handle)? {
+            Response::Metrics { samples } => Ok(dpack_obs::MetricsSnapshot { samples }),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Dumps the service's flight recorder from sequence number
+    /// `since` (0 for everything retained). A post-mortem scraper
+    /// remembers the last seq it saw and passes `last + 1`.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures.
+    pub fn trace(&mut self, since: u64) -> Result<Vec<dpack_obs::Event>, NetError> {
+        let handle = self.send(Request::Trace { since })?;
+        match self.recv_for(handle)? {
+            Response::Trace { events } => Ok(events),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
 }
 
 /// A fixed-size pool of protocol clients shared across threads.

@@ -10,8 +10,9 @@
 //! * [`wire`] — a length-prefixed, checksummed binary protocol (the
 //!   WAL's magic+len+fnv1a framing discipline, on a socket) with
 //!   request/response codecs for submit, batch submit, block
-//!   registration, stats, and budget snapshots. Request ids make
-//!   pipelining and out-of-order completion first-class.
+//!   registration, stats, budget snapshots, metrics scrapes, and
+//!   flight-recorder dumps. Request ids make pipelining and
+//!   out-of-order completion first-class.
 //! * [`error`] — one [`NetError`] for io/protocol/admission/remote
 //!   failures, carrying **stable** [`ErrorCode`]s shared by both codec
 //!   directions; every [`dpack_service::AdmissionError`] variant has
@@ -66,3 +67,9 @@ pub use error::{admission_code, ErrorCode, NetError};
 pub use server::{NetServer, PendingReply, ServiceCore, Step};
 pub use transport::{LoopbackTransport, TcpTransport, Transport};
 pub use wire::{Outcome, Request, RequestFrame, Response, ResponseFrame, WireStats, WireTask};
+
+/// The observability crate whose snapshots and events travel on the
+/// wire, re-exported so remote scrapers can consume
+/// [`obs::MetricsSnapshot`] and [`obs::Event`] without a separate
+/// dependency.
+pub use dpack_obs as obs;

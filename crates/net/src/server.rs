@@ -36,6 +36,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use dpack_obs::{Clock, Counter, EventKind, FlightRecorder, Gauge, Histogram};
 use dpack_service::{BudgetService, Decision, SubmissionTicket};
 
 use crate::error::{admission_code, ErrorCode, NetError};
@@ -278,6 +279,24 @@ impl ServiceCore {
                     .encode(),
                 )
             }
+            Request::Metrics => Step::Reply(
+                ResponseFrame {
+                    id,
+                    body: Response::Metrics {
+                        samples: self.service.obs().registry.snapshot().samples,
+                    },
+                }
+                .encode(),
+            ),
+            Request::Trace { since } => Step::Reply(
+                ResponseFrame {
+                    id,
+                    body: Response::Trace {
+                        events: self.service.obs().recorder.dump_since(since),
+                    },
+                }
+                .encode(),
+            ),
         };
         Ok(match step {
             Step::Reply(payload) => Step::Reply(clamp_reply(payload)),
@@ -356,9 +375,47 @@ pub fn protocol_error_frame(err: &NetError) -> Vec<u8> {
     out
 }
 
+/// The reactor's own instruments, registered on the embedded service's
+/// observability context — `None` (and cost-free) when that context is
+/// fully off.
+struct ReactorTelemetry {
+    clock: Arc<dyn Clock>,
+    recorder: FlightRecorder,
+    sweep_nanos: Histogram,
+    open_connections: Gauge,
+    conn_queue_depth: Gauge,
+    violations: Counter,
+}
+
+impl ReactorTelemetry {
+    fn new(core: &ServiceCore) -> Option<Self> {
+        let obs = core.service().obs();
+        if !obs.is_enabled() && obs.recorder.capacity() == 0 {
+            return None;
+        }
+        Some(Self {
+            clock: Arc::clone(obs.clock()),
+            recorder: obs.recorder.clone(),
+            sweep_nanos: obs.registry.histogram("dpack_reactor_sweep_nanos", ""),
+            open_connections: obs.registry.gauge("dpack_open_connections", ""),
+            conn_queue_depth: obs.registry.gauge("dpack_conn_queue_depth", ""),
+            violations: obs.registry.counter("dpack_protocol_violations_total", ""),
+        })
+    }
+
+    fn violation(&self, conn_ordinal: u64) {
+        self.violations.inc();
+        self.recorder
+            .record(EventKind::ProtocolViolation, conn_ordinal, 0);
+    }
+}
+
 /// One client connection's reactor state.
 struct Conn {
     stream: TcpStream,
+    /// Accept-order ordinal, the connection's identity in violation
+    /// events (remote addresses don't fit a `u64` payload word).
+    ordinal: u64,
     decoder: FrameDecoder,
     /// Encoded-but-unflushed response bytes.
     wbuf: Vec<u8>,
@@ -372,9 +429,10 @@ struct Conn {
 }
 
 impl Conn {
-    fn new(stream: TcpStream) -> Self {
+    fn new(stream: TcpStream, ordinal: u64) -> Self {
         Self {
             stream,
+            ordinal,
             decoder: FrameDecoder::new(),
             wbuf: Vec::new(),
             wpos: 0,
@@ -391,7 +449,12 @@ impl Conn {
     /// Reads available bytes and processes complete frames. Returns
     /// `false` when the connection is finished (EOF or fatal error),
     /// `true` with `progress` updated otherwise.
-    fn pump_read(&mut self, core: &ServiceCore, progress: &mut bool) -> bool {
+    fn pump_read(
+        &mut self,
+        core: &ServiceCore,
+        telemetry: Option<&ReactorTelemetry>,
+        progress: &mut bool,
+    ) -> bool {
         if self.close_after_flush || self.eof {
             return true; // Ignore further input; just drain the buffer.
         }
@@ -423,6 +486,9 @@ impl Conn {
                                 Ok(Step::Reply(reply)) => self.queue(&reply),
                                 Ok(Step::Pending(p)) => self.pending.push(p),
                                 Err(e) => {
+                                    if let Some(t) = telemetry {
+                                        t.violation(self.ordinal);
+                                    }
                                     self.wbuf.extend_from_slice(&protocol_error_frame(&e));
                                     self.close_after_flush = true;
                                     return true;
@@ -430,6 +496,9 @@ impl Conn {
                             },
                             Ok(None) => break,
                             Err(e) => {
+                                if let Some(t) = telemetry {
+                                    t.violation(self.ordinal);
+                                }
                                 self.wbuf.extend_from_slice(&protocol_error_frame(&e));
                                 self.close_after_flush = true;
                                 return true;
@@ -561,8 +630,11 @@ const IDLE_PARK: Duration = Duration::from_micros(200);
 const READ_BUDGET: usize = 64 * 1024;
 
 fn reactor(listener: TcpListener, core: ServiceCore, stop: &AtomicBool) {
+    let telemetry = ReactorTelemetry::new(&core);
     let mut conns: Vec<Conn> = Vec::new();
+    let mut next_ordinal = 0u64;
     while !stop.load(Ordering::Acquire) {
+        let sweep_started = telemetry.as_ref().map(|t| t.clock.now_nanos());
         let mut progress = false;
 
         // Accept whatever is queued.
@@ -572,7 +644,8 @@ fn reactor(listener: TcpListener, core: ServiceCore, stop: &AtomicBool) {
                     if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
                         continue; // Misconfigured socket: drop it.
                     }
-                    conns.push(Conn::new(stream));
+                    conns.push(Conn::new(stream, next_ordinal));
+                    next_ordinal += 1;
                     progress = true;
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => break,
@@ -586,7 +659,7 @@ fn reactor(listener: TcpListener, core: ServiceCore, stop: &AtomicBool) {
         let mut i = 0;
         while i < conns.len() {
             let conn = &mut conns[i];
-            let mut alive = conn.pump_read(&core, &mut progress);
+            let mut alive = conn.pump_read(&core, telemetry.as_ref(), &mut progress);
             conn.pump_pending(&mut progress);
             alive &= conn.pump_write(&mut progress);
             // A half-closed connection finishes once fully answered.
@@ -596,6 +669,16 @@ fn reactor(listener: TcpListener, core: ServiceCore, stop: &AtomicBool) {
             } else {
                 conns.swap_remove(i);
                 progress = true;
+            }
+        }
+
+        if let Some(t) = &telemetry {
+            t.open_connections.set_u64(conns.len() as u64);
+            t.conn_queue_depth
+                .set_u64(conns.iter().map(|c| c.pending.len() as u64).sum());
+            if let Some(started) = sweep_started {
+                t.sweep_nanos
+                    .record(t.clock.now_nanos().saturating_sub(started));
             }
         }
 

@@ -37,6 +37,7 @@ use std::fmt;
 
 use dp_accounting::AlphaGrid;
 use dpack_core::problem::Task;
+use dpack_obs::{Event, EventKind, HistogramSnapshot, Sample, Value};
 use dpack_service::AdmissionError;
 
 use crate::error::{ErrorCode, NetError};
@@ -512,6 +513,89 @@ impl WireStats {
     }
 }
 
+// ---- observability payloads ------------------------------------------
+
+// A [`dpack_obs::Value`] travels as a kind byte + body. Histograms go
+// sparse: only non-empty buckets are sent (a idle histogram is 3 words
+// + an empty list, not 64 buckets of zero).
+const VALUE_COUNTER: u8 = 0;
+const VALUE_GAUGE: u8 = 1;
+const VALUE_HISTOGRAM: u8 = 2;
+
+fn encode_sample(buf: &mut Vec<u8>, s: &Sample) {
+    put_str(buf, &s.name);
+    put_str(buf, &s.labels);
+    match &s.value {
+        Value::Counter(n) => {
+            buf.push(VALUE_COUNTER);
+            put_u64(buf, *n);
+        }
+        Value::Gauge(v) => {
+            buf.push(VALUE_GAUGE);
+            put_f64(buf, *v);
+        }
+        Value::Histogram(h) => {
+            buf.push(VALUE_HISTOGRAM);
+            put_u64(buf, h.count);
+            put_u64(buf, h.sum);
+            put_u64(buf, h.max);
+            let nonzero = h.nonzero_buckets();
+            put_len(buf, nonzero.len());
+            for (idx, count) in nonzero {
+                buf.push(idx);
+                put_u64(buf, count);
+            }
+        }
+    }
+}
+
+fn decode_sample(r: &mut Reader<'_>) -> Result<Sample, NetError> {
+    let name = r.str()?;
+    let labels = r.str()?;
+    let value = match r.u8()? {
+        VALUE_COUNTER => Value::Counter(r.u64()?),
+        VALUE_GAUGE => Value::Gauge(r.f64()?),
+        VALUE_HISTOGRAM => {
+            let count = r.u64()?;
+            let sum = r.u64()?;
+            let max = r.u64()?;
+            // A bucket entry is index + count = 9 bytes.
+            let n = r.list_len(9)?;
+            let buckets = (0..n)
+                .map(|_| Ok((r.u8()?, r.u64()?)))
+                .collect::<Result<Vec<_>, NetError>>()?;
+            Value::Histogram(Box::new(HistogramSnapshot::from_parts(
+                count, sum, max, &buckets,
+            )))
+        }
+        t => return Err(bad(format!("unknown metric value kind {t}"))),
+    };
+    Ok(Sample {
+        name,
+        labels,
+        value,
+    })
+}
+
+fn encode_event(buf: &mut Vec<u8>, e: &Event) {
+    put_u64(buf, e.seq);
+    buf.push(e.kind as u8);
+    put_u64(buf, e.a);
+    put_u64(buf, e.b);
+}
+
+fn decode_event(r: &mut Reader<'_>) -> Result<Event, NetError> {
+    let seq = r.u64()?;
+    let raw = r.u8()?;
+    let kind = EventKind::from_u8(raw).ok_or_else(|| bad(format!("unknown event kind {raw}")))?;
+    Ok(Event {
+        seq,
+        kind,
+        a: r.u64()?,
+        b: r.u64()?,
+    })
+}
+
 // ---- requests ---------------------------------------------------------
 
 const REQ_HELLO: u8 = 1;
@@ -520,6 +604,8 @@ const REQ_SUBMIT_BATCH: u8 = 3;
 const REQ_REGISTER_BLOCK: u8 = 4;
 const REQ_STATS: u8 = 5;
 const REQ_SNAPSHOT: u8 = 6;
+const REQ_METRICS: u8 = 7;
+const REQ_TRACE: u8 = 8;
 
 /// A client request body.
 #[derive(Debug, Clone, PartialEq)]
@@ -557,6 +643,16 @@ pub enum Request {
     Snapshot {
         /// The §3.4 unlocking time to evaluate at.
         now: f64,
+    },
+    /// Scrape the service's metrics registry (counters, gauges,
+    /// histograms) as one point-in-time snapshot.
+    Metrics,
+    /// Dump the service's flight recorder from a sequence number
+    /// (`since = 0` for everything retained); a scraper remembers the
+    /// last seq it saw and asks incrementally.
+    Trace {
+        /// Only events with `seq >= since` are returned.
+        since: u64,
     },
 }
 
@@ -614,6 +710,15 @@ impl RequestFrame {
                 put_u64(&mut buf, self.id);
                 put_f64(&mut buf, *now);
             }
+            Request::Metrics => {
+                buf.push(REQ_METRICS);
+                put_u64(&mut buf, self.id);
+            }
+            Request::Trace { since } => {
+                buf.push(REQ_TRACE);
+                put_u64(&mut buf, self.id);
+                put_u64(&mut buf, *since);
+            }
         }
         buf
     }
@@ -656,6 +761,8 @@ impl RequestFrame {
             },
             REQ_STATS => Request::Stats,
             REQ_SNAPSHOT => Request::Snapshot { now: r.f64()? },
+            REQ_METRICS => Request::Metrics,
+            REQ_TRACE => Request::Trace { since: r.u64()? },
             t => return Err(bad(format!("unknown request tag {t}"))),
         };
         r.done()?;
@@ -672,6 +779,8 @@ const RESP_BLOCK_REGISTERED: u8 = 4;
 const RESP_STATS: u8 = 5;
 const RESP_SNAPSHOT: u8 = 6;
 const RESP_ERROR: u8 = 7;
+const RESP_METRICS: u8 = 8;
+const RESP_TRACE: u8 = 9;
 
 /// A server response body.
 #[derive(Debug, Clone, PartialEq)]
@@ -711,6 +820,17 @@ pub enum Response {
         code: ErrorCode,
         /// Human-readable detail.
         message: String,
+    },
+    /// The metrics snapshot, sorted by (name, labels). Rebuild a
+    /// [`dpack_obs::MetricsSnapshot`] from it for rendering.
+    Metrics {
+        /// Every registered instrument's sampled value.
+        samples: Vec<Sample>,
+    },
+    /// The flight-recorder dump, in sequence order.
+    Trace {
+        /// The retained events matching the request's `since`.
+        events: Vec<Event>,
     },
 }
 
@@ -773,6 +893,22 @@ impl ResponseFrame {
                 put_u16(&mut buf, code.as_u16());
                 put_str(&mut buf, message);
             }
+            Response::Metrics { samples } => {
+                buf.push(RESP_METRICS);
+                put_u64(&mut buf, self.id);
+                put_len(&mut buf, samples.len());
+                for s in samples {
+                    encode_sample(&mut buf, s);
+                }
+            }
+            Response::Trace { events } => {
+                buf.push(RESP_TRACE);
+                put_u64(&mut buf, self.id);
+                put_len(&mut buf, events.len());
+                for e in events {
+                    encode_event(&mut buf, e);
+                }
+            }
         }
         buf
     }
@@ -819,6 +955,23 @@ impl ResponseFrame {
                     code,
                     message: r.str()?,
                 }
+            }
+            RESP_METRICS => {
+                // A sample is at least two list lengths + kind + one
+                // word = 17 bytes.
+                let n = r.list_len(17)?;
+                let samples = (0..n)
+                    .map(|_| decode_sample(&mut r))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Response::Metrics { samples }
+            }
+            RESP_TRACE => {
+                // An event is seq + kind + two payload words = 25 bytes.
+                let n = r.list_len(25)?;
+                let events = (0..n)
+                    .map(|_| decode_event(&mut r))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Response::Trace { events }
             }
             t => return Err(bad(format!("unknown response tag {t}"))),
         };
@@ -871,6 +1024,14 @@ mod tests {
         assert!(dec.next_frame().is_err());
     }
 
+    fn sample_hist() -> Box<HistogramSnapshot> {
+        let h = dpack_obs::Histogram::new();
+        h.record(3);
+        h.record(100);
+        h.record(100_000);
+        Box::new(h.snapshot())
+    }
+
     fn sample_task() -> WireTask {
         WireTask {
             id: 42,
@@ -918,6 +1079,14 @@ mod tests {
             RequestFrame {
                 id: 6,
                 body: Request::Snapshot { now: 4.25 },
+            },
+            RequestFrame {
+                id: 7,
+                body: Request::Metrics,
+            },
+            RequestFrame {
+                id: 8,
+                body: Request::Trace { since: 1234 },
             },
         ];
         for req in requests {
@@ -989,6 +1158,47 @@ mod tests {
                     message: "bad".into(),
                 },
             },
+            ResponseFrame {
+                id: 8,
+                body: Response::Metrics {
+                    samples: vec![
+                        Sample {
+                            name: "dpack_granted_total".into(),
+                            labels: String::new(),
+                            value: Value::Counter(42),
+                        },
+                        Sample {
+                            name: "dpack_queue_depth".into(),
+                            labels: "tenant=\"3\"".into(),
+                            value: Value::Gauge(7.5),
+                        },
+                        Sample {
+                            name: "dpack_grant_latency_nanos".into(),
+                            labels: String::new(),
+                            value: Value::Histogram(sample_hist()),
+                        },
+                    ],
+                },
+            },
+            ResponseFrame {
+                id: 9,
+                body: Response::Trace {
+                    events: vec![
+                        dpack_obs::Event {
+                            seq: 1,
+                            kind: EventKind::TaskAdmitted,
+                            a: 42,
+                            b: 7,
+                        },
+                        dpack_obs::Event {
+                            seq: 2,
+                            kind: EventKind::TaskGranted,
+                            a: 42,
+                            b: 1.0f64.to_bits(),
+                        },
+                    ],
+                },
+            },
         ];
         for resp in responses {
             let back = ResponseFrame::decode(&resp.encode()).expect("round trip");
@@ -1043,6 +1253,52 @@ mod tests {
         };
         assert!(RequestFrame::decode(&frame(MAX_BATCH_TASKS as usize)).is_ok());
         assert!(RequestFrame::decode(&frame(MAX_BATCH_TASKS as usize + 1)).is_err());
+    }
+
+    #[test]
+    fn histograms_travel_sparse_and_rebuild_exactly() {
+        let snap = sample_hist();
+        // The payload carries only the 3 touched buckets, not 64.
+        let frame = ResponseFrame {
+            id: 1,
+            body: Response::Metrics {
+                samples: vec![Sample {
+                    name: "h".into(),
+                    labels: String::new(),
+                    value: Value::Histogram(snap.clone()),
+                }],
+            },
+        };
+        let bytes = frame.encode();
+        // tag+id+list + name+labels+kind + count/sum/max + bucket list
+        // + 3 × (idx + count).
+        assert_eq!(bytes.len(), 9 + 4 + (5 + 4 + 1) + 24 + 4 + 3 * 9);
+        let back = ResponseFrame::decode(&bytes).expect("round trip");
+        let Response::Metrics { samples } = back.body else {
+            panic!("metrics body");
+        };
+        assert_eq!(samples[0].value, Value::Histogram(snap));
+    }
+
+    #[test]
+    fn unknown_event_kinds_and_value_kinds_are_protocol_errors() {
+        let mut bytes = vec![RESP_TRACE];
+        bytes.extend_from_slice(&1u64.to_le_bytes()); // request id
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // one event
+        bytes.extend_from_slice(&1u64.to_le_bytes()); // seq
+        bytes.push(99); // no such kind
+        bytes.extend_from_slice(&[0u8; 16]);
+        assert!(ResponseFrame::decode(&bytes).is_err());
+
+        let mut bytes = vec![RESP_METRICS];
+        bytes.extend_from_slice(&1u64.to_le_bytes()); // request id
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // one sample
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // name len 1
+        bytes.push(b'x');
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // empty labels
+        bytes.push(9); // no such value kind
+        bytes.extend_from_slice(&[0u8; 8]);
+        assert!(ResponseFrame::decode(&bytes).is_err());
     }
 
     #[test]

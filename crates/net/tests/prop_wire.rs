@@ -22,6 +22,7 @@ use std::sync::Arc;
 use dp_accounting::{AlphaGrid, RdpCurve};
 use dpack_check::{check_cases, floats, ints, prop_assert, prop_assert_eq, vecs, Strategy};
 use dpack_core::problem::{Block, Task};
+use dpack_net::obs::{Event, EventKind, Histogram, Sample, Value};
 use dpack_net::wire::{frame, FrameDecoder, HEADER};
 use dpack_net::{
     admission_code, ErrorCode, NetClient, Outcome, Request, RequestFrame, Response, ResponseFrame,
@@ -54,8 +55,44 @@ fn wire_task_strategy() -> impl Strategy<Value = WireTask> {
 /// A scenario drawing one request of every shape (`pick` selects).
 type RequestSeed = (u8, u64, u32, Vec<WireTask>, f64);
 
+/// One metrics sample derived from a drawn task — the task fields
+/// choose the value kind, so all three codec legs (counter, gauge,
+/// sparse histogram) are exercised across a run.
+fn sample_of(i: usize, t: &WireTask, now: f64) -> Sample {
+    let value = match t.id % 3 {
+        0 => Value::Counter(t.id.wrapping_mul(7)),
+        1 => Value::Gauge(now + i as f64),
+        _ => {
+            let h = Histogram::new();
+            for (k, d) in t.demand.iter().enumerate() {
+                h.record(t.id.wrapping_add(k as u64) << (k % 20));
+                h.record_f64(d * 1e9);
+            }
+            Value::Histogram(Box::new(h.snapshot()))
+        }
+    };
+    Sample {
+        name: format!("dpack_prop_{i}"),
+        labels: if i.is_multiple_of(2) {
+            String::new()
+        } else {
+            format!("shard=\"{i}\"")
+        },
+        value,
+    }
+}
+
+fn event_of(i: usize, t: &WireTask) -> Event {
+    Event {
+        seq: i as u64 + 1,
+        kind: EventKind::from_u8(1 + (t.id % 10) as u8).expect("dense kinds"),
+        a: t.id,
+        b: t.blocks.first().copied().unwrap_or(0),
+    }
+}
+
 fn request_from_seed((pick, id, tenant, mut tasks, now): RequestSeed) -> RequestFrame {
-    let body = match pick % 6 {
+    let body = match pick % 8 {
         0 => Request::Hello,
         1 => Request::Submit {
             tenant,
@@ -75,7 +112,11 @@ fn request_from_seed((pick, id, tenant, mut tasks, now): RequestSeed) -> Request
             capacity: tasks.first().map(|t| t.demand.clone()).unwrap_or_default(),
         },
         4 => Request::Stats,
-        _ => Request::Snapshot { now },
+        5 => Request::Snapshot { now },
+        6 => Request::Metrics,
+        _ => Request::Trace {
+            since: id.wrapping_mul(11),
+        },
     };
     RequestFrame { id, body }
 }
@@ -92,7 +133,7 @@ fn response_from_seed((pick, id, tasks, raw_code, now): ResponseSeed) -> Respons
         },
         _ => Outcome::Evicted,
     };
-    let body = match pick % 7 {
+    let body = match pick % 9 {
         0 => Response::Hello {
             alphas: tasks.first().map(|t| t.demand.clone()).unwrap_or_default(),
         },
@@ -123,9 +164,23 @@ fn response_from_seed((pick, id, tasks, raw_code, now): ResponseSeed) -> Respons
                 .map(|(i, t)| (i as u64, t.demand.clone()))
                 .collect(),
         },
-        _ => Response::Error {
+        6 => Response::Error {
             code,
             message: "detail".into(),
+        },
+        7 => Response::Metrics {
+            samples: tasks
+                .iter()
+                .enumerate()
+                .map(|(i, t)| sample_of(i, t, now))
+                .collect(),
+        },
+        _ => Response::Trace {
+            events: tasks
+                .iter()
+                .enumerate()
+                .map(|(i, t)| event_of(i, t))
+                .collect(),
         },
     };
     ResponseFrame { id, body }
@@ -139,7 +194,7 @@ fn prop_every_request_shape_round_trips() {
         "every_request_shape_round_trips",
         CASES,
         (
-            ints(0u8..6),
+            ints(0u8..8),
             ints(0u64..u64::MAX),
             ints(0u32..16),
             vecs(wire_task_strategy(), 0..4),
@@ -161,7 +216,7 @@ fn prop_every_response_shape_round_trips() {
         "every_response_shape_round_trips",
         CASES,
         (
-            ints(0u8..7),
+            ints(0u8..9),
             ints(1u64..u64::MAX),
             vecs(wire_task_strategy(), 0..4),
             ints(0u16..100),

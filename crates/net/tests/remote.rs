@@ -348,6 +348,64 @@ fn connection_pool_shares_clients_across_threads() {
     server.stop();
 }
 
+/// The observability acceptance: a remote client scrapes live metrics
+/// and the flight recorder over a real TCP socket, and the scrape
+/// reflects the submissions it just made.
+#[test]
+fn remote_client_scrapes_live_metrics_and_trace() {
+    let service = service(2, 1);
+    for j in 0..4u64 {
+        service
+            .register_block(Block::new(j, RdpCurve::constant(&grid(), 1.0), 0.0))
+            .expect("block");
+    }
+    let server = NetServer::bind(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let mut client = NetClient::connect(server.local_addr()).expect("connect");
+
+    let pending = client
+        .submit_nowait(3, &task(1, vec![0], 0.25, 0.0))
+        .expect("send");
+    while service.stats_summary().submitted < 1 {
+        std::thread::sleep(Duration::from_micros(100));
+    }
+    service.run_cycle(1.0);
+    assert_eq!(
+        client.wait_decision(pending).expect("decision"),
+        Outcome::Granted { allocated_at: 1.0 }
+    );
+
+    let metrics = client.metrics().expect("scrape");
+    assert_eq!(metrics.counter_total("dpack_submitted_total"), 1);
+    assert_eq!(metrics.counter_total("dpack_granted_total"), 1);
+    assert_eq!(metrics.counter_total("dpack_cycles_total"), 1);
+    let grant = metrics
+        .histogram("dpack_grant_latency_nanos", "")
+        .expect("grant latency histogram");
+    assert_eq!(grant.count, 1);
+    // The reactor's self-instrumentation lands in the same scrape.
+    let sweeps = metrics
+        .histogram("dpack_reactor_sweep_nanos", "")
+        .expect("sweep histogram");
+    assert!(sweeps.count > 0, "the reactor has swept at least once");
+    let rendered = metrics.render();
+    assert!(rendered.contains("dpack_granted_total 1"));
+    assert!(rendered.contains("dpack_cycle_phase_nanos"));
+
+    // The flight recorder saw the admission then the grant, in order.
+    let events = client.trace(0).expect("trace");
+    let kinds: Vec<_> = events.iter().map(|e| e.kind).collect();
+    use dpack_net::obs::EventKind;
+    assert_eq!(kinds, vec![EventKind::TaskAdmitted, EventKind::TaskGranted]);
+    assert_eq!(events[0].a, 1, "admitted task id");
+    assert_eq!(events[0].b, 3, "admitting tenant");
+    assert_eq!(events[1].b, 1.0f64.to_bits(), "grant time");
+    assert!(events[0].seq < events[1].seq);
+    // An incremental scrape from past the end returns nothing new.
+    let last = events.last().expect("events").seq;
+    assert!(client.trace(last + 1).expect("trace").is_empty());
+    server.stop();
+}
+
 #[test]
 fn protocol_violations_get_a_final_error_frame_then_the_boot() {
     let service = service(1, 1);
@@ -371,9 +429,16 @@ fn protocol_violations_get_a_final_error_frame_then_the_boot() {
             ..
         }
     ));
-    // A well-behaved client on a fresh connection is unaffected.
+    // A well-behaved client on a fresh connection is unaffected — and
+    // can read the violation off the metrics and the flight recorder.
     let mut client = NetClient::connect(server.local_addr()).expect("connect");
     assert_eq!(client.grid().expect("hello"), grid());
+    let metrics = client.metrics().expect("scrape");
+    assert_eq!(metrics.counter_total("dpack_protocol_violations_total"), 1);
+    let events = client.trace(0).expect("trace");
+    assert!(events
+        .iter()
+        .any(|e| e.kind == dpack_net::obs::EventKind::ProtocolViolation));
     server.stop();
 }
 

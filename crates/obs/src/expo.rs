@@ -1,0 +1,110 @@
+//! Prometheus-style text exposition.
+//!
+//! Renders a [`MetricsSnapshot`] in the text format scrapers expect:
+//! counters and gauges as single samples, histograms as summaries
+//! (`{quantile="…"}` samples plus `_sum`/`_count`/`_max`). Values are
+//! rendered in the instrument's native unit — time histograms in this
+//! workspace record nanoseconds and carry a `_nanos` suffix, so no
+//! hidden unit conversion happens here.
+
+use std::fmt::Write as _;
+
+use crate::registry::{MetricsSnapshot, Value};
+
+fn sample_line(
+    out: &mut String,
+    name: &str,
+    labels: &str,
+    extra: &str,
+    value: impl std::fmt::Display,
+) {
+    let sep = if labels.is_empty() || extra.is_empty() {
+        ""
+    } else {
+        ","
+    };
+    if labels.is_empty() && extra.is_empty() {
+        let _ = writeln!(out, "{name} {value}");
+    } else {
+        let _ = writeln!(out, "{name}{{{labels}{sep}{extra}}} {value}");
+    }
+}
+
+/// Renders the text exposition. Families appear in snapshot order
+/// (sorted by name), each prefixed with one `# TYPE` line; label sets
+/// of one family stay adjacent.
+pub fn render(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut last_family: Option<&str> = None;
+    for sample in &snapshot.samples {
+        let family_type = match &sample.value {
+            Value::Counter(_) => "counter",
+            Value::Gauge(_) => "gauge",
+            Value::Histogram(_) => "summary",
+        };
+        if last_family != Some(sample.name.as_str()) {
+            let _ = writeln!(out, "# TYPE {} {}", sample.name, family_type);
+            last_family = Some(sample.name.as_str());
+        }
+        match &sample.value {
+            Value::Counter(n) => sample_line(&mut out, &sample.name, &sample.labels, "", n),
+            Value::Gauge(v) => sample_line(&mut out, &sample.name, &sample.labels, "", v),
+            Value::Histogram(h) => {
+                for (q, v) in [
+                    ("0.5", h.p50()),
+                    ("0.95", h.p95()),
+                    ("0.99", h.p99()),
+                    ("1", h.max),
+                ] {
+                    sample_line(
+                        &mut out,
+                        &sample.name,
+                        &sample.labels,
+                        &format!("quantile=\"{q}\""),
+                        v,
+                    );
+                }
+                let sum_name = format!("{}_sum", sample.name);
+                sample_line(&mut out, &sum_name, &sample.labels, "", h.sum);
+                let count_name = format!("{}_count", sample.name);
+                sample_line(&mut out, &count_name, &sample.labels, "", h.count);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::registry::Registry;
+
+    #[test]
+    fn renders_all_three_kinds() {
+        let r = Registry::new();
+        r.counter("dpack_granted_total", "").add(42);
+        r.gauge("dpack_queue_depth", "").set_u64(7);
+        let h = r.histogram("dpack_cycle_nanos", "phase=\"ingest\"");
+        for v in [100u64, 200, 300] {
+            h.record(v);
+        }
+        let text = r.snapshot().render();
+        assert!(text.contains("# TYPE dpack_granted_total counter\ndpack_granted_total 42\n"));
+        assert!(text.contains("# TYPE dpack_queue_depth gauge\ndpack_queue_depth 7\n"));
+        assert!(text.contains("# TYPE dpack_cycle_nanos summary\n"));
+        assert!(text.contains("dpack_cycle_nanos{phase=\"ingest\",quantile=\"0.5\"} 255"));
+        assert!(text.contains("dpack_cycle_nanos{phase=\"ingest\",quantile=\"1\"} 300"));
+        assert!(text.contains("dpack_cycle_nanos_sum{phase=\"ingest\"} 600"));
+        assert!(text.contains("dpack_cycle_nanos_count{phase=\"ingest\"} 3"));
+    }
+
+    #[test]
+    fn one_type_line_per_family_across_label_sets() {
+        let r = Registry::new();
+        r.counter("x_total", "shard=\"0\"").inc();
+        r.counter("x_total", "shard=\"1\"").inc();
+        let text = r.snapshot().render();
+        assert_eq!(text.matches("# TYPE x_total counter").count(), 1);
+        assert!(text.contains("x_total{shard=\"0\"} 1"));
+        assert!(text.contains("x_total{shard=\"1\"} 1"));
+    }
+}

@@ -1,0 +1,333 @@
+//! Log-bucketed histograms.
+//!
+//! A [`Histogram`] sorts recorded `u64` values into 64 power-of-two
+//! buckets: bucket `i` holds values in `[2^i, 2^(i+1))` (bucket 0 also
+//! takes 0). Recording is lock-free — one `fetch_add` per counter —
+//! and a [`HistogramSnapshot`] is mergeable across histograms, shards,
+//! or processes by plain bucket-wise addition, so percentile queries
+//! survive aggregation (within one power-of-two of exact, which is the
+//! deliberate trade for a fixed 64-slot footprint).
+//!
+//! A disabled histogram (from a disabled registry, or
+//! [`Histogram::disabled`]) carries no storage: recording is a no-op
+//! branch on an `Option`, which is what makes instrumentation
+//! near-free when unused.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of power-of-two buckets — enough for the full `u64` range.
+pub const BUCKETS: usize = 64;
+
+/// The bucket a value falls into: `floor(log2(max(v, 1)))`.
+fn bucket_of(v: u64) -> usize {
+    (63 - (v | 1).leading_zeros()) as usize
+}
+
+/// The largest value bucket `i` can hold (its reported upper bound).
+fn bucket_upper(i: usize) -> u64 {
+    if i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    }
+}
+
+#[derive(Debug)]
+struct HistInner {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistInner {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A lock-free, log-bucketed histogram handle. Cloning shares the
+/// underlying counters.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    inner: Option<Arc<HistInner>>,
+}
+
+impl Histogram {
+    /// A live histogram.
+    pub fn new() -> Self {
+        Self {
+            inner: Some(Arc::new(HistInner::default())),
+        }
+    }
+
+    /// A no-op handle: every record is a single branch.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// Whether records land anywhere.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records one value. Lock-free; relaxed ordering (the snapshot is
+    /// a statistical view, not a synchronization point).
+    pub fn record(&self, v: u64) {
+        let Some(inner) = &self.inner else { return };
+        inner.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(v, Ordering::Relaxed);
+        inner.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records an `f64` by saturating cast: NaN and negatives clamp to
+    /// 0, values past `u64::MAX` clamp to `u64::MAX` — no input
+    /// panics.
+    pub fn record_f64(&self, v: f64) {
+        // Rust float→int `as` casts saturate (NaN → 0), which is
+        // exactly the clamping contract.
+        self.record(v as u64);
+    }
+
+    /// A point-in-time copy of the counters. Concurrent records may
+    /// land between field reads; the snapshot is internally consistent
+    /// enough for monitoring (counts never decrease, never tear within
+    /// one bucket).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut snap = HistogramSnapshot::default();
+        if let Some(inner) = &self.inner {
+            for (slot, bucket) in snap.buckets.iter_mut().zip(&inner.buckets) {
+                *slot = bucket.load(Ordering::Relaxed);
+            }
+            snap.count = inner.count.load(Ordering::Relaxed);
+            snap.sum = inner.sum.load(Ordering::Relaxed);
+            snap.max = inner.max.load(Ordering::Relaxed);
+        }
+        snap
+    }
+}
+
+/// A mergeable, queryable copy of a histogram's counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts; bucket `i` covers `[2^i, 2^(i+1))`.
+    pub buckets: [u64; BUCKETS],
+    /// Total recorded values.
+    pub count: u64,
+    /// Sum of recorded values (wrapping at `u64::MAX`).
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Folds another snapshot in: bucket-wise addition, max of maxes.
+    /// Merging distributes over recording — merging two snapshots
+    /// equals snapshotting one histogram that saw both value streams.
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a = a.saturating_add(*b);
+        }
+        self.count = self.count.saturating_add(other.count);
+        // `record` accumulates the sum with a wrapping `fetch_add`;
+        // merge must wrap the same way or merging loses distributivity.
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The value at quantile `q ∈ [0, 1]`, reported as the upper bound
+    /// of the bucket holding that rank, clamped to the observed max
+    /// (and 0 when empty). Monotone in `q`, never panics: NaN and
+    /// out-of-range quantiles clamp into `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the q-quantile among `count` ordered values,
+        // 1-based; q = 0 maps to rank 1, q = 1 to rank count.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(*n);
+            if seen >= rank {
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (upper-bounded by bucket; see [`Self::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Exact arithmetic mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Non-empty buckets as `(index, count)` pairs — the sparse form
+    /// the wire protocol ships.
+    pub fn nonzero_buckets(&self) -> Vec<(u8, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| **n > 0)
+            .map(|(i, n)| (i as u8, *n))
+            .collect()
+    }
+
+    /// Rebuilds a snapshot from the sparse wire form. Ignores
+    /// out-of-range indices (a hostile peer cannot panic this).
+    pub fn from_parts(count: u64, sum: u64, max: u64, buckets: &[(u8, u64)]) -> Self {
+        let mut snap = Self {
+            count,
+            sum,
+            max,
+            ..Self::default()
+        };
+        for (i, n) in buckets {
+            if let Some(slot) = snap.buckets.get_mut(*i as usize) {
+                *slot = slot.saturating_add(*n);
+            }
+        }
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing_is_power_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(1023), 9);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), 63);
+        assert_eq!(bucket_upper(0), 1);
+        assert_eq!(bucket_upper(9), 1023);
+        assert_eq!(bucket_upper(63), u64::MAX);
+    }
+
+    #[test]
+    fn record_and_query() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 100, 1000, 1000, 5000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.sum, 7106);
+        assert_eq!(s.max, 5000);
+        // p50: rank ceil(0.5·7)=4 → the 100 (bucket 6, upper 127).
+        assert_eq!(s.p50(), 127);
+        assert!(s.p95() >= s.p50());
+        assert_eq!(s.quantile(1.0), s.max.min(8191));
+        assert!((s.mean() - 7106.0 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_disabled_are_inert() {
+        let s = HistogramSnapshot::default();
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.quantile(f64::NAN), 0);
+        assert_eq!(s.mean(), 0.0);
+        let h = Histogram::disabled();
+        h.record(5);
+        h.record_f64(f64::MAX);
+        assert_eq!(h.snapshot().count, 0);
+        assert!(!h.is_enabled());
+    }
+
+    #[test]
+    fn f64_recording_saturates_instead_of_panicking() {
+        let h = Histogram::new();
+        for v in [
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MAX,
+            f64::MIN,
+            -1.0,
+            0.5,
+            1.5,
+        ] {
+            h.record_f64(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 8);
+        assert_eq!(s.max, u64::MAX); // f64::MAX and +inf clamp there.
+        assert_eq!(s.buckets[63], 2); // +inf and f64::MAX.
+        assert_eq!(s.buckets[0], 6); // NaN, −inf, MIN, −1.0, 0.5 → 0; 1.5 → 1.
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let (a, b, c) = (Histogram::new(), Histogram::new(), Histogram::new());
+        let xs = [3u64, 9, 81, 100_000];
+        let ys = [1u64, 9, 7_777_777];
+        for x in xs {
+            a.record(x);
+            c.record(x);
+        }
+        for y in ys {
+            b.record(y);
+            c.record(y);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, c.snapshot());
+    }
+
+    #[test]
+    fn sparse_roundtrip() {
+        let h = Histogram::new();
+        for v in [1u64, 100, 100, 65_536] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let back = HistogramSnapshot::from_parts(s.count, s.sum, s.max, &s.nonzero_buckets());
+        assert_eq!(back, s);
+        // Hostile bucket indices are ignored, not panicked on.
+        let junk = HistogramSnapshot::from_parts(1, 1, 1, &[(200, 5)]);
+        assert_eq!(junk.buckets.iter().sum::<u64>(), 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! `dpack-obs`: the observability spine of the DPack service stack.
+//!
+//! The paper's operational claims (§6.4: "system-related overheads
+//! dominate runtime"; the Fig. 8 latency regime) are claims about
+//! *measured* behavior — and PrivateKube's production experience shows
+//! a budget scheduler is operated through its queue depths, grant
+//! latencies, and consumption counters. This crate is the std-only
+//! substrate those measurements flow through:
+//!
+//! * [`Registry`] — atomic counters and gauges plus log-bucketed,
+//!   lock-free [`Histogram`]s (power-of-two buckets, mergeable
+//!   [`HistogramSnapshot`]s with p50/p95/p99/max), registered by name
+//!   and label set. Handles from a [`Registry::disabled`] registry are
+//!   inert, so instrumentation costs one branch when unused.
+//! * [`Clock`] — the time seam. Production uses [`WallClock`];
+//!   deterministic tests substitute a [`ManualClock`] and assert span
+//!   timings exactly.
+//! * [`FlightRecorder`] — a fixed-capacity ring of structured
+//!   [`Event`]s with sequence numbers, dumpable for post-mortems and
+//!   assertable in crash-recovery tests.
+//! * [`expo`] — Prometheus-style text exposition over a
+//!   [`MetricsSnapshot`]; the same snapshot travels the dpack-net wire
+//!   as the `Metrics` response.
+//!
+//! [`Obs`] bundles the three seams into the single handle the service,
+//! WAL, and reactor layers thread through their constructors.
+
+pub mod clock;
+pub mod expo;
+pub mod hist;
+pub mod recorder;
+pub mod registry;
+
+use std::sync::Arc;
+
+pub use clock::{Clock, ManualClock, WallClock};
+pub use hist::{Histogram, HistogramSnapshot, BUCKETS};
+pub use recorder::{Event, EventKind, FlightRecorder};
+pub use registry::{Counter, Gauge, MetricsSnapshot, Registry, Sample, Value};
+
+/// Default flight-recorder retention: generous enough to hold a full
+/// crash-recovery trace plus steady-state traffic, small enough to be
+/// memory-irrelevant.
+pub const DEFAULT_RECORDER_CAPACITY: usize = 4096;
+
+/// The bundled observability context one component tree shares: a
+/// registry, a flight recorder, and a clock.
+#[derive(Debug, Clone)]
+pub struct Obs {
+    /// The instrument registry.
+    pub registry: Registry,
+    /// The event ring.
+    pub recorder: FlightRecorder,
+    clock: Arc<dyn Clock>,
+}
+
+impl Obs {
+    /// The production default: live registry and recorder, wall clock.
+    pub fn wall() -> Arc<Self> {
+        Self::with_clock(Arc::new(WallClock::new()))
+    }
+
+    /// A live registry/recorder on an arbitrary clock.
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Arc<Self> {
+        Arc::new(Self {
+            registry: Registry::new(),
+            recorder: FlightRecorder::new(DEFAULT_RECORDER_CAPACITY),
+            clock,
+        })
+    }
+
+    /// Fully disabled: inert handles, zero-capacity recorder, frozen
+    /// clock. This is the "metrics off" leg of the overhead benchmark
+    /// and the right default for decision-parity replays.
+    pub fn off() -> Arc<Self> {
+        Arc::new(Self {
+            registry: Registry::disabled(),
+            recorder: FlightRecorder::disabled(),
+            clock: Arc::new(ManualClock::new()),
+        })
+    }
+
+    /// A live context on a [`ManualClock`], returned alongside the
+    /// clock so the test can drive it.
+    pub fn manual(tick: u64) -> (Arc<Self>, Arc<ManualClock>) {
+        let clock = Arc::new(ManualClock::with_tick(tick));
+        (
+            Arc::new(Self {
+                registry: Registry::new(),
+                recorder: FlightRecorder::new(DEFAULT_RECORDER_CAPACITY),
+                clock: Arc::clone(&clock) as Arc<dyn Clock>,
+            }),
+            clock,
+        )
+    }
+
+    /// The clock seam.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// Reads the clock.
+    pub fn now_nanos(&self) -> u64 {
+        self.clock.now_nanos()
+    }
+
+    /// Whether the registry records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.registry.is_enabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_context_is_live() {
+        let obs = Obs::wall();
+        assert!(obs.is_enabled());
+        obs.registry.counter("c", "").inc();
+        assert_eq!(obs.registry.snapshot().counter_total("c"), 1);
+        obs.recorder.record(EventKind::TaskAdmitted, 1, 0);
+        assert_eq!(obs.recorder.dump().len(), 1);
+    }
+
+    #[test]
+    fn off_context_records_nothing() {
+        let obs = Obs::off();
+        assert!(!obs.is_enabled());
+        obs.registry.counter("c", "").inc();
+        obs.recorder.record(EventKind::TaskAdmitted, 1, 0);
+        assert!(obs.registry.snapshot().samples.is_empty());
+        assert!(obs.recorder.dump().is_empty());
+        assert_eq!(obs.now_nanos(), 0);
+    }
+
+    #[test]
+    fn manual_context_ticks_deterministically() {
+        let (obs, clock) = Obs::manual(250);
+        assert_eq!(obs.now_nanos(), 0);
+        assert_eq!(obs.now_nanos(), 250);
+        clock.advance(1_000);
+        assert_eq!(obs.now_nanos(), 1_500);
+    }
+}

@@ -1,0 +1,368 @@
+//! The metrics registry: one named home for every counter, gauge, and
+//! histogram in the process.
+//!
+//! Instruments are registered by **name + label set** (labels travel
+//! pre-rendered, e.g. `phase="ingest"`); registering the same pair
+//! twice returns a handle to the same underlying cells, which is how
+//! independent layers (service, WAL, reactor) share one metrics truth
+//! without threading handles through every constructor. Registration
+//! takes the registry lock once; the handles it returns are lock-free
+//! atomics, so the hot paths never touch the registry again.
+//!
+//! A registry created with [`Registry::disabled`] hands out inert
+//! handles — recording through them is a single predictable branch —
+//! which is both the "near-zero cost when unused" contract and the
+//! off-leg of the instrumentation-overhead benchmark.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::hist::{Histogram, HistogramSnapshot};
+
+/// A monotone counter handle. Cloning shares the cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    cell: Option<Arc<AtomicU64>>,
+}
+
+impl Counter {
+    /// A no-op handle.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.cell {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// The current total.
+    pub fn get(&self) -> u64 {
+        self.cell.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// A last-write-wins gauge handle storing an `f64`. Cloning shares the
+/// cell.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    cell: Option<Arc<AtomicU64>>,
+}
+
+impl Gauge {
+    /// A no-op handle.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        if let Some(cell) = &self.cell {
+            cell.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Sets the gauge from an integer (depths, sizes).
+    pub fn set_u64(&self, v: u64) {
+        self.set(v as f64);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        self.cell
+            .as_ref()
+            .map_or(0.0, |c| f64::from_bits(c.load(Ordering::Relaxed)))
+    }
+}
+
+/// One registered instrument.
+#[derive(Debug, Clone)]
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// The value of one sample in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A monotone count.
+    Counter(u64),
+    /// A point-in-time level.
+    Gauge(f64),
+    /// A mergeable distribution (boxed: a snapshot's 64 buckets would
+    /// otherwise dominate every counter/gauge sample's size).
+    Histogram(Box<HistogramSnapshot>),
+}
+
+/// One named sample of a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// The metric family name (`dpack_granted_total`).
+    pub name: String,
+    /// Pre-rendered label pairs (`phase="ingest"`), empty for none.
+    pub labels: String,
+    /// The sampled value.
+    pub value: Value,
+}
+
+/// A point-in-time copy of every registered instrument, ordered by
+/// (name, labels) — deterministic for rendering and diffing.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// The samples, sorted by (name, labels).
+    pub samples: Vec<Sample>,
+}
+
+impl MetricsSnapshot {
+    /// Finds a sample by name and labels.
+    pub fn get(&self, name: &str, labels: &str) -> Option<&Value> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.labels == labels)
+            .map(|s| &s.value)
+    }
+
+    /// Sum of a counter family across label sets.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.samples
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| match &s.value {
+                Value::Counter(n) => *n,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// A histogram sample's snapshot, if that is what the name holds.
+    pub fn histogram(&self, name: &str, labels: &str) -> Option<&HistogramSnapshot> {
+        match self.get(name, labels) {
+            Some(Value::Histogram(h)) => Some(h.as_ref()),
+            _ => None,
+        }
+    }
+
+    /// Renders the Prometheus-style text exposition (see
+    /// [`crate::expo::render`]).
+    pub fn render(&self) -> String {
+        crate::expo::render(self)
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    metrics: Mutex<BTreeMap<(String, String), Instrument>>,
+}
+
+/// The process-wide (or service-wide) instrument registry. Cloning
+/// shares the underlying table.
+#[derive(Debug, Clone)]
+pub struct Registry {
+    inner: Option<Arc<RegistryInner>>,
+}
+
+impl Registry {
+    /// A live registry.
+    pub fn new() -> Self {
+        Self {
+            inner: Some(Arc::new(RegistryInner::default())),
+        }
+    }
+
+    /// A registry that hands out inert handles and snapshots empty.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// Whether instruments registered here record anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn register<T: Clone>(
+        &self,
+        name: &str,
+        labels: &str,
+        disabled: T,
+        make: impl FnOnce() -> Instrument,
+        pick: impl FnOnce(&Instrument) -> Option<T>,
+    ) -> T {
+        let Some(inner) = &self.inner else {
+            return disabled;
+        };
+        let mut metrics = inner.metrics.lock().expect("registry lock poisoned");
+        let entry = metrics
+            .entry((name.to_string(), labels.to_string()))
+            .or_insert_with(make);
+        // A name registered as two different kinds is a programming
+        // error; the second caller gets an inert handle rather than a
+        // panic on a monitoring path.
+        pick(entry).unwrap_or(disabled)
+    }
+
+    /// Registers (or re-opens) a counter.
+    pub fn counter(&self, name: &str, labels: &str) -> Counter {
+        self.register(
+            name,
+            labels,
+            Counter::disabled(),
+            || {
+                Instrument::Counter(Counter {
+                    cell: Some(Arc::new(AtomicU64::new(0))),
+                })
+            },
+            |i| match i {
+                Instrument::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// Registers (or re-opens) a gauge.
+    pub fn gauge(&self, name: &str, labels: &str) -> Gauge {
+        self.register(
+            name,
+            labels,
+            Gauge::disabled(),
+            || {
+                Instrument::Gauge(Gauge {
+                    cell: Some(Arc::new(AtomicU64::new(0f64.to_bits()))),
+                })
+            },
+            |i| match i {
+                Instrument::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// Registers (or re-opens) a histogram.
+    pub fn histogram(&self, name: &str, labels: &str) -> Histogram {
+        self.register(
+            name,
+            labels,
+            Histogram::disabled(),
+            || Instrument::Histogram(Histogram::new()),
+            |i| match i {
+                Instrument::Histogram(h) => Some(h.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// Samples every registered instrument, in (name, labels) order.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let Some(inner) = &self.inner else {
+            return MetricsSnapshot::default();
+        };
+        let metrics = inner.metrics.lock().expect("registry lock poisoned");
+        MetricsSnapshot {
+            samples: metrics
+                .iter()
+                .map(|((name, labels), instrument)| Sample {
+                    name: name.clone(),
+                    labels: labels.clone(),
+                    value: match instrument {
+                        Instrument::Counter(c) => Value::Counter(c.get()),
+                        Instrument::Gauge(g) => Value::Gauge(g.get()),
+                        Instrument::Histogram(h) => Value::Histogram(Box::new(h.snapshot())),
+                    },
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_cells_by_name_and_labels() {
+        let r = Registry::new();
+        let a = r.counter("requests", "");
+        let b = r.counter("requests", "");
+        let other = r.counter("requests", "tenant=\"1\"");
+        a.inc();
+        b.add(2);
+        other.inc();
+        assert_eq!(a.get(), 3);
+        assert_eq!(other.get(), 1);
+        assert_eq!(r.snapshot().counter_total("requests"), 4);
+    }
+
+    #[test]
+    fn gauges_and_histograms_register() {
+        let r = Registry::new();
+        let g = r.gauge("depth", "");
+        g.set_u64(7);
+        let h = r.histogram("lat", "");
+        h.record(100);
+        let snap = r.snapshot();
+        assert_eq!(snap.get("depth", ""), Some(&Value::Gauge(7.0)));
+        assert_eq!(snap.histogram("lat", "").unwrap().count, 1);
+        assert!(snap.get("absent", "").is_none());
+    }
+
+    #[test]
+    fn kind_conflicts_yield_inert_handles_not_panics() {
+        let r = Registry::new();
+        let c = r.counter("x", "");
+        c.inc();
+        let g = r.gauge("x", "");
+        g.set(5.0); // Inert: "x" is already a counter.
+        assert_eq!(g.get(), 0.0);
+        assert_eq!(r.snapshot().counter_total("x"), 1);
+    }
+
+    #[test]
+    fn disabled_registry_is_free_and_empty() {
+        let r = Registry::disabled();
+        assert!(!r.is_enabled());
+        let c = r.counter("x", "");
+        let g = r.gauge("y", "");
+        let h = r.histogram("z", "");
+        c.inc();
+        g.set(1.0);
+        h.record(1);
+        assert_eq!(c.get(), 0);
+        assert!(r.snapshot().samples.is_empty());
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_deterministic() {
+        let r = Registry::new();
+        r.counter("b", "").inc();
+        r.counter("a", "x=\"2\"").inc();
+        r.counter("a", "x=\"1\"").inc();
+        let names: Vec<(String, String)> = r
+            .snapshot()
+            .samples
+            .into_iter()
+            .map(|s| (s.name, s.labels))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("a".into(), "x=\"1\"".into()),
+                ("a".into(), "x=\"2\"".into()),
+                ("b".into(), "".into())
+            ]
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! dpack-check property suite for the log-bucketed histogram.
+//!
+//! The invariants monitoring leans on: recording then merging in any
+//! partition equals recording everything into one histogram; quantiles
+//! are monotone in `q` and bounded by the observed max; the sparse
+//! wire form roundtrips losslessly; and no input — including NaN,
+//! infinities, and `f64::MAX` — panics a record or a query.
+
+use dpack_check::{check_cases, floats, ints, prop_assert, prop_assert_eq, vecs, PropResult};
+use dpack_obs::{Histogram, HistogramSnapshot};
+
+const CASES: u32 = 96;
+
+/// Draws mixed-magnitude `u64`s: small counts, mid-range latencies,
+/// and full-range extremes all in one stream.
+fn values_strategy() -> impl dpack_check::Strategy<Value = Vec<(u64, u8)>> {
+    vecs((ints(0u64..u64::MAX), ints(0u8..4)), 0..64)
+}
+
+/// Skews a raw draw: most real recordings are small, so exercise the
+/// low buckets too instead of living in bucket 60+.
+fn shape(raw: u64, pick: u8) -> u64 {
+    match pick {
+        0 => raw % 16,
+        1 => raw % 100_000,
+        2 => raw % 10_000_000_000,
+        _ => raw,
+    }
+}
+
+fn record_all(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for v in values {
+        h.record(*v);
+    }
+    h.snapshot()
+}
+
+#[test]
+fn merge_distributes_over_recording() {
+    check_cases(
+        "merge_distributes_over_recording",
+        CASES,
+        (values_strategy(), ints(0usize..64)),
+        |(draws, split)| -> PropResult {
+            let values: Vec<u64> = draws.iter().map(|(v, p)| shape(*v, *p)).collect();
+            let cut = *split % (values.len() + 1);
+            let mut merged = record_all(&values[..cut]);
+            merged.merge(&record_all(&values[cut..]));
+            prop_assert_eq!(&merged, &record_all(&values));
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn quantiles_are_monotone_and_bounded() {
+    check_cases(
+        "quantiles_are_monotone_and_bounded",
+        CASES,
+        (values_strategy(), floats(0.0..1.0), floats(0.0..1.0)),
+        |(draws, q1, q2)| -> PropResult {
+            let values: Vec<u64> = draws.iter().map(|(v, p)| shape(*v, *p)).collect();
+            let s = record_all(&values);
+            let (lo, hi) = if q1 <= q2 { (*q1, *q2) } else { (*q2, *q1) };
+            prop_assert!(
+                s.quantile(lo) <= s.quantile(hi),
+                "quantile not monotone: q({lo}) > q({hi})"
+            );
+            prop_assert!(s.p50() <= s.p95(), "p50 > p95");
+            prop_assert!(s.p95() <= s.p99(), "p95 > p99");
+            prop_assert!(s.p99() <= s.max, "p99 {} above max {}", s.p99(), s.max);
+            prop_assert_eq!(s.count, values.len() as u64);
+            if let Some(observed_max) = values.iter().max() {
+                prop_assert_eq!(s.max, *observed_max);
+            }
+            // Out-of-range and non-finite quantiles clamp, never panic.
+            for junk in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -3.0, 7.5] {
+                let q = s.quantile(junk);
+                prop_assert!(q <= s.max.max(1), "junk quantile escaped bounds: {q}");
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn sparse_wire_form_roundtrips() {
+    check_cases(
+        "sparse_wire_form_roundtrips",
+        CASES,
+        values_strategy(),
+        |draws| -> PropResult {
+            let values: Vec<u64> = draws.iter().map(|(v, p)| shape(*v, *p)).collect();
+            let s = record_all(&values);
+            let back = HistogramSnapshot::from_parts(s.count, s.sum, s.max, &s.nonzero_buckets());
+            prop_assert_eq!(&back, &s);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn extreme_f64_recordings_never_panic() {
+    check_cases(
+        "extreme_f64_recordings_never_panic",
+        CASES,
+        vecs((floats(-1e300..1e300), ints(0u8..8)), 1..48),
+        |draws| -> PropResult {
+            let h = Histogram::new();
+            for (raw, pick) in draws {
+                // Mix drawn floats with the adversarial fixed points.
+                let v = match pick {
+                    0 => f64::NAN,
+                    1 => f64::INFINITY,
+                    2 => f64::NEG_INFINITY,
+                    3 => f64::MAX,
+                    4 => f64::MIN,
+                    5 => f64::MIN_POSITIVE,
+                    _ => *raw,
+                };
+                h.record_f64(v);
+            }
+            let s = h.snapshot();
+            prop_assert_eq!(s.count, draws.len() as u64);
+            prop_assert!(s.quantile(0.99) <= s.max.max(1), "quantile above max");
+            // Bucket totals always account for every recording.
+            prop_assert_eq!(s.buckets.iter().copied().sum::<u64>(), s.count);
+            Ok(())
+        },
+    );
+}

@@ -31,6 +31,11 @@ pub struct Submission {
     pub tenant: TenantId,
     /// The task requesting budget.
     pub task: Task,
+    /// Telemetry-clock admission stamp (nanos), carried with the task
+    /// through the pending set so closing the
+    /// `dpack_grant_latency_nanos` span at grant time costs no lookup.
+    /// Meaningful only while observability is live; 0 otherwise.
+    pub admitted_nanos: u64,
 }
 
 /// Why a submission was refused at admission.
@@ -176,6 +181,7 @@ mod tests {
         Submission {
             tenant,
             task: Task::new(id, 1.0, vec![0], RdpCurve::constant(&g, 0.1), 0.0),
+            admitted_nanos: 0,
         }
     }
 

@@ -44,9 +44,25 @@ use dpack_core::online::BlockLedger;
 use dpack_core::problem::{Block, BlockId, ProblemError, Task, TaskId};
 use dpack_wal::{Wal, WalError, WalOptions, WalStorage};
 
+use dpack_obs::{Clock, EventKind, FlightRecorder, Histogram, Obs};
+
 use crate::config::DurabilityOptions;
 use crate::durability::{self, BlockState, CoordRecord, ShardRecord};
 use crate::stats::DurabilityStats;
+
+/// Observability hooks the ledger reports into (attached by
+/// [`ShardedLedger::instrument`]; absent on an un-instrumented
+/// ledger, so the commit paths stay untouched by default).
+#[derive(Debug, Clone)]
+struct LedgerTelemetry {
+    clock: Arc<dyn Clock>,
+    /// `dpack_shard_lock_hold_nanos`: time one batched commit holds a
+    /// shard lock (excluding the wait to acquire it).
+    lock_hold: Histogram,
+    /// `dpack_cross_commit_nanos`: one whole 2PC round.
+    cross_commit: Histogram,
+    recorder: FlightRecorder,
+}
 
 /// One stripe: its block ledgers plus (when durable) its own log. The
 /// log lives *inside* the lock so append order always equals mutation
@@ -103,6 +119,7 @@ pub struct ShardedLedger {
     /// Whether batched commits flush with one group-commit sync per
     /// shard (the default) or one sync per record (the baseline).
     group_commit: bool,
+    telemetry: Option<LedgerTelemetry>,
 }
 
 /// The outcome of a (two-phase) commit attempt.
@@ -151,7 +168,48 @@ impl ShardedLedger {
             snap_hits: AtomicU64::new(0),
             snap_misses: AtomicU64::new(0),
             group_commit: true,
+            telemetry: None,
         }
+    }
+
+    /// Attaches observability: commit paths report shard-lock holds,
+    /// 2PC round durations, and batch-flush events; every WAL (shard
+    /// and coordinator) reports append latency and batch sizes. No-op
+    /// for a fully disabled [`Obs`], keeping the un-instrumented paths
+    /// byte-identical.
+    pub fn instrument(&mut self, obs: &Obs) {
+        if !obs.is_enabled() && obs.recorder.capacity() == 0 {
+            return;
+        }
+        let clock = Arc::clone(obs.clock());
+        let append_nanos = obs.registry.histogram("dpack_wal_append_nanos", "");
+        let batch_records = obs.registry.histogram("dpack_wal_batch_records", "");
+        for shard in &mut self.shards {
+            let shard = shard.get_mut().expect("instrument before sharing");
+            if let Some(wal) = &mut shard.wal {
+                wal.instrument(dpack_wal::WalTelemetry {
+                    clock: Arc::clone(&clock),
+                    append_nanos: append_nanos.clone(),
+                    batch_records: batch_records.clone(),
+                });
+            }
+        }
+        if let Some(coord) = &mut self.coord {
+            coord
+                .get_mut()
+                .expect("instrument before sharing")
+                .instrument(dpack_wal::WalTelemetry {
+                    clock: Arc::clone(&clock),
+                    append_nanos,
+                    batch_records,
+                });
+        }
+        self.telemetry = Some(LedgerTelemetry {
+            lock_hold: obs.registry.histogram("dpack_shard_lock_hold_nanos", ""),
+            cross_commit: obs.registry.histogram("dpack_cross_commit_nanos", ""),
+            recorder: obs.recorder.clone(),
+            clock,
+        });
     }
 
     /// Opens a durable ledger in `storage`, recovering whatever state
@@ -180,6 +238,38 @@ impl ShardedLedger {
         storage: &dyn WalStorage,
         opts: DurabilityOptions,
     ) -> Result<Self, WalError> {
+        Self::open_durable_obs(
+            grid,
+            shards,
+            unlock_period,
+            unlock_steps,
+            storage,
+            opts,
+            &Obs::off(),
+        )
+    }
+
+    /// [`ShardedLedger::open_durable`] with an observability context:
+    /// every recovery step lands in the flight recorder (started →
+    /// coordinator fold → per-shard replays, with one
+    /// [`EventKind::RecoveryApplied`] per re-applied grant → finished),
+    /// so a post-crash dump reconstructs exactly what recovery did.
+    ///
+    /// # Errors
+    ///
+    /// See [`ShardedLedger::open_durable`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn open_durable_obs(
+        grid: AlphaGrid,
+        shards: usize,
+        unlock_period: f64,
+        unlock_steps: u32,
+        storage: &dyn WalStorage,
+        opts: DurabilityOptions,
+        obs: &Obs,
+    ) -> Result<Self, WalError> {
+        let recorder = &obs.recorder;
+        recorder.record(EventKind::RecoveryStarted, shards as u64, 0);
         let mut ledger = Self::new(grid, shards, unlock_period, unlock_steps);
         ledger.group_commit = opts.group_commit;
         let wal_opts = WalOptions {
@@ -201,10 +291,21 @@ impl ShardedLedger {
                 }
             }
         }
+        recorder.record(
+            EventKind::RecoveryCoordinator,
+            committed.len() as u64,
+            max_attempt.unwrap_or(0),
+        );
         ledger.coord = Some(Mutex::new(coord));
 
+        let mut total_blocks = 0u64;
         for s in 0..shards {
             let (wal, recovered) = Wal::open(storage.sub(&shard_dir(s))?, wal_opts)?;
+            recorder.record(
+                EventKind::RecoveryShard,
+                s as u64,
+                recovered.records.len() as u64,
+            );
             let shard = ledger.shards[s].get_mut().expect("fresh ledger");
             if let Some(snapshot) = &recovered.snapshot {
                 for state in durability::decode_snapshot(snapshot)? {
@@ -229,7 +330,10 @@ impl ShardedLedger {
                         task,
                         demand,
                         blocks,
-                    } => replay_apply(&ledger.grid, shard, task, &demand, &blocks)?,
+                    } => {
+                        replay_apply(&ledger.grid, shard, task, &demand, &blocks)?;
+                        recorder.record(EventKind::RecoveryApplied, task, 0);
+                    }
                     ShardRecord::Intent {
                         attempt,
                         task,
@@ -239,12 +343,17 @@ impl ShardedLedger {
                         max_attempt = max_attempt.max(Some(attempt));
                         if committed.contains(&attempt) {
                             replay_apply(&ledger.grid, shard, task, &demand, &blocks)?;
+                            // Attempt ids start at 0; shift so 0 can
+                            // mean "shard-local" in the event payload.
+                            recorder.record(EventKind::RecoveryApplied, task, attempt + 1);
                         }
                     }
                 }
             }
+            total_blocks += shard.blocks.len() as u64;
             shard.wal = Some(wal);
         }
+        recorder.record(EventKind::RecoveryFinished, total_blocks, 0);
 
         ledger.next_attempt = AtomicU64::new(max_attempt.map_or(0, |a| a + 1));
         Ok(ledger)
@@ -638,7 +747,26 @@ impl ShardedLedger {
             .iter()
             .all(|t| t.blocks.iter().all(|b| self.shard_of(*b) == shard)));
         let mut guard = self.lock(shard);
-        let stripe = &mut *guard;
+        let held = self.telemetry.as_ref().map(|t| t.clock.now_nanos());
+        let durable = guard.wal.is_some();
+        let outcomes = self.commit_shard_batch_locked(&mut guard, tasks);
+        if let (Some(t), Some(held)) = (&self.telemetry, held) {
+            t.lock_hold.record(t.clock.now_nanos().saturating_sub(held));
+            let committed = outcomes
+                .iter()
+                .filter(|o| matches!(o, CommitOutcome::Committed))
+                .count() as u64;
+            if durable && committed > 0 {
+                t.recorder
+                    .record(EventKind::BatchFlushed, shard as u64, committed);
+            }
+        }
+        outcomes
+    }
+
+    /// [`ShardedLedger::commit_shard_batch`] under an already-held
+    /// shard lock.
+    fn commit_shard_batch_locked(&self, stripe: &mut Shard, tasks: &[&Task]) -> Vec<CommitOutcome> {
         if stripe.wal.is_none() || !self.group_commit {
             return tasks
                 .iter()
@@ -763,6 +891,17 @@ impl ShardedLedger {
         if tasks.is_empty() {
             return Vec::new();
         }
+        let started = self.telemetry.as_ref().map(|t| t.clock.now_nanos());
+        let outcomes = self.commit_cross_batch_inner(tasks);
+        if let (Some(t), Some(started)) = (&self.telemetry, started) {
+            t.cross_commit
+                .record(t.clock.now_nanos().saturating_sub(started));
+        }
+        outcomes
+    }
+
+    /// The 2PC round [`ShardedLedger::commit_cross_batch`] times.
+    fn commit_cross_batch_inner(&self, tasks: &[&Task]) -> Vec<CommitOutcome> {
         if self.coord.is_none() || !self.group_commit {
             return tasks.iter().map(|t| self.commit_task(t)).collect();
         }

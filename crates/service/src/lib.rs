@@ -69,12 +69,18 @@ pub mod durability;
 pub mod ledger;
 pub mod service;
 pub mod stats;
+mod telemetry;
 pub mod ticket;
 
 /// The write-ahead-log crate the durable ledger is built on, re-exported
 /// so service users can name storages ([`wal::SimStorage`],
 /// [`wal::FsStorage`]) without a separate dependency.
 pub use dpack_wal as wal;
+
+/// The observability crate the service reports into, re-exported so
+/// callers can construct contexts ([`obs::Obs::off`], manual clocks)
+/// and consume snapshots without a separate dependency.
+pub use dpack_obs as obs;
 
 pub use admission::{AdmissionError, AdmissionQueue, Submission, TenantId};
 pub use config::{DurabilityOptions, SchedulerChoice, ServiceConfig};

@@ -29,11 +29,12 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use dp_accounting::AlphaGrid;
 use dpack_core::online::AllocatedTask;
 use dpack_core::problem::{Block, ProblemError, ProblemState, Task, TaskId};
+use dpack_obs::{EventKind, Obs};
 use dpack_wal::{FsStorage, WalError, WalStorage};
 use orchestrator::busy_wait;
 
@@ -41,6 +42,7 @@ use crate::admission::{AdmissionError, AdmissionQueue, Submission, TenantId};
 use crate::config::{DurabilityOptions, ServiceConfig};
 use crate::ledger::{CommitOutcome, ShardedLedger};
 use crate::stats::{CycleStats, ServiceStats};
+use crate::telemetry::ServiceTelemetry;
 use crate::ticket::{Decision, SubmissionTicket, TicketCell};
 
 /// A tenant-tagged task on its way through a scheduling cycle.
@@ -80,6 +82,7 @@ struct LiveTasks {
 }
 
 impl LiveTasks {
+    /// Frees the id and quota slot.
     fn release(&mut self, tenant: TenantId, id: TaskId) {
         self.ids.remove(&id);
         if let Some(c) = self.per_tenant.get_mut(&tenant) {
@@ -108,6 +111,9 @@ pub struct BudgetService {
     /// the stats lock).
     cycles_run: AtomicU64,
     failed_compactions: AtomicU64,
+    /// The observability context (registry + flight recorder + clock).
+    obs: Arc<Obs>,
+    telemetry: ServiceTelemetry,
 }
 
 impl BudgetService {
@@ -120,13 +126,27 @@ impl BudgetService {
     /// Panics on degenerate configuration (zero shards/workers/steps,
     /// non-positive periods, zero queue capacity).
     pub fn new(grid: AlphaGrid, config: ServiceConfig) -> Self {
-        let ledger = ShardedLedger::new(
+        Self::with_obs(grid, config, Obs::wall())
+    }
+
+    /// [`BudgetService::new`] on an explicit observability context:
+    /// [`Obs::off`] for decision-parity replays and overhead baselines,
+    /// a [`dpack_obs::ManualClock`]-backed context for deterministic
+    /// timing tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same degenerate configurations as
+    /// [`BudgetService::new`].
+    pub fn with_obs(grid: AlphaGrid, config: ServiceConfig, obs: Arc<Obs>) -> Self {
+        let mut ledger = ShardedLedger::new(
             grid,
             config.shards,
             config.unlock_period,
             config.unlock_steps,
         );
-        Self::from_parts(ledger, config, None)
+        ledger.instrument(&obs);
+        Self::from_parts(ledger, config, None, obs)
     }
 
     /// Opens a durable service whose ledger writes ahead to `storage`,
@@ -153,15 +173,37 @@ impl BudgetService {
         storage: &dyn WalStorage,
         opts: DurabilityOptions,
     ) -> Result<Self, WalError> {
-        let ledger = ShardedLedger::open_durable(
+        Self::recover_with_obs(grid, config, storage, opts, Obs::wall())
+    }
+
+    /// [`BudgetService::recover`] on an explicit observability context.
+    /// Recovery itself is traced: the flight recorder receives the
+    /// ordered step events (started → coordinator fold → per-shard
+    /// replays → finished), so a post-crash
+    /// [dump](dpack_obs::FlightRecorder::dump) shows exactly what was
+    /// rebuilt.
+    ///
+    /// # Errors
+    ///
+    /// See [`BudgetService::recover`].
+    pub fn recover_with_obs(
+        grid: AlphaGrid,
+        config: ServiceConfig,
+        storage: &dyn WalStorage,
+        opts: DurabilityOptions,
+        obs: Arc<Obs>,
+    ) -> Result<Self, WalError> {
+        let mut ledger = ShardedLedger::open_durable_obs(
             grid,
             config.shards,
             config.unlock_period,
             config.unlock_steps,
             storage,
             opts,
+            &obs,
         )?;
-        Ok(Self::from_parts(ledger, config, Some(opts)))
+        ledger.instrument(&obs);
+        Ok(Self::from_parts(ledger, config, Some(opts), obs))
     }
 
     /// [`BudgetService::recover`] against a filesystem directory.
@@ -182,6 +224,7 @@ impl BudgetService {
         ledger: ShardedLedger,
         config: ServiceConfig,
         durability: Option<DurabilityOptions>,
+        obs: Arc<Obs>,
     ) -> Self {
         assert!(config.workers >= 1, "need at least one worker thread");
         assert!(
@@ -191,6 +234,7 @@ impl BudgetService {
         assert!(config.tenant_quota >= 1, "tenant quota must be >= 1");
         let mut stats = ServiceStats::with_retention(config.retention);
         stats.durability = ledger.durability_stats();
+        let telemetry = ServiceTelemetry::new(&obs);
         Self {
             ledger,
             durability,
@@ -202,8 +246,16 @@ impl BudgetService {
             cycle_lock: Mutex::new(()),
             cycles_run: AtomicU64::new(0),
             failed_compactions: AtomicU64::new(0),
+            obs,
+            telemetry,
             config,
         }
+    }
+
+    /// The observability context: the registry behind the `Metrics`
+    /// wire reply and the flight recorder behind `Trace`.
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
     }
 
     /// Folds the write-ahead logs into fresh snapshots now (no-op for
@@ -270,18 +322,30 @@ impl BudgetService {
         // to a concurrent cycle — a monitor can never observe a grant
         // whose admission is not yet counted. A cycle records its
         // grants under this same lock after releasing every other
-        // lock, so there is no ordering cycle.
+        // lock, so there is no ordering cycle. The registry counters
+        // update at the same points under the same lock, so the two
+        // surfaces cannot diverge.
+        let task_id = task.id;
         let mut stats = self.stats.lock().expect("stats lock poisoned");
         let result = match validated {
             Ok(()) => self.enqueue(tenant, task),
             Err(e) => Err(e),
         };
         stats.submitted += 1;
+        self.telemetry.submitted.inc();
         match &result {
             Ok(()) => stats.admitted += 1,
             Err(AdmissionError::QueueFull { .. }) => stats.rejected_full += 1,
             Err(AdmissionError::QuotaExceeded { .. }) => stats.rejected_quota += 1,
             Err(_) => stats.rejected_invalid += 1,
+        }
+        if result.is_ok() {
+            self.telemetry.admitted.inc();
+            self.obs
+                .recorder
+                .record(EventKind::TaskAdmitted, task_id, u64::from(tenant));
+        } else {
+            self.telemetry.rejected.inc();
         }
         let t = stats.tenants.entry(tenant).or_default();
         t.submitted += 1;
@@ -376,7 +440,19 @@ impl BudgetService {
             });
         }
         let id = task.id;
-        self.queue.push(Submission { tenant, task })?;
+        // Open the grant-latency span: the stamp rides in the
+        // submission itself (no side map), read only when telemetry is
+        // live.
+        let admitted_nanos = if self.telemetry.grant_latency.is_enabled() {
+            self.obs.now_nanos()
+        } else {
+            0
+        };
+        self.queue.push(Submission {
+            tenant,
+            task,
+            admitted_nanos,
+        })?;
         live.ids.insert(id);
         *live.per_tenant.entry(tenant).or_insert(0) += 1;
         Ok(())
@@ -467,7 +543,12 @@ impl BudgetService {
     pub fn run_cycle(&self, now: f64) -> CycleStats {
         let _cycle = self.cycle_lock.lock().expect("cycle lock poisoned");
         let cycle_index = self.cycles_run.fetch_add(1, Ordering::Relaxed) + 1;
-        let started = Instant::now();
+        // Five telemetry-clock reads bound the cycle's phases: t0
+        // (start), after ingest/evict, after the shard-local pass,
+        // after the cross pass, and at the end. Under a ManualClock
+        // with tick T an empty cycle is exactly 4·T long with each
+        // phase exactly T — the timing tests assert this.
+        let t_start = self.obs.now_nanos();
         let lat = self.config.latency;
 
         // Phase 1a: ingest the admission queue into the pending set.
@@ -497,6 +578,7 @@ impl BudgetService {
             });
             self.partition(&pending)
         };
+        let t_ingest = self.obs.now_nanos();
 
         // Snapshot cost: one budget read per block plus the fixed
         // per-cycle charge.
@@ -539,6 +621,7 @@ impl BudgetService {
         });
         // Deterministic commit order for the record: ascending shard.
         shard_results.sort_by_key(|r| r.shard);
+        let t_local = self.obs.now_nanos();
 
         // Phase 3: cross-shard pass over a fresh global snapshot (which
         // reflects the local commits), two-phase-committed.
@@ -558,6 +641,9 @@ impl BudgetService {
             released += rel;
             algorithm += algo;
         }
+        // Commit point of the cycle: every grant below was decided by
+        // here, so this timestamp closes the grant-latency spans.
+        let t_cross = self.obs.now_nanos();
 
         // Phase 4: bookkeeping.
         let local_granted: usize = shard_results.iter().map(|r| r.granted.len()).sum();
@@ -570,8 +656,22 @@ impl BudgetService {
             .chain(cross_granted.iter().map(|(_, a)| a.id))
             .collect();
         let pending_after = {
+            // The sweep that drops granted submissions also closes
+            // their latency spans — the stamp travels in the
+            // submission, so no per-task lookup is needed.
+            let latency_live = self.telemetry.grant_latency.is_enabled();
             let mut pending = self.pending.lock().expect("pending lock poisoned");
-            pending.retain(|s| !granted_ids.contains(&s.task.id));
+            pending.retain(|s| {
+                if !granted_ids.contains(&s.task.id) {
+                    return true;
+                }
+                if latency_live {
+                    self.telemetry
+                        .grant_latency
+                        .record(t_cross.saturating_sub(s.admitted_nanos));
+                }
+                false
+            });
             pending.len()
         };
         // Resolve submit_async completion handles now that the
@@ -605,19 +705,27 @@ impl BudgetService {
         }
 
         // Granted and evicted tasks are no longer live: their ids may
-        // be reused and their tenants' quota slots free up.
+        // be reused and their tenants' quota slots free up. Their
+        // latency spans and flight-recorder events close here too —
+        // the recorder lock is a leaf, so holding the live lock across
+        // it creates no ordering cycle.
         {
             let mut live = self.live.lock().expect("live-task lock poisoned");
-            for r in &shard_results {
-                for (tenant, a) in &r.granted {
-                    live.release(*tenant, a.id);
-                }
-            }
-            for (tenant, a) in &cross_granted {
+            let granted_iter = shard_results
+                .iter()
+                .flat_map(|r| r.granted.iter())
+                .chain(cross_granted.iter());
+            for (tenant, a) in granted_iter {
                 live.release(*tenant, a.id);
+                self.obs
+                    .recorder
+                    .record(EventKind::TaskGranted, a.id, now.to_bits());
             }
             for (tenant, id) in &evicted {
                 live.release(*tenant, *id);
+                self.obs
+                    .recorder
+                    .record(EventKind::TaskEvicted, *id, now.to_bits());
             }
         }
 
@@ -636,6 +744,39 @@ impl BudgetService {
             d
         });
 
+        // Close the cycle's spans and publish the cycle-level registry
+        // values (counters mirror the ServiceStats fields; the WAL
+        // gauges re-export the durability counters).
+        let t_end = self.obs.now_nanos();
+        self.telemetry.cycles.inc();
+        self.telemetry.granted.add(granted_total as u64);
+        self.telemetry.evicted.add(evicted.len() as u64);
+        self.telemetry.queue_depth.set_u64(queue_depth as u64);
+        self.telemetry.pending_tasks.set_u64(pending_after as u64);
+        if let Some(d) = &durability {
+            self.telemetry.wal_records.set_u64(d.records);
+            self.telemetry.wal_bytes.set_u64(d.bytes);
+            self.telemetry.wal_syncs.set_u64(d.sync_calls);
+            self.telemetry.wal_batches.set_u64(d.batches);
+            self.telemetry.wal_failed_appends.set_u64(d.failed_appends);
+            self.telemetry.compactions.set_u64(d.compactions);
+        }
+        self.telemetry
+            .phase_ingest
+            .record(t_ingest.saturating_sub(t_start));
+        self.telemetry
+            .phase_local
+            .record(t_local.saturating_sub(t_ingest));
+        self.telemetry
+            .phase_cross
+            .record(t_cross.saturating_sub(t_local));
+        self.telemetry
+            .phase_finalize
+            .record(t_end.saturating_sub(t_cross));
+        self.telemetry
+            .cycle_nanos
+            .record(t_end.saturating_sub(t_start));
+
         let cycle = CycleStats {
             now,
             ingested,
@@ -646,7 +787,7 @@ impl BudgetService {
             queue_depth,
             pending_after,
             algorithm,
-            total: started.elapsed(),
+            total: Duration::from_nanos(t_end.saturating_sub(t_start)),
         };
         let mut stats = self.stats.lock().expect("stats lock poisoned");
         for (tenant, alloc) in shard_results
@@ -1353,5 +1494,115 @@ mod tests {
         assert_eq!(service.stats().rejected_full, 1);
         service.run_cycle(1.0);
         service.submit(0, simple_task(3, vec![0], 0.1)).unwrap();
+    }
+
+    #[test]
+    fn manual_clock_makes_empty_cycle_phases_exactly_assertable() {
+        const TICK: u64 = 1_000;
+        let (obs, _clock) = Obs::manual(TICK);
+        let service = BudgetService::with_obs(grid(), immediate_unlock(1, 1), Arc::clone(&obs));
+        let cycle = service.run_cycle(1.0);
+        // An empty cycle reads the clock exactly five times (t0 and the
+        // four phase boundaries), so with an auto-ticking manual clock
+        // its total is exactly 4 ticks and each phase exactly 1.
+        assert_eq!(cycle.total, Duration::from_nanos(4 * TICK));
+        let snap = obs.registry.snapshot();
+        for phase in ["ingest", "local", "cross", "finalize"] {
+            let labels = format!("phase=\"{phase}\"");
+            let h = snap
+                .histogram("dpack_cycle_phase_nanos", &labels)
+                .expect("phase histogram registered");
+            assert_eq!((h.count, h.sum), (1, TICK), "phase {phase}");
+        }
+        let total = snap.histogram("dpack_cycle_nanos", "").unwrap();
+        assert_eq!((total.count, total.sum, total.max), (1, 4 * TICK, 4 * TICK));
+        assert_eq!(snap.counter_total("dpack_cycles_total"), 1);
+    }
+
+    #[test]
+    fn manual_clock_makes_grant_latency_exactly_assertable() {
+        const TICK: u64 = 1_000;
+        let (obs, _clock) = Obs::manual(TICK);
+        let service = BudgetService::with_obs(grid(), immediate_unlock(1, 1), Arc::clone(&obs));
+        service
+            .register_block(Block::new(0, RdpCurve::constant(&grid(), 1.0), 0.0))
+            .unwrap();
+        // Clock read #1: the admission stamp (returns 0).
+        service.submit(7, simple_task(42, vec![0], 0.3)).unwrap();
+        // Cycle reads: t0, t_ingest, two lock-hold reads inside the
+        // shard batch commit, t_local, t_cross, t_end — 7 reads, so
+        // t_cross is read #7 = 6 ticks after the stamp.
+        let cycle = service.run_cycle(1.0);
+        assert_eq!(cycle.granted(), 1);
+        assert_eq!(cycle.total, Duration::from_nanos(6 * TICK));
+        let snap = obs.registry.snapshot();
+        let lat = snap.histogram("dpack_grant_latency_nanos", "").unwrap();
+        assert_eq!((lat.count, lat.sum), (1, 6 * TICK));
+        let hold = snap.histogram("dpack_shard_lock_hold_nanos", "").unwrap();
+        assert_eq!((hold.count, hold.sum), (1, TICK));
+        // The phase the commit ran in absorbed its two extra reads.
+        let local = snap
+            .histogram("dpack_cycle_phase_nanos", "phase=\"local\"")
+            .unwrap();
+        assert_eq!((local.count, local.sum), (1, 3 * TICK));
+        // The flight recorder saw admission then grant, in order.
+        let events = obs.recorder.dump();
+        let kinds: Vec<EventKind> = events.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, [EventKind::TaskAdmitted, EventKind::TaskGranted]);
+        assert_eq!(events[0].a, 42);
+        assert_eq!(events[0].b, 7);
+        assert_eq!(events[1].a, 42);
+        assert_eq!(events[1].b, 1.0f64.to_bits());
+    }
+
+    #[test]
+    fn off_context_records_nothing_and_skips_the_stamp() {
+        let service = BudgetService::with_obs(grid(), immediate_unlock(2, 2), Obs::off());
+        service
+            .register_block(Block::new(0, RdpCurve::constant(&grid(), 1.0), 0.0))
+            .unwrap();
+        service.submit(0, simple_task(1, vec![0], 0.3)).unwrap();
+        let queued = service.queue.drain(usize::MAX);
+        assert!(queued.iter().all(|s| s.admitted_nanos == 0));
+        for s in queued {
+            service.queue.push(s).unwrap();
+        }
+        let cycle = service.run_cycle(1.0);
+        assert_eq!(cycle.granted(), 1);
+        assert!(service.obs().registry.snapshot().samples.is_empty());
+        assert!(service.obs().recorder.dump().is_empty());
+    }
+
+    #[test]
+    fn wall_service_exposes_the_full_metric_family_set() {
+        let service = BudgetService::new(grid(), immediate_unlock(2, 1));
+        service
+            .register_block(Block::new(0, RdpCurve::constant(&grid(), 1.0), 0.0))
+            .unwrap();
+        service.submit(0, simple_task(1, vec![0], 0.3)).unwrap();
+        service.run_cycle(1.0);
+        let text = service.obs().registry.snapshot().render();
+        for family in [
+            "dpack_submitted_total",
+            "dpack_admitted_total",
+            "dpack_rejected_total",
+            "dpack_granted_total",
+            "dpack_evicted_total",
+            "dpack_cycles_total",
+            "dpack_queue_depth",
+            "dpack_pending_tasks",
+            "dpack_grant_latency_nanos",
+            "dpack_cycle_nanos",
+            "dpack_cycle_phase_nanos",
+            "dpack_shard_lock_hold_nanos",
+            "dpack_cross_commit_nanos",
+            "dpack_wal_append_nanos",
+            "dpack_wal_batch_records",
+            "dpack_wal_records",
+            "dpack_wal_failed_appends",
+        ] {
+            assert!(text.contains(family), "missing family {family}");
+        }
+        assert!(text.contains("dpack_granted_total 1"));
     }
 }

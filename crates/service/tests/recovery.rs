@@ -31,6 +31,7 @@ use dp_accounting::{AlphaGrid, RdpCurve};
 use dpack_check::{check_cases, ints, prop_assert, prop_assert_eq, Failed, PropResult};
 use dpack_core::problem::{Block, BlockId, Task, TaskId};
 use dpack_service::durability::{decode_snapshot, BlockState, CoordRecord, ShardRecord};
+use dpack_service::obs::{Event, EventKind};
 use dpack_service::wal::{SimStorage, Wal, WalOptions, WalStorage};
 use dpack_service::{
     BudgetService, DurabilityOptions, SchedulerChoice, ServiceConfig, StatsRetention,
@@ -74,6 +75,54 @@ fn opts() -> DurabilityOptions {
 fn recover(storage: &SimStorage) -> Result<BudgetService, Failed> {
     BudgetService::recover(grid(), config(), storage, opts())
         .map_err(|e| Failed::new(format!("recover failed: {e}")))
+}
+
+/// The flight-recorder contract for one recovery: the dump opens with
+/// `RecoveryStarted` → `RecoveryCoordinator`, walks the shards in
+/// ascending order (each `RecoveryShard` followed by its
+/// `RecoveryApplied` events), closes with `RecoveryFinished` — and
+/// never applies a grant the live service did not acknowledge, nor
+/// emits any `TaskGranted` event (recovery replays; it does not grant).
+fn assert_recovery_trace(trace: &[Event], acked: &BTreeSet<TaskId>) -> PropResult {
+    prop_assert!(trace.len() >= 3 + SHARDS, "recovery recorded no trace");
+    for (i, e) in trace.iter().enumerate() {
+        prop_assert_eq!(e.seq, i as u64 + 1, "seqs must be dense from 1");
+    }
+    prop_assert_eq!(trace[0].kind, EventKind::RecoveryStarted);
+    prop_assert_eq!(trace[0].a, SHARDS as u64);
+    prop_assert_eq!(trace[1].kind, EventKind::RecoveryCoordinator);
+    let last = trace.last().expect("nonempty");
+    prop_assert_eq!(last.kind, EventKind::RecoveryFinished);
+    let mut shard_cursor: Option<u64> = None;
+    let mut shards_seen = 0usize;
+    for e in &trace[2..trace.len() - 1] {
+        match e.kind {
+            EventKind::RecoveryShard => {
+                prop_assert!(
+                    shard_cursor.is_none_or(|s| e.a > s),
+                    "shard {} replayed out of order",
+                    e.a
+                );
+                shard_cursor = Some(e.a);
+                shards_seen += 1;
+            }
+            EventKind::RecoveryApplied => {
+                prop_assert!(shard_cursor.is_some(), "apply before any shard replay");
+                prop_assert!(
+                    acked.contains(&e.a),
+                    "recovery applied task {} the live service never acknowledged",
+                    e.a
+                );
+            }
+            other => {
+                return Err(Failed::new(format!(
+                    "unexpected {other:?} event inside the recovery trace"
+                )))
+            }
+        }
+    }
+    prop_assert_eq!(shards_seen, SHARDS, "every shard must be replayed");
+    Ok(())
 }
 
 /// One seeded submitter; returns the blocks of every *admitted* task.
@@ -368,6 +417,11 @@ fn crashed_service_recovers_exactly_the_acknowledged_state() {
             assert_states_bit_identical("recovered vs live", &recovered_states, &run.live_states)?;
             assert_states_bit_identical("recovered vs fold", &recovered_states, &reference.blocks)?;
 
+            // The flight recorder narrates the recovery, in order, and
+            // names no task the live service never acknowledged.
+            let trace = recovered.obs().recorder.dump();
+            assert_recovery_trace(&trace, &run.acked)?;
+
             // No phantoms, exact conservation: the surviving post-
             // snapshot records name only acknowledged tasks, and the
             // recovered per-block grant counts sum to exactly one
@@ -424,13 +478,20 @@ fn crashed_service_recovers_exactly_the_acknowledged_state() {
             // Prop. 6 soundness survives the crash.
             prop_assert_eq!(recovered.ledger().unsound_blocks(), Vec::<u64>::new());
 
-            // Replay determinism: a second reboot agrees bit-for-bit.
+            // Replay determinism: a second reboot agrees bit-for-bit —
+            // including an identical event trace (recorder events carry
+            // no timestamps, so the dumps match exactly).
             let again = recover(&run.sim.surviving())?;
             assert_states_bit_identical(
                 "second recovery",
                 &again.ledger().block_states(),
                 &recovered_states,
             )?;
+            prop_assert_eq!(
+                again.obs().recorder.dump(),
+                trace,
+                "recovery event traces diverged between identical reboots"
+            );
 
             // Liveness: the recovered (healthy) service keeps granting.
             if recovered.ledger().contains(0) {

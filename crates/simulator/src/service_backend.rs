@@ -78,16 +78,24 @@ fn run_service(
         retention: StatsRetention::Unbounded,
         ..*service_config
     };
+    // Replays run with observability fully off: the simulator's
+    // contract is bit-identical decisions run-to-run, so it opts out of
+    // even the (decision-invisible) instrumentation cost.
     let service = if durable {
-        BudgetService::recover(
+        BudgetService::recover_with_obs(
             workload.grid.clone(),
             resolved,
             &SimStorage::new(),
             DurabilityOptions::default(),
+            dpack_service::obs::Obs::off(),
         )
         .expect("fresh sim storage opens")
     } else {
-        BudgetService::new(workload.grid.clone(), resolved)
+        BudgetService::with_obs(
+            workload.grid.clone(),
+            resolved,
+            dpack_service::obs::Obs::off(),
+        )
     };
 
     replay_workload(workload, config, |event| match event {

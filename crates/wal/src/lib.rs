@@ -44,6 +44,6 @@ pub mod log;
 pub mod storage;
 pub mod temp;
 
-pub use log::{AppendReceipt, Recovered, Wal, WalCounters, WalError, WalOptions};
+pub use log::{AppendReceipt, Recovered, Wal, WalCounters, WalError, WalOptions, WalTelemetry};
 pub use storage::{FsStorage, SimStorage, WalStorage, CRASH_ERROR};
 pub use temp::TempDir;

@@ -194,6 +194,20 @@ pub struct AppendReceipt {
     pub bytes: u64,
 }
 
+/// Observability hooks one [`Wal`] reports into (see
+/// [`Wal::instrument`]). All handles come from `dpack-obs`; a disabled
+/// histogram makes every record a single branch.
+#[derive(Debug, Clone)]
+pub struct WalTelemetry {
+    /// The time seam the append latency spans are measured on.
+    pub clock: std::sync::Arc<dyn dpack_obs::Clock>,
+    /// Latency of each storage write+sync (`dpack_wal_append_nanos`):
+    /// the fsync cost group commit amortizes.
+    pub append_nanos: dpack_obs::Histogram,
+    /// Acknowledged batch sizes (`dpack_wal_batch_records`).
+    pub batch_records: dpack_obs::Histogram,
+}
+
 /// An append-only write-ahead log over a [`WalStorage`] namespace.
 pub struct Wal {
     storage: Box<dyn WalStorage>,
@@ -203,6 +217,7 @@ pub struct Wal {
     active_len: u64,
     broken: bool,
     counters: WalCounters,
+    telemetry: Option<WalTelemetry>,
     /// Reusable framing buffer: appends and batch flushes encode into
     /// it instead of allocating per record.
     scratch: Vec<u8>,
@@ -471,10 +486,19 @@ impl Wal {
                 active_len,
                 broken: false,
                 counters: WalCounters::default(),
+                telemetry: None,
                 scratch: Vec::new(),
             },
             recovered,
         ))
+    }
+
+    /// Attaches observability hooks: every subsequent storage
+    /// write+sync is timed on the telemetry clock into `append_nanos`,
+    /// and every acknowledged batch reports its size into
+    /// `batch_records`. Un-instrumented logs skip all of it.
+    pub fn instrument(&mut self, telemetry: WalTelemetry) {
+        self.telemetry = Some(telemetry);
     }
 
     /// Re-scans the storage and resumes a [broken](WalError::Broken)
@@ -512,10 +536,12 @@ impl Wal {
         }
         self.scratch.clear();
         frame_into(&mut self.scratch, payload);
-        if let Err(e) = self
+        let started = self.telemetry.as_ref().map(|t| t.clock.now_nanos());
+        let wrote = self
             .storage
-            .append(&seg_name(self.active_seq), &self.scratch)
-        {
+            .append(&seg_name(self.active_seq), &self.scratch);
+        self.observe_write(started);
+        if let Err(e) = wrote {
             self.broken = true;
             return Err(WalError::Io(e));
         }
@@ -562,14 +588,19 @@ impl Wal {
         for payload in payloads {
             frame_into(&mut self.scratch, payload);
         }
-        if let Err(e) = self
+        let started = self.telemetry.as_ref().map(|t| t.clock.now_nanos());
+        let wrote = self
             .storage
-            .append(&seg_name(self.active_seq), &self.scratch)
-        {
+            .append(&seg_name(self.active_seq), &self.scratch);
+        self.observe_write(started);
+        if let Err(e) = wrote {
             self.broken = true;
             return Err(WalError::Io(e));
         }
         let n = payloads.len() as u64;
+        if let Some(t) = &self.telemetry {
+            t.batch_records.record(n);
+        }
         self.counters.records += n;
         self.counters.syncs += 1;
         self.counters.batches += 1;
@@ -586,6 +617,16 @@ impl Wal {
             records: payloads.len(),
             bytes,
         })
+    }
+
+    /// Closes the latency span an instrumented write opened. Failed
+    /// writes are timed too: a slow failing disk is exactly what the
+    /// histogram should show.
+    fn observe_write(&self, started: Option<u64>) {
+        if let (Some(t), Some(started)) = (&self.telemetry, started) {
+            t.append_nanos
+                .record(t.clock.now_nanos().saturating_sub(started));
+        }
     }
 
     /// Bookkeeping shared by acknowledged writes: byte counters and
@@ -615,7 +656,10 @@ impl Wal {
             return Err(WalError::Broken);
         }
         let new_base = self.active_seq + 1;
-        if let Err(e) = self.storage.append(&snap_name(new_base), &frame(state)) {
+        let started = self.telemetry.as_ref().map(|t| t.clock.now_nanos());
+        let wrote = self.storage.append(&snap_name(new_base), &frame(state));
+        self.observe_write(started);
+        if let Err(e) = wrote {
             self.broken = true;
             return Err(WalError::Io(e));
         }
@@ -941,5 +985,29 @@ mod tests {
         wal.append(b"two").unwrap();
         let (_, rec) = reopen(&sim);
         assert_eq!(rec.records, vec![b"one".to_vec(), b"two".to_vec()]);
+    }
+
+    #[test]
+    fn instrumented_writes_report_exact_spans_and_batch_sizes() {
+        use dpack_obs::{Histogram, ManualClock};
+        let sim = SimStorage::new();
+        let (mut wal, _) = Wal::open(Box::new(sim), WalOptions::default()).unwrap();
+        let clock = std::sync::Arc::new(ManualClock::with_tick(10));
+        let append_nanos = Histogram::new();
+        let batch_records = Histogram::new();
+        wal.instrument(WalTelemetry {
+            clock,
+            append_nanos: append_nanos.clone(),
+            batch_records: batch_records.clone(),
+        });
+        wal.append(b"solo").unwrap();
+        wal.append_batch(&[b"a", b"b", b"c"]).unwrap();
+        // Each write spans exactly two auto-ticking clock reads.
+        let spans = append_nanos.snapshot();
+        assert_eq!(spans.count, 2);
+        assert_eq!(spans.sum, 20);
+        let sizes = batch_records.snapshot();
+        assert_eq!(sizes.count, 1);
+        assert_eq!(sizes.max, 3);
     }
 }

@@ -88,6 +88,20 @@ fn main() {
     assert_eq!(stats.granted, 16);
     assert_eq!(stats.rejected, 1);
 
+    // Observability over the same socket: a Prometheus-style metrics
+    // scrape and a flight-recorder dump, exactly as an operator's
+    // monitor would read them.
+    let metrics = client.metrics().expect("metrics");
+    assert_eq!(metrics.counter_total("dpack_granted_total"), 16);
+    print!("\n--- metrics scrape ---\n{}", metrics.render());
+    let trace = client.trace(0).expect("trace");
+    assert!(!trace.is_empty());
+    println!(
+        "--- flight recorder: {} events retained, last seq {} ---",
+        trace.len(),
+        trace.last().map_or(0, |e| e.seq)
+    );
+
     let snapshot = client.snapshot(10.0).expect("snapshot");
     let spent = snapshot
         .values()

@@ -31,6 +31,34 @@ if grep -rn "criterion-benches" --include="*.rs" --include="*.toml" \
   exit 1
 fi
 
+echo "==> checking new counter structs go through dpack-obs"
+# New metrics belong in the dpack-obs registry (named, labelled,
+# scrapable), not in one-off counter structs. The legacy pre-obs
+# structs below are frozen; anything new fails the gate.
+adhoc_allow="$(cat <<'EOF'
+crates/core/src/online.rs:OnlineStats
+crates/net/src/wire.rs:WireStats
+crates/service/src/stats.rs:CycleStats
+crates/service/src/stats.rs:DurabilityStats
+crates/service/src/stats.rs:ServiceStats
+crates/service/src/stats.rs:TenantStats
+crates/wal/src/log.rs:WalCounters
+crates/wal/src/log.rs:WalTelemetry
+EOF
+)"
+adhoc_found="$(grep -rn --include='*.rs' -E 'pub struct [A-Za-z]*(Counters|Stats|Telemetry)\b' \
+    src crates 2>/dev/null \
+  | grep -v '^crates/obs/' \
+  | sed -E 's|^([^:]+):[0-9]+:.*pub struct ([A-Za-z]+).*|\1:\2|' \
+  | sort -u || true)"
+adhoc_new="$(comm -13 <(sort -u <<<"${adhoc_allow}") <(echo "${adhoc_found}") || true)"
+if [ -n "${adhoc_new}" ]; then
+  echo "ERROR: new ad-hoc counter/stats struct(s) outside dpack-obs:" >&2
+  echo "${adhoc_new}" >&2
+  echo "register counters/gauges/histograms on the dpack-obs registry instead" >&2
+  exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
@@ -72,16 +100,33 @@ grep -E "speedup|ops_per_sec" BENCH_4.json
 
 # Remote frontend smoke: a real tenant over a real 127.0.0.1 socket —
 # handshake, block registration, pipelined submits answered with final
-# decisions, stats, snapshot, graceful shutdown. The example asserts
-# every step.
+# decisions, stats, metrics scrape, flight-recorder dump, snapshot,
+# graceful shutdown. The example asserts every step; the greps below
+# pin the metric families a monitor depends on to the scrape output.
 echo "==> remote frontend smoke (example over 127.0.0.1)"
-cargo run --release -q --example remote_tenant
+remote_out="$(cargo run --release -q --example remote_tenant)"
+echo "${remote_out}" | grep -v '^dpack_\|^# TYPE'
+for fam in dpack_submitted_total dpack_granted_total dpack_grant_latency_nanos \
+    dpack_cycle_phase_nanos dpack_reactor_sweep_nanos dpack_open_connections \
+    dpack_conn_queue_depth; do
+  if ! grep -q "^# TYPE ${fam} " <<<"${remote_out}"; then
+    echo "ERROR: remote metrics scrape is missing family ${fam}" >&2
+    exit 1
+  fi
+done
 
 # Perf trajectory for the remote surface: final-decision throughput
 # through dpack-net vs the in-process async surface, same workload.
 echo "==> service_throughput --remote -> BENCH_5.json"
 cargo run --release -q -p dpack-bench --bin service_throughput -- --remote --json BENCH_5.json
 grep -E "ops_per_sec|relative" BENCH_5.json
+
+# Observability cost: instrumentation on vs off on the same workload
+# (the binary asserts the overhead ratio stays under 3%), plus the
+# hot-path latency percentiles scraped from the metrics registry.
+echo "==> service_throughput --obs -> BENCH_6.json"
+cargo run --release -q -p dpack-bench --bin service_throughput -- --obs --json BENCH_6.json
+grep -E "overhead_ratio|p50|p99" BENCH_6.json
 
 # Replay-determinism guard: the crash-recovery harness must produce
 # byte-identical output when replayed from the same seed — a diff here
