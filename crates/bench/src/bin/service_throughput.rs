@@ -38,6 +38,13 @@
 //! time, and the batch-size distribution, read back exactly as a
 //! remote scraper would see them. The `--json` summary for this mode
 //! is CI's `BENCH_6.json`.
+//!
+//! `--million` replaces the sweeps with the **tiered ledger scaling**
+//! measurement: a 10k-block baseline against a million-block registry
+//! on the spill-to-disk tier, same per-cycle task load, reporting the
+//! per-cycle slowdown ratio, tier traffic, and peak RSS. The `--json`
+//! summary for this mode is CI's `BENCH_7.json`, whose RSS bound CI
+//! guards.
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -653,6 +660,183 @@ fn obs_comparison(state: &ProblemState, json: Option<&str>) {
     }
 }
 
+/// The process's peak resident set (VmHWM) in megabytes — the
+/// bounded-memory evidence the million-block run publishes.
+fn peak_rss_mb() -> f64 {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|kb| kb.parse::<f64>().ok())
+        .map_or(0.0, |kb| kb / 1024.0)
+}
+
+/// What one tiered scaling run measured.
+struct ScaleReport {
+    blocks: u64,
+    register_secs: f64,
+    cycle_mean_nanos: f64,
+    granted: u64,
+}
+
+/// Registers `n_blocks` unit-capacity blocks on a tiered service, then
+/// drives `cycles` scheduling cycles of `tasks_per_cycle` tasks over
+/// uniformly random blocks. The per-cycle mean is the scaling metric:
+/// with demand-driven snapshots it must track the *task* count, not
+/// the block count.
+fn tiered_run(
+    n_blocks: u64,
+    seed: u64,
+    cycles: u64,
+    tasks_per_cycle: u64,
+) -> (ScaleReport, BudgetService) {
+    let grid = AlphaGrid::standard();
+    let tmp = TempDir::new("dpack-million").expect("temp dir");
+    let storage = dpack_service::wal::FsStorage::new(tmp.path()).expect("fs storage");
+    let service = BudgetService::with_tier(
+        grid.clone(),
+        ServiceConfig {
+            shards: 4,
+            workers: 4,
+            unlock_steps: 1,
+            scheduler: SchedulerChoice::DPack,
+            ..ServiceConfig::default()
+        },
+        &storage,
+        dpack_service::TierConfig::default(), // 4096 hot blocks per shard.
+    )
+    .expect("tiered service");
+
+    let capacity = RdpCurve::constant(&grid, 1.0);
+    let t0 = Instant::now();
+    for id in 0..n_blocks {
+        service
+            .register_block(Block::new(id, capacity.clone(), 0.0))
+            .expect("unique blocks");
+    }
+    let register_secs = t0.elapsed().as_secs_f64();
+
+    // splitmix64: deterministic block picks without an RNG dependency.
+    let mut rng_state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next = move || {
+        rng_state = rng_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = rng_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let demand = RdpCurve::constant(&grid, 1e-4);
+    let mut task_id = 0u64;
+    let mut cycle_total = Duration::ZERO;
+    for c in 0..cycles {
+        for _ in 0..tasks_per_cycle {
+            let mut blocks = vec![next() % n_blocks];
+            if next() % 2 == 0 {
+                let b = next() % n_blocks;
+                if b != blocks[0] {
+                    blocks.push(b);
+                }
+            }
+            service
+                .submit(
+                    (task_id % N_TENANTS as u64) as TenantId,
+                    Task::new(task_id, 1.0, blocks, demand.clone(), 0.0),
+                )
+                .expect("queue sized for the chunk");
+            task_id += 1;
+        }
+        let t = Instant::now();
+        service.run_cycle((c + 1) as f64);
+        cycle_total += t.elapsed();
+    }
+    let report = ScaleReport {
+        blocks: n_blocks,
+        register_secs,
+        cycle_mean_nanos: cycle_total.as_nanos() as f64 / cycles as f64,
+        granted: service.ledger().granted_count(),
+    };
+    (report, service)
+}
+
+/// The `--million` section: a 10k-block baseline against a
+/// million-block tiered ledger, same cycle workload, reporting the
+/// per-cycle slowdown ratio, tier traffic, curve interning, and the
+/// peak resident set. CI records the `--json` summary as
+/// `BENCH_7.json` and guards the RSS bound.
+fn million_comparison(seed: u64, json: Option<&str>) {
+    const CYCLES: u64 = 32;
+    const TASKS_PER_CYCLE: u64 = 256;
+    let (base, base_svc) = tiered_run(10_000, seed, CYCLES, TASKS_PER_CYCLE);
+    drop(base_svc);
+    let (big, svc) = tiered_run(1_000_000, seed, CYCLES, TASKS_PER_CYCLE);
+    let activity = svc.ledger().tier_activity().expect("tier enabled");
+    let interned = dp_accounting::CurveInterner::global().len();
+    let rss = peak_rss_mb();
+    let ratio = big.cycle_mean_nanos / base.cycle_mean_nanos;
+
+    let mut table = Table::new(vec!["blocks", "register s", "cycle mean ms", "granted"]);
+    for r in [&base, &big] {
+        table.row(vec![
+            r.blocks.to_string(),
+            fmt(r.register_secs, 2),
+            fmt(r.cycle_mean_nanos / 1e6, 3),
+            r.granted.to_string(),
+        ]);
+    }
+    table.print();
+    println!("\ncycle slowdown at 100x blocks: {ratio:.2}x");
+    println!(
+        "tier: {} hot / {} cold, {} spilled, {} faults, {} segments, {:.1} MB live spill",
+        activity.hot_blocks,
+        activity.cold_blocks,
+        activity.spilled,
+        activity.faults,
+        activity.segments,
+        activity.spill_bytes as f64 / (1024.0 * 1024.0),
+    );
+    println!("interned curves: {interned}");
+    println!("peak RSS: {rss:.1} MB");
+
+    if let Some(path) = json {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"bench\": \"million_block_ledger\",");
+        let _ = writeln!(s, "  \"cycles\": {CYCLES},");
+        let _ = writeln!(s, "  \"tasks_per_cycle\": {TASKS_PER_CYCLE},");
+        let _ = writeln!(s, "  \"baseline_blocks\": {},", base.blocks);
+        let _ = writeln!(s, "  \"million_blocks\": {},", big.blocks);
+        let _ = writeln!(
+            s,
+            "  \"baseline_cycle_mean_nanos\": {:.0},",
+            base.cycle_mean_nanos
+        );
+        let _ = writeln!(
+            s,
+            "  \"million_cycle_mean_nanos\": {:.0},",
+            big.cycle_mean_nanos
+        );
+        let _ = writeln!(s, "  \"cycle_slowdown_ratio\": {ratio:.3},");
+        let _ = writeln!(s, "  \"million_register_secs\": {:.2},", big.register_secs);
+        let _ = writeln!(s, "  \"million_granted\": {},", big.granted);
+        let _ = writeln!(s, "  \"hot_blocks\": {},", activity.hot_blocks);
+        let _ = writeln!(s, "  \"cold_blocks\": {},", activity.cold_blocks);
+        let _ = writeln!(s, "  \"spilled\": {},", activity.spilled);
+        let _ = writeln!(s, "  \"faults\": {},", activity.faults);
+        let _ = writeln!(s, "  \"spill_segments\": {},", activity.segments);
+        let _ = writeln!(
+            s,
+            "  \"live_spill_mb\": {:.1},",
+            activity.spill_bytes as f64 / (1024.0 * 1024.0)
+        );
+        let _ = writeln!(s, "  \"interned_curves\": {interned},");
+        let _ = writeln!(s, "  \"peak_rss_mb\": {rss:.1}");
+        s.push_str("}\n");
+        std::fs::write(path, s).expect("write json");
+        println!("\nwrote {path}");
+    }
+}
+
 fn json_escape_free(s: &str) -> &str {
     // Labels here are ASCII identifiers; keep the writer honest.
     debug_assert!(!s.contains('"') && !s.contains('\\'));
@@ -706,6 +890,17 @@ fn write_json(
         "  \"records_per_batch_mean\": {:.1},",
         batched.records_per_batch_mean
     );
+    // The sweep only runs under --full; a quick run omits the field
+    // entirely rather than publishing a misleading empty list.
+    if latency.is_empty() {
+        let _ = writeln!(
+            s,
+            "  \"records_per_batch_max\": {}",
+            batched.records_per_batch_max
+        );
+        s.push_str("}\n");
+        return std::fs::write(path, s);
+    }
     let _ = writeln!(
         s,
         "  \"records_per_batch_max\": {},",
@@ -736,6 +931,11 @@ fn main() {
             n_tasks, DURABLE_BLOCKS, N_TENANTS
         );
         remote_comparison(n_tasks, args.json.as_deref());
+        return;
+    }
+    if args.million {
+        println!("dpack-service tiered ledger scaling — 10k baseline vs 1M blocks, DPack\n");
+        million_comparison(args.seed, args.json.as_deref());
         return;
     }
     if args.obs {

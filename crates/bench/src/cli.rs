@@ -22,6 +22,9 @@ pub struct Args {
     /// report latency percentiles instead of the sweeps (`--obs`,
     /// service benches only).
     pub obs: bool,
+    /// Run the million-block tiered-ledger scaling measurement instead
+    /// of the sweeps (`--million`, service benches only).
+    pub million: bool,
     /// Write a machine-readable summary to this path (`--json <path>`,
     /// service benches only).
     pub json: Option<String>,
@@ -37,6 +40,7 @@ impl Default for Args {
             latency: false,
             remote: false,
             obs: false,
+            million: false,
             json: None,
         }
     }
@@ -78,12 +82,13 @@ impl Args {
                 "--latency" => args.latency = true,
                 "--remote" => args.remote = true,
                 "--obs" => args.obs = true,
+                "--million" => args.million = true,
                 "--json" => {
                     args.json = Some(it.next().unwrap_or_else(|| panic!("--json needs a path")));
                 }
                 other => panic!(
                     "unknown flag {other} \
-                     (expected --seed/--panel/--full/--out/--latency/--remote/--obs/--json)"
+                     (expected --seed/--panel/--full/--out/--latency/--remote/--obs/--million/--json)"
                 ),
             }
         }
@@ -126,6 +131,7 @@ mod tests {
             "--latency",
             "--remote",
             "--obs",
+            "--million",
             "--json",
             "out.json",
         ]);
@@ -137,6 +143,7 @@ mod tests {
         assert!(a.wants_panel('b'));
         assert!(a.latency);
         assert!(a.remote);
+        assert!(a.million);
         assert_eq!(a.json.as_deref(), Some("out.json"));
     }
 

@@ -1,0 +1,284 @@
+//! Process-wide curve interning and delta-composed consumption.
+//!
+//! At "one block per user-day" scale the ledger holds millions of
+//! blocks, but almost all of them share a handful of distinct curves:
+//! capacity curves come from a few `(ε_G, δ_G)` policies and demand
+//! curves from a few mechanism configurations. Interning stores each
+//! distinct `ε(α)` vector once and hands out a 4-byte [`CurveId`]
+//! ([`NonZeroU32`], so `Option<CurveId>` is still 4 bytes), which is
+//! what lets a cold block's in-memory summary cost ~tens of bytes
+//! instead of several hundred.
+//!
+//! Interning is **bit-exact**: curves are keyed on the IEEE-754 bit
+//! patterns of their values (`-0.0` and `0.0` intern separately), and
+//! [`CurveInterner::resolve`] returns exactly the interned bits — the
+//! property the ledger's bit-identical recovery contract needs.
+//!
+//! [`DeltaCurve`] represents a consumption curve as an interned base
+//! plus an ordered list of interned demand deltas. Materializing
+//! replays the additions in order with the same per-order arithmetic
+//! as [`RdpCurve::compose`], so a delta-composed consumption equals
+//! the eagerly-composed `Vec<f64>` bit for bit (floating-point
+//! addition is order-sensitive; the order is preserved, so the bits
+//! are too — the property suite sweeps this).
+
+use std::collections::HashMap;
+use std::num::NonZeroU32;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::alpha::AlphaGrid;
+use crate::curve::RdpCurve;
+use crate::error::AccountingError;
+
+/// A compact handle to an interned curve. `NonZeroU32` keeps
+/// `Option<CurveId>` pointer-free and 4 bytes wide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CurveId(NonZeroU32);
+
+impl CurveId {
+    /// The id's slot index in its interner's value table.
+    fn index(self) -> usize {
+        self.0.get() as usize - 1
+    }
+
+    /// The raw id (1-based; useful for wire formats and debugging).
+    pub fn get(self) -> u32 {
+        self.0.get()
+    }
+}
+
+#[derive(Debug, Default)]
+struct InternState {
+    /// Bit-pattern key → id. Keys are the exact `to_bits()` images of
+    /// the values, so lookup is exact equality, never an ε-comparison.
+    map: HashMap<Box<[u64]>, CurveId>,
+    /// Slot `id - 1` → the interned values (shared, immutable).
+    values: Vec<Arc<[f64]>>,
+}
+
+/// A process-wide (or scoped) deduplicating store of curve value
+/// vectors. Cloning the handle shares the table.
+#[derive(Debug, Clone, Default)]
+pub struct CurveInterner {
+    state: Arc<Mutex<InternState>>,
+}
+
+impl CurveInterner {
+    /// A fresh, empty interner (tests; production code normally uses
+    /// [`CurveInterner::global`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide interner every ledger shard shares — identical
+    /// curves from different shards resolve to the same id.
+    pub fn global() -> &'static CurveInterner {
+        static GLOBAL: OnceLock<CurveInterner> = OnceLock::new();
+        GLOBAL.get_or_init(CurveInterner::new)
+    }
+
+    /// Interns a value vector, returning the existing id when the same
+    /// bit pattern was interned before.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interner ever holds `u32::MAX` distinct curves —
+    /// a process holding four billion *distinct* curves has already
+    /// exhausted memory many times over.
+    pub fn intern(&self, values: &[f64]) -> CurveId {
+        let key: Box<[u64]> = values.iter().map(|v| v.to_bits()).collect();
+        let mut state = self.state.lock().expect("curve interner poisoned");
+        if let Some(id) = state.map.get(&key) {
+            return *id;
+        }
+        let raw = u32::try_from(state.values.len() + 1).expect("curve interner id space exhausted");
+        let id = CurveId(NonZeroU32::new(raw).expect("ids start at 1"));
+        state.values.push(Arc::from(values));
+        state.map.insert(key, id);
+        id
+    }
+
+    /// Interns a curve's values (the grid is the caller's context — the
+    /// ledger has exactly one).
+    pub fn intern_curve(&self, curve: &RdpCurve) -> CurveId {
+        self.intern(curve.values())
+    }
+
+    /// The interned values behind an id — exactly the bits that went
+    /// in.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an id from a *different* interner whose slot does not
+    /// exist here; ids from this interner always resolve.
+    pub fn resolve(&self, id: CurveId) -> Arc<[f64]> {
+        let state = self.state.lock().expect("curve interner poisoned");
+        Arc::clone(
+            state
+                .values
+                .get(id.index())
+                .expect("curve id from a different interner"),
+        )
+    }
+
+    /// [`CurveInterner::resolve`] rebuilt as a curve on `grid`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the interned vector's length does not match
+    /// the grid (an id interned under a different grid).
+    pub fn resolve_curve(
+        &self,
+        id: CurveId,
+        grid: &AlphaGrid,
+    ) -> Result<RdpCurve, AccountingError> {
+        RdpCurve::new(grid, self.resolve(id).to_vec())
+    }
+
+    /// Number of distinct curves interned so far.
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .expect("curve interner poisoned")
+            .values
+            .len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A consumption curve stored as `base ⊕ delta_1 ⊕ … ⊕ delta_n` over
+/// interned ids: the base is the consumption bits at the moment the
+/// owner switched to delta form (zero for a fresh block), and each
+/// delta is one committed demand, in commit order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaCurve {
+    base: CurveId,
+    deltas: Vec<CurveId>,
+}
+
+impl DeltaCurve {
+    /// A delta curve anchored at `base` with no deltas yet.
+    pub fn new(base: CurveId) -> Self {
+        Self {
+            base,
+            deltas: Vec::new(),
+        }
+    }
+
+    /// The anchor id.
+    pub fn base(&self) -> CurveId {
+        self.base
+    }
+
+    /// The composed demand ids, in commit order.
+    pub fn deltas(&self) -> &[CurveId] {
+        &self.deltas
+    }
+
+    /// Appends one committed demand.
+    pub fn push(&mut self, delta: CurveId) {
+        self.deltas.push(delta);
+    }
+
+    /// Replays `base + Σ deltas` order-by-order, in push order — the
+    /// same additions, in the same order, as composing the full
+    /// vectors eagerly, so the result is bit-identical to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any delta's length differs from the base's (ids
+    /// interned under different grids mixed into one delta curve).
+    pub fn materialize(&self, interner: &CurveInterner) -> Vec<f64> {
+        let mut out = interner.resolve(self.base).to_vec();
+        for id in &self.deltas {
+            let delta = interner.resolve(*id);
+            assert_eq!(delta.len(), out.len(), "delta on a different grid");
+            for (acc, d) in out.iter_mut().zip(delta.iter()) {
+                *acc += *d;
+            }
+        }
+        out
+    }
+
+    /// [`DeltaCurve::materialize`] as a curve on `grid`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the materialized vector does not match the
+    /// grid's length.
+    pub fn materialize_curve(
+        &self,
+        interner: &CurveInterner,
+        grid: &AlphaGrid,
+    ) -> Result<RdpCurve, AccountingError> {
+        RdpCurve::new(grid, self.materialize(interner))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedups_on_bit_patterns() {
+        let i = CurveInterner::new();
+        let a = i.intern(&[0.1, 0.2]);
+        let b = i.intern(&[0.1, 0.2]);
+        let c = i.intern(&[0.1, 0.3]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(i.len(), 2);
+        // -0.0 and 0.0 have different bit patterns: interned apart.
+        assert_ne!(i.intern(&[0.0]), i.intern(&[-0.0]));
+        assert_eq!(i.resolve(a).as_ref(), &[0.1, 0.2]);
+    }
+
+    #[test]
+    fn resolve_returns_exact_bits() {
+        let i = CurveInterner::new();
+        let values = [0.1f64 + 0.2, f64::MIN_POSITIVE, -7.25e-300];
+        let id = i.intern(&values);
+        let back = i.resolve(id);
+        for (a, b) in values.iter().zip(back.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn delta_materialization_matches_eager_composition_bitwise() {
+        let g = AlphaGrid::new(vec![2.0, 4.0, 8.0]).unwrap();
+        let i = CurveInterner::new();
+        let base = RdpCurve::new(&g, vec![0.1, 0.07, 1e-9]).unwrap();
+        let mut delta = DeltaCurve::new(i.intern_curve(&base));
+        let mut eager = base.clone();
+        for k in 0..17 {
+            let d = RdpCurve::from_fn(&g, |a| 0.013 * a + k as f64 * 1e-5);
+            delta.push(i.intern_curve(&d));
+            eager = eager.compose(&d).unwrap();
+        }
+        let materialized = delta.materialize(&i);
+        for (a, b) in materialized.iter().zip(eager.values()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(delta.deltas().len(), 17);
+    }
+
+    #[test]
+    fn global_interner_is_shared() {
+        let id = CurveInterner::global().intern(&[42.125, 0.5]);
+        assert_eq!(CurveInterner::global().resolve(id).as_ref(), &[42.125, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different interner")]
+    fn foreign_ids_panic_on_resolve() {
+        let a = CurveInterner::new();
+        let b = CurveInterner::new();
+        let id = a.intern(&[1.0]);
+        let _ = b.resolve(id);
+    }
+}

@@ -37,6 +37,7 @@ pub mod curve;
 pub mod dpsgd;
 pub mod error;
 pub mod filter;
+pub mod intern;
 pub mod math;
 pub mod mechanisms;
 pub mod noise;
@@ -47,6 +48,7 @@ pub use convert::{block_capacity, rdp_to_dp, DpGuarantee};
 pub use curve::RdpCurve;
 pub use error::AccountingError;
 pub use filter::{FilterDecision, PureDpFilter, RenyiFilter};
+pub use intern::{CurveId, CurveInterner, DeltaCurve};
 pub use pure::PureDpAccountant;
 
 /// Relative tolerance used for floating-point budget comparisons.

@@ -542,7 +542,7 @@ fn encode_sample(buf: &mut Vec<u8>, s: &Sample) {
             let nonzero = h.nonzero_buckets();
             put_len(buf, nonzero.len());
             for (idx, count) in nonzero {
-                buf.push(idx);
+                put_u16(buf, idx);
                 put_u64(buf, count);
             }
         }
@@ -559,10 +559,11 @@ fn decode_sample(r: &mut Reader<'_>) -> Result<Sample, NetError> {
             let count = r.u64()?;
             let sum = r.u64()?;
             let max = r.u64()?;
-            // A bucket entry is index + count = 9 bytes.
-            let n = r.list_len(9)?;
+            // A bucket entry is a u16 index + count = 10 bytes (the
+            // log-linear histogram has more than 256 buckets).
+            let n = r.list_len(10)?;
             let buckets = (0..n)
-                .map(|_| Ok((r.u8()?, r.u64()?)))
+                .map(|_| Ok((r.u16()?, r.u64()?)))
                 .collect::<Result<Vec<_>, NetError>>()?;
             Value::Histogram(Box::new(HistogramSnapshot::from_parts(
                 count, sum, max, &buckets,
@@ -1271,8 +1272,8 @@ mod tests {
         };
         let bytes = frame.encode();
         // tag+id+list + name+labels+kind + count/sum/max + bucket list
-        // + 3 × (idx + count).
-        assert_eq!(bytes.len(), 9 + 4 + (5 + 4 + 1) + 24 + 4 + 3 * 9);
+        // + 3 × (u16 idx + count).
+        assert_eq!(bytes.len(), 9 + 4 + (5 + 4 + 1) + 24 + 4 + 3 * 10);
         let back = ResponseFrame::decode(&bytes).expect("round trip");
         let Response::Metrics { samples } = back.body else {
             panic!("metrics body");

@@ -91,7 +91,7 @@ mod tests {
         assert!(text.contains("# TYPE dpack_granted_total counter\ndpack_granted_total 42\n"));
         assert!(text.contains("# TYPE dpack_queue_depth gauge\ndpack_queue_depth 7\n"));
         assert!(text.contains("# TYPE dpack_cycle_nanos summary\n"));
-        assert!(text.contains("dpack_cycle_nanos{phase=\"ingest\",quantile=\"0.5\"} 255"));
+        assert!(text.contains("dpack_cycle_nanos{phase=\"ingest\",quantile=\"0.5\"} 207"));
         assert!(text.contains("dpack_cycle_nanos{phase=\"ingest\",quantile=\"1\"} 300"));
         assert!(text.contains("dpack_cycle_nanos_sum{phase=\"ingest\"} 600"));
         assert!(text.contains("dpack_cycle_nanos_count{phase=\"ingest\"} 3"));

@@ -1,12 +1,18 @@
-//! Log-bucketed histograms.
+//! Log-linear-bucketed histograms.
 //!
-//! A [`Histogram`] sorts recorded `u64` values into 64 power-of-two
-//! buckets: bucket `i` holds values in `[2^i, 2^(i+1))` (bucket 0 also
-//! takes 0). Recording is lock-free — one `fetch_add` per counter —
-//! and a [`HistogramSnapshot`] is mergeable across histograms, shards,
-//! or processes by plain bucket-wise addition, so percentile queries
-//! survive aggregation (within one power-of-two of exact, which is the
-//! deliberate trade for a fixed 64-slot footprint).
+//! A [`Histogram`] sorts recorded `u64` values into log-linear buckets
+//! in the HdrHistogram style: values below 16 get one exact bucket
+//! each, and every power-of-two octave above is split into 16 linear
+//! sub-buckets, so a reported quantile is within 1/16 (6.25%) of the
+//! true value instead of within a full power of two. The finer grain
+//! is what keeps p50 and p99 distinct when a whole latency population
+//! lands inside one octave — e.g. grant latencies clustered around
+//! 27 ms all fall in `[2^24, 2^25)`, where pure power-of-two buckets
+//! collapse every quantile onto the same upper bound. Recording is
+//! lock-free — one `fetch_add` per counter — and a
+//! [`HistogramSnapshot`] is mergeable across histograms, shards, or
+//! processes by plain bucket-wise addition, so percentile queries
+//! survive aggregation.
 //!
 //! A disabled histogram (from a disabled registry, or
 //! [`Histogram::disabled`]) carries no storage: recording is a no-op
@@ -16,21 +22,36 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Number of power-of-two buckets — enough for the full `u64` range.
-pub const BUCKETS: usize = 64;
+/// Linear sub-buckets per power-of-two octave (2^[`SUB_BITS`]).
+const SUB: usize = 16;
+/// log2 of [`SUB`].
+const SUB_BITS: usize = 4;
 
-/// The bucket a value falls into: `floor(log2(max(v, 1)))`.
+/// Number of buckets: 16 exact slots for values `0..16`, then 16
+/// linear sub-buckets for each of the 60 octaves `[2^4, 2^64)` —
+/// enough for the full `u64` range at ≤ 6.25% relative error.
+pub const BUCKETS: usize = SUB + (64 - SUB_BITS) * SUB;
+
+/// The bucket a value falls into: exact below [`SUB`], otherwise the
+/// value's octave split into [`SUB`] linear sub-buckets.
 fn bucket_of(v: u64) -> usize {
-    (63 - (v | 1).leading_zeros()) as usize
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros() as usize; // >= SUB_BITS
+    let sub = ((v >> (exp - SUB_BITS)) as usize) & (SUB - 1);
+    SUB + (exp - SUB_BITS) * SUB + sub
 }
 
 /// The largest value bucket `i` can hold (its reported upper bound).
 fn bucket_upper(i: usize) -> u64 {
-    if i >= 63 {
-        u64::MAX
-    } else {
-        (1u64 << (i + 1)) - 1
+    if i < SUB {
+        return i as u64;
     }
+    let exp = SUB_BITS + (i - SUB) / SUB;
+    let sub = ((i - SUB) % SUB) as u64;
+    let lower = (SUB as u64 + sub) << (exp - SUB_BITS);
+    lower + ((1u64 << (exp - SUB_BITS)) - 1)
 }
 
 #[derive(Debug)]
@@ -117,7 +138,9 @@ impl Histogram {
 /// A mergeable, queryable copy of a histogram's counters.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistogramSnapshot {
-    /// Per-bucket counts; bucket `i` covers `[2^i, 2^(i+1))`.
+    /// Per-bucket counts in the log-linear layout: bucket `i < 16`
+    /// holds exactly the value `i`; above that, each power-of-two
+    /// octave is split into 16 linear sub-buckets.
     pub buckets: [u64; BUCKETS],
     /// Total recorded values.
     pub count: u64,
@@ -200,19 +223,20 @@ impl HistogramSnapshot {
     }
 
     /// Non-empty buckets as `(index, count)` pairs — the sparse form
-    /// the wire protocol ships.
-    pub fn nonzero_buckets(&self) -> Vec<(u8, u64)> {
+    /// the wire protocol ships. Indices are `u16`: the log-linear
+    /// layout has more than 256 buckets.
+    pub fn nonzero_buckets(&self) -> Vec<(u16, u64)> {
         self.buckets
             .iter()
             .enumerate()
             .filter(|(_, n)| **n > 0)
-            .map(|(i, n)| (i as u8, *n))
+            .map(|(i, n)| (i as u16, *n))
             .collect()
     }
 
     /// Rebuilds a snapshot from the sparse wire form. Ignores
     /// out-of-range indices (a hostile peer cannot panic this).
-    pub fn from_parts(count: u64, sum: u64, max: u64, buckets: &[(u8, u64)]) -> Self {
+    pub fn from_parts(count: u64, sum: u64, max: u64, buckets: &[(u16, u64)]) -> Self {
         let mut snap = Self {
             count,
             sum,
@@ -233,18 +257,35 @@ mod tests {
     use super::*;
 
     #[test]
-    fn bucketing_is_power_of_two() {
-        assert_eq!(bucket_of(0), 0);
-        assert_eq!(bucket_of(1), 0);
-        assert_eq!(bucket_of(2), 1);
-        assert_eq!(bucket_of(3), 1);
-        assert_eq!(bucket_of(4), 2);
-        assert_eq!(bucket_of(1023), 9);
-        assert_eq!(bucket_of(1024), 10);
-        assert_eq!(bucket_of(u64::MAX), 63);
-        assert_eq!(bucket_upper(0), 1);
-        assert_eq!(bucket_upper(9), 1023);
-        assert_eq!(bucket_upper(63), u64::MAX);
+    fn bucketing_is_log_linear() {
+        // Values below 16 are exact.
+        for v in 0..16u64 {
+            assert_eq!(bucket_of(v), v as usize);
+            assert_eq!(bucket_upper(v as usize), v);
+        }
+        // 16..32 is the first split octave — still exact (width 1).
+        assert_eq!(bucket_of(16), 16);
+        assert_eq!(bucket_of(31), 31);
+        assert_eq!(bucket_upper(16), 16);
+        // 1023 lands in octave [512, 1024), sub-bucket width 32.
+        assert_eq!(bucket_of(1023), bucket_of(1008));
+        assert_ne!(bucket_of(1023), bucket_of(1024));
+        assert_eq!(bucket_upper(bucket_of(1023)), 1023);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_upper(BUCKETS - 1), u64::MAX);
+        // Every bucket's upper bound maps back into that bucket, and
+        // the value one above it into the next — no gaps, no overlap.
+        for i in 0..BUCKETS - 1 {
+            let hi = bucket_upper(i);
+            assert_eq!(bucket_of(hi), i, "upper({i})");
+            assert_eq!(bucket_of(hi + 1), i + 1, "upper({i})+1");
+        }
+        // Relative error is bounded by one sub-bucket: 1/16.
+        for v in [17u64, 1000, 65_537, 27_533_630, u64::MAX / 3] {
+            let upper = bucket_upper(bucket_of(v));
+            assert!(upper >= v);
+            assert!((upper - v) as f64 <= v as f64 / 16.0, "v={v} upper={upper}");
+        }
     }
 
     #[test]
@@ -257,11 +298,34 @@ mod tests {
         assert_eq!(s.count, 7);
         assert_eq!(s.sum, 7106);
         assert_eq!(s.max, 5000);
-        // p50: rank ceil(0.5·7)=4 → the 100 (bucket 6, upper 127).
-        assert_eq!(s.p50(), 127);
+        // p50: rank ceil(0.5·7)=4 → the 100 (sub-bucket [100, 104)).
+        assert_eq!(s.p50(), 103);
         assert!(s.p95() >= s.p50());
-        assert_eq!(s.quantile(1.0), s.max.min(8191));
+        assert_eq!(s.quantile(1.0), s.max.min(5119));
         assert!((s.mean() - 7106.0 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_octave_latencies_keep_distinct_quantiles() {
+        // The BENCH_6 regression: grant latencies clustered around
+        // 27.5 ms all sit inside the octave [2^24, 2^25), where the
+        // old power-of-two buckets reported p50 == p99. The linear
+        // sub-buckets must keep a spread distinguishable.
+        let h = Histogram::new();
+        for i in 0..100u64 {
+            h.record(20_000_000 + i * 100_000); // 20.0 ms .. 29.9 ms
+        }
+        let s = h.snapshot();
+        assert!(
+            s.p50() < s.p99(),
+            "p50 {} must stay below p99 {}",
+            s.p50(),
+            s.p99()
+        );
+        // And each is within a sub-bucket (6.25%) of the true value.
+        let (true_p50, true_p99) = (24_900_000f64, 29_800_000f64);
+        assert!((s.p50() as f64 - true_p50) / true_p50 < 0.0625);
+        assert!((s.p99() as f64 - true_p99) / true_p99 < 0.0625);
     }
 
     #[test]
@@ -295,8 +359,9 @@ mod tests {
         let s = h.snapshot();
         assert_eq!(s.count, 8);
         assert_eq!(s.max, u64::MAX); // f64::MAX and +inf clamp there.
-        assert_eq!(s.buckets[63], 2); // +inf and f64::MAX.
-        assert_eq!(s.buckets[0], 6); // NaN, −inf, MIN, −1.0, 0.5 → 0; 1.5 → 1.
+        assert_eq!(s.buckets[BUCKETS - 1], 2); // +inf and f64::MAX.
+        assert_eq!(s.buckets[0], 5); // NaN, −inf, MIN, −1.0, 0.5 → 0.
+        assert_eq!(s.buckets[1], 1); // 1.5 → 1.
     }
 
     #[test]
@@ -327,7 +392,7 @@ mod tests {
         let back = HistogramSnapshot::from_parts(s.count, s.sum, s.max, &s.nonzero_buckets());
         assert_eq!(back, s);
         // Hostile bucket indices are ignored, not panicked on.
-        let junk = HistogramSnapshot::from_parts(1, 1, 1, &[(200, 5)]);
+        let junk = HistogramSnapshot::from_parts(1, 1, 1, &[(BUCKETS as u16 + 7, 5)]);
         assert_eq!(junk.buckets.iter().sum::<u64>(), 0);
     }
 }

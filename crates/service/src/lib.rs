@@ -83,8 +83,8 @@ pub use dpack_wal as wal;
 pub use dpack_obs as obs;
 
 pub use admission::{AdmissionError, AdmissionQueue, Submission, TenantId};
-pub use config::{DurabilityOptions, SchedulerChoice, ServiceConfig};
-pub use ledger::{CommitOutcome, ShardedLedger};
+pub use config::{DurabilityOptions, SchedulerChoice, ServiceConfig, TierConfig};
+pub use ledger::{CommitOutcome, ShardedLedger, TierActivity};
 pub use service::{BudgetService, ServiceHandle};
 pub use stats::{
     CycleStats, DurabilityStats, ServiceStats, StatsRetention, StatsSummary, TenantStats,

@@ -39,7 +39,7 @@ use dpack_wal::{FsStorage, WalError, WalStorage};
 use orchestrator::busy_wait;
 
 use crate::admission::{AdmissionError, AdmissionQueue, Submission, TenantId};
-use crate::config::{DurabilityOptions, ServiceConfig};
+use crate::config::{DurabilityOptions, ServiceConfig, TierConfig};
 use crate::ledger::{CommitOutcome, ShardedLedger};
 use crate::stats::{CycleStats, ServiceStats};
 use crate::telemetry::ServiceTelemetry;
@@ -52,6 +52,18 @@ type TaggedTask = (TenantId, Task);
 /// curves.
 type Snapshot =
     Arc<std::collections::BTreeMap<dpack_core::problem::BlockId, dp_accounting::RdpCurve>>;
+
+/// The deduplicated union of block ids a set of tagged tasks touches —
+/// the key set of a tiered cycle's demand-driven snapshot.
+fn referenced_blocks(subs: &[TaggedTask]) -> Vec<dpack_core::problem::BlockId> {
+    let mut ids: Vec<_> = subs
+        .iter()
+        .flat_map(|(_, t)| t.blocks.iter().copied())
+        .collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
 
 /// Which ledger batch-commit path a scheduling pass feeds.
 enum CommitTarget {
@@ -202,6 +214,73 @@ impl BudgetService {
             opts,
             &obs,
         )?;
+        ledger.instrument(&obs);
+        Ok(Self::from_parts(ledger, config, Some(opts), obs))
+    }
+
+    /// An in-memory service with tiered block storage: the ledger
+    /// keeps a bounded hot working set per shard and spills the rest
+    /// to checksummed segment files under `storage` (ephemeral spill
+    /// space — nothing durable lives there). This is what holds a
+    /// million-block registry at a bounded resident set; scheduling
+    /// cycles switch to demand-driven snapshots that touch only the
+    /// blocks the cycle's tasks reference.
+    ///
+    /// # Errors
+    ///
+    /// Storage errors from opening the spill directories.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same degenerate configurations as
+    /// [`BudgetService::new`].
+    pub fn with_tier(
+        grid: AlphaGrid,
+        config: ServiceConfig,
+        storage: &dyn WalStorage,
+        tier: TierConfig,
+    ) -> Result<Self, WalError> {
+        let mut ledger = ShardedLedger::new(
+            grid,
+            config.shards,
+            config.unlock_period,
+            config.unlock_steps,
+        );
+        ledger.enable_tier(storage, tier)?;
+        let obs = Obs::wall();
+        ledger.instrument(&obs);
+        Ok(Self::from_parts(ledger, config, None, obs))
+    }
+
+    /// [`BudgetService::recover`] with tiered block storage on top:
+    /// recovery materializes every block hot from the WAL (the only
+    /// durability source), then the hot set is spilled back down to
+    /// the tier bound. Spill files live in `tier-<s>` directories next
+    /// to the WAL's `shard-<s>` under the same `storage` and are wiped
+    /// on open — they never affect what recovery reads.
+    ///
+    /// # Errors
+    ///
+    /// See [`BudgetService::recover`], plus storage errors from the
+    /// spill directories.
+    pub fn recover_with_tier(
+        grid: AlphaGrid,
+        config: ServiceConfig,
+        storage: &dyn WalStorage,
+        opts: DurabilityOptions,
+        tier: TierConfig,
+    ) -> Result<Self, WalError> {
+        let obs = Obs::wall();
+        let mut ledger = ShardedLedger::open_durable_obs(
+            grid,
+            config.shards,
+            config.unlock_period,
+            config.unlock_steps,
+            storage,
+            opts,
+            &obs,
+        )?;
+        ledger.enable_tier(storage, tier)?;
         ledger.instrument(&obs);
         Ok(Self::from_parts(ledger, config, Some(opts), obs))
     }
@@ -629,7 +708,14 @@ impl BudgetService {
         let mut released: usize = shard_results.iter().map(|r| r.released).sum();
         let mut algorithm: Duration = shard_results.iter().map(|r| r.algorithm).sum();
         if !cross_tasks.is_empty() {
-            let snapshot = Arc::new(self.ledger.snapshot_all(now));
+            let snapshot = if self.ledger.tier_enabled() {
+                Arc::new(
+                    self.ledger
+                        .snapshot_blocks_all(now, &referenced_blocks(&cross_tasks)),
+                )
+            } else {
+                Arc::new(self.ledger.snapshot_all(now))
+            };
             let (granted, rel, algo) = self.schedule_and_commit(
                 snapshot,
                 cross_tasks,
@@ -887,7 +973,19 @@ impl BudgetService {
     /// tasks single-threaded, commit grants against its own lock in
     /// one group-committed batch.
     fn run_shard_cycle(&self, shard: usize, subs: Vec<TaggedTask>, now: f64) -> ShardResult {
-        let snapshot = self.ledger.snapshot_shard_shared(shard, now);
+        // On a tiered ledger the full per-shard view would fault or
+        // materialize every cold block; the demand-driven view reads
+        // exactly the blocks this cycle's tasks reference (identical
+        // bits for those blocks, so decisions don't change — the
+        // schedulers never look at unreferenced blocks).
+        let snapshot = if self.ledger.tier_enabled() {
+            Arc::new(
+                self.ledger
+                    .snapshot_blocks(shard, now, &referenced_blocks(&subs)),
+            )
+        } else {
+            self.ledger.snapshot_shard_shared(shard, now)
+        };
         let (granted, released, algorithm) =
             self.schedule_and_commit(snapshot, subs, 1, now, CommitTarget::Local(shard));
         ShardResult {
@@ -1553,6 +1651,44 @@ mod tests {
         assert_eq!(events[0].b, 7);
         assert_eq!(events[1].a, 42);
         assert_eq!(events[1].b, 1.0f64.to_bits());
+    }
+
+    #[test]
+    fn grant_latency_spread_keeps_distinct_quantiles() {
+        // Three tasks admitted together but granted one per cycle
+        // (gradual unlocking rations the block): their manual-clock
+        // latencies differ by whole cycles, so the histogram must
+        // report p50 < p99 — the regression BENCH_6 caught was a
+        // bucket scheme coarse enough to collapse such a spread.
+        const TICK: u64 = 1_000;
+        let (obs, _clock) = Obs::manual(TICK);
+        let config = ServiceConfig {
+            shards: 1,
+            workers: 1,
+            unlock_steps: 3,
+            ..ServiceConfig::default()
+        };
+        let service = BudgetService::with_obs(grid(), config, Arc::clone(&obs));
+        service
+            .register_block(Block::new(0, RdpCurve::constant(&grid(), 1.0), 0.0))
+            .unwrap();
+        for id in 0..3 {
+            service.submit(0, simple_task(id, vec![0], 0.3)).unwrap();
+        }
+        let mut granted = 0;
+        for step in 1..=3 {
+            granted += service.run_cycle(step as f64).granted();
+        }
+        assert_eq!(granted, 3);
+        let snap = obs.registry.snapshot();
+        let lat = snap.histogram("dpack_grant_latency_nanos", "").unwrap();
+        assert_eq!(lat.count, 3);
+        assert!(
+            lat.p50() < lat.p99(),
+            "p50 {} must stay below p99 {} for latencies a cycle apart",
+            lat.p50(),
+            lat.p99()
+        );
     }
 
     #[test]

@@ -43,7 +43,9 @@
 pub mod log;
 pub mod storage;
 pub mod temp;
+pub mod tier;
 
 pub use log::{AppendReceipt, Recovered, Wal, WalCounters, WalError, WalOptions, WalTelemetry};
 pub use storage::{FsStorage, SimStorage, WalStorage, CRASH_ERROR};
 pub use temp::TempDir;
+pub use tier::{EntryRef, SegmentOptions, SegmentStore};

@@ -257,8 +257,9 @@ fn parse_name(name: &str) -> Option<(bool, u64)> {
 }
 
 /// FNV-1a 64 — the same stable, dependency-free hash the check runner
-/// uses for seeds.
-fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
+/// uses for seeds. Shared with the tier segment store ([`crate::tier`])
+/// so both on-disk formats carry the same checksum discipline.
+pub(crate) fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
     let mut hash = state;
     for b in bytes {
         hash ^= u64::from(*b);
@@ -267,7 +268,7 @@ fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
     hash
 }
 
-const FNV_INIT: u64 = 0xcbf2_9ce4_8422_2325;
+pub(crate) const FNV_INIT: u64 = 0xcbf2_9ce4_8422_2325;
 
 /// Frames a payload into `out`: magic, length, checksum, payload.
 fn frame_into(out: &mut Vec<u8>, payload: &[u8]) {

@@ -47,6 +47,29 @@ pub trait WalStorage: Send {
     /// Propagates backend errors; a missing file is an error.
     fn read(&self, name: &str) -> io::Result<Vec<u8>>;
 
+    /// Reads `len` bytes at `offset` — the point-read the tiered
+    /// ledger's fault-in path uses, so cold-block access does not
+    /// re-read a whole segment. The default reads the whole file and
+    /// slices; backends with positioned reads should override it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors; a range past the end of the file is
+    /// [`io::ErrorKind::UnexpectedEof`].
+    fn read_range(&self, name: &str, offset: u64, len: usize) -> io::Result<Vec<u8>> {
+        let whole = self.read(name)?;
+        let start = usize::try_from(offset)
+            .ok()
+            .filter(|s| s.checked_add(len).is_some_and(|end| end <= whole.len()))
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!("range {offset}+{len} past end of {name}"),
+                )
+            })?;
+        Ok(whole[start..start + len].to_vec())
+    }
+
     /// Appends `data` to a file, creating it if missing, and makes the
     /// bytes durable before returning `Ok`.
     ///
@@ -54,6 +77,21 @@ pub trait WalStorage: Send {
     ///
     /// On error, any prefix of `data` may have been persisted.
     fn append(&self, name: &str, data: &[u8]) -> io::Result<()>;
+
+    /// [`WalStorage::append`] without the durability guarantee: the
+    /// bytes may sit in OS caches indefinitely and vanish on power
+    /// loss. For ephemeral data only — the ledger's spill tier uses
+    /// this because cold blocks are rebuilt from the WAL after any
+    /// restart, so spending an fsync per spill batch buys nothing. The
+    /// default delegates to [`WalStorage::append`], so fault-injecting
+    /// backends cover both paths with the same crash budget.
+    ///
+    /// # Errors
+    ///
+    /// See [`WalStorage::append`].
+    fn append_nosync(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        self.append(name, data)
+    }
 
     /// Truncates a file to `len` bytes.
     ///
@@ -120,6 +158,45 @@ impl FsStorage {
             Ok(())
         }
     }
+
+    /// The shared append body; `sync` chooses whether acknowledged
+    /// bytes are made durable (the WAL) or left to the page cache (the
+    /// ephemeral spill tier).
+    fn append_impl(&self, name: &str, data: &[u8], sync: bool) -> io::Result<()> {
+        use std::io::Write;
+        let mut handles = self.handles.lock().expect("fs handle cache poisoned");
+        let created;
+        let file = match handles.entry(name.to_string()) {
+            std::collections::btree_map::Entry::Occupied(e) => {
+                created = false;
+                e.into_mut()
+            }
+            std::collections::btree_map::Entry::Vacant(v) => {
+                // Cache miss: resolve and open once per file lifetime.
+                // Opened readable too, so `read_range` shares the
+                // handle instead of paying an open per point-read.
+                let path = self.dir.join(name);
+                created = !path.exists();
+                v.insert(
+                    std::fs::OpenOptions::new()
+                        .read(true)
+                        .create(true)
+                        .append(true)
+                        .open(path)?,
+                )
+            }
+        };
+        file.write_all(data)?;
+        if sync {
+            file.sync_data()?;
+            if created {
+                // The data is durable but the file's directory entry
+                // may not be; acknowledged ⇒ durable requires both.
+                self.sync_dir()?;
+            }
+        }
+        Ok(())
+    }
 }
 
 impl WalStorage for FsStorage {
@@ -142,35 +219,43 @@ impl WalStorage for FsStorage {
         std::fs::read(self.dir.join(name))
     }
 
-    fn append(&self, name: &str, data: &[u8]) -> io::Result<()> {
-        use std::io::Write;
-        let mut handles = self.handles.lock().expect("fs handle cache poisoned");
-        let created;
-        let file = match handles.entry(name.to_string()) {
-            std::collections::btree_map::Entry::Occupied(e) => {
-                created = false;
-                e.into_mut()
-            }
-            std::collections::btree_map::Entry::Vacant(v) => {
-                // Cache miss: resolve and open once per file lifetime.
-                let path = self.dir.join(name);
-                created = !path.exists();
-                v.insert(
+    fn read_range(&self, name: &str, offset: u64, len: usize) -> io::Result<Vec<u8>> {
+        let mut buf = vec![0u8; len];
+        #[cfg(unix)]
+        {
+            // Positioned read through the cached handle: no open, no
+            // seek, and no interference with the O_APPEND write
+            // position — the tiered ledger's fault-in path issues one
+            // of these per cold-block access.
+            use std::os::unix::fs::FileExt;
+            let mut handles = self.handles.lock().expect("fs handle cache poisoned");
+            let file = match handles.entry(name.to_string()) {
+                std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::btree_map::Entry::Vacant(v) => v.insert(
                     std::fs::OpenOptions::new()
-                        .create(true)
+                        .read(true)
                         .append(true)
-                        .open(path)?,
-                )
-            }
-        };
-        file.write_all(data)?;
-        file.sync_data()?;
-        if created {
-            // The data is durable but the file's directory entry may
-            // not be; acknowledged ⇒ durable requires both.
-            self.sync_dir()?;
+                        .open(self.dir.join(name))?,
+                ),
+            };
+            file.read_exact_at(&mut buf, offset)?;
         }
-        Ok(())
+        #[cfg(not(unix))]
+        {
+            use std::io::{Read, Seek, SeekFrom};
+            let mut file = File::open(self.dir.join(name))?;
+            file.seek(SeekFrom::Start(offset))?;
+            file.read_exact(&mut buf)?;
+        }
+        Ok(buf)
+    }
+
+    fn append(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        self.append_impl(name, data, true)
+    }
+
+    fn append_nosync(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        self.append_impl(name, data, false)
     }
 
     fn truncate(&self, name: &str, len: u64) -> io::Result<()> {
@@ -463,6 +548,43 @@ mod tests {
         assert!(!s.crashed());
         assert!(s.append("f", b"d").is_err());
         assert_eq!(s.read("f").unwrap(), b"abc");
+    }
+
+    #[test]
+    fn read_range_is_exact_on_both_backends() {
+        let tmp = crate::TempDir::new("fs-range").unwrap();
+        let fs = FsStorage::new(tmp.path()).unwrap();
+        let sim = SimStorage::new();
+        for s in [&fs as &dyn WalStorage, &sim as &dyn WalStorage] {
+            s.append("seg", b"0123456789").unwrap();
+            assert_eq!(s.read_range("seg", 3, 4).unwrap(), b"3456");
+            assert_eq!(s.read_range("seg", 0, 10).unwrap(), b"0123456789");
+            assert_eq!(s.read_range("seg", 10, 0).unwrap(), b"");
+            let past_end = s.read_range("seg", 8, 4).unwrap_err();
+            assert_eq!(past_end.kind(), io::ErrorKind::UnexpectedEof);
+            assert!(s.read_range("absent", 0, 1).is_err());
+        }
+    }
+
+    #[test]
+    fn nosync_appends_read_back_through_the_cached_handle() {
+        // The spill tier's write/read cycle on the fs backend: unsynced
+        // appends land in the page cache, point-reads reuse the cached
+        // handle (first read on a cold cache opens it), and a truncate
+        // moves EOF for both.
+        let tmp = crate::TempDir::new("fs-nosync").unwrap();
+        let fs = FsStorage::new(tmp.path()).unwrap();
+        fs.append_nosync("seg", b"0123456789").unwrap();
+        assert_eq!(fs.read_range("seg", 2, 3).unwrap(), b"234");
+        let fresh = FsStorage::new(tmp.path()).unwrap();
+        assert_eq!(fresh.read_range("seg", 6, 4).unwrap(), b"6789");
+        fs.truncate("seg", 4).unwrap();
+        assert_eq!(fs.read_range("seg", 0, 4).unwrap(), b"0123");
+        let cut = fs.read_range("seg", 2, 4).unwrap_err();
+        assert_eq!(cut.kind(), io::ErrorKind::UnexpectedEof);
+        // Appends through the shared handle stay at the (new) end.
+        fs.append_nosync("seg", b"ab").unwrap();
+        assert_eq!(fs.read("seg").unwrap(), b"0123ab");
     }
 
     #[test]

@@ -128,6 +128,31 @@ echo "==> service_throughput --obs -> BENCH_6.json"
 cargo run --release -q -p dpack-bench --bin service_throughput -- --obs --json BENCH_6.json
 grep -E "overhead_ratio|p50|p99" BENCH_6.json
 
+# Million-block scaling: the tiered ledger holds a million registered
+# blocks by spilling cold ones to segment files, so RSS must stay
+# bounded (the all-hot equivalent needs well over a gigabyte) and the
+# per-cycle latency must stay within a small constant factor of the
+# 10k-block baseline — the residual is cold-block fault I/O, not
+# scheduling work, which scales with the task count only.
+echo "==> service_throughput --million -> BENCH_7.json"
+cargo run --release -q -p dpack-bench --bin service_throughput -- --million --json BENCH_7.json
+grep -E "cycle_slowdown_ratio|peak_rss_mb|million_blocks" BENCH_7.json
+blocks="$(sed -nE 's/.*"million_blocks": ([0-9]+).*/\1/p' BENCH_7.json)"
+rss="$(sed -nE 's/.*"peak_rss_mb": ([0-9.]+).*/\1/p' BENCH_7.json)"
+ratio="$(sed -nE 's/.*"cycle_slowdown_ratio": ([0-9.]+).*/\1/p' BENCH_7.json)"
+if [ "${blocks}" -lt 1000000 ]; then
+  echo "ERROR: million-block bench ran ${blocks} blocks (< 1000000)" >&2
+  exit 1
+fi
+if ! awk -v r="${rss}" 'BEGIN { exit !(r > 0 && r <= 600) }'; then
+  echo "ERROR: million-block peak RSS ${rss} MB exceeds the 600 MB budget" >&2
+  exit 1
+fi
+if ! awk -v s="${ratio}" 'BEGIN { exit !(s > 0 && s <= 6) }'; then
+  echo "ERROR: million-block cycle slowdown ${ratio}x vs the 10k baseline (budget 6x)" >&2
+  exit 1
+fi
+
 # Replay-determinism guard: the crash-recovery harness must produce
 # byte-identical output when replayed from the same seed — a diff here
 # means a failure report would not reproduce. The timing line of the
