@@ -39,6 +39,15 @@
 //! remote scraper would see them. The `--json` summary for this mode
 //! is CI's `BENCH_6.json`.
 //!
+//! `--replicated` replaces the sweeps with the **quorum replication
+//! cost** comparison: the socket decision pipeline against a durable
+//! standalone service vs the same service shipping every append to two
+//! in-process socket replicas with `quorum = 2` (a grant is acked only
+//! once it is on both), plus the failover time from killing the
+//! primary to the first granted decision on a promoted replica through
+//! the client pool. The `--json` summary for this mode is CI's
+//! `BENCH_8.json`.
+//!
 //! `--million` replaces the sweeps with the **tiered ledger scaling**
 //! measurement: a 10k-block baseline against a million-block registry
 //! on the spill-to-disk tier, same per-cycle task load, reporting the
@@ -493,6 +502,252 @@ fn remote_comparison(n_tasks: usize, json: Option<&str>) {
     }
 }
 
+/// Replication fan-out (and quorum) for the `--replicated` mode.
+const REPLICAS: usize = 2;
+
+/// Decision throughput over a real socket against a durable
+/// group-commit service — standalone (`replicas = 0`) or shipping
+/// every append to `replicas` in-process socket replicas with
+/// `quorum = replicas`, so a grant is acked only once it is on every
+/// replica. Both legs share storage kind, pipeline, and cycle cadence;
+/// the delta is the replication round trips the flush points amortize.
+fn run_replicated_leg(n_tasks: usize, replicas: usize) -> f64 {
+    let grid = AlphaGrid::new(vec![2.0, 4.0, 8.0, 16.0]).expect("valid grid");
+    let opts = DurabilityOptions {
+        group_commit: true,
+        snapshot_every_cycles: None,
+        ..DurabilityOptions::default()
+    };
+    let sim = dpack_service::wal::SimStorage::new();
+    let mut service =
+        BudgetService::recover(grid.clone(), obs_leg_config(), &sim, opts).expect("fresh storage");
+    let mut replica_servers = Vec::new();
+    if replicas > 0 {
+        let seg = DurabilityOptions::default().segment_bytes;
+        let mut addrs = Vec::new();
+        for _ in 0..replicas {
+            let sim_r = dpack_service::wal::SimStorage::new();
+            let node = std::sync::Arc::new(
+                dpack_net::ReplicaNode::open(&sim_r, DURABLE_SHARDS, seg, Obs::wall())
+                    .expect("fresh replica"),
+            );
+            let server =
+                dpack_net::NetServer::bind_replica(node, "127.0.0.1:0").expect("bind replica");
+            addrs.push(server.local_addr());
+            replica_servers.push(server);
+        }
+        let replicator = dpack_net::Replicator::connect(
+            &addrs,
+            replicas,
+            DURABLE_SHARDS,
+            service.obs().as_ref(),
+        )
+        .expect("replicas reachable");
+        service.replicate_to(std::sync::Arc::new(replicator));
+    }
+    let eps = 0.9 * DURABLE_BLOCKS as f64 / n_tasks as f64;
+    for j in 0..DURABLE_BLOCKS {
+        service
+            .register_block(Block::new(j, RdpCurve::constant(&grid, 1.0), 0.0))
+            .expect("unique blocks");
+    }
+    let service = std::sync::Arc::new(service);
+    let server = dpack_net::NetServer::bind(std::sync::Arc::clone(&service), "127.0.0.1:0")
+        .expect("bind loopback");
+    let cycles = dpack_service::ServiceHandle::spawn(
+        std::sync::Arc::clone(&service),
+        Duration::from_millis(1),
+    );
+    let mut client = dpack_net::NetClient::connect(server.local_addr()).expect("connect");
+    let started = Instant::now();
+    let mut inflight = std::collections::VecDeque::new();
+    let mut granted = 0u64;
+    for id in 0..n_tasks as u64 {
+        let handle = client
+            .submit_nowait((id % N_TENANTS as u64) as u32, &bench_task(&grid, id, eps))
+            .expect("send");
+        inflight.push_back(handle);
+        if inflight.len() >= PIPELINE_WINDOW {
+            let h = inflight.pop_front().expect("non-empty");
+            granted += u64::from(client.wait_decision(h).expect("decision").is_granted());
+        }
+    }
+    for h in inflight {
+        granted += u64::from(client.wait_decision(h).expect("decision").is_granted());
+    }
+    let wall = started.elapsed();
+    cycles.stop();
+    server.stop();
+    for s in replica_servers {
+        s.stop();
+    }
+    assert_eq!(granted, n_tasks as u64, "workload must fit");
+    assert!(service.ledger().unsound_blocks().is_empty());
+    n_tasks as f64 / wall.as_secs_f64()
+}
+
+/// Kills a replicated primary and times the whole failover: promote a
+/// replica from its shipped stream, rebind at the pre-agreed address,
+/// and drive the tenants' failover pool until a fresh task is granted
+/// by the promoted service.
+fn measure_failover() -> Duration {
+    let grid = AlphaGrid::new(vec![2.0, 4.0, 8.0, 16.0]).expect("valid grid");
+    let opts = DurabilityOptions {
+        group_commit: true,
+        snapshot_every_cycles: None,
+        ..DurabilityOptions::default()
+    };
+    let seg = DurabilityOptions::default().segment_bytes;
+    let sim_a = dpack_service::wal::SimStorage::new();
+    let node_a = std::sync::Arc::new(
+        dpack_net::ReplicaNode::open(&sim_a, DURABLE_SHARDS, seg, Obs::wall())
+            .expect("fresh replica"),
+    );
+    let server_a =
+        dpack_net::NetServer::bind_replica(std::sync::Arc::clone(&node_a), "127.0.0.1:0")
+            .expect("bind replica");
+    let sim_b = dpack_service::wal::SimStorage::new();
+    let node_b = std::sync::Arc::new(
+        dpack_net::ReplicaNode::open(&sim_b, DURABLE_SHARDS, seg, Obs::wall())
+            .expect("fresh replica"),
+    );
+    let server_b = dpack_net::NetServer::bind_replica(node_b, "127.0.0.1:0").expect("bind replica");
+
+    let sim_p = dpack_service::wal::SimStorage::new();
+    let mut primary =
+        BudgetService::recover(grid.clone(), obs_leg_config(), &sim_p, opts).expect("fresh");
+    let replicator = dpack_net::Replicator::connect(
+        &[server_a.local_addr(), server_b.local_addr()],
+        REPLICAS,
+        DURABLE_SHARDS,
+        primary.obs().as_ref(),
+    )
+    .expect("replicas reachable");
+    primary.replicate_to(std::sync::Arc::new(replicator));
+    for j in 0..DURABLE_BLOCKS {
+        primary
+            .register_block(Block::new(j, RdpCurve::constant(&grid, 1.0), 0.0))
+            .expect("unique blocks");
+    }
+    let primary = std::sync::Arc::new(primary);
+    let primary_server = dpack_net::NetServer::bind(std::sync::Arc::clone(&primary), "127.0.0.1:0")
+        .expect("bind loopback");
+    let cycles = dpack_service::ServiceHandle::spawn(
+        std::sync::Arc::clone(&primary),
+        Duration::from_millis(1),
+    );
+
+    // The promotion address is agreed up front (the reserving listener
+    // never accepts, so the later bind is clean).
+    let promoted_addr = std::net::TcpListener::bind("127.0.0.1:0")
+        .expect("reserve")
+        .local_addr()
+        .expect("addr");
+    let pool = dpack_net::ClientPool::connect_failover(
+        vec![primary_server.local_addr(), promoted_addr],
+        2,
+    )
+    .expect("failover pool");
+    // Warm traffic through the replicated primary.
+    let eps = 1e-3;
+    for id in 0..32u64 {
+        let outcome = pool
+            .get()
+            .submit((id % N_TENANTS as u64) as u32, &bench_task(&grid, id, eps))
+            .expect("submit");
+        assert!(outcome.is_granted(), "warm task fits");
+    }
+
+    // Kill the primary; the clock runs from here until a tenant hears
+    // a fresh grant again: promotion (recover from the shipped stream,
+    // rebind) plus the pool's discard-and-redial failover.
+    cycles.stop();
+    primary_server.stop();
+    let started = Instant::now();
+    server_a.stop();
+    drop(node_a);
+    let promoted = std::sync::Arc::new(
+        BudgetService::recover(grid.clone(), obs_leg_config(), &sim_a, opts).expect("promote"),
+    );
+    let promoted_server =
+        dpack_net::NetServer::bind(std::sync::Arc::clone(&promoted), promoted_addr)
+            .expect("bind promoted");
+    let promoted_cycles = dpack_service::ServiceHandle::spawn(
+        std::sync::Arc::clone(&promoted),
+        Duration::from_millis(1),
+    );
+    let mut attempt = 0u64;
+    let elapsed = loop {
+        let t = bench_task(&grid, 1_000_000 + attempt, eps);
+        match pool.get().submit(0, &t) {
+            Ok(outcome) => {
+                assert!(
+                    outcome.is_granted(),
+                    "fresh task fits on the promoted service"
+                );
+                break started.elapsed();
+            }
+            // A connection still pointed at the dead primary: dropped
+            // broken, the next get() redials through the candidates.
+            Err(_) => attempt += 1,
+        }
+    };
+    promoted_cycles.stop();
+    promoted_server.stop();
+    server_b.stop();
+    assert!(promoted.ledger().unsound_blocks().is_empty());
+    elapsed
+}
+
+/// The `--replicated` mode: what quorum-2 replication costs the grant
+/// path, and what a failover costs the tenants.
+fn replicated_comparison(n_tasks: usize, json: Option<&str>) {
+    let standalone = run_replicated_leg(n_tasks, 0);
+    let replicated = run_replicated_leg(n_tasks, REPLICAS);
+    let relative = replicated / standalone;
+    let failover = measure_failover();
+    let mut t = Table::new(vec!["grant path", "granted", "decisions/s"]);
+    t.row(vec![
+        "standalone durable".into(),
+        n_tasks.to_string(),
+        fmt(standalone, 0),
+    ]);
+    t.row(vec![
+        format!("replicated quorum={REPLICAS}"),
+        n_tasks.to_string(),
+        fmt(replicated, 0),
+    ]);
+    t.print();
+    println!(
+        "\nquorum-{REPLICAS} replication keeps {:.0}% of the standalone durable decision \
+         rate (window {PIPELINE_WINDOW}, {DURABLE_SHARDS} shards); failover to first \
+         granted decision: {:.1} ms",
+        100.0 * relative,
+        failover.as_secs_f64() * 1e3
+    );
+    if let Some(path) = json {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"bench\": \"service_throughput_replicated\",");
+        let _ = writeln!(s, "  \"tasks\": {n_tasks},");
+        let _ = writeln!(s, "  \"shards\": {DURABLE_SHARDS},");
+        let _ = writeln!(s, "  \"replicas\": {REPLICAS},");
+        let _ = writeln!(s, "  \"quorum\": {REPLICAS},");
+        let _ = writeln!(s, "  \"pipeline_window\": {PIPELINE_WINDOW},");
+        let _ = writeln!(s, "  \"standalone_durable_ops_per_sec\": {standalone:.1},");
+        let _ = writeln!(s, "  \"replicated_quorum2_ops_per_sec\": {replicated:.1},");
+        let _ = writeln!(s, "  \"replicated_relative_to_standalone\": {relative:.3},");
+        let _ = writeln!(
+            s,
+            "  \"failover_to_first_grant_ms\": {:.1}",
+            failover.as_secs_f64() * 1e3
+        );
+        s.push_str("}\n");
+        std::fs::write(path, s).expect("write json");
+        println!("\nwrote {path}");
+    }
+}
+
 fn obs_leg_config() -> ServiceConfig {
     ServiceConfig {
         shards: DURABLE_SHARDS,
@@ -931,6 +1186,14 @@ fn main() {
             n_tasks, DURABLE_BLOCKS, N_TENANTS
         );
         remote_comparison(n_tasks, args.json.as_deref());
+        return;
+    }
+    if args.replicated {
+        println!(
+            "dpack-net quorum replication cost — {} tasks, {} replicas, quorum {}\n",
+            n_tasks, REPLICAS, REPLICAS
+        );
+        replicated_comparison(n_tasks, args.json.as_deref());
         return;
     }
     if args.million {

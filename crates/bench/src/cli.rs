@@ -25,6 +25,10 @@ pub struct Args {
     /// Run the million-block tiered-ledger scaling measurement instead
     /// of the sweeps (`--million`, service benches only).
     pub million: bool,
+    /// Measure the quorum-replicated grant path against the standalone
+    /// durable one, plus the failover-to-first-grant time
+    /// (`--replicated`, service benches only).
+    pub replicated: bool,
     /// Write a machine-readable summary to this path (`--json <path>`,
     /// service benches only).
     pub json: Option<String>,
@@ -41,6 +45,7 @@ impl Default for Args {
             remote: false,
             obs: false,
             million: false,
+            replicated: false,
             json: None,
         }
     }
@@ -83,12 +88,14 @@ impl Args {
                 "--remote" => args.remote = true,
                 "--obs" => args.obs = true,
                 "--million" => args.million = true,
+                "--replicated" => args.replicated = true,
                 "--json" => {
                     args.json = Some(it.next().unwrap_or_else(|| panic!("--json needs a path")));
                 }
                 other => panic!(
                     "unknown flag {other} \
-                     (expected --seed/--panel/--full/--out/--latency/--remote/--obs/--million/--json)"
+                     (expected --seed/--panel/--full/--out/--latency/--remote/--obs/\
+                     --million/--replicated/--json)"
                 ),
             }
         }
@@ -132,6 +139,7 @@ mod tests {
             "--remote",
             "--obs",
             "--million",
+            "--replicated",
             "--json",
             "out.json",
         ]);
@@ -144,6 +152,7 @@ mod tests {
         assert!(a.latency);
         assert!(a.remote);
         assert!(a.million);
+        assert!(a.replicated);
         assert_eq!(a.json.as_deref(), Some("out.json"));
     }
 

@@ -11,11 +11,18 @@
 //!
 //! [`ClientPool`] shares a fixed set of connections across threads:
 //! [`ClientPool::get`] checks a connection out (blocking while all are
-//! busy) and the guard returns it on drop, panic-safe.
+//! busy) and the guard returns it on drop, panic-safe. A connection
+//! that surfaced a transport or protocol error is **broken** — its
+//! pipelining stream can no longer be trusted to stay in sync — so the
+//! pool discards it on return and dials a replacement on the next
+//! checkout. [`ClientPool::connect_failover`] makes that redial a
+//! primary probe across candidate addresses, which is the client half
+//! of replicated-service failover.
 
 use std::collections::BTreeMap;
-use std::net::ToSocketAddrs;
+use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 use dp_accounting::AlphaGrid;
 use dpack_core::problem::{Block, Task, TaskId};
@@ -38,6 +45,10 @@ pub struct NetClient {
     next_id: u64,
     /// Responses that arrived while waiting for a different id.
     stash: BTreeMap<u64, Response>,
+    /// The stream desynced (transport failure, undecodable frame, or a
+    /// server parting shot): request/response matching is no longer
+    /// trustworthy, so the connection must be discarded, not reused.
+    broken: bool,
 }
 
 impl NetClient {
@@ -47,6 +58,7 @@ impl NetClient {
             transport,
             next_id: 1,
             stash: BTreeMap::new(),
+            broken: false,
         }
     }
 
@@ -65,20 +77,37 @@ impl NetClient {
         Self::new(Box::new(LoopbackTransport::new(service)))
     }
 
+    /// Whether this connection's stream desynced; a broken client must
+    /// be discarded ([`ClientPool::get`] dials replacements).
+    pub fn is_broken(&self) -> bool {
+        self.broken
+    }
+
+    /// Marks the stream broken and passes the error through — the
+    /// bookkeeping for any failure after which the request/response
+    /// pipeline can no longer be trusted.
+    fn fatal(&mut self, e: NetError) -> NetError {
+        self.broken = true;
+        e
+    }
+
     fn send(&mut self, body: Request) -> Result<ReplyHandle, NetError> {
         let id = self.next_id;
         self.next_id += 1;
         let payload = RequestFrame { id, body }.encode();
         // Refuse rather than let the frame encoder's size assertion
         // fire: a single request this large (a giant batch) is a
-        // caller error the protocol cannot carry.
+        // caller error the protocol cannot carry. Nothing touched the
+        // wire, so the stream stays healthy.
         if payload.len() > MAX_FRAME as usize {
             return Err(NetError::Protocol(format!(
                 "request of {} bytes exceeds the {MAX_FRAME}-byte frame cap",
                 payload.len()
             )));
         }
-        self.transport.send_frame(&payload)?;
+        self.transport
+            .send_frame(&payload)
+            .map_err(|e| self.fatal(e))?;
         Ok(ReplyHandle(id))
     }
 
@@ -89,11 +118,18 @@ impl NetClient {
             return Ok(resp);
         }
         loop {
-            let payload = self.transport.recv_frame()?;
-            let ResponseFrame { id, body } = ResponseFrame::decode(&payload)?;
+            let payload = match self.transport.recv_frame() {
+                Ok(p) => p,
+                Err(e) => return Err(self.fatal(e)),
+            };
+            let ResponseFrame { id, body } = match ResponseFrame::decode(&payload) {
+                Ok(f) => f,
+                Err(e) => return Err(self.fatal(e)),
+            };
             // A request-id-0 error is the server's parting shot before
             // it drops a connection it no longer trusts.
             if id == 0 {
+                self.broken = true;
                 if let Response::Error { code, message } = body {
                     return Err(NetError::Remote { code, message });
                 }
@@ -102,7 +138,14 @@ impl NetClient {
             if id == handle.0 {
                 return Ok(body);
             }
-            self.stash.insert(id, body);
+            // A second response for a stashed id means the server (or
+            // something in between) desynced — silently overwriting
+            // would hand a later caller the wrong decision.
+            if self.stash.insert(id, body).is_some() {
+                return Err(self.fatal(NetError::Protocol(format!(
+                    "duplicate response for request id {id}"
+                ))));
+            }
         }
     }
 
@@ -266,13 +309,100 @@ impl NetClient {
             other => Err(Self::unexpected(&other)),
         }
     }
+
+    /// Pipelines one replication batch (`seq` on stream `shard`) to a
+    /// replica; redeem the handle with
+    /// [`NetClient::wait_replicate_ack`]. The primary's
+    /// [`crate::Replicator`] sends to every replica first and collects
+    /// acks second, so one quorum round costs one RTT, not one per
+    /// replica.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures (the batch may or may not have reached the
+    /// replica).
+    pub fn replicate_nowait(
+        &mut self,
+        shard: u32,
+        seq: u64,
+        records: Vec<Vec<u8>>,
+    ) -> Result<ReplyHandle, NetError> {
+        self.send(Request::Replicate {
+            shard,
+            seq,
+            records,
+        })
+    }
+
+    /// Redeems a [`NetClient::replicate_nowait`] handle: blocks until
+    /// the replica's durability ack arrives. Returns `(stream, seq,
+    /// durable)` where `durable` is the replica's highest contiguously
+    /// applied sequence on that stream (≥ `seq` means the shipped batch
+    /// is on its disk).
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures, or a remote
+    /// [`crate::ErrorCode::ReplicationGap`] /
+    /// [`crate::ErrorCode::NotPrimary`] refusal.
+    pub fn wait_replicate_ack(&mut self, handle: ReplyHandle) -> Result<(u32, u64, u64), NetError> {
+        match self.recv_for(handle)? {
+            Response::ReplicateAck {
+                shard,
+                seq,
+                durable,
+            } => Ok((shard, seq, durable)),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Ships one replication batch and blocks for the durability ack;
+    /// returns the replica's durable sequence for the stream.
+    ///
+    /// # Errors
+    ///
+    /// See [`NetClient::wait_replicate_ack`].
+    pub fn replicate(
+        &mut self,
+        shard: u32,
+        seq: u64,
+        records: Vec<Vec<u8>>,
+    ) -> Result<u64, NetError> {
+        let handle = self.replicate_nowait(shard, seq, records)?;
+        let (_, _, durable) = self.wait_replicate_ack(handle)?;
+        Ok(durable)
+    }
+}
+
+/// How long [`ClientPool::get`] parks after a failed redial before
+/// probing again — long enough not to hammer a server (or failover
+/// candidate) that is still coming up, short enough that a promotion
+/// window adds little client-visible latency.
+const REDIAL_BACKOFF: Duration = Duration::from_millis(20);
+
+/// What the pool knows while holding its lock.
+struct PoolState {
+    idle: Vec<NetClient>,
+    /// Live connections: idle plus checked out. Discarding a broken
+    /// connection decrements this below the pool size, which is the
+    /// signal for a later [`ClientPool::get`] to dial a replacement.
+    total: usize,
 }
 
 /// A fixed-size pool of protocol clients shared across threads.
+///
+/// The pool self-heals: a connection returned in a
+/// [`NetClient::is_broken`] state is dropped instead of re-idled, and
+/// the next checkout that finds the pool under size redials through
+/// the pool's connector. With [`ClientPool::connect_failover`] the
+/// connector probes candidate addresses for the current primary, so a
+/// borrower that lost its connection to a dead primary transparently
+/// comes back holding a connection to the promoted replica.
 pub struct ClientPool {
-    idle: Mutex<Vec<NetClient>>,
+    state: Mutex<PoolState>,
     available: Condvar,
     size: usize,
+    connector: Box<dyn Fn() -> Result<NetClient, NetError> + Send + Sync>,
 }
 
 impl ClientPool {
@@ -285,16 +415,74 @@ impl ClientPool {
     /// # Panics
     ///
     /// Panics if `size == 0`.
-    pub fn connect(addr: impl ToSocketAddrs + Copy, size: usize) -> Result<Self, NetError> {
+    pub fn connect(
+        addr: impl ToSocketAddrs + Copy + Send + Sync + 'static,
+        size: usize,
+    ) -> Result<Self, NetError> {
+        Self::with_connector(move || NetClient::connect(addr), size)
+    }
+
+    /// Opens `size` connections to the current **primary** among
+    /// `addrs`, probing candidates in order; later redials (after a
+    /// broken connection is discarded) re-probe, which is how the pool
+    /// follows a failover to a promoted replica.
+    ///
+    /// A candidate is skipped when the TCP connect fails *or* when it
+    /// answers the handshake with
+    /// [`crate::ErrorCode::NotPrimary`] — a replica that is alive but
+    /// not promoted.
+    ///
+    /// # Errors
+    ///
+    /// The last candidate's error when no candidate is currently
+    /// primary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0` or `addrs` is empty.
+    pub fn connect_failover(addrs: Vec<SocketAddr>, size: usize) -> Result<Self, NetError> {
+        assert!(!addrs.is_empty(), "failover needs at least one candidate");
+        Self::with_connector(move || Self::probe(&addrs), size)
+    }
+
+    /// Builds a pool over an arbitrary connector (the seam the tests
+    /// use to inject loopback or hostile connections).
+    ///
+    /// # Errors
+    ///
+    /// The first connector failure while opening the initial `size`
+    /// connections.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    pub fn with_connector(
+        connector: impl Fn() -> Result<NetClient, NetError> + Send + Sync + 'static,
+        size: usize,
+    ) -> Result<Self, NetError> {
         assert!(size >= 1, "a pool needs at least one connection");
-        let clients = (0..size)
-            .map(|_| NetClient::connect(addr))
+        let idle = (0..size)
+            .map(|_| connector())
             .collect::<Result<Vec<_>, _>>()?;
         Ok(Self {
-            idle: Mutex::new(clients),
+            state: Mutex::new(PoolState { idle, total: size }),
             available: Condvar::new(),
             size,
+            connector: Box::new(connector),
         })
+    }
+
+    /// One failover probe: the first candidate that accepts the
+    /// connection *and* answers the handshake as a primary wins.
+    fn probe(addrs: &[SocketAddr]) -> Result<NetClient, NetError> {
+        let mut last = NetError::Closed;
+        for &addr in addrs {
+            match NetClient::connect(addr).and_then(|mut c| c.grid().map(|_| c)) {
+                Ok(client) => return Ok(client),
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
     }
 
     /// The pool's connection count.
@@ -302,25 +490,69 @@ impl ClientPool {
         self.size
     }
 
+    /// Connections currently alive (idle plus checked out). Less than
+    /// [`ClientPool::size`] exactly while discarded broken connections
+    /// await their replacement redial.
+    pub fn live(&self) -> usize {
+        self.state.lock().expect("pool lock poisoned").total
+    }
+
     /// Checks a connection out, blocking while all are in use. The
     /// guard derefs to [`NetClient`] and returns the connection on
     /// drop — including on panic, so a poisoned caller cannot leak
-    /// pool capacity.
+    /// pool capacity. When the pool is under size (broken connections
+    /// were discarded), this dials a replacement instead of waiting —
+    /// retrying with backoff until the connector succeeds, which during
+    /// failover means until a candidate is promoted.
     pub fn get(&self) -> PooledClient<'_> {
-        let mut idle = self.idle.lock().expect("pool lock poisoned");
+        let mut state = self.state.lock().expect("pool lock poisoned");
         loop {
-            if let Some(client) = idle.pop() {
+            if let Some(client) = state.idle.pop() {
                 return PooledClient {
                     pool: self,
                     client: Some(client),
                 };
             }
-            idle = self.available.wait(idle).expect("pool lock poisoned");
+            if state.total < self.size {
+                // Reserve the slot, then dial outside the lock so
+                // other borrowers keep flowing while we connect.
+                state.total += 1;
+                drop(state);
+                match (self.connector)() {
+                    Ok(client) => {
+                        return PooledClient {
+                            pool: self,
+                            client: Some(client),
+                        }
+                    }
+                    Err(_) => {
+                        let mut relocked = self.state.lock().expect("pool lock poisoned");
+                        relocked.total -= 1;
+                        let (s, _) = self
+                            .available
+                            .wait_timeout(relocked, REDIAL_BACKOFF)
+                            .expect("pool lock poisoned");
+                        state = s;
+                        continue;
+                    }
+                }
+            }
+            state = self.available.wait(state).expect("pool lock poisoned");
         }
     }
 
     fn put_back(&self, client: NetClient) {
-        self.idle.lock().expect("pool lock poisoned").push(client);
+        {
+            let mut state = self.state.lock().expect("pool lock poisoned");
+            if client.is_broken() {
+                // Discard: the freed slot lets the next `get` redial.
+                state.total -= 1;
+            } else {
+                state.idle.push(client);
+            }
+        }
+        // Wake a waiter either way — it either takes the idled
+        // connection or sees the freed slot and redials.
         self.available.notify_one();
     }
 }

@@ -46,6 +46,17 @@ pub enum ErrorCode {
     Io = 31,
     /// The connection or server was shut down before the reply.
     Closed = 32,
+    /// The connection exceeded its per-connection buffer or in-flight
+    /// bound; the server flushes this and closes. Reconnect (less
+    /// aggressively) rather than retrying on the same connection.
+    Overloaded = 33,
+    /// The node is a replica: it accepts only `Replicate` traffic.
+    /// Failover clients treat this as "probe the next candidate".
+    NotPrimary = 40,
+    /// A `Replicate` batch left a sequence gap on its stream; the
+    /// replica refused it (applying out of order would diverge from
+    /// the primary's append order).
+    ReplicationGap = 41,
 }
 
 impl ErrorCode {
@@ -68,6 +79,9 @@ impl ErrorCode {
             30 => Self::Protocol,
             31 => Self::Io,
             32 => Self::Closed,
+            33 => Self::Overloaded,
+            40 => Self::NotPrimary,
+            41 => Self::ReplicationGap,
             _ => return None,
         })
     }
@@ -85,6 +99,9 @@ impl ErrorCode {
             Self::Protocol => "protocol",
             Self::Io => "io",
             Self::Closed => "closed",
+            Self::Overloaded => "overloaded",
+            Self::NotPrimary => "not-primary",
+            Self::ReplicationGap => "replication-gap",
         }
     }
 
@@ -204,6 +221,9 @@ mod tests {
             (ErrorCode::Protocol, 30),
             (ErrorCode::Io, 31),
             (ErrorCode::Closed, 32),
+            (ErrorCode::Overloaded, 33),
+            (ErrorCode::NotPrimary, 40),
+            (ErrorCode::ReplicationGap, 41),
         ];
         for (code, number) in all {
             assert_eq!(code.as_u16(), number, "{code:?} renumbered");

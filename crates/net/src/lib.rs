@@ -58,15 +58,19 @@
 
 pub mod client;
 pub mod error;
+pub mod repl;
 pub mod server;
 pub mod transport;
 pub mod wire;
 
 pub use client::{ClientPool, NetClient, PooledClient, ReplyHandle};
 pub use error::{admission_code, ErrorCode, NetError};
+pub use repl::{ReplicaNode, Replicator};
 pub use server::{NetServer, PendingReply, ServiceCore, Step};
 pub use transport::{LoopbackTransport, TcpTransport, Transport};
-pub use wire::{Outcome, Request, RequestFrame, Response, ResponseFrame, WireStats, WireTask};
+pub use wire::{
+    Outcome, Request, RequestFrame, Response, ResponseFrame, WireStats, WireTask, REPL_COORD_STREAM,
+};
 
 /// The observability crate whose snapshots and events travel on the
 /// wire, re-exported so remote scrapers can consume

@@ -1,0 +1,514 @@
+//! WAL shipping over the wire: the primary-side [`Replicator`] and the
+//! replica-side [`ReplicaNode`].
+//!
+//! The model (ordering, quorum, promotion-only recovery) is specified
+//! in [`dpack_service::replication`]; this module is the transport for
+//! it. A [`Replicator`] holds one pipelined [`NetClient`] link per
+//! replica and implements [`ReplicationSink`]: each
+//! [`ReplicationSink::ship`] call sends the batch to **every live
+//! replica first, then collects durability acks** — one round-trip per
+//! group-commit flush regardless of the replica count. A replica whose
+//! link fails (send error, broken stream, refused batch, bad ack) is
+//! **dead**: the sink never retries it, and operators must not promote
+//! it. The ship succeeds iff acks reach the configured quorum; with
+//! dead replicas excluded, every acknowledged grant is durable on every
+//! *live* replica, which is what makes promoting any live replica
+//! lossless.
+//!
+//! A [`ReplicaNode`] is the state behind
+//! [`crate::NetServer::bind_replica`]: a
+//! [`dpack_service::ReplicaWal`] with the primary's directory layout
+//! (so promotion is [`BudgetService::recover`] on its storage) plus its
+//! own observability — `dpack_repl_*` metrics and
+//! [`EventKind::ReplicaApplied`] flight-recorder events.
+//!
+//! [`BudgetService::recover`]: dpack_service::BudgetService::recover
+
+use std::fmt;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use dpack_obs::{Clock, Counter, EventKind, Gauge, Histogram, Obs};
+use dpack_service::wal::{WalError, WalStorage};
+use dpack_service::{ReplShipError, ReplStream, ReplicaApplyError, ReplicaWal, ReplicationSink};
+
+use crate::client::NetClient;
+use crate::error::{ErrorCode, NetError};
+use crate::wire::{Response, REPL_COORD_STREAM};
+
+fn wire_stream(shard: u32) -> ReplStream {
+    if shard == REPL_COORD_STREAM {
+        ReplStream::Coordinator
+    } else {
+        ReplStream::Shard(shard)
+    }
+}
+
+/// Replica-side state: the replica's logs plus its instruments. Serve
+/// it with [`crate::NetServer::bind_replica`] (or a loopback core via
+/// [`crate::ServiceCore::replica`] in tests).
+pub struct ReplicaNode {
+    wal: ReplicaWal,
+    obs: Arc<Obs>,
+    applied_batches: Counter,
+    applied_records: Counter,
+    duplicate_batches: Counter,
+    /// One durable-seq gauge per shard stream, coordinator last.
+    durable_gauges: Vec<Gauge>,
+}
+
+impl fmt::Debug for ReplicaNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReplicaNode")
+            .field("shards", &self.wal.n_shards())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ReplicaNode {
+    /// Opens (or reopens) replica logs in `storage`, laid out for a
+    /// primary with `shards` shards. Reopening resumes each stream's
+    /// sequence from the surviving log.
+    ///
+    /// # Errors
+    ///
+    /// Storage and log-recovery errors.
+    pub fn open(
+        storage: &dyn WalStorage,
+        shards: usize,
+        segment_bytes: u64,
+        obs: Arc<Obs>,
+    ) -> Result<Self, WalError> {
+        let wal = ReplicaWal::open(storage, shards, segment_bytes)?;
+        let mut durable_gauges: Vec<Gauge> = (0..shards)
+            .map(|s| {
+                obs.registry
+                    .gauge("dpack_repl_durable_seq", &format!("stream=\"shard-{s}\""))
+            })
+            .collect();
+        durable_gauges.push(
+            obs.registry
+                .gauge("dpack_repl_durable_seq", "stream=\"coord\""),
+        );
+        // Reopened logs may already be ahead of zero.
+        for (s, gauge) in durable_gauges.iter().take(shards).enumerate() {
+            gauge.set_u64(wal.durable_seq(ReplStream::Shard(s as u32)));
+        }
+        durable_gauges[shards].set_u64(wal.durable_seq(ReplStream::Coordinator));
+        Ok(Self {
+            applied_batches: obs.registry.counter("dpack_repl_applied_batches_total", ""),
+            applied_records: obs.registry.counter("dpack_repl_applied_records_total", ""),
+            duplicate_batches: obs
+                .registry
+                .counter("dpack_repl_duplicate_batches_total", ""),
+            durable_gauges,
+            wal,
+            obs,
+        })
+    }
+
+    /// The replica's logs (promotion reads the storage they were opened
+    /// on; tests read sequences through this).
+    pub fn wal(&self) -> &ReplicaWal {
+        &self.wal
+    }
+
+    /// The replica's observability context — the reactor registers its
+    /// instruments here, and remote `Metrics`/`Trace` scrapes read it.
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
+    }
+
+    /// Applies one shipped batch and builds the wire reply: a
+    /// [`Response::ReplicateAck`] carrying the stream's durable
+    /// sequence, or an `Error` with
+    /// [`ErrorCode::ReplicationGap`] / [`ErrorCode::Io`].
+    pub(crate) fn apply(&self, shard: u32, seq: u64, records: &[Vec<u8>]) -> Response {
+        let stream = wire_stream(shard);
+        // Sampled before the apply: afterwards a fresh batch and a
+        // redelivery of the newest batch both show `durable == seq`.
+        let fresh = seq > self.wal.durable_seq(stream);
+        match self.wal.apply(stream, seq, records) {
+            Ok(durable) => {
+                if fresh {
+                    self.applied_batches.inc();
+                    self.applied_records.add(records.len() as u64);
+                    self.obs
+                        .recorder
+                        .record(EventKind::ReplicaApplied, u64::from(shard), seq);
+                } else {
+                    self.duplicate_batches.inc();
+                }
+                let slot = match stream {
+                    ReplStream::Shard(s) => s as usize,
+                    ReplStream::Coordinator => self.wal.n_shards(),
+                };
+                self.durable_gauges[slot].set_u64(durable);
+                Response::ReplicateAck {
+                    shard,
+                    seq,
+                    durable,
+                }
+            }
+            Err(e @ ReplicaApplyError::Gap { .. }) => Response::Error {
+                code: ErrorCode::ReplicationGap,
+                message: e.to_string(),
+            },
+            Err(e) => Response::Error {
+                code: ErrorCode::Io,
+                message: e.to_string(),
+            },
+        }
+    }
+}
+
+/// One replica link: dead once `client` is `None` (a dead replica is
+/// never retried and must not be promoted).
+struct Link {
+    addr: SocketAddr,
+    client: Mutex<Option<NetClient>>,
+}
+
+/// The primary's [`ReplicationSink`] over [`NetClient`] links.
+///
+/// Per-stream sequence numbers are assigned here (the ledger serializes
+/// ships per stream, so a fetch-add suffices), which also means a
+/// `Replicator` must be attached to a **fresh** ledger — the same
+/// constraint [`dpack_service::ShardedLedger::set_replication`]
+/// asserts.
+pub struct Replicator {
+    links: Vec<Link>,
+    quorum: usize,
+    n_shards: usize,
+    /// Next-1 sequence per stream; shard streams first, coordinator
+    /// last.
+    seqs: Vec<AtomicU64>,
+    clock: Arc<dyn Clock>,
+    shipped_batches: Counter,
+    shipped_records: Counter,
+    acked_batches: Counter,
+    ship_failures: Counter,
+    live_replicas: Gauge,
+    quorum_wait_nanos: Histogram,
+}
+
+impl fmt::Debug for Replicator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Replicator")
+            .field(
+                "replicas",
+                &self.links.iter().map(|l| l.addr).collect::<Vec<_>>(),
+            )
+            .field("quorum", &self.quorum)
+            .field("live", &self.live())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Replicator {
+    /// Connects one link per replica address. `quorum` is how many
+    /// durability acks a ship needs to succeed; `n_shards` must match
+    /// the ledger this sink will be attached to (and the `shards` the
+    /// replicas' logs were opened with).
+    ///
+    /// # Errors
+    ///
+    /// The first connection failure — replication starts with every
+    /// replica reachable or not at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quorum` is 0 or exceeds the replica count, or if
+    /// `n_shards` is 0.
+    pub fn connect(
+        addrs: &[SocketAddr],
+        quorum: usize,
+        n_shards: usize,
+        obs: &Obs,
+    ) -> Result<Self, NetError> {
+        let links = addrs
+            .iter()
+            .map(|&addr| {
+                Ok(Link {
+                    addr,
+                    client: Mutex::new(Some(NetClient::connect(addr)?)),
+                })
+            })
+            .collect::<Result<Vec<_>, NetError>>()?;
+        Ok(Self::over_links(links, quorum, n_shards, obs))
+    }
+
+    /// Builds a replicator over pre-connected clients, one per replica
+    /// — the loopback/test path ([`crate::LoopbackTransport::with_core`]
+    /// wired to [`crate::ServiceCore::replica`] cores).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Replicator::connect`].
+    pub fn over_clients(
+        clients: Vec<NetClient>,
+        quorum: usize,
+        n_shards: usize,
+        obs: &Obs,
+    ) -> Self {
+        let unaddressed: SocketAddr = ([0, 0, 0, 0], 0).into();
+        let links = clients
+            .into_iter()
+            .map(|c| Link {
+                addr: unaddressed,
+                client: Mutex::new(Some(c)),
+            })
+            .collect();
+        Self::over_links(links, quorum, n_shards, obs)
+    }
+
+    fn over_links(links: Vec<Link>, quorum: usize, n_shards: usize, obs: &Obs) -> Self {
+        assert!(
+            quorum >= 1 && quorum <= links.len(),
+            "quorum must be within 1..=replica count"
+        );
+        assert!(n_shards >= 1, "need at least one shard stream");
+        let this = Self {
+            quorum,
+            n_shards,
+            seqs: (0..=n_shards).map(|_| AtomicU64::new(0)).collect(),
+            clock: Arc::clone(obs.clock()),
+            shipped_batches: obs.registry.counter("dpack_repl_shipped_batches_total", ""),
+            shipped_records: obs.registry.counter("dpack_repl_shipped_records_total", ""),
+            acked_batches: obs.registry.counter("dpack_repl_acked_batches_total", ""),
+            ship_failures: obs.registry.counter("dpack_repl_ship_failures_total", ""),
+            live_replicas: obs.registry.gauge("dpack_repl_live_replicas", ""),
+            quorum_wait_nanos: obs.registry.histogram("dpack_repl_quorum_wait_nanos", ""),
+            links,
+        };
+        this.live_replicas.set_u64(this.live() as u64);
+        this
+    }
+
+    /// Replicas whose links are still trusted.
+    pub fn live(&self) -> usize {
+        self.links
+            .iter()
+            .filter(|l| {
+                l.client
+                    .lock()
+                    .expect("replica link lock poisoned")
+                    .is_some()
+            })
+            .count()
+    }
+
+    /// The configured quorum.
+    pub fn quorum(&self) -> usize {
+        self.quorum
+    }
+}
+
+impl ReplicationSink for Replicator {
+    fn ship(&self, stream: ReplStream, records: &[&[u8]]) -> Result<(), ReplShipError> {
+        let (shard_wire, slot) = match stream {
+            ReplStream::Shard(s) => (s, s as usize),
+            ReplStream::Coordinator => (REPL_COORD_STREAM, self.n_shards),
+        };
+        debug_assert!(slot < self.seqs.len(), "stream outside the attached ledger");
+        let seq = self.seqs[slot].fetch_add(1, Ordering::Relaxed) + 1;
+        let started = self.clock.now_nanos();
+        self.shipped_batches.inc();
+        self.shipped_records.add(records.len() as u64);
+
+        // Phase 1: pipeline the batch to every live replica; a send
+        // failure kills the link on the spot.
+        let mut handles = Vec::with_capacity(self.links.len());
+        for link in &self.links {
+            let mut client = link.client.lock().expect("replica link lock poisoned");
+            let handle = client.as_mut().and_then(|c| {
+                c.replicate_nowait(
+                    shard_wire,
+                    seq,
+                    records.iter().map(|r| r.to_vec()).collect(),
+                )
+                .ok()
+            });
+            if handle.is_none() {
+                *client = None;
+            }
+            handles.push(handle);
+        }
+
+        // Phase 2: collect durability acks. An errored wait, a
+        // mismatched ack, or a `durable` short of `seq` all mean the
+        // replica can no longer be trusted to hold the acked prefix.
+        let mut acked = 0usize;
+        for (link, handle) in self.links.iter().zip(handles) {
+            let Some(handle) = handle else { continue };
+            let mut client = link.client.lock().expect("replica link lock poisoned");
+            let ok = client.as_mut().is_some_and(|c| {
+                matches!(
+                    c.wait_replicate_ack(handle),
+                    Ok((s, q, durable)) if s == shard_wire && q == seq && durable >= seq
+                )
+            });
+            if ok {
+                acked += 1;
+            } else {
+                *client = None;
+            }
+        }
+
+        self.live_replicas.set_u64(self.live() as u64);
+        self.quorum_wait_nanos
+            .record(self.clock.now_nanos().saturating_sub(started));
+        if acked >= self.quorum {
+            self.acked_batches.inc();
+            Ok(())
+        } else {
+            self.ship_failures.inc();
+            Err(ReplShipError::QuorumLost {
+                acked,
+                quorum: self.quorum,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::LoopbackTransport;
+    use crate::ServiceCore;
+    use dpack_service::wal::SimStorage;
+
+    fn loopback_replica(sim: &SimStorage, shards: usize) -> (Arc<ReplicaNode>, NetClient) {
+        let obs = Obs::off();
+        let node = Arc::new(ReplicaNode::open(sim, shards, 1 << 16, obs).unwrap());
+        let client = NetClient::new(Box::new(LoopbackTransport::with_core(
+            ServiceCore::replica(Arc::clone(&node)),
+        )));
+        (node, client)
+    }
+
+    #[test]
+    fn a_quorum_of_loopback_replicas_acks_a_ship() {
+        let sim_a = SimStorage::new();
+        let sim_b = SimStorage::new();
+        let (node_a, client_a) = loopback_replica(&sim_a, 2);
+        let (node_b, client_b) = loopback_replica(&sim_b, 2);
+        let obs = Obs::off();
+        let repl = Replicator::over_clients(vec![client_a, client_b], 2, 2, &obs);
+        assert_eq!(repl.live(), 2);
+
+        let rec: &[&[u8]] = &[b"one", b"two"];
+        repl.ship(ReplStream::Shard(1), rec).unwrap();
+        repl.ship(ReplStream::Shard(1), &[b"three"]).unwrap();
+        repl.ship(ReplStream::Coordinator, &[b"c1"]).unwrap();
+        for node in [&node_a, &node_b] {
+            assert_eq!(node.wal().durable_seq(ReplStream::Shard(1)), 2);
+            assert_eq!(node.wal().durable_seq(ReplStream::Coordinator), 1);
+            assert_eq!(node.wal().durable_seq(ReplStream::Shard(0)), 0);
+        }
+    }
+
+    #[test]
+    fn a_dead_replica_fails_quorum_and_stays_dead() {
+        let sim_a = SimStorage::new();
+        let sim_b = SimStorage::new();
+        let (node_a, client_a) = loopback_replica(&sim_a, 1);
+        let (_node_b, client_b) = loopback_replica(&sim_b, 1);
+        // Break replica B's log so its applies fail.
+        sim_b.set_append_errors(true);
+        let obs = Obs::off();
+        let repl = Replicator::over_clients(vec![client_a, client_b], 2, 1, &obs);
+
+        let err = repl.ship(ReplStream::Shard(0), &[b"r"]).unwrap_err();
+        assert_eq!(
+            err,
+            ReplShipError::QuorumLost {
+                acked: 1,
+                quorum: 2
+            }
+        );
+        assert_eq!(repl.live(), 1, "the failed replica is dead");
+        // B never recovers even if its storage does: quorum 2 of a
+        // 1-live fleet keeps failing, and A (live) keeps applying.
+        sim_b.set_append_errors(false);
+        assert!(repl.ship(ReplStream::Shard(0), &[b"r2"]).is_err());
+        assert_eq!(node_a.wal().durable_seq(ReplStream::Shard(0)), 2);
+    }
+
+    #[test]
+    fn quorum_one_survives_a_single_replica_failure() {
+        let sim_a = SimStorage::new();
+        let sim_b = SimStorage::new();
+        let (node_a, client_a) = loopback_replica(&sim_a, 1);
+        let (node_b, client_b) = loopback_replica(&sim_b, 1);
+        sim_b.set_append_errors(true);
+        let obs = Obs::off();
+        let repl = Replicator::over_clients(vec![client_a, client_b], 1, 1, &obs);
+
+        repl.ship(ReplStream::Shard(0), &[b"r"]).unwrap();
+        assert_eq!(repl.live(), 1);
+        assert_eq!(node_a.wal().durable_seq(ReplStream::Shard(0)), 1);
+        assert_eq!(node_b.wal().durable_seq(ReplStream::Shard(0)), 0);
+    }
+
+    #[test]
+    fn a_primary_refuses_the_replication_stream() {
+        use dp_accounting::AlphaGrid;
+        use dpack_service::{BudgetService, ServiceConfig};
+        let grid = AlphaGrid::new(vec![4.0, 16.0]).unwrap();
+        let service = Arc::new(BudgetService::new(grid, ServiceConfig::default()));
+        let mut client = NetClient::loopback(service);
+        let err = client.replicate(0, 1, vec![b"r".to_vec()]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                NetError::Remote {
+                    code: ErrorCode::Protocol,
+                    ..
+                }
+            ),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn a_replica_refuses_tenant_traffic_as_not_primary() {
+        let sim = SimStorage::new();
+        let (_node, mut client) = loopback_replica(&sim, 1);
+        let err = client.grid().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                NetError::Remote {
+                    code: ErrorCode::NotPrimary,
+                    ..
+                }
+            ),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn duplicate_and_gap_deliveries_answer_idempotently_and_with_gap_errors() {
+        let sim = SimStorage::new();
+        let (node, mut client) = loopback_replica(&sim, 1);
+        assert_eq!(client.replicate(0, 1, vec![b"a".to_vec()]).unwrap(), 1);
+        assert_eq!(client.replicate(0, 2, vec![b"b".to_vec()]).unwrap(), 2);
+        // Duplicate: acked with the unchanged durable sequence.
+        assert_eq!(client.replicate(0, 1, vec![b"a".to_vec()]).unwrap(), 2);
+        // Gap: refused with the dedicated code.
+        let err = client.replicate(0, 9, vec![b"z".to_vec()]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                NetError::Remote {
+                    code: ErrorCode::ReplicationGap,
+                    ..
+                }
+            ),
+            "got {err:?}"
+        );
+        assert_eq!(node.wal().durable_seq(ReplStream::Shard(0)), 2);
+    }
+}

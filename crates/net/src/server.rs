@@ -40,6 +40,7 @@ use dpack_obs::{Clock, Counter, EventKind, FlightRecorder, Gauge, Histogram};
 use dpack_service::{BudgetService, Decision, SubmissionTicket};
 
 use crate::error::{admission_code, ErrorCode, NetError};
+use crate::repl::ReplicaNode;
 use crate::wire::{
     frame_into, FrameDecoder, Outcome, Request, RequestFrame, Response, ResponseFrame, WireStats,
     MAX_FRAME,
@@ -181,23 +182,58 @@ pub enum Step {
     Pending(PendingReply),
 }
 
+/// Which half of a replicated pair this node is serving as.
+#[derive(Clone)]
+enum Role {
+    /// The full service surface (and the only role that accepts
+    /// tenant traffic).
+    Primary(Arc<BudgetService>),
+    /// A durability follower: answers [`Request::Replicate`] (and its
+    /// own metrics/trace scrapes); every tenant request is refused
+    /// with [`ErrorCode::NotPrimary`] so failover probes move on.
+    Replica(Arc<ReplicaNode>),
+}
+
 /// The transport-independent request processor: decodes one request
-/// payload, runs it against the embedded service, and produces either
-/// an immediate reply or a pending one.
+/// payload, runs it against the embedded service (or replica state),
+/// and produces either an immediate reply or a pending one.
 #[derive(Clone)]
 pub struct ServiceCore {
-    service: Arc<BudgetService>,
+    role: Role,
 }
 
 impl ServiceCore {
-    /// Wraps a shared service.
+    /// Wraps a shared service as a **primary**.
     pub fn new(service: Arc<BudgetService>) -> Self {
-        Self { service }
+        Self {
+            role: Role::Primary(service),
+        }
     }
 
-    /// The embedded service.
-    pub fn service(&self) -> &Arc<BudgetService> {
-        &self.service
+    /// Wraps replica state: the node answers the primary's replication
+    /// stream and refuses tenant traffic with
+    /// [`ErrorCode::NotPrimary`].
+    pub fn replica(node: Arc<ReplicaNode>) -> Self {
+        Self {
+            role: Role::Replica(node),
+        }
+    }
+
+    /// The embedded service when this core is a primary.
+    pub fn service(&self) -> Option<&Arc<BudgetService>> {
+        match &self.role {
+            Role::Primary(service) => Some(service),
+            Role::Replica(_) => None,
+        }
+    }
+
+    /// The observability context of whichever role is embedded — the
+    /// reactor registers its instruments here.
+    pub fn obs(&self) -> &Arc<dpack_obs::Obs> {
+        match &self.role {
+            Role::Primary(service) => service.obs(),
+            Role::Replica(node) => node.obs(),
+        }
     }
 
     /// Processes one request payload.
@@ -210,37 +246,48 @@ impl ServiceCore {
     /// carry meaning.
     pub fn handle(&self, payload: &[u8]) -> Result<Step, NetError> {
         let RequestFrame { id, body } = RequestFrame::decode(payload)?;
-        let step = match body {
+        let step = match &self.role {
+            Role::Primary(service) => Self::handle_primary(service, id, body),
+            Role::Replica(node) => Self::handle_replica(node, id, body),
+        };
+        Ok(match step {
+            Step::Reply(payload) => Step::Reply(clamp_reply(payload)),
+            pending => pending,
+        })
+    }
+
+    fn handle_primary(service: &Arc<BudgetService>, id: u64, body: Request) -> Step {
+        match body {
             Request::Hello => Step::Reply(
                 ResponseFrame {
                     id,
                     body: Response::Hello {
-                        alphas: self.service.ledger().grid().orders().to_vec(),
+                        alphas: service.ledger().grid().orders().to_vec(),
                     },
                 }
                 .encode(),
             ),
             Request::Submit { tenant, task } => {
-                let slot = self.submit_slot(tenant, task);
-                self.submission_step(id, false, vec![slot])
+                let slot = Self::submit_slot(service, tenant, task);
+                Self::submission_step(id, false, vec![slot])
             }
             Request::SubmitBatch { tenant, tasks } => {
                 let slots = tasks
                     .into_iter()
-                    .map(|t| self.submit_slot(tenant, t))
+                    .map(|t| Self::submit_slot(service, tenant, t))
                     .collect();
-                self.submission_step(id, true, slots)
+                Self::submission_step(id, true, slots)
             }
             Request::RegisterBlock {
                 id: block_id,
                 arrival,
                 capacity,
             } => {
-                let body = self.register(block_id, arrival, capacity);
+                let body = Self::register(service, block_id, arrival, capacity);
                 Step::Reply(ResponseFrame { id, body }.encode())
             }
             Request::Stats => {
-                let summary = self.service.stats_summary();
+                let summary = service.stats_summary();
                 let stats = WireStats {
                     submitted: summary.submitted,
                     admitted: summary.admitted,
@@ -250,8 +297,8 @@ impl ServiceCore {
                     cycles: summary.cycles,
                     granted_weight: summary.granted_weight,
                     throughput: summary.throughput,
-                    queue_depth: self.service.queue_depth() as u64,
-                    pending: self.service.pending_count() as u64,
+                    queue_depth: service.queue_depth() as u64,
+                    pending: service.pending_count() as u64,
                 };
                 Step::Reply(
                     ResponseFrame {
@@ -266,7 +313,7 @@ impl ServiceCore {
                 // snapshots at arbitrary `now`s must not evict the
                 // per-shard cycle-stable cache the scheduling loop
                 // relies on.
-                let ledger = self.service.ledger();
+                let ledger = service.ledger();
                 let blocks = (0..ledger.n_shards())
                     .flat_map(|s| ledger.snapshot_shard_uncached(s, now))
                     .map(|(id, curve)| (id, curve.values().to_vec()))
@@ -283,7 +330,7 @@ impl ServiceCore {
                 ResponseFrame {
                     id,
                     body: Response::Metrics {
-                        samples: self.service.obs().registry.snapshot().samples,
+                        samples: service.obs().registry.snapshot().samples,
                     },
                 }
                 .encode(),
@@ -292,25 +339,57 @@ impl ServiceCore {
                 ResponseFrame {
                     id,
                     body: Response::Trace {
-                        events: self.service.obs().recorder.dump_since(since),
+                        events: service.obs().recorder.dump_since(since),
                     },
                 }
                 .encode(),
             ),
+            // A primary receiving the replication stream is a wiring
+            // error, not a role race: refuse loudly rather than
+            // double-apply records that the primary already owns.
+            Request::Replicate { .. } => Step::Reply(
+                ResponseFrame {
+                    id,
+                    body: Response::Error {
+                        code: ErrorCode::Protocol,
+                        message: "replication stream sent to a primary".into(),
+                    },
+                }
+                .encode(),
+            ),
+        }
+    }
+
+    fn handle_replica(node: &Arc<ReplicaNode>, id: u64, body: Request) -> Step {
+        let body = match body {
+            Request::Replicate {
+                shard,
+                seq,
+                records,
+            } => node.apply(shard, seq, &records),
+            // A replica's own instruments stay scrapeable — that is
+            // how an operator watches replication lag from outside.
+            Request::Metrics => Response::Metrics {
+                samples: node.obs().registry.snapshot().samples,
+            },
+            Request::Trace { since } => Response::Trace {
+                events: node.obs().recorder.dump_since(since),
+            },
+            _ => Response::Error {
+                code: ErrorCode::NotPrimary,
+                message: "this node is a replica; submit to the primary".into(),
+            },
         };
-        Ok(match step {
-            Step::Reply(payload) => Step::Reply(clamp_reply(payload)),
-            pending => pending,
-        })
+        Step::Reply(ResponseFrame { id, body }.encode())
     }
 
     /// Submits one wire task; an admission rejection *is* the final
     /// decision, so it fills the slot immediately.
-    fn submit_slot(&self, tenant: u32, task: crate::wire::WireTask) -> Slot {
+    fn submit_slot(service: &Arc<BudgetService>, tenant: u32, task: crate::wire::WireTask) -> Slot {
         let task_id = task.id;
         let result = task
-            .into_task(self.service.ledger().grid())
-            .and_then(|t| self.service.submit_async(tenant, t));
+            .into_task(service.ledger().grid())
+            .and_then(|t| service.submit_async(tenant, t));
         match result {
             Ok(ticket) => Slot::Waiting(ticket),
             Err(e) => Slot::Done(
@@ -323,7 +402,7 @@ impl ServiceCore {
         }
     }
 
-    fn submission_step(&self, id: u64, batch: bool, slots: Vec<Slot>) -> Step {
+    fn submission_step(id: u64, batch: bool, slots: Vec<Slot>) -> Step {
         let mut pending = PendingReply {
             request_id: id,
             batch,
@@ -335,8 +414,13 @@ impl ServiceCore {
         }
     }
 
-    fn register(&self, block_id: u64, arrival: f64, capacity: Vec<f64>) -> Response {
-        let grid = self.service.ledger().grid();
+    fn register(
+        service: &Arc<BudgetService>,
+        block_id: u64,
+        arrival: f64,
+        capacity: Vec<f64>,
+    ) -> Response {
+        let grid = service.ledger().grid();
         let capacity = match dp_accounting::RdpCurve::new(grid, capacity) {
             Ok(c) => c,
             Err(e) => {
@@ -347,7 +431,7 @@ impl ServiceCore {
             }
         };
         let block = dpack_core::problem::Block::new(block_id, capacity, arrival);
-        match self.service.register_block(block) {
+        match service.register_block(block) {
             Ok(()) => Response::BlockRegistered { id: block_id },
             Err(e) => Response::Error {
                 code: ErrorCode::BlockRejected,
@@ -375,6 +459,25 @@ pub fn protocol_error_frame(err: &NetError) -> Vec<u8> {
     out
 }
 
+/// The framed parting shot for a connection that blew through the
+/// per-connection buffering caps (see [`MAX_CONN_BUFFER`] /
+/// [`MAX_CONN_PENDING`]).
+fn overload_error_frame(detail: String) -> Vec<u8> {
+    let mut out = Vec::new();
+    frame_into(
+        &mut out,
+        &ResponseFrame {
+            id: 0,
+            body: Response::Error {
+                code: ErrorCode::Overloaded,
+                message: detail,
+            },
+        }
+        .encode(),
+    );
+    out
+}
+
 /// The reactor's own instruments, registered on the embedded service's
 /// observability context — `None` (and cost-free) when that context is
 /// fully off.
@@ -385,11 +488,13 @@ struct ReactorTelemetry {
     open_connections: Gauge,
     conn_queue_depth: Gauge,
     violations: Counter,
+    overloaded: Counter,
+    accept_rejected: Counter,
 }
 
 impl ReactorTelemetry {
     fn new(core: &ServiceCore) -> Option<Self> {
-        let obs = core.service().obs();
+        let obs = core.obs();
         if !obs.is_enabled() && obs.recorder.capacity() == 0 {
             return None;
         }
@@ -400,6 +505,8 @@ impl ReactorTelemetry {
             open_connections: obs.registry.gauge("dpack_open_connections", ""),
             conn_queue_depth: obs.registry.gauge("dpack_conn_queue_depth", ""),
             violations: obs.registry.counter("dpack_protocol_violations_total", ""),
+            overloaded: obs.registry.counter("dpack_overloaded_conns_total", ""),
+            accept_rejected: obs.registry.counter("dpack_accept_rejected_total", ""),
         })
     }
 
@@ -407,6 +514,15 @@ impl ReactorTelemetry {
         self.violations.inc();
         self.recorder
             .record(EventKind::ProtocolViolation, conn_ordinal, 0);
+    }
+
+    fn overload(&self) {
+        self.overloaded.inc();
+    }
+
+    fn accept_reject(&self) {
+        self.accept_rejected.inc();
+        self.recorder.record(EventKind::AcceptRejected, 0, 0);
     }
 }
 
@@ -426,6 +542,11 @@ struct Conn {
     close_after_flush: bool,
     /// The client half-closed; answer what is pending, then finish.
     eof: bool,
+    /// The write side was shut down after the final flush of a
+    /// `close_after_flush` connection (the lingering-close FIN).
+    fin_sent: bool,
+    /// Bytes drained and discarded while lingering.
+    drained: usize,
 }
 
 impl Conn {
@@ -439,6 +560,8 @@ impl Conn {
             pending: Vec::new(),
             close_after_flush: false,
             eof: false,
+            fin_sent: false,
+            drained: 0,
         }
     }
 
@@ -455,8 +578,42 @@ impl Conn {
         telemetry: Option<&ReactorTelemetry>,
         progress: &mut bool,
     ) -> bool {
-        if self.close_after_flush || self.eof {
-            return true; // Ignore further input; just drain the buffer.
+        if self.close_after_flush {
+            // Lingering close: keep draining (and discarding) the
+            // peer's backlog so the final error frame is deliverable —
+            // closing with unread inbound bytes resets the connection
+            // and can destroy the parting shot in flight. Bounded, so
+            // a peer that never stops sending cannot hold the slot.
+            let mut chunk = [0u8; 8192];
+            let mut budget = READ_BUDGET;
+            loop {
+                if budget == 0 || self.eof {
+                    return true;
+                }
+                match self.stream.read(&mut chunk) {
+                    // Once the peer is done too, a flushed connection
+                    // closes cleanly; an unflushed one finishes after
+                    // its last flush (`pump_write` sees the eof).
+                    Ok(0) => {
+                        self.eof = true;
+                        return !self.fin_sent;
+                    }
+                    Ok(n) => {
+                        *progress = true;
+                        budget = budget.saturating_sub(n);
+                        self.drained += n;
+                        if self.drained > MAX_LINGER_DRAIN {
+                            return false; // Hostile flood: hard close.
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => return true,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => return false,
+                }
+            }
+        }
+        if self.eof {
+            return true; // Half-closed: just answer what is pending.
         }
         let mut chunk = [0u8; 8192];
         // Per-sweep read budget: a tenant streaming pipelined requests
@@ -471,6 +628,14 @@ impl Conn {
             }
             match self.stream.read(&mut chunk) {
                 Ok(0) => {
+                    // A partial frame at EOF means the peer died
+                    // mid-send — a dropped request, not a half-close,
+                    // so it must leave a trace.
+                    if self.decoder.buffered() > 0 {
+                        if let Some(t) = telemetry {
+                            t.violation(self.ordinal);
+                        }
+                    }
                     // Half-close: a pipelining client may shut its
                     // write side down and still await the decisions.
                     self.eof = true;
@@ -503,6 +668,23 @@ impl Conn {
                                 self.close_after_flush = true;
                                 return true;
                             }
+                        }
+                        // A reader that falls behind its own replies
+                        // (or floods submissions awaiting cycles) is
+                        // cut off at the caps — otherwise one slow
+                        // reader grows server memory without bound.
+                        let buffered = self.wbuf.len() - self.wpos;
+                        if buffered > MAX_CONN_BUFFER || self.pending.len() > MAX_CONN_PENDING {
+                            if let Some(t) = telemetry {
+                                t.overload();
+                            }
+                            self.wbuf.extend_from_slice(&overload_error_frame(format!(
+                                "connection exceeded buffering caps \
+                                 ({buffered} reply bytes unread, {} decisions pending)",
+                                self.pending.len()
+                            )));
+                            self.close_after_flush = true;
+                            return true;
                         }
                     }
                 }
@@ -546,7 +728,16 @@ impl Conn {
             self.wbuf.clear();
             self.wpos = 0;
             if self.close_after_flush {
-                return false;
+                if self.eof {
+                    return false; // Both sides done: clean close.
+                }
+                // Everything (including the parting shot) is in the
+                // kernel's hands: half-close and linger until the
+                // peer reads it and hangs up.
+                if !self.fin_sent {
+                    let _ = self.stream.shutdown(std::net::Shutdown::Write);
+                    self.fin_sent = true;
+                }
             }
         }
         true
@@ -571,19 +762,35 @@ pub struct NetServer {
 }
 
 impl NetServer {
-    /// Binds and spawns the reactor. Bind to port 0 to let the OS pick
-    /// ([`NetServer::local_addr`] reports the choice).
+    /// Binds and spawns the reactor serving a **primary**. Bind to
+    /// port 0 to let the OS pick ([`NetServer::local_addr`] reports
+    /// the choice).
     ///
     /// # Errors
     ///
     /// Socket bind/configuration errors.
     pub fn bind(service: Arc<BudgetService>, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        Self::bind_core(ServiceCore::new(service), addr)
+    }
+
+    /// Binds and spawns the reactor serving a **replica**: the node
+    /// accepts the primary's replication stream (and metrics/trace
+    /// scrapes) and answers everything else with
+    /// [`ErrorCode::NotPrimary`].
+    ///
+    /// # Errors
+    ///
+    /// Socket bind/configuration errors.
+    pub fn bind_replica(node: Arc<ReplicaNode>, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        Self::bind_core(ServiceCore::replica(node), addr)
+    }
+
+    fn bind_core(core: ServiceCore, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let reactor_stop = Arc::clone(&stop);
-        let core = ServiceCore::new(service);
         let thread = std::thread::Builder::new()
             .name("dpack-net-reactor".into())
             .spawn(move || reactor(listener, core, &reactor_stop))
@@ -629,6 +836,23 @@ const IDLE_PARK: Duration = Duration::from_micros(200);
 /// fairness slice between connections (see [`Conn::pump_read`]).
 const READ_BUDGET: usize = 64 * 1024;
 
+/// Unflushed reply bytes one connection may accumulate before the
+/// server declares it overloaded: a slow (or stopped) reader pipelining
+/// requests grows its own write buffer, and past this cap it gets a
+/// final [`ErrorCode::Overloaded`] frame and the connection closes.
+const MAX_CONN_BUFFER: usize = 1 << 20;
+
+/// In-flight pending decisions one connection may hold (submissions
+/// whose scheduling cycle has not resolved yet) — the ROADMAP's
+/// max-in-flight bound, enforced per connection.
+const MAX_CONN_PENDING: usize = 4096;
+
+/// Bytes a closing connection will drain and discard while lingering
+/// (delivering its final error frame to a peer with a deep pipeline
+/// still in flight). Past this, the peer is flooding, not finishing,
+/// and the connection hard-closes.
+const MAX_LINGER_DRAIN: usize = 64 << 20;
+
 fn reactor(listener: TcpListener, core: ServiceCore, stop: &AtomicBool) {
     let telemetry = ReactorTelemetry::new(&core);
     let mut conns: Vec<Conn> = Vec::new();
@@ -642,7 +866,13 @@ fn reactor(listener: TcpListener, core: ServiceCore, stop: &AtomicBool) {
             match listener.accept() {
                 Ok((stream, _)) => {
                     if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
-                        continue; // Misconfigured socket: drop it.
+                        // Misconfigured socket: drop it — but leave a
+                        // trace, or a flaky network stack looks like
+                        // clients that never connected.
+                        if let Some(t) = &telemetry {
+                            t.accept_reject();
+                        }
+                        continue;
                     }
                     conns.push(Conn::new(stream, next_ordinal));
                     next_ordinal += 1;

@@ -105,8 +105,14 @@ pub struct LoopbackTransport {
 impl LoopbackTransport {
     /// Attaches to a shared service.
     pub fn new(service: Arc<BudgetService>) -> Self {
+        Self::with_core(ServiceCore::new(service))
+    }
+
+    /// Attaches to an arbitrary core — a replica role, or a test
+    /// harness core.
+    pub fn with_core(core: ServiceCore) -> Self {
         Self {
-            core: ServiceCore::new(service),
+            core,
             ready: VecDeque::new(),
             pending: VecDeque::new(),
         }

@@ -281,6 +281,12 @@ impl<'a> Reader<'a> {
         String::from_utf8(self.take(n)?.to_vec()).map_err(|_| bad("string is not utf-8"))
     }
 
+    /// A length-prefixed byte blob (opaque record payloads).
+    fn blob(&mut self) -> Result<Vec<u8>, NetError> {
+        let n = self.list_len(1)?;
+        Ok(self.take(n)?.to_vec())
+    }
+
     fn done(self) -> Result<(), NetError> {
         if self.bytes.is_empty() {
             Ok(())
@@ -607,6 +613,17 @@ const REQ_STATS: u8 = 5;
 const REQ_SNAPSHOT: u8 = 6;
 const REQ_METRICS: u8 = 7;
 const REQ_TRACE: u8 = 8;
+const REQ_REPLICATE: u8 = 9;
+
+/// The shard field value that addresses the coordinator stream in a
+/// [`Request::Replicate`] (shard streams use their index).
+pub const REPL_COORD_STREAM: u32 = u32::MAX;
+
+/// Upper bound on records per `Replicate` batch (the frame cap bounds
+/// the bytes; this bounds the allocation count against hostile
+/// headers). Matches the service's group-commit reality: one batch is
+/// one scheduling cycle's grants on one shard.
+pub const MAX_REPL_RECORDS: u32 = 65_536;
 
 /// A client request body.
 #[derive(Debug, Clone, PartialEq)]
@@ -654,6 +671,20 @@ pub enum Request {
     Trace {
         /// Only events with `seq >= since` are returned.
         since: u64,
+    },
+    /// Primary → replica: one durably appended WAL batch of one
+    /// stream, verbatim record payloads in append order. Streams are
+    /// per-shard (`shard` = shard index) plus the coordinator decision
+    /// log (`shard` = [`REPL_COORD_STREAM`]); `seq` numbers batches
+    /// per stream from 1, so a replica detects duplicates (idempotent
+    /// ack) and gaps (refused — applying out of order would diverge).
+    Replicate {
+        /// Stream address: shard index, or [`REPL_COORD_STREAM`].
+        shard: u32,
+        /// Per-stream batch sequence number, from 1.
+        seq: u64,
+        /// The record payloads, exactly as appended on the primary.
+        records: Vec<Vec<u8>>,
     },
 }
 
@@ -720,6 +751,21 @@ impl RequestFrame {
                 put_u64(&mut buf, self.id);
                 put_u64(&mut buf, *since);
             }
+            Request::Replicate {
+                shard,
+                seq,
+                records,
+            } => {
+                buf.push(REQ_REPLICATE);
+                put_u64(&mut buf, self.id);
+                put_u32(&mut buf, *shard);
+                put_u64(&mut buf, *seq);
+                put_len(&mut buf, records.len());
+                for r in records {
+                    put_len(&mut buf, r.len());
+                    buf.extend_from_slice(r);
+                }
+            }
         }
         buf
     }
@@ -764,6 +810,23 @@ impl RequestFrame {
             REQ_SNAPSHOT => Request::Snapshot { now: r.f64()? },
             REQ_METRICS => Request::Metrics,
             REQ_TRACE => Request::Trace { since: r.u64()? },
+            REQ_REPLICATE => {
+                let shard = r.u32()?;
+                let seq = r.u64()?;
+                // A record is at least its own length prefix.
+                let n = r.list_len(4)?;
+                if n > MAX_REPL_RECORDS as usize {
+                    return Err(bad(format!(
+                        "replication batch of {n} records exceeds the {MAX_REPL_RECORDS}-record cap"
+                    )));
+                }
+                let records = (0..n).map(|_| r.blob()).collect::<Result<Vec<_>, _>>()?;
+                Request::Replicate {
+                    shard,
+                    seq,
+                    records,
+                }
+            }
             t => return Err(bad(format!("unknown request tag {t}"))),
         };
         r.done()?;
@@ -782,6 +845,7 @@ const RESP_SNAPSHOT: u8 = 6;
 const RESP_ERROR: u8 = 7;
 const RESP_METRICS: u8 = 8;
 const RESP_TRACE: u8 = 9;
+const RESP_REPLICATE_ACK: u8 = 10;
 
 /// A server response body.
 #[derive(Debug, Clone, PartialEq)]
@@ -832,6 +896,18 @@ pub enum Response {
     Trace {
         /// The retained events matching the request's `since`.
         events: Vec<Event>,
+    },
+    /// Replica → primary: the batch is durable. `durable` is the
+    /// stream's highest contiguously applied sequence number, so a
+    /// duplicate delivery acks idempotently (`durable >= seq`) and the
+    /// primary can compute replication lag.
+    ReplicateAck {
+        /// The acknowledged batch's stream address.
+        shard: u32,
+        /// The acknowledged sequence number (echoed).
+        seq: u64,
+        /// Highest durably applied seq on that stream.
+        durable: u64,
     },
 }
 
@@ -910,6 +986,17 @@ impl ResponseFrame {
                     encode_event(&mut buf, e);
                 }
             }
+            Response::ReplicateAck {
+                shard,
+                seq,
+                durable,
+            } => {
+                buf.push(RESP_REPLICATE_ACK);
+                put_u64(&mut buf, self.id);
+                put_u32(&mut buf, *shard);
+                put_u64(&mut buf, *seq);
+                put_u64(&mut buf, *durable);
+            }
         }
         buf
     }
@@ -974,6 +1061,11 @@ impl ResponseFrame {
                     .collect::<Result<Vec<_>, _>>()?;
                 Response::Trace { events }
             }
+            RESP_REPLICATE_ACK => Response::ReplicateAck {
+                shard: r.u32()?,
+                seq: r.u64()?,
+                durable: r.u64()?,
+            },
             t => return Err(bad(format!("unknown response tag {t}"))),
         };
         r.done()?;
@@ -1089,6 +1181,22 @@ mod tests {
                 id: 8,
                 body: Request::Trace { since: 1234 },
             },
+            RequestFrame {
+                id: 9,
+                body: Request::Replicate {
+                    shard: 3,
+                    seq: 17,
+                    records: vec![vec![], vec![0xD7, 1, 2, 3], vec![0xD8; 64]],
+                },
+            },
+            RequestFrame {
+                id: 10,
+                body: Request::Replicate {
+                    shard: REPL_COORD_STREAM,
+                    seq: 1,
+                    records: vec![vec![0xFF]],
+                },
+            },
         ];
         for req in requests {
             let back = RequestFrame::decode(&req.encode()).expect("round trip");
@@ -1200,11 +1308,38 @@ mod tests {
                     ],
                 },
             },
+            ResponseFrame {
+                id: 10,
+                body: Response::ReplicateAck {
+                    shard: REPL_COORD_STREAM,
+                    seq: 17,
+                    durable: 17,
+                },
+            },
         ];
         for resp in responses {
             let back = ResponseFrame::decode(&resp.encode()).expect("round trip");
             assert_eq!(back, resp);
         }
+    }
+
+    #[test]
+    fn over_cap_replication_batches_are_rejected_at_decode() {
+        let mut buf = Vec::new();
+        buf.push(REQ_REPLICATE);
+        put_u64(&mut buf, 1); // request id
+        put_u32(&mut buf, 0); // shard
+        put_u64(&mut buf, 1); // seq
+        put_len(&mut buf, MAX_REPL_RECORDS as usize + 1);
+        // Enough backing bytes that the length claim itself is
+        // plausible, so the record cap (not the length check) fires.
+        buf.extend(std::iter::repeat_n(
+            0u8,
+            (MAX_REPL_RECORDS as usize + 1) * 4,
+        ));
+        let err = RequestFrame::decode(&buf).expect_err("over cap");
+        assert!(matches!(err, NetError::Protocol(_)));
+        assert!(err.to_string().contains("record cap"));
     }
 
     #[test]

@@ -1,0 +1,342 @@
+//! Remote-frontend hardening: broken connections leave the pool,
+//! hostile servers cannot corrupt the pipeline, slow readers are cut
+//! off at the buffering caps, and dying clients leave a trace.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use dp_accounting::{AlphaGrid, RdpCurve};
+use dpack_core::problem::{Block, Task};
+use dpack_net::wire::{frame_into, FrameDecoder};
+use dpack_net::{
+    ClientPool, ErrorCode, NetClient, NetError, NetServer, Request, RequestFrame, Response,
+    ResponseFrame, Transport,
+};
+use dpack_service::{BudgetService, ServiceConfig, ServiceHandle, StatsRetention};
+
+fn grid() -> AlphaGrid {
+    AlphaGrid::new(vec![2.0, 4.0, 16.0]).expect("valid grid")
+}
+
+fn service(shards: usize, workers: usize) -> Arc<BudgetService> {
+    Arc::new(BudgetService::new(
+        grid(),
+        ServiceConfig {
+            shards,
+            workers,
+            unlock_steps: 1,
+            retention: StatsRetention::Unbounded,
+            ..ServiceConfig::default()
+        },
+    ))
+}
+
+fn task(id: u64, blocks: Vec<u64>, eps: f64) -> Task {
+    Task::new(id, 1.0, blocks, RdpCurve::constant(&grid(), eps), 0.0)
+}
+
+/// A connection that dies mid-use is marked broken, discarded on drop,
+/// and the pool replenishes by redialing — landing on whichever
+/// candidate is alive.
+#[test]
+fn a_broken_connection_is_discarded_and_the_pool_redials() {
+    let svc_a = service(1, 1);
+    let svc_b = service(1, 1);
+    let server_a = NetServer::bind(Arc::clone(&svc_a), "127.0.0.1:0").expect("bind a");
+    let server_b = NetServer::bind(Arc::clone(&svc_b), "127.0.0.1:0").expect("bind b");
+    let (addr_a, addr_b) = (server_a.local_addr(), server_b.local_addr());
+    let dials = Arc::new(AtomicUsize::new(0));
+    let dial_count = Arc::clone(&dials);
+    let pool = ClientPool::with_connector(
+        move || {
+            dial_count.fetch_add(1, Ordering::SeqCst);
+            NetClient::connect(addr_a).or_else(|_| NetClient::connect(addr_b))
+        },
+        1,
+    )
+    .expect("pool");
+    assert_eq!(pool.live(), 1);
+
+    // A healthy round trip through server A.
+    assert_eq!(pool.get().grid().expect("hello"), grid());
+    assert_eq!(pool.live(), 1);
+
+    // Kill server A while the connection is checked out: the next
+    // round trip on it fails mid-pipeline.
+    {
+        let mut client = pool.get();
+        server_a.stop();
+        let err = client.grid().expect_err("server died");
+        assert!(matches!(err, NetError::Closed | NetError::Io(_)), "{err:?}");
+        assert!(client.is_broken(), "a dead transport poisons the client");
+    } // Drop returns it; the pool must discard, not re-idle.
+    assert_eq!(pool.live(), 0, "the broken connection left the pool");
+
+    // The next checkout redials and lands on B; the pool is whole again.
+    let before = dials.load(Ordering::SeqCst);
+    assert_eq!(pool.get().grid().expect("hello via b"), grid());
+    assert!(dials.load(Ordering::SeqCst) > before, "must have redialed");
+    assert_eq!(pool.live(), 1);
+    server_b.stop();
+}
+
+/// A hostile transport that ignores requests and plays back scripted
+/// response payloads.
+struct ScriptedTransport {
+    replies: std::collections::VecDeque<Vec<u8>>,
+}
+
+impl Transport for ScriptedTransport {
+    fn send_frame(&mut self, _payload: &[u8]) -> Result<(), NetError> {
+        Ok(())
+    }
+
+    fn recv_frame(&mut self) -> Result<Vec<u8>, NetError> {
+        self.replies.pop_front().ok_or(NetError::Closed)
+    }
+}
+
+/// A server repeating a response id must surface as a protocol error,
+/// not silently replace the stashed response (which would hand a later
+/// waiter the wrong decision).
+#[test]
+fn duplicate_response_ids_surface_as_protocol_errors() {
+    let decision = |id: u64| {
+        ResponseFrame {
+            id,
+            body: Response::Decision {
+                task: 9,
+                outcome: dpack_net::Outcome::Evicted,
+            },
+        }
+        .encode()
+    };
+    // The hostile server answers request 2 twice while the client
+    // waits on request 1.
+    let mut client = NetClient::new(Box::new(ScriptedTransport {
+        replies: [decision(2), decision(2), decision(1)].into(),
+    }));
+    let h1 = client
+        .submit_nowait(0, &task(1, vec![0], 0.1))
+        .expect("send");
+    let _h2 = client
+        .submit_nowait(0, &task(2, vec![0], 0.1))
+        .expect("send");
+    let err = client.wait_decision(h1).expect_err("duplicate id");
+    match &err {
+        NetError::Protocol(msg) => assert!(
+            msg.contains("duplicate response"),
+            "wrong protocol error: {msg}"
+        ),
+        other => panic!("expected a protocol error, got {other:?}"),
+    }
+    assert!(client.is_broken(), "a desynced stream poisons the client");
+}
+
+/// Reads framed responses off a raw socket until EOF; returns the
+/// decoded frames.
+fn read_all_frames(stream: &mut TcpStream) -> Vec<ResponseFrame> {
+    use std::io::Read;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    let mut bytes = Vec::new();
+    // A reset is how a cutoff ends when the peer closed with unread
+    // request bytes still inbound — everything sent before it is
+    // already buffered and decodes below.
+    match stream.read_to_end(&mut bytes) {
+        Ok(_) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::ConnectionReset => {}
+        Err(e) => panic!("read until close: {e}"),
+    }
+    let mut dec = FrameDecoder::new();
+    dec.extend(&bytes);
+    let mut frames = Vec::new();
+    while let Some(payload) = dec.next_frame().expect("valid frames") {
+        frames.push(ResponseFrame::decode(&payload).expect("decodes"));
+    }
+    frames
+}
+
+/// A client that pipelines requests without reading replies grows the
+/// server's write buffer; past the cap it gets one final `Overloaded`
+/// error frame and the connection closes.
+#[test]
+fn a_slow_reader_is_cut_off_at_the_buffer_cap() {
+    let service = service(1, 1);
+    let server = NetServer::bind(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let mut raw = TcpStream::connect(server.local_addr()).expect("connect");
+    raw.set_nodelay(true).expect("nodelay");
+    // 1M pipelined Hellos (tens of MB of replies) with nothing read:
+    // far past the 1 MiB write-buffer cap even after the kernel's
+    // autotuned loopback socket buffers absorb their share.
+    const FLOOD: u64 = 1_000_000;
+    let mut out = Vec::new();
+    for id in 1..=FLOOD {
+        let payload = RequestFrame {
+            id,
+            body: Request::Hello,
+        }
+        .encode();
+        frame_into(&mut out, &payload);
+    }
+    // Once the cap trips the server stops reading, so the tail of the
+    // flood may never drain from the kernel buffers — a short write (or
+    // a reset) here is part of the scenario, not a failure.
+    raw.set_write_timeout(Some(Duration::from_millis(500)))
+        .expect("timeout");
+    let _ = raw.write_all(&out);
+
+    let frames = read_all_frames(&mut raw);
+    let last = frames.last().expect("at least the parting shot");
+    assert_eq!(last.id, 0, "the cutoff is a parting shot");
+    assert!(
+        matches!(
+            last.body,
+            Response::Error {
+                code: ErrorCode::Overloaded,
+                ..
+            }
+        ),
+        "expected Overloaded, got {:?}",
+        last.body
+    );
+    assert!(
+        (frames.len() as u64) < FLOOD,
+        "the connection must close before answering the whole flood"
+    );
+    // The cutoff is visible to the operator.
+    let mut probe = NetClient::connect(server.local_addr()).expect("connect");
+    let metrics = probe.metrics().expect("scrape");
+    assert_eq!(metrics.counter_total("dpack_overloaded_conns_total"), 1);
+    server.stop();
+}
+
+/// Undecided submissions hold server memory (a `PendingReply` each), so
+/// they are capped per connection too — a tenant flooding submissions
+/// while no cycle runs is cut off, and the cutoff does not disturb a
+/// well-behaved connection.
+#[test]
+fn pending_decisions_are_capped_per_connection() {
+    let service = service(1, 1);
+    service
+        .register_block(Block::new(0, RdpCurve::constant(&grid(), 1e9), 0.0))
+        .expect("block");
+    let server = NetServer::bind(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let mut client = NetClient::connect(server.local_addr()).expect("connect");
+    // No cycles run, so every submission parks a pending decision; one
+    // past the cap trips the cutoff.
+    let mut handles = Vec::new();
+    for id in 0..4097u64 {
+        handles.push(
+            client
+                .submit_nowait(0, &task(id, vec![0], 1e-9))
+                .expect("send"),
+        );
+    }
+    let err = client
+        .wait_decision(handles.remove(0))
+        .expect_err("the flood must be cut off before any decision");
+    assert!(
+        matches!(
+            err,
+            NetError::Remote {
+                code: ErrorCode::Overloaded,
+                ..
+            }
+        ),
+        "expected Overloaded, got {err:?}"
+    );
+    assert!(client.is_broken());
+
+    // A fresh, modest connection is unaffected.
+    let mut probe = NetClient::connect(server.local_addr()).expect("connect");
+    assert_eq!(probe.grid().expect("hello"), grid());
+    server.stop();
+}
+
+/// A peer dying mid-frame (EOF with a partial frame buffered) used to
+/// vanish without a trace; now it lands in the violation counter and
+/// the flight recorder.
+#[test]
+fn a_client_dying_mid_frame_leaves_a_trace() {
+    let service = service(1, 1);
+    let server = NetServer::bind(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    {
+        let mut raw = TcpStream::connect(server.local_addr()).expect("connect");
+        let payload = RequestFrame {
+            id: 1,
+            body: Request::Hello,
+        }
+        .encode();
+        let mut framed = Vec::new();
+        frame_into(&mut framed, &payload);
+        // A valid frame prefix that promises more bytes than ever come.
+        raw.write_all(&framed[..framed.len() - 3]).expect("partial");
+    } // Drop: EOF with a partial frame buffered in the server's decoder.
+
+    let mut probe = NetClient::connect(server.local_addr()).expect("connect");
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let metrics = probe.metrics().expect("scrape");
+        if metrics.counter_total("dpack_protocol_violations_total") == 1 {
+            let events = probe.trace(0).expect("trace");
+            assert!(events
+                .iter()
+                .any(|e| e.kind == dpack_net::obs::EventKind::ProtocolViolation));
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "mid-frame EOF never surfaced in the metrics"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    server.stop();
+}
+
+/// Pool contention with a panicking borrower: all connections checked
+/// out, one borrower panics mid-request — nothing deadlocks and the
+/// pool keeps its capacity.
+#[test]
+fn a_panicking_borrower_neither_deadlocks_nor_shrinks_the_pool() {
+    let service = service(4, 2);
+    for j in 0..8u64 {
+        service
+            .register_block(Block::new(j, RdpCurve::constant(&grid(), 4.0), 0.0))
+            .expect("block");
+    }
+    let server = NetServer::bind(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let cycles = ServiceHandle::spawn(Arc::clone(&service), Duration::from_millis(1));
+    let pool = ClientPool::connect(server.local_addr(), 2).expect("pool");
+
+    std::thread::scope(|s| {
+        let panicker = s.spawn(|| {
+            let mut client = pool.get();
+            // An unknown block, so the orphaned reply is a rejection
+            // and the grant count below stays exact.
+            let _ = client.submit_nowait(9, &task(10_000, vec![99], 0.01));
+            panic!("borrower dies mid-request");
+        });
+        for tenant in 0..6u32 {
+            let pool = &pool;
+            s.spawn(move || {
+                for i in 0..10u64 {
+                    let id = u64::from(tenant) * 100 + i;
+                    let t = task(id, vec![id % 8], 0.05);
+                    let outcome = pool.get().submit(tenant, &t).expect("submit");
+                    assert!(outcome.is_granted(), "fits: {outcome}");
+                }
+            });
+        }
+        assert!(panicker.join().is_err(), "the borrower must have panicked");
+    });
+    // The panicked borrower's connection came back; full capacity.
+    assert_eq!(pool.live(), 2);
+    assert_eq!(service.stats_summary().granted, 60);
+    cycles.stop();
+    server.stop();
+}

@@ -36,6 +36,8 @@ use std::sync::Arc;
 /// | `RecoveryApplied` | task id | 2PC attempt + 1 (0 = shard-local) |
 /// | `RecoveryFinished` | blocks recovered | 0 |
 /// | `ProtocolViolation` | connection ordinal | 0 |
+/// | `ReplicaApplied` | stream (shard, `u32::MAX` = coordinator) | batch seq |
+/// | `AcceptRejected` | 0 | 0 |
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
 pub enum EventKind {
@@ -59,6 +61,10 @@ pub enum EventKind {
     RecoveryFinished = 9,
     /// A peer broke the wire protocol and was disconnected.
     ProtocolViolation = 10,
+    /// A replica durably applied one replicated WAL batch.
+    ReplicaApplied = 11,
+    /// The accept loop refused an incoming socket (setup failed).
+    AcceptRejected = 12,
 }
 
 impl EventKind {
@@ -75,6 +81,8 @@ impl EventKind {
             8 => Self::RecoveryApplied,
             9 => Self::RecoveryFinished,
             10 => Self::ProtocolViolation,
+            11 => Self::ReplicaApplied,
+            12 => Self::AcceptRejected,
             _ => return None,
         })
     }
@@ -291,11 +299,11 @@ mod tests {
 
     #[test]
     fn kind_bytes_roundtrip() {
-        for k in 1..=10u8 {
+        for k in 1..=12u8 {
             let kind = EventKind::from_u8(k).expect("dense kinds");
             assert_eq!(kind as u8, k);
         }
         assert_eq!(EventKind::from_u8(0), None);
-        assert_eq!(EventKind::from_u8(11), None);
+        assert_eq!(EventKind::from_u8(13), None);
     }
 }

@@ -49,6 +49,7 @@ use dpack_obs::{Clock, Counter, EventKind, FlightRecorder, Gauge, Histogram, Obs
 
 use crate::config::{DurabilityOptions, TierConfig};
 use crate::durability::{self, BlockState, CoordRecord, ShardRecord};
+use crate::replication::{ReplStream, ReplicationSink};
 use crate::stats::DurabilityStats;
 
 /// Observability hooks the ledger reports into (attached by
@@ -174,6 +175,18 @@ pub struct ShardedLedger {
     next_attempt: AtomicU64,
     /// Grants released because a WAL append failed.
     wal_failures: AtomicU64,
+    /// Where every durable append is shipped before it is acknowledged
+    /// (see [`crate::replication`]); `None` on an unreplicated ledger.
+    repl: Option<Arc<dyn ReplicationSink>>,
+    /// Work released because a ship failed *after* its local append
+    /// succeeded — those records live on this primary's disk but were
+    /// never acknowledged, which is why a replicated primary hands
+    /// over to a promoted replica instead of recovering itself.
+    repl_failures: AtomicU64,
+    /// Task ids whose grants recovery re-applied, drained once by
+    /// [`ShardedLedger::take_recovered_grants`] — the duplicate
+    /// history a promoted service rejects failover resubmissions with.
+    recovered_grants: BTreeSet<TaskId>,
     compactions: AtomicU64,
     /// Snapshot-cache traffic (served from cache vs rebuilt).
     snap_hits: AtomicU64,
@@ -229,7 +242,7 @@ pub enum CommitOutcome {
     Released,
 }
 
-fn shard_dir(shard: usize) -> String {
+pub(crate) fn shard_dir(shard: usize) -> String {
     format!("shard-{shard}")
 }
 
@@ -237,7 +250,7 @@ fn tier_dir(shard: usize) -> String {
     format!("tier-{shard}")
 }
 
-const COORD_DIR: &str = "coord";
+pub(crate) const COORD_DIR: &str = "coord";
 
 impl ShardedLedger {
     /// Creates an in-memory (non-durable) ledger with `shards` stripes
@@ -263,6 +276,9 @@ impl ShardedLedger {
             coord: None,
             next_attempt: AtomicU64::new(0),
             wal_failures: AtomicU64::new(0),
+            repl: None,
+            repl_failures: AtomicU64::new(0),
+            recovered_grants: BTreeSet::new(),
             compactions: AtomicU64::new(0),
             snap_hits: AtomicU64::new(0),
             snap_misses: AtomicU64::new(0),
@@ -778,6 +794,7 @@ impl ShardedLedger {
                         blocks,
                     } => {
                         replay_apply(&ledger.grid, shard, task, &demand, &blocks)?;
+                        ledger.recovered_grants.insert(task);
                         recorder.record(EventKind::RecoveryApplied, task, 0);
                     }
                     ShardRecord::Intent {
@@ -789,6 +806,7 @@ impl ShardedLedger {
                         max_attempt = max_attempt.max(Some(attempt));
                         if committed.contains(&attempt) {
                             replay_apply(&ledger.grid, shard, task, &demand, &blocks)?;
+                            ledger.recovered_grants.insert(task);
                             // Attempt ids start at 0; shift so 0 can
                             // mean "shard-local" in the event payload.
                             recorder.record(EventKind::RecoveryApplied, task, attempt + 1);
@@ -808,6 +826,69 @@ impl ShardedLedger {
     /// Whether this ledger writes ahead.
     pub fn is_durable(&self) -> bool {
         self.coord.is_some()
+    }
+
+    /// Attaches a replication sink: from now on every durable append —
+    /// registration, group-commit batch, 2PC intent, coordinator
+    /// decision — is shipped through `sink` after its local append and
+    /// before it is acknowledged, and a failed ship releases the work
+    /// exactly like a failed local append. See [`crate::replication`]
+    /// for the model (and for why a replicated primary must be
+    /// replaced by promotion, never restarted from its own logs).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-durable ledger (there is nothing to ship) and
+    /// on a ledger that already holds state — replicas start empty, so
+    /// attaching mid-stream would promote to a truncated history;
+    /// bootstrap/catch-up is future work.
+    pub fn set_replication(&mut self, sink: Arc<dyn ReplicationSink>) {
+        assert!(
+            self.is_durable(),
+            "replication ships the write-ahead stream; open the ledger durable first"
+        );
+        assert!(
+            self.n_blocks() == 0 && self.next_attempt.load(Ordering::Relaxed) == 0,
+            "attach replication to a fresh ledger (replica bootstrap is not supported)"
+        );
+        self.repl = Some(sink);
+    }
+
+    /// Whether a replication sink is attached.
+    pub fn is_replicated(&self) -> bool {
+        self.repl.is_some()
+    }
+
+    /// Drains the task ids whose grants recovery re-applied. The
+    /// service seeds its duplicate-rejection history from these, so a
+    /// tenant resubmitting an in-flight task after failover — the
+    /// idempotent-retry path — cannot double-charge a grant the
+    /// promoted ledger already holds.
+    pub fn take_recovered_grants(&mut self) -> BTreeSet<TaskId> {
+        std::mem::take(&mut self.recovered_grants)
+    }
+
+    /// Work released because a replication ship failed after its local
+    /// append succeeded.
+    pub fn replication_failures(&self) -> u64 {
+        self.repl_failures.load(Ordering::Relaxed)
+    }
+
+    /// Ships locally appended records to the replication sink; `true`
+    /// without one. A `false` releases the caller's work: the records
+    /// are on the local disk but quorum durability — the ack
+    /// precondition — was not reached.
+    fn ship(&self, stream: ReplStream, records: &[&[u8]]) -> bool {
+        match &self.repl {
+            None => true,
+            Some(sink) => match sink.ship(stream, records) {
+                Ok(()) => true,
+                Err(_) => {
+                    self.repl_failures.fetch_add(1, Ordering::Relaxed);
+                    false
+                }
+            },
+        }
     }
 
     /// The alpha grid all curves share.
@@ -871,11 +952,19 @@ impl ShardedLedger {
                 id: block.id,
                 arrival: block.arrival,
                 capacity: block.capacity.values().to_vec(),
-            };
-            if let Err(e) = wal.append(&record.encode()) {
+            }
+            .encode();
+            if let Err(e) = wal.append(&record) {
                 self.wal_failures.fetch_add(1, Ordering::Relaxed);
                 return Err(ProblemError(format!(
                     "block {} not registered: {e}",
+                    block.id
+                )));
+            }
+            let stream = ReplStream::Shard(self.shard_of(block.id) as u32);
+            if !self.ship(stream, &[&record]) {
+                return Err(ProblemError(format!(
+                    "block {} not registered: replication quorum not reached",
                     block.id
                 )));
             }
@@ -1167,18 +1256,19 @@ impl ShardedLedger {
                 task: task.id,
                 demand,
                 blocks: task.blocks.clone(),
-            };
+            }
+            .encode();
             let wal = guards
                 .get_mut(only)
                 .expect("locked above")
                 .wal
                 .as_mut()
                 .expect("durable ledger has a wal per shard");
-            if wal.append(&record.encode()).is_err() {
+            if wal.append(&record).is_err() {
                 self.wal_failures.fetch_add(1, Ordering::Relaxed);
                 return false;
             }
-            return true;
+            return self.ship(ReplStream::Shard(*only as u32), &[&record]);
         }
 
         let attempt = self.next_attempt.fetch_add(1, Ordering::Relaxed);
@@ -1195,39 +1285,50 @@ impl ShardedLedger {
                 task: task.id,
                 demand: demand.clone(),
                 blocks,
-            };
+            }
+            .encode();
             let wal = guards
                 .get_mut(s)
                 .expect("locked above")
                 .wal
                 .as_mut()
                 .expect("durable ledger has a wal per shard");
-            if wal.append(&record.encode()).is_err() {
+            let appended = wal.append(&record).is_ok();
+            if !appended || !self.ship(ReplStream::Shard(*s as u32), &[&record]) {
                 // Presumed abort: without a coordinator Commit these
                 // intents charge nothing on recovery. The Abort record
-                // is advisory (and itself best-effort).
-                self.wal_failures.fetch_add(1, Ordering::Relaxed);
+                // is advisory (and itself best-effort, shipped or not).
+                if !appended {
+                    self.wal_failures.fetch_add(1, Ordering::Relaxed);
+                }
                 let abort = CoordRecord::Abort {
                     attempt,
                     task: task.id,
-                };
+                }
+                .encode();
                 let mut coord = coord.lock().expect("coordinator lock poisoned");
-                let _ = coord.append(&abort.encode());
+                if coord.append(&abort).is_ok() {
+                    let _ = self.ship(ReplStream::Coordinator, &[&abort]);
+                }
                 return false;
             }
         }
         let commit = CoordRecord::Commit {
             attempt,
             task: task.id,
-        };
+        }
+        .encode();
         let mut coord = coord.lock().expect("coordinator lock poisoned");
-        if coord.append(&commit.encode()).is_err() {
+        if coord.append(&commit).is_err() {
             // The decision never became durable: recovery will presume
             // abort, so the in-memory state must not change either.
             self.wal_failures.fetch_add(1, Ordering::Relaxed);
             return false;
         }
-        true
+        // The decision counts only once it is quorum-durable: a failed
+        // ship releases the grant, and promotion (which never sees this
+        // Commit) presumes abort — consistent with the release.
+        self.ship(ReplStream::Coordinator, &[&commit])
     }
 
     /// Commits a scheduling cycle's shard-local grants as **one
@@ -1353,6 +1454,12 @@ impl ShardedLedger {
             self.wal_failures.fetch_add(1, Ordering::Relaxed);
             return outcomes;
         }
+        // One ship per flush: quorum durability rides the same batch
+        // boundary as the fsync. A failed ship releases the whole
+        // batch (locally durable, never acknowledged).
+        if !self.ship(ReplStream::Shard(shard as u32), &views) {
+            return outcomes;
+        }
         for (b, entry) in shadow {
             stripe.blocks.insert(b, entry);
         }
@@ -1385,6 +1492,9 @@ impl ShardedLedger {
             );
             if wal.append(&stripe.scratch).is_err() {
                 self.wal_failures.fetch_add(1, Ordering::Relaxed);
+                return CommitOutcome::Released;
+            }
+            if !self.ship(ReplStream::Shard(shard as u32), &[&stripe.scratch]) {
                 return CommitOutcome::Released;
             }
         }
@@ -1509,9 +1619,10 @@ impl ShardedLedger {
             return outcomes;
         }
 
-        // Flush each home shard's intent batch: one sync per shard.
+        // Flush each home shard's intent batch: one sync (and one
+        // replication ship) per shard.
         let coord = self.coord.as_ref().expect("checked above");
-        for stripe in guards.values_mut() {
+        for (s, stripe) in guards.iter_mut() {
             let stripe = &mut **stripe;
             if stripe.scratch.is_empty() {
                 continue;
@@ -1525,35 +1636,42 @@ impl ShardedLedger {
                 .wal
                 .as_mut()
                 .expect("durable ledger has a wal per shard");
-            if wal.append_batch(&views).is_err() {
+            let appended = wal.append_batch(&views).is_ok();
+            if !appended || !self.ship(ReplStream::Shard(*s as u32), &views) {
                 // Presumed abort: no attempt in this batch got (or
                 // will get) a durable decision, so nothing is charged
                 // anywhere — on recovery or in memory. The aborts are
                 // advisory, as in the per-task path.
-                self.wal_failures.fetch_add(1, Ordering::Relaxed);
+                if !appended {
+                    self.wal_failures.fetch_add(1, Ordering::Relaxed);
+                }
                 let mut coord = coord.lock().expect("coordinator lock poisoned");
                 for (i, attempt) in &staged {
                     let abort = CoordRecord::Abort {
                         attempt: *attempt,
                         task: tasks[*i].id,
-                    };
-                    let _ = coord.append(&abort.encode());
+                    }
+                    .encode();
+                    if coord.append(&abort).is_ok() {
+                        let _ = self.ship(ReplStream::Coordinator, &[&abort]);
+                    }
                 }
                 return outcomes;
             }
         }
 
-        // Decide: one synchronous coordinator append per attempt; the
-        // real filters mutate (in staging order) only once their
-        // attempt's decision is durable.
+        // Decide: one synchronous coordinator append per attempt, then
+        // — once per cross batch, not per attempt — one replication
+        // ship of the whole decided prefix. The real filters mutate
+        // (in staging order) only for attempts whose decision is both
+        // locally durable and quorum-replicated.
         let mut coord = coord.lock().expect("coordinator lock poisoned");
-        let mut decision = Vec::with_capacity(17);
+        let mut decided: Vec<(usize, Vec<u8>)> = Vec::with_capacity(staged.len());
         for (i, attempt) in staged {
-            let task = tasks[i];
-            decision.clear();
+            let mut decision = Vec::with_capacity(17);
             CoordRecord::Commit {
                 attempt,
-                task: task.id,
+                task: tasks[i].id,
             }
             .encode_into(&mut decision);
             if coord.append(&decision).is_err() {
@@ -1562,17 +1680,27 @@ impl ShardedLedger {
                 self.wal_failures.fetch_add(1, Ordering::Relaxed);
                 break;
             }
-            for b in &task.blocks {
-                let stripe = guards.get_mut(&self.shard_of(*b)).expect("locked above");
-                stripe
-                    .blocks
-                    .get_mut(b)
-                    .expect("checked while staging")
-                    .commit(&task.demand)
-                    .expect("staged arithmetic cannot diverge");
-                stripe.dirty = true;
+            decided.push((i, decision));
+        }
+        let shipped = decided.is_empty() || {
+            let views: Vec<&[u8]> = decided.iter().map(|(_, d)| d.as_slice()).collect();
+            self.ship(ReplStream::Coordinator, &views)
+        };
+        if shipped {
+            for (i, _) in &decided {
+                let task = tasks[*i];
+                for b in &task.blocks {
+                    let stripe = guards.get_mut(&self.shard_of(*b)).expect("locked above");
+                    stripe
+                        .blocks
+                        .get_mut(b)
+                        .expect("checked while staging")
+                        .commit(&task.demand)
+                        .expect("staged arithmetic cannot diverge");
+                    stripe.dirty = true;
+                }
+                outcomes[*i] = CommitOutcome::Committed;
             }
-            outcomes[i] = CommitOutcome::Committed;
         }
         drop(coord);
         for stripe in guards.values_mut() {
@@ -1650,6 +1778,7 @@ impl ShardedLedger {
         let coord = self.coord.as_ref()?;
         let mut stats = DurabilityStats {
             failed_appends: self.wal_failures.load(Ordering::Relaxed),
+            failed_ships: self.repl_failures.load(Ordering::Relaxed),
             compactions: self.compactions.load(Ordering::Relaxed),
             ..DurabilityStats::default()
         };

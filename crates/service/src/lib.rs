@@ -67,6 +67,7 @@ pub mod admission;
 pub mod config;
 pub mod durability;
 pub mod ledger;
+pub mod replication;
 pub mod service;
 pub mod stats;
 mod telemetry;
@@ -85,6 +86,7 @@ pub use dpack_obs as obs;
 pub use admission::{AdmissionError, AdmissionQueue, Submission, TenantId};
 pub use config::{DurabilityOptions, SchedulerChoice, ServiceConfig, TierConfig};
 pub use ledger::{CommitOutcome, ShardedLedger, TierActivity};
+pub use replication::{ReplShipError, ReplStream, ReplicaApplyError, ReplicaWal, ReplicationSink};
 pub use service::{BudgetService, ServiceHandle};
 pub use stats::{
     CycleStats, DurabilityStats, ServiceStats, StatsRetention, StatsSummary, TenantStats,

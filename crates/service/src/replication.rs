@@ -1,0 +1,439 @@
+//! WAL-shipping replication: the seam a durable primary ships its
+//! append stream through, and the replica-side log that applies what
+//! was shipped.
+//!
+//! # Model
+//!
+//! A replicated primary is an ordinary durable [`ShardedLedger`] with a
+//! [`ReplicationSink`] attached. Every flush point follows the same
+//! order:
+//!
+//! 1. **append locally** (exactly as an unreplicated durable ledger
+//!    would),
+//! 2. **ship** the appended records — one [`ReplicationSink::ship`]
+//!    call per local append/batch, on the stream named after the log it
+//!    went to ([`ReplStream::Shard`] or [`ReplStream::Coordinator`]),
+//! 3. **acknowledge** (mutate the in-memory filters / return the
+//!    grant) only if the ship succeeded.
+//!
+//! A sink implementation forwards each ship to N replicas and reports
+//! success only once a configurable quorum has durably appended the
+//! batch — so group commit amortizes the replication round-trip
+//! exactly like it amortizes fsync. Because the replica appends
+//! verbatim record bytes into logs with the same directory layout the
+//! primary uses (`shard-<s>`, `coord`), **promotion is the existing
+//! recovery path**: open the replica's storage with
+//! [`BudgetService::recover`] and the bit-identical replay proven for
+//! single-node crashes rebuilds the primary's state.
+//!
+//! # The invariant, and what a failed ship means
+//!
+//! The sink contract gives the availability invariant:
+//!
+//! > every grant acknowledged to a tenant is durable on **every live
+//! > replica** — so promoting any live replica loses no acked grant.
+//!
+//! ("Live" = never failed a ship; a replica that errors is dead to the
+//! sink and must not be promoted.) A ship failure *after* a successful
+//! local append releases the work, like a failed local append — but the
+//! record is already on the primary's own disk, and possibly on some
+//! replicas. Those released-but-durable records make the failed
+//! primary's logs a *superset* of acknowledged state: a replicated
+//! primary must therefore be **replaced by promoting a replica, never
+//! restarted from its own logs**. Replicas may likewise hold a torn
+//! suffix of never-acked batches; that is the same at-most-once ack
+//! window a single durable node already has (grant durable, ack lost in
+//! the crash), and resubmission after failover is rejected as a
+//! duplicate by the recovered-grant history (see
+//! [`BudgetService::recover`]).
+//!
+//! Sequencing: the ledger serializes ships per stream (shard ships
+//! happen under that shard's lock, coordinator ships under the
+//! coordinator lock), so a sink may assign per-stream sequence numbers
+//! at the call site without extra locking. [`ReplicaWal`] enforces
+//! them: next-in-sequence appends, duplicates ack idempotently, gaps
+//! are refused.
+//!
+//! Replicas never snapshot or compact — their logs are the full record
+//! stream since the (empty) attach point, which is exactly what makes
+//! the promoted fold independent of the primary's compaction schedule.
+//! Attach replication only to a fresh ledger
+//! ([`ShardedLedger::set_replication`] asserts this); bootstrapping a
+//! replica from a non-empty primary is future work.
+//!
+//! [`ShardedLedger`]: crate::ledger::ShardedLedger
+//! [`ShardedLedger::set_replication`]:
+//! crate::ledger::ShardedLedger::set_replication
+//! [`BudgetService::recover`]: crate::service::BudgetService::recover
+
+use std::fmt;
+use std::sync::{Mutex, MutexGuard};
+
+use dpack_wal::{Wal, WalError, WalOptions, WalStorage};
+
+use crate::ledger::{shard_dir, COORD_DIR};
+
+/// Which log a shipped batch belongs to. Streams are independent: each
+/// carries its own sequence numbers and maps to its own replica log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ReplStream {
+    /// One shard's write-ahead log.
+    Shard(u32),
+    /// The cross-shard 2PC coordinator log.
+    Coordinator,
+}
+
+impl fmt::Display for ReplStream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Shard(s) => write!(f, "shard-{s}"),
+            Self::Coordinator => write!(f, "coord"),
+        }
+    }
+}
+
+/// Why a ship failed. Any failure releases the shipped work on the
+/// primary (the batch was never acknowledged to a tenant).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplShipError {
+    /// Fewer replicas than the configured quorum durably acknowledged
+    /// the batch. The primary stops acknowledging grants; hand over to
+    /// a promoted replica.
+    QuorumLost {
+        /// Replicas that acknowledged this batch.
+        acked: usize,
+        /// The configured quorum.
+        quorum: usize,
+    },
+    /// The sink failed outright (a refused batch, a broken local
+    /// replica log in in-process setups).
+    Sink(String),
+}
+
+impl fmt::Display for ReplShipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::QuorumLost { acked, quorum } => {
+                write!(
+                    f,
+                    "replication quorum lost: {acked} of {quorum} required acks"
+                )
+            }
+            Self::Sink(what) => write!(f, "replication sink failed: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplShipError {}
+
+/// Where a replicated ledger ships every durable append. Implementors
+/// forward to replicas and answer once the quorum policy is met; the
+/// in-process implementation used by tests appends straight into a
+/// [`ReplicaWal`].
+///
+/// `ship` is called once per local append or group-commit batch, with
+/// the exact record bytes in append order, after the local append
+/// succeeded and before anything is acknowledged. Calls are serialized
+/// per stream by the ledger's own locks. An `Err` releases the work.
+pub trait ReplicationSink: Send + Sync + fmt::Debug {
+    /// Replicates one appended batch. `records` is never empty.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplShipError`] when the quorum policy cannot be met; the
+    /// caller releases the batch.
+    fn ship(&self, stream: ReplStream, records: &[&[u8]]) -> Result<(), ReplShipError>;
+}
+
+/// Why a replica refused (or failed) to apply a shipped batch.
+#[derive(Debug)]
+pub enum ReplicaApplyError {
+    /// The batch would leave a sequence gap — applying it out of order
+    /// would diverge from the primary's append order, so it is refused.
+    Gap {
+        /// The stream the batch addressed.
+        stream: ReplStream,
+        /// The only acceptable next sequence number.
+        expected: u64,
+        /// What the batch carried.
+        got: u64,
+    },
+    /// The replica's own log failed; the batch was not applied.
+    Wal(WalError),
+}
+
+impl fmt::Display for ReplicaApplyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Gap {
+                stream,
+                expected,
+                got,
+            } => write!(
+                f,
+                "replication gap on {stream}: expected seq {expected}, got {got}"
+            ),
+            Self::Wal(e) => write!(f, "replica log failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplicaApplyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Wal(e) => Some(e),
+            Self::Gap { .. } => None,
+        }
+    }
+}
+
+/// One stream's log on the replica: the WAL plus the highest batch
+/// sequence durably applied to it.
+#[derive(Debug)]
+struct StreamLog {
+    wal: Wal,
+    seq: u64,
+}
+
+/// The replica side of WAL shipping: per-shard logs plus the
+/// coordinator log, laid out exactly like a primary's storage so
+/// promotion is [`BudgetService::recover`] on this storage.
+///
+/// Each applied batch is one [`Wal::append_batch`] — one write + one
+/// sync, all-or-nothing — so the primary's group-commit boundaries are
+/// preserved on the replica's disk. Sequence numbers start at 1 per
+/// stream and survive restarts: a reopened replica counts the append
+/// units already in its logs ([`dpack_wal::Recovered::appends`]) and
+/// resumes from there, acking duplicates idempotently.
+///
+/// [`BudgetService::recover`]: crate::service::BudgetService::recover
+#[derive(Debug)]
+pub struct ReplicaWal {
+    shards: Vec<Mutex<StreamLog>>,
+    coord: Mutex<StreamLog>,
+}
+
+impl ReplicaWal {
+    /// Opens (or reopens) a replica's logs in `storage` with the same
+    /// directory layout a primary with `shards` shards uses.
+    ///
+    /// # Errors
+    ///
+    /// Storage and log-recovery errors from [`Wal::open`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn open(
+        storage: &dyn WalStorage,
+        shards: usize,
+        segment_bytes: u64,
+    ) -> Result<Self, WalError> {
+        assert!(shards >= 1, "need at least one shard stream");
+        let opts = WalOptions { segment_bytes };
+        let open_one = |sub: Box<dyn WalStorage>| -> Result<StreamLog, WalError> {
+            let (wal, recovered) = Wal::open(sub, opts)?;
+            Ok(StreamLog {
+                wal,
+                seq: recovered.appends,
+            })
+        };
+        let shards = (0..shards)
+            .map(|s| Ok(Mutex::new(open_one(storage.sub(&shard_dir(s))?)?)))
+            .collect::<Result<Vec<_>, WalError>>()?;
+        let coord = Mutex::new(open_one(storage.sub(COORD_DIR)?)?);
+        Ok(Self { shards, coord })
+    }
+
+    /// Number of shard streams.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn log(&self, stream: ReplStream) -> Result<MutexGuard<'_, StreamLog>, ReplicaApplyError> {
+        let slot = match stream {
+            ReplStream::Coordinator => &self.coord,
+            ReplStream::Shard(s) => self.shards.get(s as usize).ok_or_else(|| {
+                ReplicaApplyError::Wal(WalError::Corrupt(format!(
+                    "replicate addressed shard {s} but this replica has {} shards",
+                    self.shards.len()
+                )))
+            })?,
+        };
+        Ok(slot.lock().expect("replica stream lock poisoned"))
+    }
+
+    /// Durably applies one shipped batch and returns the stream's
+    /// highest applied sequence. `seq` must be the next in sequence
+    /// (`durable + 1`); a batch at or below the durable sequence was
+    /// already applied and acks idempotently without touching the log.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicaApplyError::Gap`] when `seq` skips ahead,
+    /// [`ReplicaApplyError::Wal`] when the local append fails (the
+    /// batch is not applied; all-or-nothing like any WAL batch).
+    pub fn apply(
+        &self,
+        stream: ReplStream,
+        seq: u64,
+        records: &[Vec<u8>],
+    ) -> Result<u64, ReplicaApplyError> {
+        if records.is_empty() {
+            // An empty batch would sync nothing, leaving no append unit
+            // to recover the sequence from; the primary never ships one.
+            return Err(ReplicaApplyError::Wal(WalError::Corrupt(
+                "empty replication batch".into(),
+            )));
+        }
+        let mut log = self.log(stream)?;
+        if seq <= log.seq {
+            return Ok(log.seq); // Duplicate delivery: already durable.
+        }
+        if seq != log.seq + 1 {
+            return Err(ReplicaApplyError::Gap {
+                stream,
+                expected: log.seq + 1,
+                got: seq,
+            });
+        }
+        let views: Vec<&[u8]> = records.iter().map(Vec::as_slice).collect();
+        log.wal
+            .append_batch(&views)
+            .map_err(ReplicaApplyError::Wal)?;
+        log.seq = seq;
+        Ok(log.seq)
+    }
+
+    /// The highest sequence durably applied on a stream (0 before the
+    /// first batch).
+    pub fn durable_seq(&self, stream: ReplStream) -> u64 {
+        self.log(stream).map_or(0, |log| log.seq)
+    }
+
+    /// Total records across all streams' logs (applied lifetime count).
+    pub fn records(&self) -> u64 {
+        let mut total = 0;
+        for slot in &self.shards {
+            total += slot
+                .lock()
+                .expect("replica stream lock poisoned")
+                .wal
+                .counters()
+                .records;
+        }
+        total
+            + self
+                .coord
+                .lock()
+                .expect("replica stream lock poisoned")
+                .wal
+                .counters()
+                .records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpack_wal::SimStorage;
+
+    fn records(n: u8) -> Vec<Vec<u8>> {
+        (0..n).map(|i| vec![i; 5]).collect()
+    }
+
+    #[test]
+    fn applies_in_sequence_acks_duplicates_and_refuses_gaps() {
+        let sim = SimStorage::new();
+        let replica = ReplicaWal::open(&sim, 2, 1 << 16).unwrap();
+        assert_eq!(replica.n_shards(), 2);
+        let stream = ReplStream::Shard(1);
+        assert_eq!(replica.durable_seq(stream), 0);
+        assert_eq!(replica.apply(stream, 1, &records(3)).unwrap(), 1);
+        assert_eq!(replica.apply(stream, 2, &records(1)).unwrap(), 2);
+        // Duplicate: idempotent ack, nothing appended.
+        let before = replica.records();
+        assert_eq!(replica.apply(stream, 1, &records(3)).unwrap(), 2);
+        assert_eq!(replica.records(), before);
+        // Gap: refused.
+        assert!(matches!(
+            replica.apply(stream, 4, &records(1)),
+            Err(ReplicaApplyError::Gap {
+                expected: 3,
+                got: 4,
+                ..
+            })
+        ));
+        // Streams are independent.
+        assert_eq!(
+            replica
+                .apply(ReplStream::Coordinator, 1, &records(1))
+                .unwrap(),
+            1
+        );
+        assert_eq!(
+            replica.apply(ReplStream::Shard(0), 1, &records(2)).unwrap(),
+            1
+        );
+        assert!(matches!(
+            replica.apply(ReplStream::Shard(7), 1, &records(1)),
+            Err(ReplicaApplyError::Wal(WalError::Corrupt(_)))
+        ));
+        assert!(matches!(
+            replica.apply(stream, 3, &[]),
+            Err(ReplicaApplyError::Wal(WalError::Corrupt(_)))
+        ));
+    }
+
+    #[test]
+    fn reopen_resumes_the_sequence_from_the_surviving_log() {
+        let sim = SimStorage::new();
+        {
+            let replica = ReplicaWal::open(&sim, 1, 1 << 16).unwrap();
+            replica.apply(ReplStream::Shard(0), 1, &records(4)).unwrap();
+            replica.apply(ReplStream::Shard(0), 2, &records(1)).unwrap();
+            replica
+                .apply(ReplStream::Coordinator, 1, &records(1))
+                .unwrap();
+        }
+        let survivor = sim.surviving();
+        let replica = ReplicaWal::open(&survivor, 1, 1 << 16).unwrap();
+        assert_eq!(replica.durable_seq(ReplStream::Shard(0)), 2);
+        assert_eq!(replica.durable_seq(ReplStream::Coordinator), 1);
+        // Redelivery of the last batch (primary retrying across the
+        // restart) acks without duplicating records.
+        let before = replica.records();
+        assert_eq!(
+            replica.apply(ReplStream::Shard(0), 2, &records(1)).unwrap(),
+            2
+        );
+        assert_eq!(replica.records(), before);
+        assert_eq!(
+            replica.apply(ReplStream::Shard(0), 3, &records(2)).unwrap(),
+            3
+        );
+    }
+
+    #[test]
+    fn a_crashed_replica_append_drops_the_whole_batch_and_seq() {
+        let sim = SimStorage::new();
+        let replica = ReplicaWal::open(&sim, 1, 1 << 16).unwrap();
+        replica.apply(ReplStream::Shard(0), 1, &records(2)).unwrap();
+        sim.set_append_errors(true);
+        assert!(matches!(
+            replica.apply(ReplStream::Shard(0), 2, &records(3)),
+            Err(ReplicaApplyError::Wal(_))
+        ));
+        // The failed batch never acked, so seq stays put.
+        assert_eq!(replica.durable_seq(ReplStream::Shard(0)), 1);
+        // After the replica restarts on the surviving bytes, the
+        // primary's retry of seq 2 lands cleanly.
+        let survivor = sim.surviving();
+        let replica = ReplicaWal::open(&survivor, 1, 1 << 16).unwrap();
+        assert_eq!(replica.durable_seq(ReplStream::Shard(0)), 1);
+        assert_eq!(
+            replica.apply(ReplStream::Shard(0), 2, &records(3)).unwrap(),
+            2
+        );
+    }
+}

@@ -118,6 +118,11 @@ pub struct BudgetService {
     /// the submit path and alone on the resolution path, so no cycle
     /// exists.
     tickets: Mutex<std::collections::BTreeMap<TaskId, Arc<TicketCell>>>,
+    /// Task ids whose grants recovery re-applied — immutable after
+    /// construction. Admission rejects them as duplicates, so a tenant
+    /// idempotently resubmitting in-flight work after failover cannot
+    /// double-charge a grant the promoted ledger already holds.
+    recovered_granted: std::collections::BTreeSet<TaskId>,
     cycle_lock: Mutex<()>,
     /// Cycles started (drives the compaction cadence without touching
     /// the stats lock).
@@ -300,11 +305,12 @@ impl BudgetService {
     }
 
     fn from_parts(
-        ledger: ShardedLedger,
+        mut ledger: ShardedLedger,
         config: ServiceConfig,
         durability: Option<DurabilityOptions>,
         obs: Arc<Obs>,
     ) -> Self {
+        let recovered_granted = ledger.take_recovered_grants();
         assert!(config.workers >= 1, "need at least one worker thread");
         assert!(
             config.scheduling_period > 0.0 && config.scheduling_period.is_finite(),
@@ -321,6 +327,7 @@ impl BudgetService {
             pending: Mutex::new(Vec::new()),
             live: Mutex::new(LiveTasks::default()),
             tickets: Mutex::new(std::collections::BTreeMap::new()),
+            recovered_granted,
             stats: Mutex::new(stats),
             cycle_lock: Mutex::new(()),
             cycles_run: AtomicU64::new(0),
@@ -360,6 +367,21 @@ impl BudgetService {
     /// The striped ledger (for soundness checks and fairness metrics).
     pub fn ledger(&self) -> &ShardedLedger {
         &self.ledger
+    }
+
+    /// Attaches a replication sink: every durable append is shipped
+    /// through it before the corresponding grant (or registration) is
+    /// acknowledged, so a quorum of replicas can take over losing
+    /// nothing a tenant was told. Call on a freshly recovered durable
+    /// service, before sharing it. See [`crate::replication`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-durable service or one that already recovered
+    /// state — replicas start empty, and bootstrapping one from a
+    /// non-empty primary is not supported.
+    pub fn replicate_to(&mut self, sink: Arc<dyn crate::replication::ReplicationSink>) {
+        self.ledger.set_replication(sink);
     }
 
     /// Registers a data block on its shard. Callable from any thread.
@@ -508,7 +530,7 @@ impl BudgetService {
         // submissions of the same id (or a quota-straddling pair)
         // cannot both land.
         let mut live = self.live.lock().expect("live-task lock poisoned");
-        if live.ids.contains(&task.id) {
+        if live.ids.contains(&task.id) || self.recovered_granted.contains(&task.id) {
             return Err(AdmissionError::DuplicateTask { task: task.id });
         }
         let tenant_live = live.per_tenant.get(&tenant).copied().unwrap_or(0);

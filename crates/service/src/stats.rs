@@ -96,6 +96,12 @@ pub struct DurabilityStats {
     /// *events*, not released grants: one failed group-commit flush
     /// releases its whole batch but counts once.
     pub failed_appends: u64,
+    /// Replication ships that failed (quorum lost or a replica refused
+    /// a batch) and released work a local append had already accepted.
+    /// Nonzero on a replicated primary means it must hand over to a
+    /// promoted replica rather than recover from its own logs — see
+    /// [`crate::replication`].
+    pub failed_ships: u64,
     /// Snapshot compactions completed.
     pub compactions: u64,
     /// Compactions that failed with a WAL error.

@@ -135,6 +135,13 @@ pub struct Recovered {
     pub records: Vec<Vec<u8>>,
     /// Whether a torn tail was truncated during open.
     pub truncated_tail: bool,
+    /// Append operations recovered since that snapshot: each singleton
+    /// record and each all-or-nothing batch counts one (a one-record
+    /// [`Wal::append_batch`] writes no batch header, so it counts like
+    /// the plain append it degenerates to). A replication replica that
+    /// applies exactly one append per shipped batch resumes its stream
+    /// sequence from this.
+    pub appends: u64,
 }
 
 /// Cumulative write counters of one [`Wal`].
@@ -323,20 +330,23 @@ fn parse_record(bytes: &[u8], at: usize) -> Option<(&[u8], usize)> {
     Some((payload, at + HEADER + len as usize))
 }
 
-/// Parses frames from the start of `bytes`; returns the records and the
+/// Parses frames from the start of `bytes`; returns the records, the
 /// byte offset of the first invalid frame (== `bytes.len()` when the
-/// whole file is valid). A batch (header + `count` record frames) is
+/// whole file is valid), and the append-unit count (one per singleton
+/// record, one per batch). A batch (header + `count` record frames) is
 /// valid only as a unit: if any of its frames is torn, the whole batch
 /// — from its header on — is the torn tail.
-fn parse_frames(bytes: &[u8]) -> (Vec<Vec<u8>>, usize) {
+fn parse_frames(bytes: &[u8]) -> (Vec<Vec<u8>>, usize, u64) {
     let mut records = Vec::new();
     let mut at = 0usize;
+    let mut appends = 0u64;
     while bytes.len() - at >= HEADER {
         match bytes[at] {
             MAGIC => match parse_record(bytes, at) {
                 Some((payload, next)) => {
                     records.push(payload.to_vec());
                     at = next;
+                    appends += 1;
                 }
                 None => break,
             },
@@ -367,11 +377,12 @@ fn parse_frames(bytes: &[u8]) -> (Vec<Vec<u8>>, usize) {
                 }
                 records.append(&mut batch);
                 at = cursor;
+                appends += 1;
             }
             _ => break,
         }
     }
-    (records, at)
+    (records, at, appends)
 }
 
 /// Scans a storage namespace: picks the newest valid snapshot, replays
@@ -400,7 +411,7 @@ fn scan(storage: &dyn WalStorage, opts: WalOptions) -> Result<(Recovered, u64, u
             continue;
         }
         let bytes = storage.read(&snap_name(seq))?;
-        let (mut records, valid) = parse_frames(&bytes);
+        let (mut records, valid, _) = parse_frames(&bytes);
         if records.len() == 1 && valid == bytes.len() {
             snapshot = Some((seq, records.remove(0)));
         } else {
@@ -413,6 +424,7 @@ fn scan(storage: &dyn WalStorage, opts: WalOptions) -> Result<(Recovered, u64, u
     // crash between snapshot write and deletion).
     let mut truncated_tail = false;
     let mut records = Vec::new();
+    let mut appends = 0u64;
     let mut live: Vec<u64> = Vec::new();
     let mut stop = false;
     for &seq in &segs {
@@ -428,8 +440,9 @@ fn scan(storage: &dyn WalStorage, opts: WalOptions) -> Result<(Recovered, u64, u
             continue;
         }
         let bytes = storage.read(&seg_name(seq))?;
-        let (recs, valid) = parse_frames(&bytes);
+        let (recs, valid, units) = parse_frames(&bytes);
         records.extend(recs);
+        appends += units;
         live.push(seq);
         if valid < bytes.len() {
             storage.truncate(&seg_name(seq), valid as u64)?;
@@ -456,6 +469,7 @@ fn scan(storage: &dyn WalStorage, opts: WalOptions) -> Result<(Recovered, u64, u
             snapshot: snapshot.map(|(_, state)| state),
             records,
             truncated_tail,
+            appends,
         },
         active_seq,
         active_len,
@@ -714,7 +728,8 @@ mod tests {
             Recovered {
                 snapshot: None,
                 records: vec![],
-                truncated_tail: false
+                truncated_tail: false,
+                appends: 0
             }
         );
         for i in 0..20u8 {
@@ -727,6 +742,7 @@ mod tests {
             (0..20u8).map(|i| vec![i; 3]).collect::<Vec<_>>()
         );
         assert!(!rec.truncated_tail);
+        assert_eq!(rec.appends, 20);
     }
 
     #[test]
@@ -867,6 +883,7 @@ mod tests {
         let mut want = vec![b"solo".to_vec()];
         want.extend(batch);
         assert_eq!(rec.records, want);
+        assert_eq!(rec.appends, 2, "one solo unit + one batch unit");
     }
 
     #[test]
@@ -887,6 +904,7 @@ mod tests {
         assert_eq!(wal.counters().batch_min, 1);
         let (_, rec) = reopen(&sim);
         assert_eq!(rec.records, vec![b"only".to_vec()]);
+        assert_eq!(rec.appends, 1, "a degenerate batch is one append unit");
     }
 
     #[test]

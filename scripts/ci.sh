@@ -153,6 +153,26 @@ if ! awk -v s="${ratio}" 'BEGIN { exit !(s > 0 && s <= 6) }'; then
   exit 1
 fi
 
+# Replication cost and failover: the quorum-2 replicated grant path
+# (every append on both socket replicas before the tenant is acked) vs
+# the standalone durable one, plus the primary-kill -> first-grant
+# failover time through the client pool. The bounds are loose sanity
+# rails, not perf targets: replication must not eat the grant path,
+# and a failover must resolve in well under a second on loopback.
+echo "==> service_throughput --replicated -> BENCH_8.json"
+cargo run --release -q -p dpack-bench --bin service_throughput -- --replicated --json BENCH_8.json
+grep -E "ops_per_sec|relative|failover" BENCH_8.json
+rel="$(sed -nE 's/.*"replicated_relative_to_standalone": ([0-9.]+).*/\1/p' BENCH_8.json)"
+fo="$(sed -nE 's/.*"failover_to_first_grant_ms": ([0-9.]+).*/\1/p' BENCH_8.json)"
+if ! awk -v r="${rel}" 'BEGIN { exit !(r > 0.2) }'; then
+  echo "ERROR: quorum-2 replication kept only ${rel} of standalone durable throughput (floor 0.2)" >&2
+  exit 1
+fi
+if ! awk -v f="${fo}" 'BEGIN { exit !(f > 0 && f <= 1000) }'; then
+  echo "ERROR: failover took ${fo} ms to the first granted decision (budget 1000 ms)" >&2
+  exit 1
+fi
+
 # Replay-determinism guard: the crash-recovery harness must produce
 # byte-identical output when replayed from the same seed — a diff here
 # means a failure report would not reproduce. The timing line of the
@@ -166,6 +186,24 @@ first="$(run_recovery_seeded)"
 second="$(run_recovery_seeded)"
 if [ "${first}" != "${second}" ]; then
   echo "ERROR: recovery suite output diverged between two runs of the same seed:" >&2
+  diff <(echo "${first}") <(echo "${second}") >&2 || true
+  exit 1
+fi
+
+# Same guard for the replication crash-promotion suite: it is the
+# acceptance evidence that a promoted replica equals the independent
+# fold of the acked records bit for bit, so its seeded sweeps (primary
+# crash, replica crash, idempotent resubmission) must replay
+# byte-identically too.
+echo "==> replay determinism guard (replication crash-promotion suite)"
+run_replication_seeded() {
+  DPACK_CHECK_SEED=20250742 cargo test -q -p dpack-service --test replication_crash 2>&1 \
+    | sed 's/finished in [0-9.]*s//'
+}
+first="$(run_replication_seeded)"
+second="$(run_replication_seeded)"
+if [ "${first}" != "${second}" ]; then
+  echo "ERROR: replication crash-promotion suite diverged between two runs of the same seed:" >&2
   diff <(echo "${first}") <(echo "${second}") >&2 || true
   exit 1
 fi
