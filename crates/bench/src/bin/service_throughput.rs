@@ -699,9 +699,163 @@ fn measure_failover() -> Duration {
     elapsed
 }
 
+/// Three-node cluster failover, **no harness hand on the wheel**: three
+/// [`dpack_net::ClusterNode`]s behind real sockets elect a leader on
+/// their own, tenants warm traffic through the failover pool, the
+/// leader's process dies, and the clock runs until the survivors have
+/// detected the loss, elected, promoted, resynced the remaining
+/// replica, and granted a fresh task. Returns (kill → first grant).
+fn measure_auto_failover() -> Duration {
+    use dpack_net::obs::Value;
+    use dpack_net::{ClusterConfig, ClusterNode, ClusterPeer, ClusterRunner, NetClient, NetServer};
+    use dpack_service::wal::WalStorage;
+    use std::sync::Arc;
+
+    const NODES: usize = 3;
+    let grid = AlphaGrid::new(vec![2.0, 4.0, 8.0, 16.0]).expect("valid grid");
+    // Addresses are agreed up front (each reserving listener is
+    // dropped at the end of its statement, freeing the port).
+    let addrs: Vec<std::net::SocketAddr> = (0..NODES)
+        .map(|_| {
+            std::net::TcpListener::bind("127.0.0.1:0")
+                .expect("reserve")
+                .local_addr()
+                .expect("addr")
+        })
+        .collect();
+    let storages: Vec<dpack_service::wal::SimStorage> = (0..NODES)
+        .map(|_| dpack_service::wal::SimStorage::new())
+        .collect();
+    let mut servers = Vec::with_capacity(NODES);
+    let mut runners: Vec<Option<ClusterRunner>> = Vec::with_capacity(NODES);
+    for i in 0..NODES {
+        let peers = (0..NODES)
+            .filter(|j| *j != i)
+            .map(|j| {
+                let addr = addrs[j];
+                ClusterPeer {
+                    id: j as u64,
+                    addr,
+                    connector: Arc::new(move || NetClient::connect(addr)),
+                }
+            })
+            .collect();
+        let node = ClusterNode::new(
+            ClusterConfig {
+                node_id: i as u64,
+                grid: grid.clone(),
+                service: obs_leg_config(),
+                durability: DurabilityOptions {
+                    group_commit: true,
+                    snapshot_every_cycles: None,
+                    ..DurabilityOptions::default()
+                },
+                quorum: 1,
+                majority: 2,
+                heartbeat_nanos: 20_000_000,
+                miss_threshold: 3,
+                election_base_nanos: 100_000_000,
+                election_stagger_nanos: 50_000_000,
+                ship_timeout: Some(Duration::from_millis(500)),
+            },
+            peers,
+            storages[i].clone_handle(),
+            Obs::wall(),
+        )
+        .expect("fresh cluster node");
+        servers.push(Some(
+            NetServer::bind_core(node.core().clone(), addrs[i]).expect("bind cluster node"),
+        ));
+        runners.push(Some(ClusterRunner::spawn(node, Duration::from_millis(2))));
+    }
+
+    // The pool probes candidates until one answers as primary — the
+    // bootstrap election runs with no external nudge.
+    let pool =
+        dpack_net::ClientPool::connect_failover_deadline(addrs.clone(), 2, Duration::from_secs(10))
+            .expect("a leader emerges");
+    // A grant needs a quorum ack, so wait until the leader's
+    // replicator reports both replicas rejoined.
+    let bootstrapped = Instant::now();
+    loop {
+        let live = match pool.get().metrics() {
+            Ok(snapshot) => match snapshot.get("dpack_repl_live_replicas", "") {
+                Some(Value::Gauge(v)) => *v as usize,
+                _ => 0,
+            },
+            Err(_) => 0,
+        };
+        if live >= NODES - 1 {
+            break;
+        }
+        assert!(
+            bootstrapped.elapsed() < Duration::from_secs(10),
+            "replicas never rejoined the bootstrap leader"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let eps = 1e-3;
+    let register_and_warm = || -> Result<(), dpack_net::NetError> {
+        let mut client = pool.get();
+        for j in 0..DURABLE_BLOCKS {
+            client.register_block(&Block::new(j, RdpCurve::constant(&grid, 1.0), 0.0))?;
+        }
+        for id in 0..16u64 {
+            let outcome =
+                client.submit((id % N_TENANTS as u64) as u32, &bench_task(&grid, id, eps))?;
+            assert!(outcome.is_granted(), "warm task fits");
+        }
+        Ok(())
+    };
+    register_and_warm().expect("warm traffic through the elected leader");
+
+    // Find the leader by asking: only the primary answers the grid
+    // handshake, replicas refuse with NotPrimary.
+    let leader = (0..NODES)
+        .find(|&i| {
+            NetClient::connect(addrs[i])
+                .and_then(|mut c| c.grid())
+                .is_ok()
+        })
+        .expect("a node answers as primary");
+
+    // Kill the leader's process: listener down, protocol thread gone.
+    // From here every millisecond is the survivors' own failure
+    // detection, election, promotion, and catch-up resync.
+    let started = Instant::now();
+    servers[leader].take().expect("leader server").stop();
+    drop(runners[leader].take());
+    let mut attempt = 0u64;
+    let elapsed = loop {
+        let t = bench_task(&grid, 1_000_000 + attempt, eps);
+        let outcome = pool.try_get().and_then(|mut c| c.submit(0, &t));
+        match outcome {
+            Ok(outcome) => {
+                assert!(outcome.is_granted(), "fresh task fits on the new leader");
+                break started.elapsed();
+            }
+            // A connection still pointed at the dead leader, or an
+            // election still in flight: drop broken, redial, retry.
+            Err(_) => attempt += 1,
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "no automatic promotion within 10s"
+        );
+    };
+
+    for runner in runners.into_iter().flatten() {
+        drop(runner.stop());
+    }
+    for server in servers.into_iter().flatten() {
+        server.stop();
+    }
+    elapsed
+}
+
 /// The `--replicated` mode: what quorum-2 replication costs the grant
 /// path, and what a failover costs the tenants.
-fn replicated_comparison(n_tasks: usize, json: Option<&str>) {
+fn replicated_comparison(n_tasks: usize, json: Option<&str>, cluster_json: Option<&str>) {
     let standalone = run_replicated_leg(n_tasks, 0);
     let replicated = run_replicated_leg(n_tasks, REPLICAS);
     let relative = replicated / standalone;
@@ -745,6 +899,32 @@ fn replicated_comparison(n_tasks: usize, json: Option<&str>) {
         s.push_str("}\n");
         std::fs::write(path, s).expect("write json");
         println!("\nwrote {path}");
+    }
+    if let Some(path) = cluster_json {
+        let auto = measure_auto_failover();
+        println!(
+            "\nthree-node cluster, automatic promotion (failure detection + election + \
+             catch-up): kill to first granted decision {:.1} ms",
+            auto.as_secs_f64() * 1e3
+        );
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"bench\": \"service_throughput_cluster_failover\",");
+        let _ = writeln!(s, "  \"nodes\": 3,");
+        let _ = writeln!(s, "  \"shards\": {DURABLE_SHARDS},");
+        let _ = writeln!(s, "  \"quorum\": 1,");
+        let _ = writeln!(s, "  \"majority\": 2,");
+        let _ = writeln!(s, "  \"heartbeat_ms\": 20,");
+        let _ = writeln!(s, "  \"miss_threshold\": 3,");
+        let _ = writeln!(s, "  \"election_base_ms\": 100,");
+        let _ = writeln!(
+            s,
+            "  \"auto_failover_to_first_grant_ms\": {:.1}",
+            auto.as_secs_f64() * 1e3
+        );
+        s.push_str("}\n");
+        std::fs::write(path, s).expect("write cluster json");
+        println!("wrote {path}");
     }
 }
 
@@ -1193,7 +1373,7 @@ fn main() {
             "dpack-net quorum replication cost — {} tasks, {} replicas, quorum {}\n",
             n_tasks, REPLICAS, REPLICAS
         );
-        replicated_comparison(n_tasks, args.json.as_deref());
+        replicated_comparison(n_tasks, args.json.as_deref(), args.cluster_json.as_deref());
         return;
     }
     if args.million {

@@ -32,6 +32,10 @@ pub struct Args {
     /// Write a machine-readable summary to this path (`--json <path>`,
     /// service benches only).
     pub json: Option<String>,
+    /// With `--replicated`, also run the three-node cluster leg —
+    /// automatic leader election after a primary kill — and write its
+    /// summary to this path (`--cluster-json <path>`).
+    pub cluster_json: Option<String>,
 }
 
 impl Default for Args {
@@ -47,6 +51,7 @@ impl Default for Args {
             million: false,
             replicated: false,
             json: None,
+            cluster_json: None,
         }
     }
 }
@@ -92,10 +97,16 @@ impl Args {
                 "--json" => {
                     args.json = Some(it.next().unwrap_or_else(|| panic!("--json needs a path")));
                 }
+                "--cluster-json" => {
+                    args.cluster_json = Some(
+                        it.next()
+                            .unwrap_or_else(|| panic!("--cluster-json needs a path")),
+                    );
+                }
                 other => panic!(
                     "unknown flag {other} \
                      (expected --seed/--panel/--full/--out/--latency/--remote/--obs/\
-                     --million/--replicated/--json)"
+                     --million/--replicated/--json/--cluster-json)"
                 ),
             }
         }
@@ -142,6 +153,8 @@ mod tests {
             "--replicated",
             "--json",
             "out.json",
+            "--cluster-json",
+            "cluster.json",
         ]);
         assert_eq!(a.seed, 7);
         assert_eq!(a.panel, Some('b'));
@@ -154,6 +167,7 @@ mod tests {
         assert!(a.million);
         assert!(a.replicated);
         assert_eq!(a.json.as_deref(), Some("out.json"));
+        assert_eq!(a.cluster_json.as_deref(), Some("cluster.json"));
     }
 
     #[test]

@@ -167,12 +167,39 @@ impl NetClient {
     /// Transport/protocol failures, or a grid the accounting layer
     /// rejects.
     pub fn grid(&mut self) -> Result<AlphaGrid, NetError> {
-        let handle = self.send(Request::Hello)?;
+        self.handshake(None)
+    }
+
+    /// The handshake with an optional shared-secret token. On a secured
+    /// node this must run (and succeed) before any other request on the
+    /// connection; a wrong or missing token answers
+    /// [`crate::ErrorCode::Unauthorized`].
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures, an `Unauthorized` refusal, or a
+    /// grid the accounting layer rejects.
+    pub fn handshake(&mut self, token: Option<&str>) -> Result<AlphaGrid, NetError> {
+        let handle = self.send(Request::Hello {
+            token: token.map(str::to_owned),
+        })?;
         match self.recv_for(handle)? {
             Response::Hello { alphas } => AlphaGrid::new(alphas)
                 .map_err(|e| NetError::Protocol(format!("server sent an invalid grid: {e}"))),
             other => Err(Self::unexpected(&other)),
         }
+    }
+
+    /// Bounds how long any receive on this connection blocks; an
+    /// expired bound surfaces as [`NetError::Timeout`] **and marks the
+    /// connection broken** (a reply that arrives after its caller gave
+    /// up would desync the pipeline).
+    ///
+    /// # Errors
+    ///
+    /// Socket configuration failures.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), NetError> {
+        self.transport.set_read_timeout(timeout)
     }
 
     /// Pipelines one submission; redeem the handle with
@@ -323,11 +350,13 @@ impl NetClient {
     /// replica).
     pub fn replicate_nowait(
         &mut self,
+        term: u64,
         shard: u32,
         seq: u64,
         records: Vec<Vec<u8>>,
     ) -> Result<ReplyHandle, NetError> {
         self.send(Request::Replicate {
+            term,
             shard,
             seq,
             records,
@@ -364,14 +393,117 @@ impl NetClient {
     /// See [`NetClient::wait_replicate_ack`].
     pub fn replicate(
         &mut self,
+        term: u64,
         shard: u32,
         seq: u64,
         records: Vec<Vec<u8>>,
     ) -> Result<u64, NetError> {
-        let handle = self.replicate_nowait(shard, seq, records)?;
+        let handle = self.replicate_nowait(term, shard, seq, records)?;
         let (_, _, durable) = self.wait_replicate_ack(handle)?;
         Ok(durable)
     }
+
+    /// One failure-detector heartbeat: sends this node's term and
+    /// durable seq vector, blocks for the peer's [`PongInfo`].
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures.
+    pub fn ping(&mut self, term: u64, vector: Vec<u64>) -> Result<PongInfo, NetError> {
+        let handle = self.send(Request::Ping { term, vector })?;
+        match self.recv_for(handle)? {
+            Response::Pong {
+                term,
+                is_primary,
+                lineage,
+                vector,
+            } => Ok(PongInfo {
+                term,
+                is_primary,
+                lineage,
+                vector,
+            }),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Asks the peer for its vote in `term`; returns `(voter_term,
+    /// granted)` — a refusal carries the voter's (possibly newer) term
+    /// so the candidate can campaign above it next time.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures.
+    pub fn request_vote(
+        &mut self,
+        term: u64,
+        candidate: u64,
+        ballot: Vec<u64>,
+    ) -> Result<(u64, bool), NetError> {
+        let handle = self.send(Request::Vote {
+            term,
+            candidate,
+            ballot,
+        })?;
+        match self.recv_for(handle)? {
+            Response::VoteReply { term, granted } => Ok((term, granted)),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Installs one stream's snapshot on a lagging replica (catch-up);
+    /// returns the stream's new durable base.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures, or a remote refusal
+    /// ([`crate::ErrorCode::StaleTerm`], [`crate::ErrorCode::Io`]).
+    pub fn resync_stream(
+        &mut self,
+        term: u64,
+        shard: u32,
+        base_seq: u64,
+        snapshot: Vec<u8>,
+    ) -> Result<u64, NetError> {
+        let handle = self.send(Request::ResyncStream {
+            term,
+            shard,
+            base_seq,
+            snapshot,
+        })?;
+        match self.recv_for(handle)? {
+            Response::ResyncAck { durable, .. } => Ok(durable),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Commits a resync round: the replica persists `lineage`, clears
+    /// its dirty mark, and resumes counting toward the quorum.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures, or a remote refusal.
+    pub fn resync_commit(&mut self, term: u64, lineage: u64) -> Result<(), NetError> {
+        let handle = self.send(Request::ResyncCommit { term, lineage })?;
+        match self.recv_for(handle)? {
+            Response::ResyncAck { .. } => Ok(()),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+}
+
+/// What a peer's heartbeat answer reveals: its term, role, lineage, and
+/// durable per-stream seq vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PongInfo {
+    /// The peer's current election term.
+    pub term: u64,
+    /// Whether the peer believes it is the primary.
+    pub is_primary: bool,
+    /// The peer's persisted lineage (0 = unattached).
+    pub lineage: u64,
+    /// The peer's durable per-stream seq vector (shards, then coord).
+    pub vector: Vec<u64>,
 }
 
 /// How long [`ClientPool::get`] parks after a failed redial before
@@ -403,6 +535,9 @@ pub struct ClientPool {
     available: Condvar,
     size: usize,
     connector: Box<dyn Fn() -> Result<NetClient, NetError> + Send + Sync>,
+    /// Overall bound on [`ClientPool::try_get`]'s wait-or-redial loop;
+    /// `None` waits forever (the [`ClientPool::get`] behavior).
+    deadline: Option<Duration>,
 }
 
 impl ClientPool {
@@ -445,6 +580,43 @@ impl ClientPool {
         Self::with_connector(move || Self::probe(&addrs), size)
     }
 
+    /// [`ClientPool::connect_failover`] with a bounded patience:
+    /// the initial probe retries (no candidate may be primary yet —
+    /// e.g. an election in flight) until `deadline`, and every later
+    /// [`ClientPool::try_get`] gives up with [`NetError::Timeout`]
+    /// after the same bound instead of redialing forever. A cluster
+    /// that never elects a primary becomes a typed error, not a hang.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Timeout`] when the deadline expires before any
+    /// candidate answers as primary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0` or `addrs` is empty.
+    pub fn connect_failover_deadline(
+        addrs: Vec<SocketAddr>,
+        size: usize,
+        deadline: Duration,
+    ) -> Result<Self, NetError> {
+        assert!(!addrs.is_empty(), "failover needs at least one candidate");
+        let started = std::time::Instant::now();
+        loop {
+            let candidates = addrs.clone();
+            match Self::with_connector(move || Self::probe(&candidates), size) {
+                Ok(mut pool) => {
+                    pool.deadline = Some(deadline);
+                    return Ok(pool);
+                }
+                Err(_) if started.elapsed() < deadline => {
+                    std::thread::sleep(REDIAL_BACKOFF);
+                }
+                Err(_) => return Err(NetError::Timeout),
+            }
+        }
+    }
+
     /// Builds a pool over an arbitrary connector (the seam the tests
     /// use to inject loopback or hostile connections).
     ///
@@ -469,6 +641,7 @@ impl ClientPool {
             available: Condvar::new(),
             size,
             connector: Box::new(connector),
+            deadline: None,
         })
     }
 
@@ -538,6 +711,65 @@ impl ClientPool {
                 }
             }
             state = self.available.wait(state).expect("pool lock poisoned");
+        }
+    }
+
+    /// [`ClientPool::get`] with the pool's deadline applied (set by
+    /// [`ClientPool::connect_failover_deadline`]): waiting for an idle
+    /// connection and redialing after discards both give up with
+    /// [`NetError::Timeout`] once the bound expires. A pool built
+    /// without a deadline never times out here.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Timeout`] when the deadline expires before a
+    /// connection could be checked out or redialed.
+    pub fn try_get(&self) -> Result<PooledClient<'_>, NetError> {
+        let Some(deadline) = self.deadline else {
+            return Ok(self.get());
+        };
+        let started = std::time::Instant::now();
+        let mut state = self.state.lock().expect("pool lock poisoned");
+        loop {
+            if let Some(client) = state.idle.pop() {
+                return Ok(PooledClient {
+                    pool: self,
+                    client: Some(client),
+                });
+            }
+            if started.elapsed() >= deadline {
+                return Err(NetError::Timeout);
+            }
+            if state.total < self.size {
+                state.total += 1;
+                drop(state);
+                match (self.connector)() {
+                    Ok(client) => {
+                        return Ok(PooledClient {
+                            pool: self,
+                            client: Some(client),
+                        })
+                    }
+                    Err(_) => {
+                        let mut relocked = self.state.lock().expect("pool lock poisoned");
+                        relocked.total -= 1;
+                        let (s, _) = self
+                            .available
+                            .wait_timeout(relocked, REDIAL_BACKOFF)
+                            .expect("pool lock poisoned");
+                        state = s;
+                        continue;
+                    }
+                }
+            }
+            let remaining = deadline
+                .saturating_sub(started.elapsed())
+                .min(REDIAL_BACKOFF);
+            let (s, _) = self
+                .available
+                .wait_timeout(state, remaining.max(Duration::from_millis(1)))
+                .expect("pool lock poisoned");
+            state = s;
         }
     }
 

@@ -50,6 +50,9 @@ pub enum ErrorCode {
     /// bound; the server flushes this and closes. Reconnect (less
     /// aggressively) rather than retrying on the same connection.
     Overloaded = 33,
+    /// A client-side deadline expired (a bounded failover dial, a
+    /// ship-ack wait) before the operation completed.
+    Timeout = 34,
     /// The node is a replica: it accepts only `Replicate` traffic.
     /// Failover clients treat this as "probe the next candidate".
     NotPrimary = 40,
@@ -57,6 +60,14 @@ pub enum ErrorCode {
     /// replica refused it (applying out of order would diverge from
     /// the primary's append order).
     ReplicationGap = 41,
+    /// The sender's term is older than the receiver's: a deposed
+    /// primary (or a stale resync) tried to write. The sender must
+    /// stop acknowledging and rejoin as a replica.
+    StaleTerm = 42,
+    /// The handshake's shared-secret token was missing or wrong, or a
+    /// request arrived before a successful handshake on a secured
+    /// node.
+    Unauthorized = 43,
 }
 
 impl ErrorCode {
@@ -80,8 +91,11 @@ impl ErrorCode {
             31 => Self::Io,
             32 => Self::Closed,
             33 => Self::Overloaded,
+            34 => Self::Timeout,
             40 => Self::NotPrimary,
             41 => Self::ReplicationGap,
+            42 => Self::StaleTerm,
+            43 => Self::Unauthorized,
             _ => return None,
         })
     }
@@ -100,8 +114,11 @@ impl ErrorCode {
             Self::Io => "io",
             Self::Closed => "closed",
             Self::Overloaded => "overloaded",
+            Self::Timeout => "timeout",
             Self::NotPrimary => "not-primary",
             Self::ReplicationGap => "replication-gap",
+            Self::StaleTerm => "stale-term",
+            Self::Unauthorized => "unauthorized",
         }
     }
 
@@ -151,6 +168,9 @@ pub enum NetError {
     },
     /// The connection or server shut down before the reply arrived.
     Closed,
+    /// A client-side deadline expired before the operation completed
+    /// (bounded failover dials, read-timeout ship waits).
+    Timeout,
 }
 
 impl NetError {
@@ -164,6 +184,7 @@ impl NetError {
             Self::Admission(e) => admission_code(e),
             Self::Remote { code, .. } => *code,
             Self::Closed => ErrorCode::Closed,
+            Self::Timeout => ErrorCode::Timeout,
         }
     }
 }
@@ -178,6 +199,7 @@ impl fmt::Display for NetError {
                 write!(f, "server error [{code}]: {message}")
             }
             Self::Closed => write!(f, "connection closed before the reply"),
+            Self::Timeout => write!(f, "deadline expired before the operation completed"),
         }
     }
 }
@@ -222,8 +244,11 @@ mod tests {
             (ErrorCode::Io, 31),
             (ErrorCode::Closed, 32),
             (ErrorCode::Overloaded, 33),
+            (ErrorCode::Timeout, 34),
             (ErrorCode::NotPrimary, 40),
             (ErrorCode::ReplicationGap, 41),
+            (ErrorCode::StaleTerm, 42),
+            (ErrorCode::Unauthorized, 43),
         ];
         for (code, number) in all {
             assert_eq!(code.as_u16(), number, "{code:?} renumbered");
@@ -274,5 +299,7 @@ mod tests {
         assert!(e.to_string().contains("block-rejected (20)"));
         assert!(NetError::Closed.to_string().contains("closed"));
         assert_eq!(NetError::Protocol("x".into()).code(), ErrorCode::Protocol);
+        assert_eq!(NetError::Timeout.code(), ErrorCode::Timeout);
+        assert!(NetError::Timeout.to_string().contains("deadline"));
     }
 }

@@ -25,7 +25,14 @@
 //!   [`ServiceCore`], the transport-independent request processor.
 //! * [`transport`] / [`client`] — the [`Transport`] seam with a real
 //!   [`TcpTransport`] and an in-memory [`LoopbackTransport`], under a
-//!   pipelining [`NetClient`] and a panic-safe [`ClientPool`].
+//!   pipelining [`NetClient`] and a panic-safe [`ClientPool`] (with a
+//!   primary-probing failover mode for replicated deployments).
+//! * [`repl`] / [`cluster`] — quorum WAL shipping ([`Replicator`] on
+//!   the primary, [`ReplicaNode`] on the receivers) and the
+//!   self-healing deployment member ([`ClusterNode`]): heartbeat
+//!   failure detection, durable-seq-vector leader election with
+//!   stale-term fencing, automatic promotion, and snapshot+suffix
+//!   replica catch-up with backoff redials.
 //!
 //! # Example
 //!
@@ -57,15 +64,17 @@
 //! ```
 
 pub mod client;
+pub mod cluster;
 pub mod error;
 pub mod repl;
 pub mod server;
 pub mod transport;
 pub mod wire;
 
-pub use client::{ClientPool, NetClient, PooledClient, ReplyHandle};
+pub use client::{ClientPool, NetClient, PongInfo, PooledClient, ReplyHandle};
+pub use cluster::{ClusterConfig, ClusterNode, ClusterPeer, ClusterRunner, SharedConnector};
 pub use error::{admission_code, ErrorCode, NetError};
-pub use repl::{ReplicaNode, Replicator};
+pub use repl::{Connector, ReplicaNode, Replicator};
 pub use server::{NetServer, PendingReply, ServiceCore, Step};
 pub use transport::{LoopbackTransport, TcpTransport, Transport};
 pub use wire::{

@@ -5,33 +5,59 @@
 //! in [`dpack_service::replication`]; this module is the transport for
 //! it. A [`Replicator`] holds one pipelined [`NetClient`] link per
 //! replica and implements [`ReplicationSink`]: each
-//! [`ReplicationSink::ship`] call sends the batch to **every live
+//! [`ReplicationSink::ship`] call sends the batch to **every up
 //! replica first, then collects durability acks** — one round-trip per
-//! group-commit flush regardless of the replica count. A replica whose
-//! link fails (send error, broken stream, refused batch, bad ack) is
-//! **dead**: the sink never retries it, and operators must not promote
-//! it. The ship succeeds iff acks reach the configured quorum; with
-//! dead replicas excluded, every acknowledged grant is durable on every
-//! *live* replica, which is what makes promoting any live replica
-//! lossless.
+//! group-commit flush regardless of the replica count. The ship
+//! succeeds iff acks reach the configured quorum; every acknowledged
+//! grant is durable on every replica that acked it.
+//!
+//! Links are **self-healing**: a replica whose link fails (send error,
+//! broken stream, refused batch, bad ack, expired
+//! [`Replicator::with_ship_timeout`] deadline) drops to `Suspect` and
+//! stops receiving ships, but [`Replicator::tend`] — called
+//! periodically by whatever drives the node (a
+//! [`crate::ClusterNode`] step, or a test) — redials it with capped
+//! exponential backoff. A redialed replica whose durable state still
+//! matches the primary's (same lineage, same seq vector) rejoins on
+//! the spot; one that lagged or restarted is **resynced**: the primary
+//! quiesces shipping, pushes a per-stream snapshot at the current seq
+//! vector (the same state+suffix law compaction uses), and commits the
+//! round with its lineage, after which ships resume to it as an
+//! ordinary suffix. Legacy constructors ([`Replicator::connect`],
+//! [`Replicator::over_clients`]) never tend, preserving the original
+//! dead-stays-dead semantics.
+//!
+//! Every [`crate::Request::Replicate`] carries the primary's election
+//! **term**. A replica fences ships from terms older than the highest
+//! it has seen with [`ErrorCode::StaleTerm`], and a deposed primary
+//! that sees that refusal (or a newer term in any reply) marks itself
+//! [`Replicator::is_deposed`] and refuses further ships — the wire is
+//! how an old leader learns it lost.
 //!
 //! A [`ReplicaNode`] is the state behind
 //! [`crate::NetServer::bind_replica`]: a
 //! [`dpack_service::ReplicaWal`] with the primary's directory layout
-//! (so promotion is [`BudgetService::recover`] on its storage) plus its
-//! own observability — `dpack_repl_*` metrics and
-//! [`EventKind::ReplicaApplied`] flight-recorder events.
+//! (so promotion is [`BudgetService::recover`] on its storage), an
+//! election state (current term, vote bookkeeping), plus its own
+//! observability — `dpack_repl_*` metrics and
+//! [`EventKind::ReplicaApplied`] flight-recorder events. Terms are
+//! in-memory; what protects a restarted node from voting with stale
+//! state is the durable `dirty` marker ([`ReplicaWal::open`] wipes a
+//! mid-resync node back to unattached) plus the ballot rule below.
 //!
 //! [`BudgetService::recover`]: dpack_service::BudgetService::recover
 
 use std::fmt;
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
-use dpack_obs::{Clock, Counter, EventKind, Gauge, Histogram, Obs};
+use dpack_obs::{Clock, Counter, EventKind, FlightRecorder, Gauge, Histogram, Obs};
 use dpack_service::wal::{WalError, WalStorage};
-use dpack_service::{ReplShipError, ReplStream, ReplicaApplyError, ReplicaWal, ReplicationSink};
+use dpack_service::{
+    BudgetService, ReplShipError, ReplStream, ReplicaApplyError, ReplicaWal, ReplicationSink,
+};
 
 use crate::client::NetClient;
 use crate::error::{ErrorCode, NetError};
@@ -45,12 +71,44 @@ fn wire_stream(shard: u32) -> ReplStream {
     }
 }
 
+/// The election-ballot order: a candidate may lead a voter iff its
+/// durable seq vector is at least the voter's. Ships are serialized
+/// under the primary's cycle lock, so honest vectors are totally
+/// ordered by sum; the lexicographic leg breaks byzantine ties and the
+/// id leg breaks exact ties (lower id wins, so staggered candidates
+/// converge on one winner).
+fn ballot_wins(cand_ballot: &[u64], cand_id: u64, own_ballot: &[u64], own_id: u64) -> bool {
+    let cand_sum: u64 = cand_ballot.iter().sum();
+    let own_sum: u64 = own_ballot.iter().sum();
+    if cand_sum != own_sum {
+        return cand_sum > own_sum;
+    }
+    if cand_ballot != own_ballot {
+        return cand_ballot > own_ballot;
+    }
+    cand_id <= own_id
+}
+
+/// The replica's view of the election: the highest term it has seen.
+/// Adopting a term consumes this node's vote for it — a voter grants
+/// only to the **first** candidate that moves it to a new term, which
+/// is what makes two leaders in one term impossible.
+#[derive(Debug, Default)]
+struct ElectionState {
+    term: u64,
+}
+
 /// Replica-side state: the replica's logs plus its instruments. Serve
 /// it with [`crate::NetServer::bind_replica`] (or a loopback core via
 /// [`crate::ServiceCore::replica`] in tests).
 pub struct ReplicaNode {
     wal: ReplicaWal,
     obs: Arc<Obs>,
+    /// This node's id in the deployment — the election tiebreak. Set it
+    /// with [`ReplicaNode::with_node_id`]; standalone replicas
+    /// (never candidates) can leave the default 0.
+    node_id: u64,
+    election: Mutex<ElectionState>,
     applied_batches: Counter,
     applied_records: Counter,
     duplicate_batches: Counter,
@@ -62,6 +120,7 @@ impl fmt::Debug for ReplicaNode {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ReplicaNode")
             .field("shards", &self.wal.n_shards())
+            .field("node_id", &self.node_id)
             .finish_non_exhaustive()
     }
 }
@@ -69,7 +128,9 @@ impl fmt::Debug for ReplicaNode {
 impl ReplicaNode {
     /// Opens (or reopens) replica logs in `storage`, laid out for a
     /// primary with `shards` shards. Reopening resumes each stream's
-    /// sequence from the surviving log.
+    /// sequence from the surviving log — unless a `dirty` marker shows
+    /// the node died mid-resync, in which case the logs are wiped back
+    /// to unattached (they were not a faithful prefix of anything).
     ///
     /// # Errors
     ///
@@ -103,9 +164,23 @@ impl ReplicaNode {
                 .registry
                 .counter("dpack_repl_duplicate_batches_total", ""),
             durable_gauges,
+            node_id: 0,
+            election: Mutex::new(ElectionState::default()),
             wal,
             obs,
         })
+    }
+
+    /// Sets this node's deployment id (the election tiebreak).
+    #[must_use]
+    pub fn with_node_id(mut self, node_id: u64) -> Self {
+        self.node_id = node_id;
+        self
+    }
+
+    /// This node's deployment id.
+    pub fn node_id(&self) -> u64 {
+        self.node_id
     }
 
     /// The replica's logs (promotion reads the storage they were opened
@@ -120,11 +195,80 @@ impl ReplicaNode {
         &self.obs
     }
 
+    /// The highest election term this node has seen.
+    pub fn current_term(&self) -> u64 {
+        self.election.lock().expect("election lock poisoned").term
+    }
+
+    /// Adopts `term` if it is newer than anything seen — how a
+    /// candidate learns from a refusal carrying a higher term, and how
+    /// a follower tracks its leader.
+    pub fn observe_term(&self, term: u64) {
+        let mut es = self.election.lock().expect("election lock poisoned");
+        if term > es.term {
+            es.term = term;
+        }
+    }
+
+    /// Starts a campaign: bumps to a fresh term (consuming this node's
+    /// own vote for it — the self-vote) and returns `(term, ballot)`
+    /// to send in [`crate::Request::Vote`] to the peers.
+    pub fn prepare_campaign(&self) -> (u64, Vec<u64>) {
+        let mut es = self.election.lock().expect("election lock poisoned");
+        es.term += 1;
+        (es.term, self.wal.vector())
+    }
+
+    /// Whether a resync round is in flight (dirty marker set); a
+    /// mid-resync node holds unusable logs and must not vote.
+    pub fn is_resyncing(&self) -> bool {
+        self.wal.is_resyncing()
+    }
+
+    /// Wipes the node back to unattached in place — the follower-side
+    /// response to its primary dying mid-resync.
+    ///
+    /// # Errors
+    ///
+    /// Storage errors; retry or reopen.
+    pub fn reset_unattached(&self) -> Result<(), WalError> {
+        let reset = self.wal.reset_unattached();
+        if reset.is_ok() {
+            for gauge in &self.durable_gauges {
+                gauge.set_u64(0);
+            }
+        }
+        reset
+    }
+
+    /// Fences `term` against the highest seen: an older term is
+    /// refused (the sender is a deposed primary), a newer one is
+    /// adopted. Returns the refusal reply, or `None` to proceed.
+    fn fence(&self, term: u64, what: &str) -> Option<Response> {
+        let mut es = self.election.lock().expect("election lock poisoned");
+        if term < es.term {
+            return Some(Response::Error {
+                code: ErrorCode::StaleTerm,
+                message: format!(
+                    "{what} from term {term} refused; this replica follows term {}",
+                    es.term
+                ),
+            });
+        }
+        if term > es.term {
+            es.term = term;
+        }
+        None
+    }
+
     /// Applies one shipped batch and builds the wire reply: a
     /// [`Response::ReplicateAck`] carrying the stream's durable
-    /// sequence, or an `Error` with
+    /// sequence, or an `Error` with [`ErrorCode::StaleTerm`] /
     /// [`ErrorCode::ReplicationGap`] / [`ErrorCode::Io`].
-    pub(crate) fn apply(&self, shard: u32, seq: u64, records: &[Vec<u8>]) -> Response {
+    pub(crate) fn apply(&self, term: u64, shard: u32, seq: u64, records: &[Vec<u8>]) -> Response {
+        if let Some(refusal) = self.fence(term, "ship") {
+            return refusal;
+        }
         let stream = wire_stream(shard);
         // Sampled before the apply: afterwards a fresh batch and a
         // redelivery of the newest batch both show `durable == seq`.
@@ -161,22 +305,153 @@ impl ReplicaNode {
             },
         }
     }
+
+    /// Answers a heartbeat: adopts a newer sender term and reveals this
+    /// node's term, role, lineage, and durable seq vector.
+    pub(crate) fn pong(&self, sender_term: u64) -> Response {
+        let mut es = self.election.lock().expect("election lock poisoned");
+        if sender_term > es.term {
+            es.term = sender_term;
+        }
+        Response::Pong {
+            term: es.term,
+            is_primary: false,
+            lineage: self.wal.lineage(),
+            vector: self.wal.vector(),
+        }
+    }
+
+    /// Answers a vote request. Granted iff `term` is newer than
+    /// anything seen (each term holds at most one vote — adopting the
+    /// term consumes it), this node is not mid-resync, and the
+    /// candidate's ballot is at least this node's own (no voter elects
+    /// a leader that would lose its acked grants). The term is adopted
+    /// even on a ballot refusal, so a refused candidate retries above
+    /// it and the better-placed node campaigns in between.
+    pub(crate) fn vote(&self, term: u64, candidate: u64, ballot: &[u64]) -> Response {
+        let mut es = self.election.lock().expect("election lock poisoned");
+        let granted = term > es.term
+            && !self.wal.is_resyncing()
+            && ballot_wins(ballot, candidate, &self.wal.vector(), self.node_id);
+        if term > es.term {
+            es.term = term;
+        }
+        Response::VoteReply {
+            term: es.term,
+            granted,
+        }
+    }
+
+    /// Installs one stream's snapshot (catch-up). The first install of
+    /// a round durably marks the node dirty — killed mid-resync it
+    /// reopens unattached instead of trusting half-installed logs.
+    pub(crate) fn install(
+        &self,
+        term: u64,
+        shard: u32,
+        base_seq: u64,
+        snapshot: &[u8],
+    ) -> Response {
+        if let Some(refusal) = self.fence(term, "resync install") {
+            return refusal;
+        }
+        let stream = wire_stream(shard);
+        match self.wal.install_stream(stream, base_seq, snapshot) {
+            Ok(()) => {
+                let slot = match stream {
+                    ReplStream::Shard(s) => s as usize,
+                    ReplStream::Coordinator => self.wal.n_shards(),
+                };
+                self.durable_gauges[slot].set_u64(base_seq);
+                Response::ResyncAck {
+                    stream: shard,
+                    durable: base_seq,
+                }
+            }
+            Err(e) => Response::Error {
+                code: ErrorCode::Io,
+                message: e.to_string(),
+            },
+        }
+    }
+
+    /// Commits a resync round: persists the installing primary's
+    /// lineage and clears the dirty marker. The ack echoes the lineage
+    /// under the coordinator stream id.
+    pub(crate) fn commit_resync(&self, term: u64, lineage: u64) -> Response {
+        if let Some(refusal) = self.fence(term, "resync commit") {
+            return refusal;
+        }
+        match self.wal.commit_resync(lineage) {
+            Ok(()) => Response::ResyncAck {
+                stream: REPL_COORD_STREAM,
+                durable: lineage,
+            },
+            Err(e) => Response::Error {
+                code: ErrorCode::Io,
+                message: e.to_string(),
+            },
+        }
+    }
 }
 
-/// One replica link: dead once `client` is `None` (a dead replica is
-/// never retried and must not be promoted).
+/// How a [`Replicator`] link (re)opens its connection — the seam that
+/// lets tests inject loopback or failing connections.
+pub type Connector = Box<dyn Fn() -> Result<NetClient, NetError> + Send + Sync>;
+
+/// Link health. `Up` receives ships; `Suspect` and `Down` are skipped
+/// and redialed by [`Replicator::tend`] — `Suspect` is a fresh failure
+/// (first redial comes quickly), `Down` is a link that also failed its
+/// redials (backoff has grown).
+const LINK_UP: u8 = 0;
+const LINK_SUSPECT: u8 = 1;
+const LINK_DOWN: u8 = 2;
+
+/// First redial delay after a failure; doubles per consecutive
+/// failure up to [`REDIAL_CAP_NANOS`].
+const REDIAL_BASE_NANOS: u64 = 50_000_000;
+/// Redial backoff ceiling (5s).
+const REDIAL_CAP_NANOS: u64 = 5_000_000_000;
+/// Consecutive redial failures that demote `Suspect` to `Down`.
+const SUSPECT_FAILS_TO_DOWN: u32 = 3;
+
+/// One replica link and its failure-detector state.
 struct Link {
     addr: SocketAddr,
+    connector: Connector,
     client: Mutex<Option<NetClient>>,
+    status: AtomicU8,
+    /// Consecutive failed redial/probe rounds (backoff exponent).
+    fails: AtomicU32,
+    /// Clock-nanos before which [`Replicator::tend`] leaves this link
+    /// alone.
+    next_redial_nanos: AtomicU64,
+}
+
+impl Link {
+    fn status(&self) -> u8 {
+        self.status.load(Ordering::Acquire)
+    }
+}
+
+/// What one tend round concluded about a link.
+enum Probe {
+    /// The link is caught up (fast path or after a resync) — mark Up.
+    Caught,
+    /// Not reachable / not caught up yet — back off and retry.
+    NotYet,
+    /// The peer answered from a higher term: this primary is deposed.
+    Deposed,
 }
 
 /// The primary's [`ReplicationSink`] over [`NetClient`] links.
 ///
 /// Per-stream sequence numbers are assigned here (the ledger serializes
-/// ships per stream, so a fetch-add suffices), which also means a
-/// `Replicator` must be attached to a **fresh** ledger — the same
-/// constraint [`dpack_service::ShardedLedger::set_replication`]
-/// asserts.
+/// ships per stream, so a fetch-add suffices). Attach it to a **fresh**
+/// ledger ([`dpack_service::ShardedLedger::set_replication`]) or — for
+/// a promoted primary resuming an existing stream — build it with
+/// [`Replicator::resume`] and attach with
+/// [`dpack_service::ShardedLedger::set_replication_resumed`].
 pub struct Replicator {
     links: Vec<Link>,
     quorum: usize,
@@ -184,11 +459,28 @@ pub struct Replicator {
     /// Next-1 sequence per stream; shard streams first, coordinator
     /// last.
     seqs: Vec<AtomicU64>,
+    /// This primary's election term, carried in every ship.
+    term: AtomicU64,
+    /// The lineage stamped on resynced replicas (the primary's own
+    /// election term; 0 for a legacy/bootstrap deployment).
+    lineage: AtomicU64,
+    /// Set when the wire proved a newer term exists (a
+    /// [`ErrorCode::StaleTerm`] refusal or a higher-term pong): this
+    /// node lost the leadership and must stop acking grants.
+    deposed: AtomicBool,
+    /// Read deadline applied to every link connection; an ack that
+    /// takes longer marks the replica `Suspect` instead of wedging the
+    /// commit path.
+    ship_timeout: Option<Duration>,
     clock: Arc<dyn Clock>,
+    recorder: FlightRecorder,
     shipped_batches: Counter,
     shipped_records: Counter,
     acked_batches: Counter,
     ship_failures: Counter,
+    ship_timeout_total: Counter,
+    redials_total: Counter,
+    resyncs_total: Counter,
     live_replicas: Gauge,
     quorum_wait_nanos: Histogram,
 }
@@ -202,6 +494,7 @@ impl fmt::Debug for Replicator {
             )
             .field("quorum", &self.quorum)
             .field("live", &self.live())
+            .field("term", &self.term.load(Ordering::Acquire))
             .finish_non_exhaustive()
     }
 }
@@ -210,7 +503,9 @@ impl Replicator {
     /// Connects one link per replica address. `quorum` is how many
     /// durability acks a ship needs to succeed; `n_shards` must match
     /// the ledger this sink will be attached to (and the `shards` the
-    /// replicas' logs were opened with).
+    /// replicas' logs were opened with). Links start `Up`; without a
+    /// driver calling [`Replicator::tend`], a failed link stays down
+    /// (the original operator-driven deployment model).
     ///
     /// # Errors
     ///
@@ -232,16 +527,22 @@ impl Replicator {
             .map(|&addr| {
                 Ok(Link {
                     addr,
+                    connector: Box::new(move || NetClient::connect(addr)),
                     client: Mutex::new(Some(NetClient::connect(addr)?)),
+                    status: AtomicU8::new(LINK_UP),
+                    fails: AtomicU32::new(0),
+                    next_redial_nanos: AtomicU64::new(0),
                 })
             })
             .collect::<Result<Vec<_>, NetError>>()?;
-        Ok(Self::over_links(links, quorum, n_shards, obs))
+        Ok(Self::over_links(links, quorum, n_shards, 0, &[], obs))
     }
 
     /// Builds a replicator over pre-connected clients, one per replica
     /// — the loopback/test path ([`crate::LoopbackTransport::with_core`]
-    /// wired to [`crate::ServiceCore::replica`] cores).
+    /// wired to [`crate::ServiceCore::replica`] cores). Links start
+    /// `Up` and cannot be redialed (the connector always fails), so a
+    /// failed link stays down.
     ///
     /// # Panics
     ///
@@ -257,27 +558,103 @@ impl Replicator {
             .into_iter()
             .map(|c| Link {
                 addr: unaddressed,
+                connector: Box::new(|| Err(NetError::Closed)),
                 client: Mutex::new(Some(c)),
+                status: AtomicU8::new(LINK_UP),
+                fails: AtomicU32::new(0),
+                next_redial_nanos: AtomicU64::new(0),
             })
             .collect();
-        Self::over_links(links, quorum, n_shards, obs)
+        Self::over_links(links, quorum, n_shards, 0, &[], obs)
     }
 
-    fn over_links(links: Vec<Link>, quorum: usize, n_shards: usize, obs: &Obs) -> Self {
+    /// Builds a self-healing replicator over connectors. Every link
+    /// starts `Down` with an immediate redial due — the first
+    /// [`Replicator::tend`] dials, probes, and (if needed) resyncs
+    /// each replica before it counts toward quorum.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Replicator::connect`].
+    pub fn with_connectors(
+        connectors: Vec<(SocketAddr, Connector)>,
+        quorum: usize,
+        n_shards: usize,
+        obs: &Obs,
+    ) -> Self {
+        Self::resume(connectors, quorum, n_shards, &[], 0, obs)
+    }
+
+    /// [`Replicator::with_connectors`] for a **promoted** primary:
+    /// resumes the per-stream sequence counters from `seqs` (the seq
+    /// vector the promoting node folded its logs at; shard streams
+    /// first, coordinator last — pass `&[]` for a fresh stream) and
+    /// stamps `term` as this primary's election term and lineage.
+    /// Attach with
+    /// [`dpack_service::ShardedLedger::set_replication_resumed`].
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Replicator::connect`], plus `seqs` (when
+    /// non-empty) must hold exactly `n_shards + 1` entries.
+    pub fn resume(
+        connectors: Vec<(SocketAddr, Connector)>,
+        quorum: usize,
+        n_shards: usize,
+        seqs: &[u64],
+        term: u64,
+        obs: &Obs,
+    ) -> Self {
+        let links = connectors
+            .into_iter()
+            .map(|(addr, connector)| Link {
+                addr,
+                connector,
+                client: Mutex::new(None),
+                status: AtomicU8::new(LINK_DOWN),
+                fails: AtomicU32::new(0),
+                next_redial_nanos: AtomicU64::new(0),
+            })
+            .collect();
+        Self::over_links(links, quorum, n_shards, term, seqs, obs)
+    }
+
+    fn over_links(
+        links: Vec<Link>,
+        quorum: usize,
+        n_shards: usize,
+        term: u64,
+        seqs: &[u64],
+        obs: &Obs,
+    ) -> Self {
         assert!(
             quorum >= 1 && quorum <= links.len(),
             "quorum must be within 1..=replica count"
         );
         assert!(n_shards >= 1, "need at least one shard stream");
+        assert!(
+            seqs.is_empty() || seqs.len() == n_shards + 1,
+            "a resumed seq vector must cover every shard stream plus the coordinator"
+        );
         let this = Self {
             quorum,
             n_shards,
-            seqs: (0..=n_shards).map(|_| AtomicU64::new(0)).collect(),
+            seqs: (0..=n_shards)
+                .map(|s| AtomicU64::new(seqs.get(s).copied().unwrap_or(0)))
+                .collect(),
+            term: AtomicU64::new(term),
+            lineage: AtomicU64::new(term),
+            deposed: AtomicBool::new(false),
+            ship_timeout: None,
             clock: Arc::clone(obs.clock()),
+            recorder: obs.recorder.clone(),
             shipped_batches: obs.registry.counter("dpack_repl_shipped_batches_total", ""),
             shipped_records: obs.registry.counter("dpack_repl_shipped_records_total", ""),
             acked_batches: obs.registry.counter("dpack_repl_acked_batches_total", ""),
             ship_failures: obs.registry.counter("dpack_repl_ship_failures_total", ""),
+            ship_timeout_total: obs.registry.counter("dpack_repl_ship_timeout_total", ""),
+            redials_total: obs.registry.counter("dpack_repl_redials_total", ""),
+            resyncs_total: obs.registry.counter("dpack_repl_resyncs_total", ""),
             live_replicas: obs.registry.gauge("dpack_repl_live_replicas", ""),
             quorum_wait_nanos: obs.registry.histogram("dpack_repl_quorum_wait_nanos", ""),
             links,
@@ -286,22 +663,236 @@ impl Replicator {
         this
     }
 
-    /// Replicas whose links are still trusted.
+    /// Bounds how long a ship waits for any single replica's ack; an
+    /// expired bound marks that replica `Suspect` (counted in
+    /// `dpack_repl_ship_timeout_total`) instead of wedging the commit
+    /// path behind a hung peer. Applies to current and future
+    /// connections.
+    #[must_use]
+    pub fn with_ship_timeout(mut self, timeout: Duration) -> Self {
+        self.ship_timeout = Some(timeout);
+        for link in &self.links {
+            let mut client = link.client.lock().expect("replica link lock poisoned");
+            if let Some(c) = client.as_mut() {
+                if c.set_read_timeout(Some(timeout)).is_err() {
+                    *client = None;
+                    link.status.store(LINK_SUSPECT, Ordering::Release);
+                }
+            }
+        }
+        self
+    }
+
+    /// Replicas whose links are up (receiving ships and counted toward
+    /// quorum).
     pub fn live(&self) -> usize {
-        self.links
-            .iter()
-            .filter(|l| {
-                l.client
-                    .lock()
-                    .expect("replica link lock poisoned")
-                    .is_some()
-            })
-            .count()
+        self.links.iter().filter(|l| l.status() == LINK_UP).count()
     }
 
     /// The configured quorum.
     pub fn quorum(&self) -> usize {
         self.quorum
+    }
+
+    /// This primary's election term (0 for legacy deployments).
+    pub fn term(&self) -> u64 {
+        self.term.load(Ordering::Acquire)
+    }
+
+    /// The lineage stamped on resynced replicas.
+    pub fn lineage(&self) -> u64 {
+        self.lineage.load(Ordering::Acquire)
+    }
+
+    /// Whether the wire proved a newer term exists. A deposed
+    /// replicator refuses every further ship; the node driving it must
+    /// demote to a replica role.
+    pub fn is_deposed(&self) -> bool {
+        self.deposed.load(Ordering::Acquire)
+    }
+
+    /// The current per-stream sequence vector (shard streams first,
+    /// coordinator last) — the primary's ballot.
+    pub fn vector(&self) -> Vec<u64> {
+        self.seqs
+            .iter()
+            .map(|s| s.load(Ordering::Acquire))
+            .collect()
+    }
+
+    /// Marks a link failed right now: out of the ship path, first
+    /// redial due after the base backoff.
+    fn suspect(&self, link: &Link) {
+        link.status.store(LINK_SUSPECT, Ordering::Release);
+        link.fails.store(0, Ordering::Release);
+        link.next_redial_nanos.store(
+            self.clock.now_nanos().saturating_add(REDIAL_BASE_NANOS),
+            Ordering::Release,
+        );
+    }
+
+    /// Records a failed redial/probe round: doubles the backoff and
+    /// demotes a repeatedly-failing `Suspect` to `Down`.
+    fn backoff(&self, link: &Link, now_nanos: u64) {
+        let fails = link.fails.fetch_add(1, Ordering::AcqRel) + 1;
+        if fails >= SUSPECT_FAILS_TO_DOWN {
+            link.status.store(LINK_DOWN, Ordering::Release);
+        }
+        let delay = REDIAL_BASE_NANOS
+            .checked_shl(fails.min(16).saturating_sub(1))
+            .unwrap_or(REDIAL_CAP_NANOS)
+            .min(REDIAL_CAP_NANOS);
+        link.next_redial_nanos
+            .store(now_nanos.saturating_add(delay), Ordering::Release);
+    }
+
+    fn mark_up(&self, link: &Link) {
+        link.fails.store(0, Ordering::Release);
+        link.status.store(LINK_UP, Ordering::Release);
+    }
+
+    /// One failure-detector round: redials every non-`Up` link whose
+    /// backoff expired, probes it with a heartbeat, and rejoins it —
+    /// directly when its durable state still matches (same lineage and
+    /// seq vector), via a quiesced snapshot resync otherwise (which
+    /// needs `service`; without one, out-of-date replicas stay down).
+    /// Call it off the commit path (a cluster step thread, a test)
+    /// with the current clock reading.
+    ///
+    /// Returns `false` once the wire proves this primary deposed —
+    /// stop tending and demote.
+    pub fn tend(&self, now_nanos: u64, service: Option<&BudgetService>) -> bool {
+        if self.is_deposed() {
+            return false;
+        }
+        for (i, link) in self.links.iter().enumerate() {
+            if link.status() == LINK_UP {
+                continue;
+            }
+            if now_nanos < link.next_redial_nanos.load(Ordering::Acquire) {
+                continue;
+            }
+            if !self.redial(link) {
+                self.backoff(link, now_nanos);
+                continue;
+            }
+            // Probe (and resync) under the cycle lock: with shipping
+            // quiesced the seq vector cannot move between the capture
+            // and the rejoin, so a rejoined replica has missed nothing.
+            let probe = match service {
+                Some(svc) => svc.quiesced(|| self.probe_and_sync(i, link, Some(svc))),
+                None => self.probe_and_sync(i, link, None),
+            };
+            match probe {
+                Probe::Caught => self.mark_up(link),
+                Probe::NotYet => self.backoff(link, now_nanos),
+                Probe::Deposed => {
+                    self.deposed.store(true, Ordering::Release);
+                    self.live_replicas.set_u64(self.live() as u64);
+                    return false;
+                }
+            }
+        }
+        self.live_replicas.set_u64(self.live() as u64);
+        true
+    }
+
+    /// Ensures the link holds a connection, dialing through its
+    /// connector if not.
+    fn redial(&self, link: &Link) -> bool {
+        let mut client = link.client.lock().expect("replica link lock poisoned");
+        if client.is_some() {
+            return true;
+        }
+        match (link.connector)() {
+            Ok(mut c) => {
+                if c.set_read_timeout(self.ship_timeout).is_err() {
+                    return false;
+                }
+                self.redials_total.inc();
+                *client = Some(c);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Heartbeats a redialed link and, when it lagged, pushes a full
+    /// per-stream snapshot resync. Runs under the service's cycle lock
+    /// when a service is present.
+    fn probe_and_sync(&self, index: usize, link: &Link, service: Option<&BudgetService>) -> Probe {
+        let term = self.term();
+        let lineage = self.lineage();
+        let vector = self.vector();
+        let mut guard = link.client.lock().expect("replica link lock poisoned");
+        let pong_res = match guard.as_mut() {
+            Some(client) => client.ping(term, vector.clone()),
+            None => return Probe::NotYet,
+        };
+        let pong = match pong_res {
+            Ok(p) => p,
+            Err(NetError::Remote {
+                code: ErrorCode::StaleTerm,
+                ..
+            }) => return Probe::Deposed,
+            Err(_) => {
+                *guard = None;
+                return Probe::NotYet;
+            }
+        };
+        if pong.term > term {
+            return Probe::Deposed;
+        }
+        if pong.lineage == lineage && pong.vector == vector {
+            // Fast path: the replica's durable state is exactly ours —
+            // a transient disconnect, nothing was missed.
+            return Probe::Caught;
+        }
+        let Some(service) = service else {
+            return Probe::NotYet;
+        };
+        // Full resync: per-stream snapshot at the current (quiesced)
+        // seq vector — the same state+suffix law compaction relies on.
+        let payloads = service.ledger().shard_snapshot_payloads();
+        debug_assert_eq!(payloads.len(), self.n_shards);
+        let pushed = match guard.as_mut() {
+            Some(client) => {
+                let mut push = || -> Result<(), NetError> {
+                    for (s, payload) in payloads.iter().enumerate() {
+                        client.resync_stream(term, s as u32, vector[s], payload.clone())?;
+                    }
+                    // The shard snapshots carry the whole ledger
+                    // state; the coordinator stream restarts empty
+                    // (its records only matter for promotion-time
+                    // dedup, and the base seq keeps it aligned).
+                    client.resync_stream(
+                        term,
+                        REPL_COORD_STREAM,
+                        vector[self.n_shards],
+                        Vec::new(),
+                    )?;
+                    client.resync_commit(term, lineage)
+                };
+                push()
+            }
+            None => return Probe::NotYet,
+        };
+        match pushed {
+            Ok(()) => {
+                self.resyncs_total.inc();
+                self.recorder
+                    .record(EventKind::ReplicaResynced, index as u64, lineage);
+                Probe::Caught
+            }
+            Err(NetError::Remote {
+                code: ErrorCode::StaleTerm,
+                ..
+            }) => Probe::Deposed,
+            Err(_) => {
+                *guard = None;
+                Probe::NotYet
+            }
+        }
     }
 }
 
@@ -312,18 +903,31 @@ impl ReplicationSink for Replicator {
             ReplStream::Coordinator => (REPL_COORD_STREAM, self.n_shards),
         };
         debug_assert!(slot < self.seqs.len(), "stream outside the attached ledger");
+        if self.is_deposed() {
+            self.ship_failures.inc();
+            return Err(ReplShipError::QuorumLost {
+                acked: 0,
+                quorum: self.quorum,
+            });
+        }
+        let term = self.term();
         let seq = self.seqs[slot].fetch_add(1, Ordering::Relaxed) + 1;
         let started = self.clock.now_nanos();
         self.shipped_batches.inc();
         self.shipped_records.add(records.len() as u64);
 
-        // Phase 1: pipeline the batch to every live replica; a send
-        // failure kills the link on the spot.
+        // Phase 1: pipeline the batch to every up replica; a send
+        // failure marks the link Suspect on the spot.
         let mut handles = Vec::with_capacity(self.links.len());
         for link in &self.links {
+            if link.status() != LINK_UP {
+                handles.push(None);
+                continue;
+            }
             let mut client = link.client.lock().expect("replica link lock poisoned");
             let handle = client.as_mut().and_then(|c| {
                 c.replicate_nowait(
+                    term,
                     shard_wire,
                     seq,
                     records.iter().map(|r| r.to_vec()).collect(),
@@ -332,34 +936,49 @@ impl ReplicationSink for Replicator {
             });
             if handle.is_none() {
                 *client = None;
+                self.suspect(link);
             }
             handles.push(handle);
         }
 
         // Phase 2: collect durability acks. An errored wait, a
         // mismatched ack, or a `durable` short of `seq` all mean the
-        // replica can no longer be trusted to hold the acked prefix.
+        // replica can no longer be trusted to hold the acked prefix —
+        // Suspect, pending a redial and (if needed) resync. A
+        // stale-term refusal means *we* are the untrustworthy side.
         let mut acked = 0usize;
         for (link, handle) in self.links.iter().zip(handles) {
             let Some(handle) = handle else { continue };
             let mut client = link.client.lock().expect("replica link lock poisoned");
-            let ok = client.as_mut().is_some_and(|c| {
-                matches!(
-                    c.wait_replicate_ack(handle),
-                    Ok((s, q, durable)) if s == shard_wire && q == seq && durable >= seq
-                )
-            });
-            if ok {
-                acked += 1;
-            } else {
-                *client = None;
+            let outcome = client.as_mut().map(|c| c.wait_replicate_ack(handle));
+            match outcome {
+                Some(Ok((s, q, durable))) if s == shard_wire && q == seq && durable >= seq => {
+                    acked += 1;
+                }
+                Some(Err(NetError::Timeout)) => {
+                    self.ship_timeout_total.inc();
+                    *client = None;
+                    self.suspect(link);
+                }
+                Some(Err(NetError::Remote {
+                    code: ErrorCode::StaleTerm,
+                    ..
+                })) => {
+                    self.deposed.store(true, Ordering::Release);
+                    *client = None;
+                    self.suspect(link);
+                }
+                _ => {
+                    *client = None;
+                    self.suspect(link);
+                }
             }
         }
 
         self.live_replicas.set_u64(self.live() as u64);
         self.quorum_wait_nanos
             .record(self.clock.now_nanos().saturating_sub(started));
-        if acked >= self.quorum {
+        if acked >= self.quorum && !self.is_deposed() {
             self.acked_batches.inc();
             Ok(())
         } else {
@@ -410,7 +1029,7 @@ mod tests {
     }
 
     #[test]
-    fn a_dead_replica_fails_quorum_and_stays_dead() {
+    fn a_dead_replica_fails_quorum_and_stays_dead_without_tending() {
         let sim_a = SimStorage::new();
         let sim_b = SimStorage::new();
         let (node_a, client_a) = loopback_replica(&sim_a, 1);
@@ -428,9 +1047,10 @@ mod tests {
                 quorum: 2
             }
         );
-        assert_eq!(repl.live(), 1, "the failed replica is dead");
-        // B never recovers even if its storage does: quorum 2 of a
-        // 1-live fleet keeps failing, and A (live) keeps applying.
+        assert_eq!(repl.live(), 1, "the failed replica is out of the fleet");
+        // Nothing tends an over_clients replicator, so B never
+        // recovers even if its storage does: quorum 2 of a 1-live
+        // fleet keeps failing, and A (live) keeps applying.
         sim_b.set_append_errors(false);
         assert!(repl.ship(ReplStream::Shard(0), &[b"r2"]).is_err());
         assert_eq!(node_a.wal().durable_seq(ReplStream::Shard(0)), 2);
@@ -459,7 +1079,7 @@ mod tests {
         let grid = AlphaGrid::new(vec![4.0, 16.0]).unwrap();
         let service = Arc::new(BudgetService::new(grid, ServiceConfig::default()));
         let mut client = NetClient::loopback(service);
-        let err = client.replicate(0, 1, vec![b"r".to_vec()]).unwrap_err();
+        let err = client.replicate(0, 0, 1, vec![b"r".to_vec()]).unwrap_err();
         assert!(
             matches!(
                 err,
@@ -493,12 +1113,12 @@ mod tests {
     fn duplicate_and_gap_deliveries_answer_idempotently_and_with_gap_errors() {
         let sim = SimStorage::new();
         let (node, mut client) = loopback_replica(&sim, 1);
-        assert_eq!(client.replicate(0, 1, vec![b"a".to_vec()]).unwrap(), 1);
-        assert_eq!(client.replicate(0, 2, vec![b"b".to_vec()]).unwrap(), 2);
+        assert_eq!(client.replicate(0, 0, 1, vec![b"a".to_vec()]).unwrap(), 1);
+        assert_eq!(client.replicate(0, 0, 2, vec![b"b".to_vec()]).unwrap(), 2);
         // Duplicate: acked with the unchanged durable sequence.
-        assert_eq!(client.replicate(0, 1, vec![b"a".to_vec()]).unwrap(), 2);
+        assert_eq!(client.replicate(0, 0, 1, vec![b"a".to_vec()]).unwrap(), 2);
         // Gap: refused with the dedicated code.
-        let err = client.replicate(0, 9, vec![b"z".to_vec()]).unwrap_err();
+        let err = client.replicate(0, 0, 9, vec![b"z".to_vec()]).unwrap_err();
         assert!(
             matches!(
                 err,
@@ -510,5 +1130,126 @@ mod tests {
             "got {err:?}"
         );
         assert_eq!(node.wal().durable_seq(ReplStream::Shard(0)), 2);
+    }
+
+    #[test]
+    fn a_stale_term_ship_is_fenced_and_newer_terms_are_adopted() {
+        let sim = SimStorage::new();
+        let (node, mut client) = loopback_replica(&sim, 1);
+        // Term 0 (legacy) ships flow while nothing newer was seen.
+        assert_eq!(client.replicate(0, 0, 1, vec![b"a".to_vec()]).unwrap(), 1);
+        // A ship from term 3 is adopted...
+        assert_eq!(client.replicate(3, 0, 2, vec![b"b".to_vec()]).unwrap(), 2);
+        assert_eq!(node.current_term(), 3);
+        // ...after which the old term's ships bounce with StaleTerm.
+        let err = client.replicate(0, 0, 3, vec![b"c".to_vec()]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                NetError::Remote {
+                    code: ErrorCode::StaleTerm,
+                    ..
+                }
+            ),
+            "got {err:?}"
+        );
+        assert_eq!(node.wal().durable_seq(ReplStream::Shard(0)), 2);
+    }
+
+    #[test]
+    fn votes_grant_once_per_term_and_respect_the_ballot_order() {
+        let sim = SimStorage::new();
+        let (_node, mut client) = loopback_replica(&sim, 1);
+        // An equal ballot (fresh node, all-zero vector) is granted.
+        let (term, granted) = client.request_vote(1, 0, vec![0, 0]).unwrap();
+        assert_eq!((term, granted), (1, true));
+        // The same term cannot be granted twice, even to the same id.
+        let (_, again) = client.request_vote(1, 0, vec![0, 0]).unwrap();
+        assert!(!again);
+        // Ship a record so the voter's own ballot becomes [1, 0].
+        client.replicate(2, 0, 1, vec![b"r".to_vec()]).unwrap();
+        // A candidate whose ballot would lose acked work is refused —
+        // and the term is consumed anyway (the refused candidate must
+        // campaign above it, letting the better-placed node go first).
+        let (term, granted) = client.request_vote(3, 5, vec![0, 0]).unwrap();
+        assert_eq!((term, granted), (3, false));
+        // An exact ballot tie goes to the lower node id.
+        let (_, granted) = client.request_vote(4, 5, vec![1, 0]).unwrap();
+        assert!(!granted, "candidate id 5 loses the tie against voter id 0");
+        let (_, granted) = client.request_vote(5, 0, vec![1, 0]).unwrap();
+        assert!(granted, "a covering ballot from a low id wins");
+    }
+
+    #[test]
+    fn resync_installs_a_snapshot_base_and_commits_a_lineage() {
+        let sim = SimStorage::new();
+        let (node, mut client) = loopback_replica(&sim, 1);
+        // Install shard 0 at base 7 and the coordinator at base 3.
+        assert_eq!(client.resync_stream(2, 0, 7, Vec::new()).unwrap(), 7);
+        assert!(node.is_resyncing(), "mid-round the node is dirty");
+        assert_eq!(
+            client
+                .resync_stream(2, REPL_COORD_STREAM, 3, Vec::new())
+                .unwrap(),
+            3
+        );
+        client.resync_commit(2, 2).unwrap();
+        assert!(!node.is_resyncing());
+        assert_eq!(node.wal().lineage(), 2);
+        assert_eq!(node.wal().vector(), vec![7, 3]);
+        // Ships resume as a suffix of the installed base.
+        assert_eq!(client.replicate(2, 0, 8, vec![b"s".to_vec()]).unwrap(), 8);
+        // A mid-resync node refuses to vote even for a covering ballot.
+        assert_eq!(client.resync_stream(2, 0, 9, Vec::new()).unwrap(), 9);
+        let (_, granted) = client.request_vote(9, 0, vec![99, 99]).unwrap();
+        assert!(!granted);
+    }
+
+    #[test]
+    fn a_deposed_primary_refuses_further_ships() {
+        let sim = SimStorage::new();
+        let (node, client) = loopback_replica(&sim, 1);
+        // The replica has seen term 5 — a newer primary exists.
+        node.observe_term(5);
+        let obs = Obs::off();
+        // A legacy (term-0) replicator shipping into that view is
+        // fenced with StaleTerm, learns it is deposed, and fails every
+        // later ship without touching the wire.
+        let repl = Replicator::over_clients(vec![client], 1, 1, &obs);
+        let err = repl.ship(ReplStream::Shard(0), &[b"r"]).unwrap_err();
+        assert_eq!(
+            err,
+            ReplShipError::QuorumLost {
+                acked: 0,
+                quorum: 1
+            }
+        );
+        assert!(repl.is_deposed());
+        assert!(repl.ship(ReplStream::Shard(0), &[b"r2"]).is_err());
+        assert_eq!(node.wal().durable_seq(ReplStream::Shard(0)), 0);
+    }
+
+    #[test]
+    fn tend_redials_and_rejoins_a_matching_replica_on_the_fast_path() {
+        let sim = SimStorage::new();
+        let node = Arc::new(ReplicaNode::open(&sim, 1, 1 << 16, Obs::off()).unwrap());
+        let obs = Obs::off();
+        let target = Arc::clone(&node);
+        let connector: Connector = Box::new(move || {
+            Ok(NetClient::new(Box::new(LoopbackTransport::with_core(
+                ServiceCore::replica(Arc::clone(&target)),
+            ))))
+        });
+        let repl =
+            Replicator::with_connectors(vec![(([0, 0, 0, 0], 0).into(), connector)], 1, 1, &obs);
+        assert_eq!(repl.live(), 0, "connector links start Down");
+        assert!(repl.tend(0, None));
+        assert_eq!(
+            repl.live(),
+            1,
+            "a fresh replica matches the fresh primary: rejoined without a resync"
+        );
+        repl.ship(ReplStream::Shard(0), &[b"r"]).unwrap();
+        assert_eq!(node.wal().durable_seq(ReplStream::Shard(0)), 1);
     }
 }

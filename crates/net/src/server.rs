@@ -33,14 +33,14 @@
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::time::Duration;
 
 use dpack_obs::{Clock, Counter, EventKind, FlightRecorder, Gauge, Histogram};
 use dpack_service::{BudgetService, Decision, SubmissionTicket};
 
 use crate::error::{admission_code, ErrorCode, NetError};
-use crate::repl::ReplicaNode;
+use crate::repl::{ReplicaNode, Replicator};
 use crate::wire::{
     frame_into, FrameDecoder, Outcome, Request, RequestFrame, Response, ResponseFrame, WireStats,
     MAX_FRAME,
@@ -182,61 +182,153 @@ pub enum Step {
     Pending(PendingReply),
 }
 
-/// Which half of a replicated pair this node is serving as.
+/// Which half of a replicated pair this node is serving as. The role
+/// is *swappable* ([`ServiceCore::promote`] / [`ServiceCore::demote`]):
+/// self-healing failover changes what a node is without rebinding its
+/// socket or dropping its connections.
 #[derive(Clone)]
 enum Role {
     /// The full service surface (and the only role that accepts
     /// tenant traffic).
-    Primary(Arc<BudgetService>),
-    /// A durability follower: answers [`Request::Replicate`] (and its
-    /// own metrics/trace scrapes); every tenant request is refused
-    /// with [`ErrorCode::NotPrimary`] so failover probes move on.
+    Primary {
+        /// The embedded service.
+        service: Arc<BudgetService>,
+        /// The outbound replication fan-out, when this primary ships
+        /// to replicas (answers heartbeats with its term and seq
+        /// vector).
+        repl: Option<Arc<Replicator>>,
+    },
+    /// A durability follower: answers [`Request::Replicate`],
+    /// heartbeats, votes, and resync installs (and its own
+    /// metrics/trace scrapes); every tenant request is refused with
+    /// [`ErrorCode::NotPrimary`] so failover probes move on.
     Replica(Arc<ReplicaNode>),
+}
+
+/// Constant-time byte-string comparison (length folded into the
+/// accumulator, so mismatched lengths cost the same as mismatched
+/// bytes): the handshake token check must not leak a prefix-length
+/// timing oracle.
+fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    let mut diff = a.len() ^ b.len();
+    for i in 0..a.len().max(b.len()) {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        diff |= usize::from(x ^ y);
+    }
+    diff == 0
 }
 
 /// The transport-independent request processor: decodes one request
 /// payload, runs it against the embedded service (or replica state),
-/// and produces either an immediate reply or a pending one.
+/// and produces either an immediate reply or a pending one. Clones
+/// share the role, so a promotion through one clone is visible to all.
 #[derive(Clone)]
 pub struct ServiceCore {
-    role: Role,
+    role: Arc<RwLock<Role>>,
+    /// Pinned at construction so the reactor's instruments survive
+    /// role swaps (a promotion must not orphan the sweep histogram).
+    obs: Arc<dpack_obs::Obs>,
+    /// Optional shared-secret; when set, connections must present it
+    /// in `Hello` before any other request is served.
+    secret: Option<Arc<str>>,
+    auth_rejected: Counter,
 }
 
 impl ServiceCore {
     /// Wraps a shared service as a **primary**.
     pub fn new(service: Arc<BudgetService>) -> Self {
-        Self {
-            role: Role::Primary(service),
-        }
+        Self::new_replicated(service, None)
+    }
+
+    /// Wraps a shared service as a **primary** shipping to replicas:
+    /// the fan-out answers peer heartbeats with this node's term and
+    /// durable seq vector.
+    pub fn new_replicated(service: Arc<BudgetService>, repl: Option<Arc<Replicator>>) -> Self {
+        let obs = Arc::clone(service.obs());
+        Self::from_role(Role::Primary { service, repl }, obs)
     }
 
     /// Wraps replica state: the node answers the primary's replication
     /// stream and refuses tenant traffic with
     /// [`ErrorCode::NotPrimary`].
     pub fn replica(node: Arc<ReplicaNode>) -> Self {
+        let obs = Arc::clone(node.obs());
+        Self::from_role(Role::Replica(node), obs)
+    }
+
+    fn from_role(role: Role, obs: Arc<dpack_obs::Obs>) -> Self {
+        let auth_rejected = obs.registry.counter("dpack_auth_rejected_total", "");
         Self {
-            role: Role::Replica(node),
+            role: Arc::new(RwLock::new(role)),
+            obs,
+            secret: None,
+            auth_rejected,
         }
     }
 
-    /// The embedded service when this core is a primary.
-    pub fn service(&self) -> Option<&Arc<BudgetService>> {
-        match &self.role {
-            Role::Primary(service) => Some(service),
+    /// Requires every connection to present `secret` in its `Hello`
+    /// before any other request is served (compared in constant time;
+    /// failures count in `dpack_auth_rejected_total`).
+    #[must_use]
+    pub fn with_secret(mut self, secret: impl Into<String>) -> Self {
+        self.secret = Some(Arc::from(secret.into()));
+        self
+    }
+
+    /// The embedded service when this core is currently a primary.
+    pub fn service(&self) -> Option<Arc<BudgetService>> {
+        match &*self.role.read().expect("role lock poisoned") {
+            Role::Primary { service, .. } => Some(Arc::clone(service)),
             Role::Replica(_) => None,
         }
     }
 
-    /// The observability context of whichever role is embedded — the
-    /// reactor registers its instruments here.
-    pub fn obs(&self) -> &Arc<dpack_obs::Obs> {
-        match &self.role {
-            Role::Primary(service) => service.obs(),
-            Role::Replica(node) => node.obs(),
+    /// The replication fan-out when this core is a shipping primary.
+    pub fn replicator(&self) -> Option<Arc<Replicator>> {
+        match &*self.role.read().expect("role lock poisoned") {
+            Role::Primary { repl, .. } => repl.clone(),
+            Role::Replica(_) => None,
         }
     }
 
-    /// Processes one request payload.
+    /// The replica node when this core is currently a replica.
+    pub fn replica_node(&self) -> Option<Arc<ReplicaNode>> {
+        match &*self.role.read().expect("role lock poisoned") {
+            Role::Primary { .. } => None,
+            Role::Replica(node) => Some(Arc::clone(node)),
+        }
+    }
+
+    /// Whether this core currently serves the primary role.
+    pub fn is_primary(&self) -> bool {
+        matches!(
+            &*self.role.read().expect("role lock poisoned"),
+            Role::Primary { .. }
+        )
+    }
+
+    /// Swaps the role to primary — the decided end of a won election.
+    /// In-flight requests finish under the old role; everything after
+    /// sees the new one.
+    pub fn promote(&self, service: Arc<BudgetService>, repl: Option<Arc<Replicator>>) {
+        *self.role.write().expect("role lock poisoned") = Role::Primary { service, repl };
+    }
+
+    /// Swaps the role to replica — a deposed primary stepping down.
+    pub fn demote(&self, node: Arc<ReplicaNode>) {
+        *self.role.write().expect("role lock poisoned") = Role::Replica(node);
+    }
+
+    /// The observability context the reactor registers its instruments
+    /// on. Pinned at construction: role swaps do not change it.
+    pub fn obs(&self) -> &Arc<dpack_obs::Obs> {
+        &self.obs
+    }
+
+    /// Processes one request payload from a **trusted** caller: the
+    /// auth gate is bypassed (in-process transports and the cluster's
+    /// own tick path own the process; there is nothing to prove).
     ///
     /// # Errors
     ///
@@ -245,9 +337,50 @@ impl ServiceCore {
     /// connection, since frame boundaries can no longer be trusted to
     /// carry meaning.
     pub fn handle(&self, payload: &[u8]) -> Result<Step, NetError> {
+        let mut authed = true;
+        self.handle_with(payload, &mut authed)
+    }
+
+    /// Processes one request payload with per-connection handshake
+    /// state: on a secured core, everything but a correct `Hello` is
+    /// refused [`ErrorCode::Unauthorized`] until `*authed` flips.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Protocol`] when the payload does not decode (see
+    /// [`ServiceCore::handle`]).
+    pub fn handle_with(&self, payload: &[u8], authed: &mut bool) -> Result<Step, NetError> {
         let RequestFrame { id, body } = RequestFrame::decode(payload)?;
-        let step = match &self.role {
-            Role::Primary(service) => Self::handle_primary(service, id, body),
+        if let Some(secret) = &self.secret {
+            match &body {
+                Request::Hello { token } => {
+                    let ok = token
+                        .as_deref()
+                        .is_some_and(|t| constant_time_eq(t.as_bytes(), secret.as_bytes()));
+                    if !ok {
+                        self.auth_rejected.inc();
+                        *authed = false;
+                        return Ok(Step::Reply(clamp_reply(unauthorized_reply(
+                            id,
+                            "handshake token missing or wrong",
+                        ))));
+                    }
+                    *authed = true;
+                }
+                _ if !*authed => {
+                    self.auth_rejected.inc();
+                    return Ok(Step::Reply(clamp_reply(unauthorized_reply(
+                        id,
+                        "request before a successful handshake on a secured node",
+                    ))));
+                }
+                _ => {}
+            }
+        }
+        let step = match &*self.role.read().expect("role lock poisoned") {
+            Role::Primary { service, repl } => {
+                Self::handle_primary(service, repl.as_ref(), id, body)
+            }
             Role::Replica(node) => Self::handle_replica(node, id, body),
         };
         Ok(match step {
@@ -256,9 +389,14 @@ impl ServiceCore {
         })
     }
 
-    fn handle_primary(service: &Arc<BudgetService>, id: u64, body: Request) -> Step {
+    fn handle_primary(
+        service: &Arc<BudgetService>,
+        repl: Option<&Arc<Replicator>>,
+        id: u64,
+        body: Request,
+    ) -> Step {
         match body {
-            Request::Hello => Step::Reply(
+            Request::Hello { .. } => Step::Reply(
                 ResponseFrame {
                     id,
                     body: Response::Hello {
@@ -344,15 +482,67 @@ impl ServiceCore {
                 }
                 .encode(),
             ),
-            // A primary receiving the replication stream is a wiring
-            // error, not a role race: refuse loudly rather than
-            // double-apply records that the primary already owns.
-            Request::Replicate { .. } => Step::Reply(
+            // A deposed primary shipping into the new primary learns
+            // its term is over; any other inbound stream is a wiring
+            // error — refuse loudly rather than double-apply records
+            // that the primary already owns.
+            Request::Replicate { term, .. } => {
+                let my_term = repl.map_or(0, |r| r.term());
+                let body = if term < my_term {
+                    Response::Error {
+                        code: ErrorCode::StaleTerm,
+                        message: format!(
+                            "ship from term {term} refused; this primary holds term {my_term}"
+                        ),
+                    }
+                } else {
+                    Response::Error {
+                        code: ErrorCode::Protocol,
+                        message: "replication stream sent to a primary".into(),
+                    }
+                };
+                Step::Reply(ResponseFrame { id, body }.encode())
+            }
+            // The primary's heartbeat answer carries its term and ship
+            // vector, so peers (and the redial fast path) can judge
+            // currency without a resync round-trip.
+            Request::Ping { .. } => {
+                let (term, lineage, vector) = match repl {
+                    Some(r) => (r.term(), r.lineage(), r.vector()),
+                    None => (0, 0, Vec::new()),
+                };
+                Step::Reply(
+                    ResponseFrame {
+                        id,
+                        body: Response::Pong {
+                            term,
+                            is_primary: true,
+                            lineage,
+                            vector,
+                        },
+                    }
+                    .encode(),
+                )
+            }
+            // A live primary never votes: granting one would risk two
+            // leaders in one term. The candidate hears the refusal
+            // (with this primary's term) and backs off.
+            Request::Vote { .. } => Step::Reply(
+                ResponseFrame {
+                    id,
+                    body: Response::VoteReply {
+                        term: repl.map_or(0, |r| r.term()),
+                        granted: false,
+                    },
+                }
+                .encode(),
+            ),
+            Request::ResyncStream { .. } | Request::ResyncCommit { .. } => Step::Reply(
                 ResponseFrame {
                     id,
                     body: Response::Error {
-                        code: ErrorCode::Protocol,
-                        message: "replication stream sent to a primary".into(),
+                        code: ErrorCode::NotPrimary,
+                        message: "resync install sent to a primary".into(),
                     },
                 }
                 .encode(),
@@ -363,10 +553,24 @@ impl ServiceCore {
     fn handle_replica(node: &Arc<ReplicaNode>, id: u64, body: Request) -> Step {
         let body = match body {
             Request::Replicate {
+                term,
                 shard,
                 seq,
                 records,
-            } => node.apply(shard, seq, &records),
+            } => node.apply(term, shard, seq, &records),
+            Request::Ping { term, .. } => node.pong(term),
+            Request::Vote {
+                term,
+                candidate,
+                ballot,
+            } => node.vote(term, candidate, &ballot),
+            Request::ResyncStream {
+                term,
+                shard,
+                base_seq,
+                snapshot,
+            } => node.install(term, shard, base_seq, &snapshot),
+            Request::ResyncCommit { term, lineage } => node.commit_resync(term, lineage),
             // A replica's own instruments stay scrapeable — that is
             // how an operator watches replication lag from outside.
             Request::Metrics => Response::Metrics {
@@ -439,6 +643,18 @@ impl ServiceCore {
             },
         }
     }
+}
+
+/// The unframed `Unauthorized` reply payload for request `id`.
+fn unauthorized_reply(id: u64, message: &str) -> Vec<u8> {
+    ResponseFrame {
+        id,
+        body: Response::Error {
+            code: ErrorCode::Unauthorized,
+            message: message.into(),
+        },
+    }
+    .encode()
 }
 
 /// The framed `Error` response a peer gets right before the server
@@ -547,6 +763,8 @@ struct Conn {
     fin_sent: bool,
     /// Bytes drained and discarded while lingering.
     drained: usize,
+    /// Whether a secured core has seen this connection's `Hello`.
+    authed: bool,
 }
 
 impl Conn {
@@ -562,6 +780,7 @@ impl Conn {
             eof: false,
             fin_sent: false,
             drained: 0,
+            authed: false,
         }
     }
 
@@ -647,7 +866,8 @@ impl Conn {
                     self.decoder.extend(&chunk[..n]);
                     loop {
                         match self.decoder.next_frame() {
-                            Ok(Some(payload)) => match core.handle(&payload) {
+                            Ok(Some(payload)) => match core.handle_with(&payload, &mut self.authed)
+                            {
                                 Ok(Step::Reply(reply)) => self.queue(&reply),
                                 Ok(Step::Pending(p)) => self.pending.push(p),
                                 Err(e) => {
@@ -785,7 +1005,15 @@ impl NetServer {
         Self::bind_core(ServiceCore::replica(node), addr)
     }
 
-    fn bind_core(core: ServiceCore, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+    /// Binds and spawns the reactor around an arbitrary core — the
+    /// entry point for cluster nodes whose role swaps over the
+    /// server's lifetime, and for secured cores
+    /// ([`ServiceCore::with_secret`]).
+    ///
+    /// # Errors
+    ///
+    /// Socket bind/configuration errors.
+    pub fn bind_core(core: ServiceCore, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;

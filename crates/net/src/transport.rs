@@ -38,6 +38,19 @@ pub trait Transport: Send {
     /// Transport failures, or [`NetError::Protocol`] when the inbound
     /// stream is corrupt.
     fn recv_frame(&mut self) -> Result<Vec<u8>, NetError>;
+
+    /// Bounds how long `recv_frame` blocks; an expired bound surfaces
+    /// as [`NetError::Timeout`]. `None` restores indefinite blocking.
+    /// The default implementation ignores the bound (in-process
+    /// transports answer synchronously and never block meaningfully).
+    ///
+    /// # Errors
+    ///
+    /// Socket configuration failures.
+    fn set_read_timeout(&mut self, timeout: Option<std::time::Duration>) -> Result<(), NetError> {
+        let _ = timeout;
+        Ok(())
+    }
 }
 
 /// Frames over a blocking `TcpStream`.
@@ -83,9 +96,22 @@ impl Transport for TcpTransport {
                 Ok(0) => return Err(NetError::Closed),
                 Ok(n) => self.decoder.extend(&chunk[..n]),
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                // SO_RCVTIMEO surfaces as WouldBlock or TimedOut
+                // depending on the platform.
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Err(NetError::Timeout)
+                }
                 Err(e) => return Err(NetError::Io(e)),
             }
         }
+    }
+
+    fn set_read_timeout(&mut self, timeout: Option<std::time::Duration>) -> Result<(), NetError> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
     }
 }
 
@@ -100,6 +126,10 @@ pub struct LoopbackTransport {
     core: ServiceCore,
     ready: VecDeque<Vec<u8>>,
     pending: VecDeque<crate::server::PendingReply>,
+    /// Per-connection handshake state, exactly as a socket connection
+    /// tracks it — a secured core refuses everything until a
+    /// successful `Hello`.
+    authed: bool,
 }
 
 impl LoopbackTransport {
@@ -115,13 +145,14 @@ impl LoopbackTransport {
             core,
             ready: VecDeque::new(),
             pending: VecDeque::new(),
+            authed: false,
         }
     }
 }
 
 impl Transport for LoopbackTransport {
     fn send_frame(&mut self, payload: &[u8]) -> Result<(), NetError> {
-        match self.core.handle(payload)? {
+        match self.core.handle_with(payload, &mut self.authed)? {
             Step::Reply(reply) => self.ready.push_back(reply),
             Step::Pending(p) => self.pending.push_back(p),
         }

@@ -614,6 +614,10 @@ const REQ_SNAPSHOT: u8 = 6;
 const REQ_METRICS: u8 = 7;
 const REQ_TRACE: u8 = 8;
 const REQ_REPLICATE: u8 = 9;
+const REQ_PING: u8 = 10;
+const REQ_VOTE: u8 = 11;
+const REQ_RESYNC_STREAM: u8 = 12;
+const REQ_RESYNC_COMMIT: u8 = 13;
 
 /// The shard field value that addresses the coordinator stream in a
 /// [`Request::Replicate`] (shard streams use their index).
@@ -629,8 +633,14 @@ pub const MAX_REPL_RECORDS: u32 = 65_536;
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Protocol handshake: asks for the service's alpha grid so the
-    /// tenant can build demand curves that fit.
-    Hello,
+    /// tenant can build demand curves that fit. On a node configured
+    /// with a shared secret, `token` must match or the handshake is
+    /// refused [`ErrorCode::Unauthorized`] — and every other request
+    /// on the connection is refused until a handshake succeeds.
+    Hello {
+        /// Optional shared-secret token (compared in constant time).
+        token: Option<String>,
+    },
     /// Submit one task; the response is the **final decision**.
     Submit {
         /// The submitting tenant.
@@ -678,13 +688,67 @@ pub enum Request {
     /// log (`shard` = [`REPL_COORD_STREAM`]); `seq` numbers batches
     /// per stream from 1, so a replica detects duplicates (idempotent
     /// ack) and gaps (refused — applying out of order would diverge).
+    /// `term` is the sender's election term: a replica that has seen a
+    /// newer term refuses the ship with [`ErrorCode::StaleTerm`], which
+    /// is how a deposed primary learns it must stop acknowledging.
     Replicate {
+        /// The shipping primary's election term (0 before any
+        /// election).
+        term: u64,
         /// Stream address: shard index, or [`REPL_COORD_STREAM`].
         shard: u32,
         /// Per-stream batch sequence number, from 1.
         seq: u64,
         /// The record payloads, exactly as appended on the primary.
         records: Vec<Vec<u8>>,
+    },
+    /// Failure-detector heartbeat. Carries the sender's term and its
+    /// durable per-stream sequence vector (shards in index order, then
+    /// the coordinator stream) so peers can cheaply judge how current
+    /// it is; the [`Response::Pong`] reply carries the receiver's.
+    Ping {
+        /// The sender's current election term.
+        term: u64,
+        /// The sender's durable per-stream seq vector.
+        vector: Vec<u64>,
+    },
+    /// Leader election: the candidate asks for this peer's vote in
+    /// `term`. The vote is granted iff the term is newer than anything
+    /// the voter has seen or voted in **and** the candidate's ballot
+    /// (its durable seq vector) is at least as current as the voter's
+    /// own — the highest-durable-seq-wins rule that keeps every
+    /// acknowledged grant on whichever node wins.
+    Vote {
+        /// The proposed (new) term.
+        term: u64,
+        /// The candidate's node id (the deterministic tiebreak).
+        candidate: u64,
+        /// The candidate's durable per-stream seq vector.
+        ballot: Vec<u64>,
+    },
+    /// Catch-up: the primary installs one stream's snapshot on a
+    /// lagging replica, resetting that stream to `base_seq` (the
+    /// compaction law: snapshot + suffix replays to the same state).
+    /// The first install of a round durably marks the replica dirty;
+    /// only [`Request::ResyncCommit`] clears the mark.
+    ResyncStream {
+        /// The installing primary's term.
+        term: u64,
+        /// Stream address: shard index, or [`REPL_COORD_STREAM`].
+        shard: u32,
+        /// The stream's new base: ships resume at `base_seq + 1`.
+        base_seq: u64,
+        /// The snapshot payload (empty for the coordinator stream).
+        snapshot: Vec<u8>,
+    },
+    /// Catch-up: every stream is installed; the replica persists
+    /// `lineage` (the installing primary's term), clears its dirty
+    /// mark, and resumes counting toward the quorum.
+    ResyncCommit {
+        /// The installing primary's term.
+        term: u64,
+        /// The lineage to persist (the installing primary's term).
+        lineage: u64,
     },
 }
 
@@ -703,9 +767,16 @@ impl RequestFrame {
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::new();
         match &self.body {
-            Request::Hello => {
+            Request::Hello { token } => {
                 buf.push(REQ_HELLO);
                 put_u64(&mut buf, self.id);
+                match token {
+                    Some(t) => {
+                        buf.push(1);
+                        put_str(&mut buf, t);
+                    }
+                    None => buf.push(0),
+                }
             }
             Request::Submit { tenant, task } => {
                 buf.push(REQ_SUBMIT);
@@ -752,12 +823,14 @@ impl RequestFrame {
                 put_u64(&mut buf, *since);
             }
             Request::Replicate {
+                term,
                 shard,
                 seq,
                 records,
             } => {
                 buf.push(REQ_REPLICATE);
                 put_u64(&mut buf, self.id);
+                put_u64(&mut buf, *term);
                 put_u32(&mut buf, *shard);
                 put_u64(&mut buf, *seq);
                 put_len(&mut buf, records.len());
@@ -765,6 +838,43 @@ impl RequestFrame {
                     put_len(&mut buf, r.len());
                     buf.extend_from_slice(r);
                 }
+            }
+            Request::Ping { term, vector } => {
+                buf.push(REQ_PING);
+                put_u64(&mut buf, self.id);
+                put_u64(&mut buf, *term);
+                put_u64s(&mut buf, vector);
+            }
+            Request::Vote {
+                term,
+                candidate,
+                ballot,
+            } => {
+                buf.push(REQ_VOTE);
+                put_u64(&mut buf, self.id);
+                put_u64(&mut buf, *term);
+                put_u64(&mut buf, *candidate);
+                put_u64s(&mut buf, ballot);
+            }
+            Request::ResyncStream {
+                term,
+                shard,
+                base_seq,
+                snapshot,
+            } => {
+                buf.push(REQ_RESYNC_STREAM);
+                put_u64(&mut buf, self.id);
+                put_u64(&mut buf, *term);
+                put_u32(&mut buf, *shard);
+                put_u64(&mut buf, *base_seq);
+                put_len(&mut buf, snapshot.len());
+                buf.extend_from_slice(snapshot);
+            }
+            Request::ResyncCommit { term, lineage } => {
+                buf.push(REQ_RESYNC_COMMIT);
+                put_u64(&mut buf, self.id);
+                put_u64(&mut buf, *term);
+                put_u64(&mut buf, *lineage);
             }
         }
         buf
@@ -781,7 +891,13 @@ impl RequestFrame {
         let tag = r.u8()?;
         let id = r.u64()?;
         let body = match tag {
-            REQ_HELLO => Request::Hello,
+            REQ_HELLO => Request::Hello {
+                token: match r.u8()? {
+                    0 => None,
+                    1 => Some(r.str()?),
+                    t => return Err(bad(format!("bad token flag {t}"))),
+                },
+            },
             REQ_SUBMIT => Request::Submit {
                 tenant: r.u32()?,
                 task: WireTask::decode(&mut r)?,
@@ -811,6 +927,7 @@ impl RequestFrame {
             REQ_METRICS => Request::Metrics,
             REQ_TRACE => Request::Trace { since: r.u64()? },
             REQ_REPLICATE => {
+                let term = r.u64()?;
                 let shard = r.u32()?;
                 let seq = r.u64()?;
                 // A record is at least its own length prefix.
@@ -822,11 +939,31 @@ impl RequestFrame {
                 }
                 let records = (0..n).map(|_| r.blob()).collect::<Result<Vec<_>, _>>()?;
                 Request::Replicate {
+                    term,
                     shard,
                     seq,
                     records,
                 }
             }
+            REQ_PING => Request::Ping {
+                term: r.u64()?,
+                vector: r.u64s()?,
+            },
+            REQ_VOTE => Request::Vote {
+                term: r.u64()?,
+                candidate: r.u64()?,
+                ballot: r.u64s()?,
+            },
+            REQ_RESYNC_STREAM => Request::ResyncStream {
+                term: r.u64()?,
+                shard: r.u32()?,
+                base_seq: r.u64()?,
+                snapshot: r.blob()?,
+            },
+            REQ_RESYNC_COMMIT => Request::ResyncCommit {
+                term: r.u64()?,
+                lineage: r.u64()?,
+            },
             t => return Err(bad(format!("unknown request tag {t}"))),
         };
         r.done()?;
@@ -846,6 +983,9 @@ const RESP_ERROR: u8 = 7;
 const RESP_METRICS: u8 = 8;
 const RESP_TRACE: u8 = 9;
 const RESP_REPLICATE_ACK: u8 = 10;
+const RESP_PONG: u8 = 11;
+const RESP_VOTE_REPLY: u8 = 12;
+const RESP_RESYNC_ACK: u8 = 13;
 
 /// A server response body.
 #[derive(Debug, Clone, PartialEq)]
@@ -907,6 +1047,39 @@ pub enum Response {
         /// The acknowledged sequence number (echoed).
         seq: u64,
         /// Highest durably applied seq on that stream.
+        durable: u64,
+    },
+    /// Heartbeat reply: the receiver's term, role, lineage, and durable
+    /// per-stream seq vector. The redial fast path compares `lineage`
+    /// and `vector` against the primary's to decide whether a
+    /// reconnecting replica needs a resync at all.
+    Pong {
+        /// The responder's current election term.
+        term: u64,
+        /// Whether the responder believes it is the primary.
+        is_primary: bool,
+        /// The responder's persisted lineage (the term of the primary
+        /// whose stream it follows; 0 = unattached).
+        lineage: u64,
+        /// The responder's durable per-stream seq vector.
+        vector: Vec<u64>,
+    },
+    /// Election reply. `term` is the voter's (possibly newer) term so a
+    /// refused candidate adopts it and campaigns above it next time.
+    VoteReply {
+        /// The voter's current term after processing the request.
+        term: u64,
+        /// Whether the vote was granted.
+        granted: bool,
+    },
+    /// Catch-up acknowledgement: the install (or commit) is durable.
+    ResyncAck {
+        /// The echoed stream address (a commit ack echoes
+        /// [`REPL_COORD_STREAM`]'s value; the pairing request
+        /// disambiguates).
+        stream: u32,
+        /// The stream's new durable seq (the install's `base_seq`; a
+        /// commit ack echoes the persisted lineage).
         durable: u64,
     },
 }
@@ -997,6 +1170,31 @@ impl ResponseFrame {
                 put_u64(&mut buf, *seq);
                 put_u64(&mut buf, *durable);
             }
+            Response::Pong {
+                term,
+                is_primary,
+                lineage,
+                vector,
+            } => {
+                buf.push(RESP_PONG);
+                put_u64(&mut buf, self.id);
+                put_u64(&mut buf, *term);
+                buf.push(u8::from(*is_primary));
+                put_u64(&mut buf, *lineage);
+                put_u64s(&mut buf, vector);
+            }
+            Response::VoteReply { term, granted } => {
+                buf.push(RESP_VOTE_REPLY);
+                put_u64(&mut buf, self.id);
+                put_u64(&mut buf, *term);
+                buf.push(u8::from(*granted));
+            }
+            Response::ResyncAck { stream, durable } => {
+                buf.push(RESP_RESYNC_ACK);
+                put_u64(&mut buf, self.id);
+                put_u32(&mut buf, *stream);
+                put_u64(&mut buf, *durable);
+            }
         }
         buf
     }
@@ -1064,6 +1262,28 @@ impl ResponseFrame {
             RESP_REPLICATE_ACK => Response::ReplicateAck {
                 shard: r.u32()?,
                 seq: r.u64()?,
+                durable: r.u64()?,
+            },
+            RESP_PONG => Response::Pong {
+                term: r.u64()?,
+                is_primary: match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    t => return Err(bad(format!("bad primary flag {t}"))),
+                },
+                lineage: r.u64()?,
+                vector: r.u64s()?,
+            },
+            RESP_VOTE_REPLY => Response::VoteReply {
+                term: r.u64()?,
+                granted: match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    t => return Err(bad(format!("bad granted flag {t}"))),
+                },
+            },
+            RESP_RESYNC_ACK => Response::ResyncAck {
+                stream: r.u32()?,
                 durable: r.u64()?,
             },
             t => return Err(bad(format!("unknown response tag {t}"))),
@@ -1141,7 +1361,13 @@ mod tests {
         let requests = vec![
             RequestFrame {
                 id: 1,
-                body: Request::Hello,
+                body: Request::Hello { token: None },
+            },
+            RequestFrame {
+                id: 2,
+                body: Request::Hello {
+                    token: Some("s3cret".into()),
+                },
             },
             RequestFrame {
                 id: u64::MAX,
@@ -1184,6 +1410,7 @@ mod tests {
             RequestFrame {
                 id: 9,
                 body: Request::Replicate {
+                    term: 0,
                     shard: 3,
                     seq: 17,
                     records: vec![vec![], vec![0xD7, 1, 2, 3], vec![0xD8; 64]],
@@ -1192,9 +1419,50 @@ mod tests {
             RequestFrame {
                 id: 10,
                 body: Request::Replicate {
+                    term: 4,
                     shard: REPL_COORD_STREAM,
                     seq: 1,
                     records: vec![vec![0xFF]],
+                },
+            },
+            RequestFrame {
+                id: 11,
+                body: Request::Ping {
+                    term: 3,
+                    vector: vec![9, 4, 12],
+                },
+            },
+            RequestFrame {
+                id: 12,
+                body: Request::Vote {
+                    term: 5,
+                    candidate: 2,
+                    ballot: vec![9, 4, 12],
+                },
+            },
+            RequestFrame {
+                id: 13,
+                body: Request::ResyncStream {
+                    term: 5,
+                    shard: REPL_COORD_STREAM,
+                    base_seq: 12,
+                    snapshot: vec![],
+                },
+            },
+            RequestFrame {
+                id: 14,
+                body: Request::ResyncStream {
+                    term: 5,
+                    shard: 1,
+                    base_seq: 4,
+                    snapshot: vec![0xD7, 0, 1, 2],
+                },
+            },
+            RequestFrame {
+                id: 15,
+                body: Request::ResyncCommit {
+                    term: 5,
+                    lineage: 5,
                 },
             },
         ];
@@ -1316,6 +1584,29 @@ mod tests {
                     durable: 17,
                 },
             },
+            ResponseFrame {
+                id: 11,
+                body: Response::Pong {
+                    term: 3,
+                    is_primary: true,
+                    lineage: 2,
+                    vector: vec![9, 4, 12],
+                },
+            },
+            ResponseFrame {
+                id: 12,
+                body: Response::VoteReply {
+                    term: 5,
+                    granted: false,
+                },
+            },
+            ResponseFrame {
+                id: 13,
+                body: Response::ResyncAck {
+                    stream: 1,
+                    durable: 4,
+                },
+            },
         ];
         for resp in responses {
             let back = ResponseFrame::decode(&resp.encode()).expect("round trip");
@@ -1328,6 +1619,7 @@ mod tests {
         let mut buf = Vec::new();
         buf.push(REQ_REPLICATE);
         put_u64(&mut buf, 1); // request id
+        put_u64(&mut buf, 0); // term
         put_u32(&mut buf, 0); // shard
         put_u64(&mut buf, 1); // seq
         put_len(&mut buf, MAX_REPL_RECORDS as usize + 1);

@@ -13,7 +13,7 @@ use dpack_core::problem::{Block, Task};
 use dpack_net::wire::{frame_into, FrameDecoder};
 use dpack_net::{
     ClientPool, ErrorCode, NetClient, NetError, NetServer, Request, RequestFrame, Response,
-    ResponseFrame, Transport,
+    ResponseFrame, ServiceCore, Transport,
 };
 use dpack_service::{BudgetService, ServiceConfig, ServiceHandle, StatsRetention};
 
@@ -178,7 +178,7 @@ fn a_slow_reader_is_cut_off_at_the_buffer_cap() {
     for id in 1..=FLOOD {
         let payload = RequestFrame {
             id,
-            body: Request::Hello,
+            body: Request::Hello { token: None },
         }
         .encode();
         frame_into(&mut out, &payload);
@@ -269,7 +269,7 @@ fn a_client_dying_mid_frame_leaves_a_trace() {
         let mut raw = TcpStream::connect(server.local_addr()).expect("connect");
         let payload = RequestFrame {
             id: 1,
-            body: Request::Hello,
+            body: Request::Hello { token: None },
         }
         .encode();
         let mut framed = Vec::new();
@@ -338,5 +338,64 @@ fn a_panicking_borrower_neither_deadlocks_nor_shrinks_the_pool() {
     assert_eq!(pool.live(), 2);
     assert_eq!(service.stats_summary().granted, 60);
     cycles.stop();
+    server.stop();
+}
+
+/// A secured node refuses wrong-token handshakes and any request
+/// before a successful one — with the stable `unauthorized` code on
+/// the wire and every refusal counted in `dpack_auth_rejected_total`.
+#[test]
+fn a_secured_node_refuses_and_counts_bad_handshakes() {
+    let service = service(1, 1);
+    let core = ServiceCore::new(Arc::clone(&service)).with_secret("cluster-secret");
+    let server = NetServer::bind_core(core, "127.0.0.1:0").expect("bind secured");
+    let rejected = || {
+        service
+            .obs()
+            .registry
+            .snapshot()
+            .counter_total("dpack_auth_rejected_total")
+    };
+    let unauthorized = |err: &NetError| {
+        matches!(
+            err,
+            NetError::Remote {
+                code: ErrorCode::Unauthorized,
+                ..
+            }
+        )
+    };
+
+    // A wrong token is refused (constant-time compare server-side)…
+    let mut client = NetClient::connect(server.local_addr()).expect("connect");
+    let err = client
+        .handshake(Some("cluster-secret-almost"))
+        .expect_err("wrong token");
+    assert!(unauthorized(&err), "{err:?}");
+    assert_eq!(rejected(), 1);
+    // …a missing token too (`grid()` is the tokenless handshake)…
+    let err = client.grid().expect_err("missing token");
+    assert!(unauthorized(&err), "{err:?}");
+    assert_eq!(rejected(), 2);
+    // …and so is any request smuggled in before the handshake: the
+    // connection stays usable (the protocol was not violated) but
+    // nothing reaches the service.
+    let err = client
+        .register_block(&Block::new(0, RdpCurve::constant(&grid(), 1.0), 0.0))
+        .expect_err("request before handshake");
+    assert!(unauthorized(&err), "{err:?}");
+    assert_eq!(rejected(), 3);
+    assert!(!client.is_broken(), "a refusal is a reply, not a cut line");
+
+    // The right token flips the connection to authed; requests flow
+    // and the rejection counter stops moving.
+    assert_eq!(
+        client.handshake(Some("cluster-secret")).expect("handshake"),
+        grid()
+    );
+    client
+        .register_block(&Block::new(0, RdpCurve::constant(&grid(), 1.0), 0.0))
+        .expect("authed request reaches the service");
+    assert_eq!(rejected(), 3);
     server.stop();
 }

@@ -92,8 +92,14 @@ fn event_of(i: usize, t: &WireTask) -> Event {
 }
 
 fn request_from_seed((pick, id, tenant, mut tasks, now): RequestSeed) -> RequestFrame {
-    let body = match pick % 8 {
-        0 => Request::Hello,
+    let body = match pick % 12 {
+        0 => Request::Hello {
+            token: if id % 2 == 0 {
+                None
+            } else {
+                Some(format!("tok-{tenant}"))
+            },
+        },
         1 => Request::Submit {
             tenant,
             task: tasks.pop().unwrap_or(WireTask {
@@ -114,9 +120,39 @@ fn request_from_seed((pick, id, tenant, mut tasks, now): RequestSeed) -> Request
         4 => Request::Stats,
         5 => Request::Snapshot { now },
         6 => Request::Metrics,
-        _ => Request::Trace {
+        7 => Request::Trace {
             since: id.wrapping_mul(11),
         },
+        8 => Request::Replicate {
+            term: id % 7,
+            shard: tenant,
+            seq: id.wrapping_mul(5),
+            records: tasks.iter().map(|t| t.id.to_le_bytes().to_vec()).collect(),
+        },
+        9 => Request::Ping {
+            term: id % 9,
+            vector: tasks.iter().map(|t| t.id).collect(),
+        },
+        10 => Request::Vote {
+            term: id % 9,
+            candidate: u64::from(tenant),
+            ballot: tasks.iter().map(|t| t.id).collect(),
+        },
+        _ => {
+            if id % 2 == 0 {
+                Request::ResyncStream {
+                    term: id % 9,
+                    shard: tenant,
+                    base_seq: id.wrapping_mul(3),
+                    snapshot: tasks.iter().flat_map(|t| t.id.to_le_bytes()).collect(),
+                }
+            } else {
+                Request::ResyncCommit {
+                    term: id % 9,
+                    lineage: id % 9,
+                }
+            }
+        }
     };
     RequestFrame { id, body }
 }
@@ -133,7 +169,7 @@ fn response_from_seed((pick, id, tasks, raw_code, now): ResponseSeed) -> Respons
         },
         _ => Outcome::Evicted,
     };
-    let body = match pick % 9 {
+    let body = match pick % 12 {
         0 => Response::Hello {
             alphas: tasks.first().map(|t| t.demand.clone()).unwrap_or_default(),
         },
@@ -175,12 +211,26 @@ fn response_from_seed((pick, id, tasks, raw_code, now): ResponseSeed) -> Respons
                 .map(|(i, t)| sample_of(i, t, now))
                 .collect(),
         },
-        _ => Response::Trace {
+        8 => Response::Trace {
             events: tasks
                 .iter()
                 .enumerate()
                 .map(|(i, t)| event_of(i, t))
                 .collect(),
+        },
+        9 => Response::Pong {
+            term: id % 9,
+            is_primary: id % 2 == 0,
+            lineage: id % 5,
+            vector: tasks.iter().map(|t| t.id).collect(),
+        },
+        10 => Response::VoteReply {
+            term: id % 9,
+            granted: id % 2 == 1,
+        },
+        _ => Response::ResyncAck {
+            stream: id as u32 % 5,
+            durable: id.wrapping_mul(7),
         },
     };
     ResponseFrame { id, body }
@@ -194,7 +244,7 @@ fn prop_every_request_shape_round_trips() {
         "every_request_shape_round_trips",
         CASES,
         (
-            ints(0u8..8),
+            ints(0u8..12),
             ints(0u64..u64::MAX),
             ints(0u32..16),
             vecs(wire_task_strategy(), 0..4),
@@ -216,7 +266,7 @@ fn prop_every_response_shape_round_trips() {
         "every_response_shape_round_trips",
         CASES,
         (
-            ints(0u8..9),
+            ints(0u8..12),
             ints(1u64..u64::MAX),
             vecs(wire_task_strategy(), 0..4),
             ints(0u16..100),
@@ -359,7 +409,7 @@ fn prop_loopback_protocol_is_equivalent_to_in_process_submission() {
             (
                 vecs(ints(0u64..8), 0..3), // Blocks 6..8 are unknown.
                 floats(0.0..1.5),
-                ints(0u8..8),
+                ints(0u8..12),
                 dpack_check::bools(),
             ),
             1..20,

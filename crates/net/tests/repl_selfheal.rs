@@ -1,0 +1,219 @@
+//! Self-healing replication, observed through its instruments: the
+//! `dpack_repl_*` counters and the live-replica gauge must tell the
+//! exact story of a replica's life — hang, suspect, backoff, redial,
+//! fast-path rejoin, state loss, full resync — under a [`ManualClock`]
+//! so every backoff window is crossed deliberately.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use dp_accounting::{AlphaGrid, RdpCurve};
+use dpack_core::problem::Block;
+use dpack_net::obs::{Clock, EventKind, Obs, Value};
+use dpack_net::{
+    Connector, LoopbackTransport, NetClient, NetError, ReplicaNode, Replicator, ServiceCore,
+    Transport,
+};
+use dpack_service::wal::SimStorage;
+use dpack_service::{BudgetService, DurabilityOptions, ReplStream, ReplicationSink, ServiceConfig};
+
+/// A loopback transport whose acks can be made to hang: with the flag
+/// set, `recv_frame` surfaces [`NetError::Timeout`] — exactly what a
+/// ship sees when `SO_RCVTIMEO` expires on a wedged replica — while
+/// `send_frame` still delivers (the batch lands, the ack does not).
+struct HangableTransport {
+    inner: LoopbackTransport,
+    hang: Arc<AtomicBool>,
+}
+
+impl Transport for HangableTransport {
+    fn send_frame(&mut self, payload: &[u8]) -> Result<(), NetError> {
+        self.inner.send_frame(payload)
+    }
+
+    fn recv_frame(&mut self) -> Result<Vec<u8>, NetError> {
+        if self.hang.load(Ordering::Acquire) {
+            return Err(NetError::Timeout);
+        }
+        self.inner.recv_frame()
+    }
+}
+
+fn grid() -> AlphaGrid {
+    AlphaGrid::new(vec![4.0, 16.0]).expect("valid grid")
+}
+
+const BASE_BACKOFF: u64 = 50_000_000; // first redial delay, nanos
+
+#[test]
+fn the_self_healing_counters_tell_the_exact_lifecycle_story() {
+    // The primary: a real (durable, unreplicated-WAL) service whose
+    // ledger feeds resync snapshots, on a manual clock shared with the
+    // replicator so backoff arithmetic is deterministic.
+    let (obs, clock) = Obs::manual(0);
+    let sim_p = SimStorage::new();
+    let config = ServiceConfig {
+        shards: 1,
+        unlock_steps: 1,
+        ..ServiceConfig::default()
+    };
+    let service = BudgetService::recover_with_obs(
+        grid(),
+        config,
+        &sim_p,
+        DurabilityOptions::default(),
+        Arc::clone(&obs),
+    )
+    .expect("fresh primary");
+    service
+        .register_block(Block::new(0, RdpCurve::constant(&grid(), 4.0), 0.0))
+        .expect("unique block");
+
+    // One replica node, kept across the whole story (its own gauges
+    // must track wipes and reinstalls), behind a connector that the
+    // test can unplug (dial refused) or wedge (acks hang).
+    let robs = Obs::wall();
+    let sim_r = SimStorage::new();
+    let node = Arc::new(ReplicaNode::open(&sim_r, 1, 1 << 16, Arc::clone(&robs)).expect("replica"));
+    let reachable = Arc::new(AtomicBool::new(true));
+    let hang = Arc::new(AtomicBool::new(false));
+    let connector: Connector = {
+        let node = Arc::clone(&node);
+        let reachable = Arc::clone(&reachable);
+        let hang = Arc::clone(&hang);
+        Box::new(move || {
+            if !reachable.load(Ordering::Acquire) {
+                return Err(NetError::Closed);
+            }
+            Ok(NetClient::new(Box::new(HangableTransport {
+                inner: LoopbackTransport::with_core(ServiceCore::replica(Arc::clone(&node))),
+                hang: Arc::clone(&hang),
+            })))
+        })
+    };
+    let repl =
+        Replicator::with_connectors(vec![(([127, 0, 0, 1], 0).into(), connector)], 1, 1, &obs)
+            .with_ship_timeout(Duration::from_millis(100));
+
+    let counters = |name: &str| obs.registry.snapshot().counter_total(name);
+    let live_gauge = || match obs.registry.snapshot().get("dpack_repl_live_replicas", "") {
+        Some(Value::Gauge(v)) => *v as u64,
+        other => panic!("missing live gauge: {other:?}"),
+    };
+    let durable_gauge = || match robs
+        .registry
+        .snapshot()
+        .get("dpack_repl_durable_seq", "stream=\"shard-0\"")
+    {
+        Some(Value::Gauge(v)) => *v as u64,
+        other => panic!("missing durable gauge: {other:?}"),
+    };
+
+    // Chapter 1: connector links start Down; the first tend dials and
+    // rejoins on the fast path (a fresh replica matches a fresh
+    // primary — lineage 0, all-zero vector — so no resync).
+    assert_eq!((repl.live(), live_gauge()), (0, 0));
+    assert!(repl.tend(clock.now_nanos(), Some(&service)));
+    assert_eq!((repl.live(), live_gauge()), (1, 1));
+    assert_eq!(counters("dpack_repl_redials_total"), 1);
+    assert_eq!(counters("dpack_repl_resyncs_total"), 0);
+
+    // Chapter 2: an ordinary acked ship.
+    repl.ship(ReplStream::Shard(0), &[b"a"]).expect("quorum");
+    assert_eq!(node.wal().durable_seq(ReplStream::Shard(0)), 1);
+    assert_eq!(durable_gauge(), 1);
+
+    // Chapter 3: the replica wedges. The batch is delivered but its
+    // ack never comes: the ship times out, counts it, and drops the
+    // replica to Suspect — the commit path never blocks on a hung peer.
+    hang.store(true, Ordering::Release);
+    repl.ship(ReplStream::Shard(0), &[b"b"])
+        .expect_err("no ack");
+    assert_eq!((repl.live(), live_gauge()), (0, 0));
+    assert_eq!(counters("dpack_repl_ship_timeout_total"), 1);
+    assert_eq!(counters("dpack_repl_ship_failures_total"), 1);
+
+    // Chapter 4: the replica is unreachable. Each due redial fails and
+    // doubles the backoff; before the window expires tend must not
+    // even attempt a dial.
+    reachable.store(false, Ordering::Release);
+    hang.store(false, Ordering::Release);
+    assert!(repl.tend(clock.now_nanos(), Some(&service)));
+    assert_eq!(
+        counters("dpack_repl_redials_total"),
+        1,
+        "inside the backoff window nothing is dialed"
+    );
+    for due in [BASE_BACKOFF, 2 * BASE_BACKOFF, 4 * BASE_BACKOFF] {
+        clock.advance(due);
+        assert!(repl.tend(clock.now_nanos(), Some(&service)));
+    }
+    assert_eq!(
+        counters("dpack_repl_redials_total"),
+        1,
+        "refused dials are probe failures, not redials"
+    );
+    assert_eq!(repl.live(), 0);
+
+    // Chapter 5: the replica is back, state intact. The timed-out
+    // batch *did* land (send succeeded), so its durable vector matches
+    // the primary's exactly — fast-path rejoin, no resync.
+    reachable.store(true, Ordering::Release);
+    clock.advance(8 * BASE_BACKOFF);
+    assert!(repl.tend(clock.now_nanos(), Some(&service)));
+    assert_eq!((repl.live(), live_gauge()), (1, 1));
+    assert_eq!(counters("dpack_repl_redials_total"), 2);
+    assert_eq!(counters("dpack_repl_resyncs_total"), 0);
+    assert_eq!(node.wal().vector(), repl.vector());
+
+    // Chapter 6: the replica wedges again and then loses its state
+    // (an operator wipe / disk replacement — the logs restart empty).
+    // Now the probe sees a lagging vector and must run the full
+    // catch-up: quiesced snapshot install at the primary's vector,
+    // then a committed lineage.
+    hang.store(true, Ordering::Release);
+    repl.ship(ReplStream::Shard(0), &[b"c"])
+        .expect_err("no ack");
+    assert_eq!(counters("dpack_repl_ship_timeout_total"), 2);
+    assert_eq!(counters("dpack_repl_ship_failures_total"), 2);
+    node.reset_unattached().expect("wipe");
+    assert_eq!(durable_gauge(), 0, "the wipe zeroes the replica's gauges");
+    hang.store(false, Ordering::Release);
+    clock.advance(BASE_BACKOFF);
+    assert!(repl.tend(clock.now_nanos(), Some(&service)));
+    assert_eq!((repl.live(), live_gauge()), (1, 1));
+    assert_eq!(counters("dpack_repl_redials_total"), 3);
+    assert_eq!(counters("dpack_repl_resyncs_total"), 1);
+    assert_eq!(
+        node.wal().vector(),
+        repl.vector(),
+        "the resync re-bases the replica at the primary's seq vector"
+    );
+    assert!(!node.is_resyncing(), "the round was committed");
+    let resyncs = obs
+        .recorder
+        .dump()
+        .iter()
+        .filter(|e| e.kind == EventKind::ReplicaResynced)
+        .count();
+    assert_eq!(resyncs, 1, "one ReplicaResynced flight-recorder event");
+
+    // Chapter 7: ships resume as an ordinary suffix of the installed
+    // base, and the final ledger of counters is exact.
+    repl.ship(ReplStream::Shard(0), &[b"d"]).expect("quorum");
+    assert_eq!(node.wal().durable_seq(ReplStream::Shard(0)), 4);
+    assert_eq!(durable_gauge(), 4);
+    let metrics = obs.registry.snapshot();
+    for (name, want) in [
+        ("dpack_repl_shipped_batches_total", 4),
+        ("dpack_repl_acked_batches_total", 2),
+        ("dpack_repl_ship_failures_total", 2),
+        ("dpack_repl_ship_timeout_total", 2),
+        ("dpack_repl_redials_total", 3),
+        ("dpack_repl_resyncs_total", 1),
+    ] {
+        assert_eq!(metrics.counter_total(name), want, "{name}");
+    }
+    assert_eq!(live_gauge(), 1);
+}

@@ -38,6 +38,9 @@ use std::sync::Arc;
 /// | `ProtocolViolation` | connection ordinal | 0 |
 /// | `ReplicaApplied` | stream (shard, `u32::MAX` = coordinator) | batch seq |
 /// | `AcceptRejected` | 0 | 0 |
+/// | `LeaderElected` | term | winning node id |
+/// | `PeerStateChanged` | peer node id | new state (0 up / 1 suspect / 2 down) |
+/// | `ReplicaResynced` | peer node id | lineage (the installing primary's term) |
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
 pub enum EventKind {
@@ -65,6 +68,12 @@ pub enum EventKind {
     ReplicaApplied = 11,
     /// The accept loop refused an incoming socket (setup failed).
     AcceptRejected = 12,
+    /// A node won a leader election and promoted.
+    LeaderElected = 13,
+    /// A peer's failure-detector state changed (up/suspect/down).
+    PeerStateChanged = 14,
+    /// A lagging replica was resynced (snapshot install + commit).
+    ReplicaResynced = 15,
 }
 
 impl EventKind {
@@ -83,6 +92,9 @@ impl EventKind {
             10 => Self::ProtocolViolation,
             11 => Self::ReplicaApplied,
             12 => Self::AcceptRejected,
+            13 => Self::LeaderElected,
+            14 => Self::PeerStateChanged,
+            15 => Self::ReplicaResynced,
             _ => return None,
         })
     }
@@ -299,11 +311,11 @@ mod tests {
 
     #[test]
     fn kind_bytes_roundtrip() {
-        for k in 1..=12u8 {
+        for k in 1..=15u8 {
             let kind = EventKind::from_u8(k).expect("dense kinds");
             assert_eq!(kind as u8, k);
         }
         assert_eq!(EventKind::from_u8(0), None);
-        assert_eq!(EventKind::from_u8(13), None);
+        assert_eq!(EventKind::from_u8(16), None);
     }
 }

@@ -854,9 +854,53 @@ impl ShardedLedger {
         self.repl = Some(sink);
     }
 
+    /// [`ShardedLedger::set_replication`] for a **promoted** ledger:
+    /// attaches the sink to a ledger that already holds recovered
+    /// state. The caller must resume the sink's per-stream sequence
+    /// counters from the replica log it folded (the new primary's ship
+    /// stream continues the old one), which is exactly what
+    /// [`Replicator::resume`]-style constructors exist for — a fresh
+    /// sink here would re-number the streams and every replica would
+    /// refuse the ships as duplicates.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-durable ledger.
+    pub fn set_replication_resumed(&mut self, sink: Arc<dyn ReplicationSink>) {
+        assert!(
+            self.is_durable(),
+            "replication ships the write-ahead stream; open the ledger durable first"
+        );
+        self.repl = Some(sink);
+    }
+
     /// Whether a replication sink is attached.
     pub fn is_replicated(&self) -> bool {
         self.repl.is_some()
+    }
+
+    /// Per-shard snapshot payloads of the current block states — the
+    /// same bytes [`ShardedLedger::compact`] folds into the logs,
+    /// captured without writing anything. The resync path ships these
+    /// as a lagging replica's new base (snapshot + suffix, reusing the
+    /// compaction law); call at a replication-quiescent point so the
+    /// payloads and the ship counters agree.
+    pub fn shard_snapshot_payloads(&self) -> Vec<Vec<u8>> {
+        (0..self.shards.len())
+            .map(|s| {
+                let guard = self.lock(s);
+                let mut states: Vec<BlockState> = guard
+                    .blocks
+                    .iter()
+                    .map(|(id, b)| block_state(*id, b))
+                    .collect();
+                if let Some(tier) = &guard.tier {
+                    states.extend(tier.cold.iter().map(|(id, c)| self.cold_state(*id, c)));
+                }
+                states.sort_by_key(|s| s.id);
+                durability::encode_snapshot(&states)
+            })
+            .collect()
     }
 
     /// Drains the task ids whose grants recovery re-applied. The

@@ -67,11 +67,59 @@
 //! [`BudgetService::recover`]: crate::service::BudgetService::recover
 
 use std::fmt;
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
 use dpack_wal::{Wal, WalError, WalOptions, WalStorage};
 
 use crate::ledger::{shard_dir, COORD_DIR};
+
+/// Root sidecar: the term of the primary whose resync installed this
+/// replica's state (its *lineage*). 8 little-endian bytes. Absent or
+/// zero means unattached — the node has never completed a resync and
+/// must be fully resynced before its logs mean anything.
+const LINEAGE_FILE: &str = "lineage";
+
+/// Root marker: present while the node's logs must not be trusted — a
+/// resync is mid-install, or the node served as a primary (whose own
+/// service appends are not in the replica bookkeeping). A reopen that
+/// finds it wipes back to unattached, so a torn resync or a deposed
+/// primary can never vote (or serve) with a bogus ballot.
+const DIRTY_FILE: &str = "dirty";
+
+/// Per-stream sidecar inside the stream's directory: the replication
+/// sequence number the installed snapshot covers. The stream's durable
+/// seq is this base plus the append units recovered after the
+/// snapshot. The WAL's own scan ignores the file (foreign name).
+const SEQBASE_FILE: &str = "seqbase";
+
+fn read_u64_file(storage: &dyn WalStorage, name: &str) -> Result<Option<u64>, WalError> {
+    match storage.read(name) {
+        Ok(bytes) => {
+            let arr: [u8; 8] = bytes.as_slice().try_into().map_err(|_| {
+                WalError::Corrupt(format!("{name} sidecar is {} bytes, want 8", bytes.len()))
+            })?;
+            Ok(Some(u64::from_le_bytes(arr)))
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(WalError::Io(e)),
+    }
+}
+
+fn write_u64_file(storage: &dyn WalStorage, name: &str, value: u64) -> Result<(), WalError> {
+    storage.remove(name).map_err(WalError::Io)?;
+    storage
+        .append(name, &value.to_le_bytes())
+        .map_err(WalError::Io)
+}
+
+fn wipe_dir(storage: &dyn WalStorage) -> Result<(), WalError> {
+    for name in storage.list().map_err(WalError::Io)? {
+        storage.remove(&name).map_err(WalError::Io)?;
+    }
+    Ok(())
+}
 
 /// Which log a shipped batch belongs to. Streams are independent: each
 /// carries its own sequence numbers and maps to its own replica log.
@@ -188,7 +236,9 @@ impl std::error::Error for ReplicaApplyError {
 }
 
 /// One stream's log on the replica: the WAL plus the highest batch
-/// sequence durably applied to it.
+/// sequence durably applied to it. `seq` counts from the installed
+/// snapshot's base (0 when the stream was never resynced), so it is
+/// directly comparable with the primary's per-stream counter.
 #[derive(Debug)]
 struct StreamLog {
     wal: Wal,
@@ -207,15 +257,40 @@ struct StreamLog {
 /// resumes from there, acking duplicates idempotently.
 ///
 /// [`BudgetService::recover`]: crate::service::BudgetService::recover
-#[derive(Debug)]
 pub struct ReplicaWal {
+    /// Root storage handle, retained for the resync path (sidecars,
+    /// stream wipes) past the borrowed `open` argument.
+    storage: Box<dyn WalStorage>,
+    segment_bytes: u64,
     shards: Vec<Mutex<StreamLog>>,
     coord: Mutex<StreamLog>,
+    /// The term of the primary that last resynced this node (0 =
+    /// unattached). Mirrors the `lineage` sidecar.
+    lineage: AtomicU64,
+    /// Set between the first stream install and the resync commit;
+    /// while set, the node's vector mixes old and new streams and must
+    /// not be used as an election ballot.
+    resyncing: AtomicBool,
+}
+
+impl fmt::Debug for ReplicaWal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReplicaWal")
+            .field("shards", &self.shards.len())
+            .field("lineage", &self.lineage.load(Ordering::Relaxed))
+            .field("resyncing", &self.resyncing.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
 }
 
 impl ReplicaWal {
     /// Opens (or reopens) a replica's logs in `storage` with the same
     /// directory layout a primary with `shards` shards uses.
+    ///
+    /// If a previous life left the `dirty` marker — a torn resync, or
+    /// a stint as a promoted primary — everything is wiped first and
+    /// the node reopens unattached (empty logs, lineage 0): its ballot
+    /// is zero and the current primary will fully resync it.
     ///
     /// # Errors
     ///
@@ -230,24 +305,192 @@ impl ReplicaWal {
         segment_bytes: u64,
     ) -> Result<Self, WalError> {
         assert!(shards >= 1, "need at least one shard stream");
+        let root = storage.clone_handle();
+        if read_u64_file(root.as_ref(), DIRTY_FILE)?.is_some() {
+            Self::wipe_all(root.as_ref(), shards)?;
+        }
         let opts = WalOptions { segment_bytes };
-        let open_one = |sub: Box<dyn WalStorage>| -> Result<StreamLog, WalError> {
+        let open_one = |dir: &str| -> Result<StreamLog, WalError> {
+            let sub = root.sub(dir).map_err(WalError::Io)?;
+            let base = read_u64_file(sub.as_ref(), SEQBASE_FILE)?.unwrap_or(0);
             let (wal, recovered) = Wal::open(sub, opts)?;
             Ok(StreamLog {
                 wal,
-                seq: recovered.appends,
+                seq: base + recovered.appends,
             })
         };
         let shards = (0..shards)
-            .map(|s| Ok(Mutex::new(open_one(storage.sub(&shard_dir(s))?)?)))
+            .map(|s| Ok(Mutex::new(open_one(&shard_dir(s))?)))
             .collect::<Result<Vec<_>, WalError>>()?;
-        let coord = Mutex::new(open_one(storage.sub(COORD_DIR)?)?);
-        Ok(Self { shards, coord })
+        let coord = Mutex::new(open_one(COORD_DIR)?);
+        let lineage = read_u64_file(root.as_ref(), LINEAGE_FILE)?.unwrap_or(0);
+        Ok(Self {
+            storage: root,
+            segment_bytes,
+            shards,
+            coord,
+            lineage: AtomicU64::new(lineage),
+            resyncing: AtomicBool::new(false),
+        })
+    }
+
+    fn stream_dirs(shards: usize) -> Vec<String> {
+        (0..shards)
+            .map(shard_dir)
+            .chain(std::iter::once(COORD_DIR.to_string()))
+            .collect()
+    }
+
+    fn wipe_all(root: &dyn WalStorage, shards: usize) -> Result<(), WalError> {
+        for dir in Self::stream_dirs(shards) {
+            wipe_dir(root.sub(&dir).map_err(WalError::Io)?.as_ref())?;
+        }
+        root.remove(LINEAGE_FILE).map_err(WalError::Io)?;
+        root.remove(DIRTY_FILE).map_err(WalError::Io)?;
+        Ok(())
     }
 
     /// Number of shard streams.
     pub fn n_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The term of the primary whose resync installed this node's
+    /// state; 0 = unattached (never resynced).
+    pub fn lineage(&self) -> u64 {
+        self.lineage.load(Ordering::Acquire)
+    }
+
+    /// Whether a resync is mid-install (streams mix old and new bases;
+    /// the vector must not be used as a ballot).
+    pub fn is_resyncing(&self) -> bool {
+        self.resyncing.load(Ordering::Acquire)
+    }
+
+    /// Every stream's durable sequence: shards in order, then the
+    /// coordinator. This is the node's election ballot and heartbeat
+    /// vector.
+    pub fn vector(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("replica stream lock poisoned").seq)
+            .collect();
+        v.push(self.coord.lock().expect("replica stream lock poisoned").seq);
+        v
+    }
+
+    /// Replaces one stream with a snapshot install: the stream's
+    /// directory is wiped, the snapshot payload becomes the log's base
+    /// (the compaction law: later records are a suffix on top of it),
+    /// and the stream's sequence restarts at `base_seq` — the
+    /// primary's counter at capture time. The first install of a
+    /// resync round durably sets the `dirty` marker, so a crash
+    /// mid-resync reopens unattached instead of half-installed.
+    ///
+    /// # Errors
+    ///
+    /// Storage errors; the stream is left wiped-but-unusable and the
+    /// marker keeps it from being trusted.
+    pub fn install_stream(
+        &self,
+        stream: ReplStream,
+        base_seq: u64,
+        snapshot: &[u8],
+    ) -> Result<(), WalError> {
+        if !self.resyncing.swap(true, Ordering::AcqRel) {
+            write_u64_file(self.storage.as_ref(), DIRTY_FILE, 1)?;
+        }
+        let dir = match stream {
+            ReplStream::Shard(s) => {
+                if s as usize >= self.shards.len() {
+                    return Err(WalError::Corrupt(format!(
+                        "resync addressed shard {s} but this replica has {} shards",
+                        self.shards.len()
+                    )));
+                }
+                shard_dir(s as usize)
+            }
+            ReplStream::Coordinator => COORD_DIR.to_string(),
+        };
+        let slot = match stream {
+            ReplStream::Shard(s) => &self.shards[s as usize],
+            ReplStream::Coordinator => &self.coord,
+        };
+        let mut log = slot.lock().expect("replica stream lock poisoned");
+        let sub = self.storage.sub(&dir).map_err(WalError::Io)?;
+        wipe_dir(sub.as_ref())?;
+        let (mut wal, _) = Wal::open(
+            sub.clone_handle(),
+            WalOptions {
+                segment_bytes: self.segment_bytes,
+            },
+        )?;
+        wal.snapshot(snapshot)?;
+        write_u64_file(sub.as_ref(), SEQBASE_FILE, base_seq)?;
+        *log = StreamLog { wal, seq: base_seq };
+        Ok(())
+    }
+
+    /// Commits a resync round: durably records the installing
+    /// primary's term as this node's lineage and clears the `dirty`
+    /// marker. From here the node's logs are a faithful copy of the
+    /// primary's append stream at the captured point.
+    ///
+    /// # Errors
+    ///
+    /// Storage errors; the marker stays set, so the node remains
+    /// untrusted until the next successful resync.
+    pub fn commit_resync(&self, lineage: u64) -> Result<(), WalError> {
+        write_u64_file(self.storage.as_ref(), LINEAGE_FILE, lineage)?;
+        self.storage.remove(DIRTY_FILE).map_err(WalError::Io)?;
+        self.lineage.store(lineage, Ordering::Release);
+        self.resyncing.store(false, Ordering::Release);
+        Ok(())
+    }
+
+    /// Wipes the node back to unattached in place: empty logs, zero
+    /// vector, lineage 0. Used when the primary dies mid-resync — the
+    /// half-installed streams must not vote, and the next primary will
+    /// resync from scratch.
+    ///
+    /// # Errors
+    ///
+    /// Storage errors; retry or reopen.
+    pub fn reset_unattached(&self) -> Result<(), WalError> {
+        let opts = WalOptions {
+            segment_bytes: self.segment_bytes,
+        };
+        for (slot, dir) in self
+            .shards
+            .iter()
+            .chain(std::iter::once(&self.coord))
+            .zip(Self::stream_dirs(self.shards.len()))
+        {
+            let mut log = slot.lock().expect("replica stream lock poisoned");
+            let sub = self.storage.sub(&dir).map_err(WalError::Io)?;
+            wipe_dir(sub.as_ref())?;
+            let (wal, _) = Wal::open(sub, opts)?;
+            *log = StreamLog { wal, seq: 0 };
+        }
+        self.storage.remove(LINEAGE_FILE).map_err(WalError::Io)?;
+        self.storage.remove(DIRTY_FILE).map_err(WalError::Io)?;
+        self.lineage.store(0, Ordering::Release);
+        self.resyncing.store(false, Ordering::Release);
+        Ok(())
+    }
+
+    /// Durably marks this node's logs as untrusted (the `dirty`
+    /// marker): any later reopen wipes back to unattached. A node
+    /// promoting to primary calls this first, because its service
+    /// appends bypass the replica bookkeeping — a deposed primary must
+    /// rejoin empty and be resynced, never vote with its own logs.
+    ///
+    /// # Errors
+    ///
+    /// Storage errors; do not promote without the marker down.
+    pub fn mark_dirty(&self) -> Result<(), WalError> {
+        write_u64_file(self.storage.as_ref(), DIRTY_FILE, 1)
     }
 
     fn log(&self, stream: ReplStream) -> Result<MutexGuard<'_, StreamLog>, ReplicaApplyError> {
@@ -411,6 +654,95 @@ mod tests {
         assert_eq!(
             replica.apply(ReplStream::Shard(0), 3, &records(2)).unwrap(),
             3
+        );
+    }
+
+    #[test]
+    fn resync_install_restarts_the_stream_at_the_captured_base() {
+        let sim = SimStorage::new();
+        let replica = ReplicaWal::open(&sim, 2, 1 << 16).unwrap();
+        replica.apply(ReplStream::Shard(0), 1, &records(2)).unwrap();
+        assert_eq!(replica.vector(), vec![1, 0, 0]);
+        // Install shard 0 at base 7 (the primary's counter), coord at 3.
+        replica
+            .install_stream(ReplStream::Shard(0), 7, b"snapshot-bytes")
+            .unwrap();
+        assert!(replica.is_resyncing());
+        replica
+            .install_stream(ReplStream::Shard(1), 2, b"s1")
+            .unwrap();
+        replica
+            .install_stream(ReplStream::Coordinator, 3, &[])
+            .unwrap();
+        replica.commit_resync(5).unwrap();
+        assert!(!replica.is_resyncing());
+        assert_eq!(replica.lineage(), 5);
+        assert_eq!(replica.vector(), vec![7, 2, 3]);
+        // The suffix rides on top: next-in-sequence from the base.
+        assert_eq!(
+            replica.apply(ReplStream::Shard(0), 8, &records(1)).unwrap(),
+            8
+        );
+        assert_eq!(
+            replica.apply(ReplStream::Shard(0), 7, &records(1)).unwrap(),
+            8
+        );
+        assert!(matches!(
+            replica.apply(ReplStream::Shard(0), 10, &records(1)),
+            Err(ReplicaApplyError::Gap {
+                expected: 9,
+                got: 10,
+                ..
+            })
+        ));
+        // A clean reopen keeps the base, the suffix, and the lineage.
+        drop(replica);
+        let survivor = sim.surviving();
+        let replica = ReplicaWal::open(&survivor, 2, 1 << 16).unwrap();
+        assert_eq!(replica.vector(), vec![8, 2, 3]);
+        assert_eq!(replica.lineage(), 5);
+    }
+
+    #[test]
+    fn a_torn_resync_reopens_unattached() {
+        let sim = SimStorage::new();
+        let replica = ReplicaWal::open(&sim, 1, 1 << 16).unwrap();
+        replica.apply(ReplStream::Shard(0), 1, &records(2)).unwrap();
+        replica
+            .install_stream(ReplStream::Shard(0), 9, b"half")
+            .unwrap();
+        // No commit: the dirty marker is still down, so the reopened
+        // node wipes back to a zero ballot instead of voting with a
+        // half-installed vector.
+        drop(replica);
+        let survivor = sim.surviving();
+        let replica = ReplicaWal::open(&survivor, 1, 1 << 16).unwrap();
+        assert_eq!(replica.vector(), vec![0, 0]);
+        assert_eq!(replica.lineage(), 0);
+        assert!(!replica.is_resyncing());
+    }
+
+    #[test]
+    fn mark_dirty_forces_a_wipe_on_reopen_and_reset_wipes_in_place() {
+        let sim = SimStorage::new();
+        let replica = ReplicaWal::open(&sim, 1, 1 << 16).unwrap();
+        replica.apply(ReplStream::Shard(0), 1, &records(2)).unwrap();
+        replica.mark_dirty().unwrap();
+        drop(replica);
+        let replica = ReplicaWal::open(&sim.surviving(), 1, 1 << 16).unwrap();
+        assert_eq!(replica.vector(), vec![0, 0]);
+        // In-place reset: same thing without a restart.
+        replica.apply(ReplStream::Shard(0), 1, &records(1)).unwrap();
+        replica
+            .install_stream(ReplStream::Coordinator, 4, &[])
+            .unwrap();
+        replica.reset_unattached().unwrap();
+        assert_eq!(replica.vector(), vec![0, 0]);
+        assert_eq!(replica.lineage(), 0);
+        assert!(!replica.is_resyncing());
+        assert_eq!(
+            replica.apply(ReplStream::Shard(0), 1, &records(1)).unwrap(),
+            1
         );
     }
 

@@ -384,12 +384,40 @@ impl BudgetService {
         self.ledger.set_replication(sink);
     }
 
+    /// [`BudgetService::replicate_to`] for a service that already
+    /// recovered state — the promotion path. The sink must resume the
+    /// per-stream sequence counters of the replica log this node folded
+    /// during promotion; see
+    /// [`ShardedLedger::set_replication_resumed`](crate::ShardedLedger::set_replication_resumed).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-durable service.
+    pub fn replicate_to_resumed(&mut self, sink: Arc<dyn crate::replication::ReplicationSink>) {
+        self.ledger.set_replication_resumed(sink);
+    }
+
+    /// Runs `f` with scheduling and replication quiesced: the cycle
+    /// lock is held, so no cycle commits and no WAL batch ships while
+    /// `f` runs. The resync path uses this to capture snapshot payloads
+    /// that agree exactly with the ship counters.
+    pub fn quiesced<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _cycle = self.cycle_lock.lock().expect("cycle lock poisoned");
+        f()
+    }
+
     /// Registers a data block on its shard. Callable from any thread.
+    ///
+    /// Registration takes the cycle lock: its durable append ships on
+    /// the same per-shard replication stream as cycle flushes, and
+    /// serializing the two keeps every replica's sequence vector a
+    /// prefix of the primary's (which leader election compares).
     ///
     /// # Errors
     ///
     /// Propagates ledger validation errors (duplicate id, wrong grid).
     pub fn register_block(&self, block: Block) -> Result<(), ProblemError> {
+        let _cycle = self.cycle_lock.lock().expect("cycle lock poisoned");
         self.ledger.register_block(block)
     }
 

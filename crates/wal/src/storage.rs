@@ -25,7 +25,7 @@ use std::sync::{Arc, Mutex, MutexGuard};
 ///   truncating to a prefix, or removal.
 /// * [`sub`](WalStorage::sub) opens a nested namespace (a
 ///   subdirectory), so one root can hold many independent logs.
-pub trait WalStorage: Send {
+pub trait WalStorage: Send + Sync {
     /// Opens a nested namespace under this one.
     ///
     /// # Errors
@@ -106,6 +106,13 @@ pub trait WalStorage: Send {
     ///
     /// Propagates backend errors.
     fn remove(&self, name: &str) -> io::Result<()>;
+
+    /// An owned handle onto the same namespace. Handles share the
+    /// backing state (directory / in-memory store), so a component
+    /// that needs to keep storage around past a borrowed `&dyn
+    /// WalStorage` — the replica log's resync path, for instance — can
+    /// take one without threading ownership through every caller.
+    fn clone_handle(&self) -> Box<dyn WalStorage>;
 }
 
 /// The real-filesystem backend: one directory per namespace.
@@ -280,6 +287,10 @@ impl WalStorage for FsStorage {
             Err(e) => Err(e),
             Ok(()) => self.sync_dir(),
         }
+    }
+
+    fn clone_handle(&self) -> Box<dyn WalStorage> {
+        Box::new(self.clone())
     }
 }
 
@@ -503,6 +514,10 @@ impl WalStorage for SimStorage {
         }
         state.files.remove(&key);
         Ok(())
+    }
+
+    fn clone_handle(&self) -> Box<dyn WalStorage> {
+        Box::new(self.clone())
     }
 }
 
