@@ -39,6 +39,15 @@
 //! remote scraper would see them. The `--json` summary for this mode
 //! is CI's `BENCH_6.json`.
 //!
+//! `--traced` replaces the sweeps with the **distributed-tracing
+//! cost** comparison: the `--obs` replay with instrumentation live in
+//! *both* legs, where one leg carries a trace context on every
+//! submission (root span at admission, child spans for queue wait,
+//! cycle phases, WAL flush) and the other carries none — so the delta
+//! is the tracing hot path alone, and the binary asserts it stays
+//! under 3% of grant throughput. The `--json` summary for this mode
+//! is CI's `BENCH_10.json`.
+//!
 //! `--replicated` replaces the sweeps with the **quorum replication
 //! cost** comparison: the socket decision pipeline against a durable
 //! standalone service vs the same service shipping every append to two
@@ -1095,6 +1104,107 @@ fn obs_comparison(state: &ProblemState, json: Option<&str>) {
     }
 }
 
+/// One `--traced` leg: the `--obs` replay with the instrumentation
+/// live either way; `traced` decides whether every submission carries
+/// a trace context (root span + per-layer child spans recorded into
+/// the span ring) or none does — the delta between the two legs is
+/// the distributed-tracing hot path alone. Returns (decisions/s,
+/// spans recorded).
+fn run_traced_leg(state: &ProblemState, traced: bool) -> (f64, u64) {
+    let obs = Obs::wall();
+    let tracer = std::sync::Arc::clone(obs.tracer());
+    let spans = obs.spans.clone();
+    let service = BudgetService::with_obs(state.grid().clone(), obs_leg_config(), obs);
+    for (id, cap) in state.blocks() {
+        service
+            .register_block(Block::new(*id, cap.clone(), 0.0))
+            .expect("unique blocks");
+    }
+    let tasks = state.tasks();
+    let started = Instant::now();
+    let mut now = 1.0f64;
+    for chunk in tasks.chunks(CHUNK) {
+        for task in chunk {
+            let tenant = (task.id % N_TENANTS as u64) as TenantId;
+            if traced {
+                service
+                    .submit_traced(tenant, task.clone(), tracer.start())
+                    .expect("validated workload");
+            } else {
+                service
+                    .submit(tenant, task.clone())
+                    .expect("validated workload");
+            }
+        }
+        service.run_cycle(now);
+        now += 1.0;
+    }
+    service.run_cycle(now);
+    let wall = started.elapsed();
+    assert!(service.ledger().unsound_blocks().is_empty());
+    (tasks.len() as f64 / wall.as_secs_f64(), spans.recorded())
+}
+
+/// The `--traced` mode: distributed-tracing overhead, judged like the
+/// `--obs` comparison — one discarded warmup, then back-to-back
+/// traced/untraced pairs whose best *paired* ratio cancels machine
+/// drift. Gated: tracing every grant must cost under 3% of grant
+/// throughput.
+fn traced_comparison(state: &ProblemState, json: Option<&str>) {
+    const TRACE_ROUNDS: usize = 5;
+    let n_tasks = state.tasks().len();
+    run_traced_leg(state, true);
+    let (mut on, mut off, mut ratio, mut spans) = (0.0f64, 0.0f64, 0.0f64, 0u64);
+    for _ in 0..TRACE_ROUNDS {
+        let (on_i, spans_i) = run_traced_leg(state, true);
+        let (off_i, _) = run_traced_leg(state, false);
+        on = on.max(on_i);
+        off = off.max(off_i);
+        ratio = ratio.max(on_i / off_i);
+        spans = spans.max(spans_i);
+    }
+    let overhead = (1.0 - ratio).max(0.0);
+
+    let mut t = Table::new(vec!["tracing", "tasks", "spans", "decisions/s"]);
+    t.row(vec![
+        "on (every submission traced)".into(),
+        n_tasks.to_string(),
+        spans.to_string(),
+        fmt(on, 0),
+    ]);
+    t.row(vec![
+        "off (no trace contexts)".into(),
+        n_tasks.to_string(),
+        "0".into(),
+        fmt(off, 0),
+    ]);
+    t.print();
+    println!(
+        "\ntracing overhead: {:.2}% of grant throughput \
+         (best paired ratio over {TRACE_ROUNDS} on/off rounds)",
+        100.0 * overhead
+    );
+    assert!(
+        overhead < 0.03,
+        "tracing every grant must cost under 3% of grant throughput, measured {overhead:.4}"
+    );
+
+    if let Some(path) = json {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"bench\": \"service_throughput_traced\",");
+        let _ = writeln!(s, "  \"tasks\": {n_tasks},");
+        let _ = writeln!(s, "  \"shards\": {DURABLE_SHARDS},");
+        let _ = writeln!(s, "  \"traced_ops_per_sec\": {on:.1},");
+        let _ = writeln!(s, "  \"untraced_ops_per_sec\": {off:.1},");
+        let _ = writeln!(s, "  \"spans_recorded\": {spans},");
+        let _ = writeln!(s, "  \"tracing_overhead_ratio\": {overhead:.4}");
+        s.push_str("}\n");
+        std::fs::write(path, s).expect("write json");
+        println!("\nwrote {path}");
+    }
+}
+
 /// The process's peak resident set (VmHWM) in megabytes — the
 /// bounded-memory evidence the million-block run publishes.
 fn peak_rss_mb() -> f64 {
@@ -1400,6 +1510,27 @@ fn main() {
             args.seed,
         );
         obs_comparison(&state, args.json.as_deref());
+        return;
+    }
+    if args.traced {
+        println!(
+            "dpack-obs distributed-tracing cost — {} tasks, 32 blocks, {} shards\n",
+            n_tasks, DURABLE_SHARDS
+        );
+        let state = generate(
+            &CurveLibrary::standard(),
+            &MicrobenchmarkConfig {
+                n_tasks,
+                n_blocks: 32,
+                mu_blocks: 2.0,
+                sigma_blocks: 1.5,
+                sigma_alpha: 2.0,
+                eps_min: 0.01,
+                ..Default::default()
+            },
+            args.seed,
+        );
+        traced_comparison(&state, args.json.as_deref());
         return;
     }
     println!(

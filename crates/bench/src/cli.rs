@@ -22,6 +22,10 @@ pub struct Args {
     /// report latency percentiles instead of the sweeps (`--obs`,
     /// service benches only).
     pub obs: bool,
+    /// Measure distributed-tracing overhead (every submission traced
+    /// vs none, instrumentation live in both legs) instead of the
+    /// sweeps (`--traced`, service benches only).
+    pub traced: bool,
     /// Run the million-block tiered-ledger scaling measurement instead
     /// of the sweeps (`--million`, service benches only).
     pub million: bool,
@@ -48,6 +52,7 @@ impl Default for Args {
             latency: false,
             remote: false,
             obs: false,
+            traced: false,
             million: false,
             replicated: false,
             json: None,
@@ -92,6 +97,7 @@ impl Args {
                 "--latency" => args.latency = true,
                 "--remote" => args.remote = true,
                 "--obs" => args.obs = true,
+                "--traced" => args.traced = true,
                 "--million" => args.million = true,
                 "--replicated" => args.replicated = true,
                 "--json" => {
@@ -106,7 +112,7 @@ impl Args {
                 other => panic!(
                     "unknown flag {other} \
                      (expected --seed/--panel/--full/--out/--latency/--remote/--obs/\
-                     --million/--replicated/--json/--cluster-json)"
+                     --traced/--million/--replicated/--json/--cluster-json)"
                 ),
             }
         }
@@ -149,6 +155,7 @@ mod tests {
             "--latency",
             "--remote",
             "--obs",
+            "--traced",
             "--million",
             "--replicated",
             "--json",
@@ -164,6 +171,7 @@ mod tests {
         assert!(a.wants_panel('b'));
         assert!(a.latency);
         assert!(a.remote);
+        assert!(a.traced);
         assert!(a.million);
         assert!(a.replicated);
         assert_eq!(a.json.as_deref(), Some("out.json"));

@@ -31,8 +31,10 @@ use dpack_service::BudgetService;
 use crate::error::NetError;
 use crate::transport::{LoopbackTransport, TcpTransport, Transport};
 use crate::wire::{
-    Outcome, Request, RequestFrame, Response, ResponseFrame, WireStats, WireTask, MAX_FRAME,
+    Outcome, Request, RequestFrame, Response, ResponseFrame, WireClusterStatus, WireStats,
+    WireTask, MAX_FRAME,
 };
+use dpack_obs::{Span, TraceContext};
 
 /// A claim on one in-flight request's response.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -213,6 +215,28 @@ impl NetClient {
         self.send(Request::Submit {
             tenant,
             task: WireTask::from_task(task),
+            trace: None,
+        })
+    }
+
+    /// [`NetClient::submit_nowait`] under a distributed-trace context:
+    /// the server opens the grant's root span at admission and every
+    /// node it touches records children under the same trace id.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures (the submission may or may not have reached
+    /// the server).
+    pub fn submit_traced_nowait(
+        &mut self,
+        tenant: u32,
+        task: &Task,
+        trace: TraceContext,
+    ) -> Result<ReplyHandle, NetError> {
+        self.send(Request::Submit {
+            tenant,
+            task: WireTask::from_task(task),
+            trace: Some(trace),
         })
     }
 
@@ -255,6 +279,7 @@ impl NetClient {
         let handle = self.send(Request::SubmitBatch {
             tenant,
             tasks: tasks.iter().map(WireTask::from_task).collect(),
+            traces: Vec::new(),
         })?;
         match self.recv_for(handle)? {
             Response::BatchDecision { decisions } => Ok(decisions),
@@ -354,12 +379,14 @@ impl NetClient {
         shard: u32,
         seq: u64,
         records: Vec<Vec<u8>>,
+        traces: Vec<u64>,
     ) -> Result<ReplyHandle, NetError> {
         self.send(Request::Replicate {
             term,
             shard,
             seq,
             records,
+            traces,
         })
     }
 
@@ -398,9 +425,59 @@ impl NetClient {
         seq: u64,
         records: Vec<Vec<u8>>,
     ) -> Result<u64, NetError> {
-        let handle = self.replicate_nowait(term, shard, seq, records)?;
+        let handle = self.replicate_nowait(term, shard, seq, records, Vec::new())?;
         let (_, _, durable) = self.wait_replicate_ack(handle)?;
         Ok(durable)
+    }
+
+    /// Reads the node's introspection answer: its role, term, durable
+    /// seq vector, and its live view of every peer (state, per-stream
+    /// replication lag when it is the primary, resync/backoff state).
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures.
+    pub fn cluster_status(&mut self) -> Result<WireClusterStatus, NetError> {
+        let handle = self.send(Request::ClusterStatus)?;
+        match self.recv_for(handle)? {
+            Response::ClusterStatus(status) => Ok(status),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Dumps the node's span ring from sequence number `since` (0 for
+    /// everything retained). One call returns at most a reply-budget
+    /// page; see [`NetClient::span_dump_all`] for the paginating form.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures.
+    pub fn span_dump(&mut self, since: u64) -> Result<Vec<Span>, NetError> {
+        let handle = self.send(Request::SpanDump { since })?;
+        match self.recv_for(handle)? {
+            Response::SpanDump { spans } => Ok(spans),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Drains the node's entire retained span ring, following the
+    /// server's reply-budget pagination (each page's last seq + 1
+    /// seeds the next request) until a page comes back empty.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures.
+    pub fn span_dump_all(&mut self) -> Result<Vec<Span>, NetError> {
+        let mut all = Vec::new();
+        let mut since = 0u64;
+        loop {
+            let page = self.span_dump(since)?;
+            let Some(last) = page.last() else {
+                return Ok(all);
+            };
+            since = last.seq + 1;
+            all.extend(page);
+        }
     }
 
     /// One failure-detector heartbeat: sends this node's term and

@@ -62,6 +62,7 @@ use crate::client::NetClient;
 use crate::error::NetError;
 use crate::repl::{Connector, ReplicaNode, Replicator};
 use crate::server::ServiceCore;
+use crate::wire::{WireClusterStatus, WirePeer};
 
 /// A cloneable connection factory to one peer — the cluster mints
 /// per-purpose [`Connector`]s (failure detector, replication links)
@@ -194,6 +195,9 @@ impl ClusterNode {
         storage: Box<dyn WalStorage>,
         obs: Arc<Obs>,
     ) -> Result<Self, WalError> {
+        // Spans recorded anywhere on this member carry its id, so
+        // multi-node span dumps merge into one causal tree.
+        obs.spans.set_node(config.node_id);
         let node = ReplicaNode::open(
             storage.as_ref(),
             config.service.shards,
@@ -288,6 +292,42 @@ impl ClusterNode {
         self.term_gauge.set_u64(self.current_term());
         self.is_primary_gauge
             .set_u64(u64::from(self.core.is_primary()));
+        self.publish_view();
+    }
+
+    /// Pushes what only the cluster driver knows — node ids, peer
+    /// addresses and failure-detector states, the believed leader —
+    /// into the core, where [`crate::Request::ClusterStatus`] overlays
+    /// the live role-owned fields (term, seq vector, per-stream lag)
+    /// at answer time.
+    fn publish_view(&self) {
+        let is_primary = self.core.is_primary();
+        let peers = self
+            .peers
+            .iter()
+            .map(|p| WirePeer {
+                id: p.id,
+                addr: p.addr.to_string(),
+                state: p.status,
+                term: p.term,
+                is_primary: p.is_primary,
+                lag: Vec::new(),
+                backoff_nanos: 0,
+                resyncs: 0,
+            })
+            .collect();
+        self.core.set_cluster_view(WireClusterStatus {
+            node_id: self.config.node_id,
+            is_primary,
+            term: self.current_term(),
+            leader: if is_primary {
+                self.config.node_id
+            } else {
+                self.leader.unwrap_or(0)
+            },
+            vector: Vec::new(),
+            peers,
+        });
     }
 
     fn step_primary(&mut self, now_nanos: u64) {

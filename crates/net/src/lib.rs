@@ -78,7 +78,8 @@ pub use repl::{Connector, ReplicaNode, Replicator};
 pub use server::{NetServer, PendingReply, ServiceCore, Step};
 pub use transport::{LoopbackTransport, TcpTransport, Transport};
 pub use wire::{
-    Outcome, Request, RequestFrame, Response, ResponseFrame, WireStats, WireTask, REPL_COORD_STREAM,
+    Outcome, Request, RequestFrame, Response, ResponseFrame, WireClusterStatus, WirePeer,
+    WireStats, WireTask, REPL_COORD_STREAM,
 };
 
 /// The observability crate whose snapshots and events travel on the

@@ -53,6 +53,7 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use dpack_obs::trace::{span_id, with_active_traces, SpanKind, SpanRing};
 use dpack_obs::{Clock, Counter, EventKind, FlightRecorder, Gauge, Histogram, Obs};
 use dpack_service::wal::{WalError, WalStorage};
 use dpack_service::{
@@ -61,7 +62,7 @@ use dpack_service::{
 
 use crate::client::NetClient;
 use crate::error::{ErrorCode, NetError};
-use crate::wire::{Response, REPL_COORD_STREAM};
+use crate::wire::{Response, WirePeer, REPL_COORD_STREAM};
 
 fn wire_stream(shard: u32) -> ReplStream {
     if shard == REPL_COORD_STREAM {
@@ -426,6 +427,13 @@ struct Link {
     /// Clock-nanos before which [`Replicator::tend`] leaves this link
     /// alone.
     next_redial_nanos: AtomicU64,
+    /// Highest durable seq this replica has acked, per stream (shard
+    /// streams first, coordinator last) — the subtrahend of the
+    /// `dpack_repl_lag` gauges and of [`Replicator::peer_status`].
+    /// Sized by [`Replicator::over_links`].
+    acked: Vec<AtomicU64>,
+    /// Snapshot resyncs pushed down this link.
+    resyncs: AtomicU64,
 }
 
 impl Link {
@@ -474,6 +482,11 @@ pub struct Replicator {
     ship_timeout: Option<Duration>,
     clock: Arc<dyn Clock>,
     recorder: FlightRecorder,
+    /// Where traced ships record their `ReplShip`/`QuorumWait` spans.
+    spans: SpanRing,
+    /// Per-stream replication lag (primary seq − the slowest up
+    /// replica's acked seq); shard streams first, coordinator last.
+    lag_gauges: Vec<Gauge>,
     shipped_batches: Counter,
     shipped_records: Counter,
     acked_batches: Counter,
@@ -532,6 +545,8 @@ impl Replicator {
                     status: AtomicU8::new(LINK_UP),
                     fails: AtomicU32::new(0),
                     next_redial_nanos: AtomicU64::new(0),
+                    acked: Vec::new(),
+                    resyncs: AtomicU64::new(0),
                 })
             })
             .collect::<Result<Vec<_>, NetError>>()?;
@@ -563,6 +578,8 @@ impl Replicator {
                 status: AtomicU8::new(LINK_UP),
                 fails: AtomicU32::new(0),
                 next_redial_nanos: AtomicU64::new(0),
+                acked: Vec::new(),
+                resyncs: AtomicU64::new(0),
             })
             .collect();
         Self::over_links(links, quorum, n_shards, 0, &[], obs)
@@ -614,13 +631,15 @@ impl Replicator {
                 status: AtomicU8::new(LINK_DOWN),
                 fails: AtomicU32::new(0),
                 next_redial_nanos: AtomicU64::new(0),
+                acked: Vec::new(),
+                resyncs: AtomicU64::new(0),
             })
             .collect();
         Self::over_links(links, quorum, n_shards, term, seqs, obs)
     }
 
     fn over_links(
-        links: Vec<Link>,
+        mut links: Vec<Link>,
         quorum: usize,
         n_shards: usize,
         term: u64,
@@ -636,6 +655,18 @@ impl Replicator {
             seqs.is_empty() || seqs.len() == n_shards + 1,
             "a resumed seq vector must cover every shard stream plus the coordinator"
         );
+        for link in &mut links {
+            link.acked = (0..=n_shards).map(|_| AtomicU64::new(0)).collect();
+        }
+        let lag_gauges = (0..n_shards)
+            .map(|s| {
+                obs.registry
+                    .gauge("dpack_repl_lag", &format!("stream=\"shard-{s}\""))
+            })
+            .chain(std::iter::once(
+                obs.registry.gauge("dpack_repl_lag", "stream=\"coord\""),
+            ))
+            .collect();
         let this = Self {
             quorum,
             n_shards,
@@ -648,6 +679,8 @@ impl Replicator {
             ship_timeout: None,
             clock: Arc::clone(obs.clock()),
             recorder: obs.recorder.clone(),
+            spans: obs.spans.clone(),
+            lag_gauges,
             shipped_batches: obs.registry.counter("dpack_repl_shipped_batches_total", ""),
             shipped_records: obs.registry.counter("dpack_repl_shipped_records_total", ""),
             acked_batches: obs.registry.counter("dpack_repl_acked_batches_total", ""),
@@ -717,6 +750,55 @@ impl Replicator {
         self.seqs
             .iter()
             .map(|s| s.load(Ordering::Acquire))
+            .collect()
+    }
+
+    /// Refreshes the `dpack_repl_lag` gauges: per stream, the
+    /// primary's shipped seq minus the slowest **up** replica's acked
+    /// seq. With no up replica everything shipped is unacked, so the
+    /// lag is the seq itself.
+    fn refresh_lag(&self) {
+        for (slot, gauge) in self.lag_gauges.iter().enumerate() {
+            let seq = self.seqs[slot].load(Ordering::Acquire);
+            let slowest = self
+                .links
+                .iter()
+                .filter(|l| l.status() == LINK_UP)
+                .map(|l| l.acked[slot].load(Ordering::Acquire))
+                .min()
+                .unwrap_or(0);
+            gauge.set_u64(seq.saturating_sub(slowest));
+        }
+    }
+
+    /// A point-in-time view of every replica link for cluster
+    /// introspection: address, Up/Suspect/Down state, per-stream lag
+    /// against this primary's seq vector, remaining redial backoff,
+    /// and resyncs pushed. Peer ids and terms are the cluster
+    /// driver's knowledge, not the replicator's — they are left 0 for
+    /// the caller to fill.
+    pub fn peer_status(&self) -> Vec<WirePeer> {
+        let vector = self.vector();
+        let now = self.clock.now_nanos();
+        self.links
+            .iter()
+            .map(|link| WirePeer {
+                id: 0,
+                addr: link.addr.to_string(),
+                state: link.status(),
+                term: self.term(),
+                is_primary: false,
+                lag: vector
+                    .iter()
+                    .zip(&link.acked)
+                    .map(|(seq, acked)| seq.saturating_sub(acked.load(Ordering::Acquire)))
+                    .collect(),
+                backoff_nanos: link
+                    .next_redial_nanos
+                    .load(Ordering::Acquire)
+                    .saturating_sub(now),
+                resyncs: link.resyncs.load(Ordering::Acquire),
+            })
             .collect()
     }
 
@@ -794,6 +876,7 @@ impl Replicator {
             }
         }
         self.live_replicas.set_u64(self.live() as u64);
+        self.refresh_lag();
         true
     }
 
@@ -846,6 +929,9 @@ impl Replicator {
         if pong.lineage == lineage && pong.vector == vector {
             // Fast path: the replica's durable state is exactly ours —
             // a transient disconnect, nothing was missed.
+            for (slot, seq) in vector.iter().enumerate() {
+                link.acked[slot].store(*seq, Ordering::Release);
+            }
             return Probe::Caught;
         }
         let Some(service) = service else {
@@ -880,6 +966,10 @@ impl Replicator {
         match pushed {
             Ok(()) => {
                 self.resyncs_total.inc();
+                link.resyncs.fetch_add(1, Ordering::AcqRel);
+                for (slot, seq) in vector.iter().enumerate() {
+                    link.acked[slot].store(*seq, Ordering::Release);
+                }
                 self.recorder
                     .record(EventKind::ReplicaResynced, index as u64, lineage);
                 Probe::Caught
@@ -915,6 +1005,12 @@ impl ReplicationSink for Replicator {
         let started = self.clock.now_nanos();
         self.shipped_batches.inc();
         self.shipped_records.add(records.len() as u64);
+        // The traces pinned by the committing cycle, if any: their
+        // bare ids ride the wire so each replica can derive its
+        // append span, and the ship/quorum spans are recorded here.
+        let mut traced: Vec<dpack_obs::TraceContext> = Vec::new();
+        with_active_traces(|ctxs| traced.extend_from_slice(ctxs));
+        let trace_ids: Vec<u64> = traced.iter().map(|c| c.trace).collect();
 
         // Phase 1: pipeline the batch to every up replica; a send
         // failure marks the link Suspect on the spot.
@@ -931,6 +1027,7 @@ impl ReplicationSink for Replicator {
                     shard_wire,
                     seq,
                     records.iter().map(|r| r.to_vec()).collect(),
+                    trace_ids.clone(),
                 )
                 .ok()
             });
@@ -947,13 +1044,22 @@ impl ReplicationSink for Replicator {
         // Suspect, pending a redial and (if needed) resync. A
         // stale-term refusal means *we* are the untrustworthy side.
         let mut acked = 0usize;
-        for (link, handle) in self.links.iter().zip(handles) {
+        // On a traced ship, the ack that completes the quorum is the
+        // one the commit was waiting for: (clock reading, link
+        // ordinal), attributing the quorum wait to its slowest
+        // contributor. Untraced ships never take the extra reads.
+        let mut quorum_closed: Option<(u64, usize)> = None;
+        for (ordinal, (link, handle)) in self.links.iter().zip(handles).enumerate() {
             let Some(handle) = handle else { continue };
             let mut client = link.client.lock().expect("replica link lock poisoned");
             let outcome = client.as_mut().map(|c| c.wait_replicate_ack(handle));
             match outcome {
                 Some(Ok((s, q, durable))) if s == shard_wire && q == seq && durable >= seq => {
                     acked += 1;
+                    link.acked[slot].fetch_max(durable, Ordering::AcqRel);
+                    if !traced.is_empty() && acked == self.quorum {
+                        quorum_closed = Some((self.clock.now_nanos(), ordinal));
+                    }
                 }
                 Some(Err(NetError::Timeout)) => {
                     self.ship_timeout_total.inc();
@@ -976,8 +1082,33 @@ impl ReplicationSink for Replicator {
         }
 
         self.live_replicas.set_u64(self.live() as u64);
-        self.quorum_wait_nanos
-            .record(self.clock.now_nanos().saturating_sub(started));
+        let ended = self.clock.now_nanos();
+        self.quorum_wait_nanos.record(ended.saturating_sub(started));
+        self.refresh_lag();
+        let stream_salt = u64::from(shard_wire);
+        for ctx in &traced {
+            let ship_span = span_id(ctx.trace, SpanKind::ReplShip, stream_salt);
+            self.spans.record(
+                ctx.trace,
+                ship_span,
+                span_id(ctx.trace, SpanKind::Cycle, 0),
+                SpanKind::ReplShip,
+                started,
+                ended,
+                stream_salt,
+            );
+            if let Some((closed_at, ordinal)) = quorum_closed {
+                self.spans.record(
+                    ctx.trace,
+                    span_id(ctx.trace, SpanKind::QuorumWait, stream_salt),
+                    ship_span,
+                    SpanKind::QuorumWait,
+                    started,
+                    closed_at,
+                    ordinal as u64,
+                );
+            }
+        }
         if acked >= self.quorum && !self.is_deposed() {
             self.acked_batches.inc();
             Ok(())

@@ -36,15 +36,26 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Duration;
 
-use dpack_obs::{Clock, Counter, EventKind, FlightRecorder, Gauge, Histogram};
+use dpack_obs::trace::{span_id, SpanKind};
+use dpack_obs::{Clock, Counter, EventKind, FlightRecorder, Gauge, Histogram, TraceContext};
 use dpack_service::{BudgetService, Decision, SubmissionTicket};
 
 use crate::error::{admission_code, ErrorCode, NetError};
 use crate::repl::{ReplicaNode, Replicator};
 use crate::wire::{
-    frame_into, FrameDecoder, Outcome, Request, RequestFrame, Response, ResponseFrame, WireStats,
-    MAX_FRAME,
+    frame_into, FrameDecoder, Outcome, Request, RequestFrame, Response, ResponseFrame,
+    WireClusterStatus, WireStats, MAX_FRAME,
 };
+
+/// Flight-recorder events one `Trace` reply may carry. Replies keep
+/// the **oldest** events past the cap, so a client paginating with
+/// `since` always makes progress toward the ring's head.
+const MAX_TRACE_EVENTS_PER_REPLY: usize = 65_536;
+
+/// Spans one `SpanDump` reply may carry (same oldest-first pagination
+/// contract as `Trace`). Both caps keep worst-case replies a few MiB —
+/// comfortably inside the reply budget [`clamp_reply`] enforces.
+const MAX_SPANS_PER_REPLY: usize = 65_536;
 
 /// Replaces a reply that cannot fit in one frame with an `Error`
 /// response for the same request id. A tenant can legitimately request
@@ -233,6 +244,12 @@ pub struct ServiceCore {
     /// in `Hello` before any other request is served.
     secret: Option<Arc<str>>,
     auth_rejected: Counter,
+    /// The deployment view behind [`Request::ClusterStatus`]: whoever
+    /// drives this node (a [`crate::ClusterNode`] step loop) pushes
+    /// what only it knows — node ids, peer addresses, the believed
+    /// leader — and the handler overlays the live role-owned fields
+    /// (term, seq vector, per-stream lag) at answer time.
+    cluster: Arc<RwLock<Option<WireClusterStatus>>>,
 }
 
 impl ServiceCore {
@@ -264,7 +281,25 @@ impl ServiceCore {
             obs,
             secret: None,
             auth_rejected,
+            cluster: Arc::new(RwLock::new(None)),
         }
+    }
+
+    /// Publishes the deployment view served by
+    /// [`Request::ClusterStatus`] — node ids, peer addresses and
+    /// states, the believed leader. Role-owned fields (term, seq
+    /// vector, per-stream lag) are refreshed live at answer time, so
+    /// the pushed view only needs to be topologically current.
+    pub fn set_cluster_view(&self, view: WireClusterStatus) {
+        *self.cluster.write().expect("cluster view lock poisoned") = Some(view);
+    }
+
+    /// The last pushed deployment view, if any.
+    pub fn cluster_view(&self) -> Option<WireClusterStatus> {
+        self.cluster
+            .read()
+            .expect("cluster view lock poisoned")
+            .clone()
     }
 
     /// Requires every connection to present `secret` in its `Hello`
@@ -379,9 +414,9 @@ impl ServiceCore {
         }
         let step = match &*self.role.read().expect("role lock poisoned") {
             Role::Primary { service, repl } => {
-                Self::handle_primary(service, repl.as_ref(), id, body)
+                Self::handle_primary(service, repl.as_ref(), &self.cluster, id, body)
             }
-            Role::Replica(node) => Self::handle_replica(node, id, body),
+            Role::Replica(node) => Self::handle_replica(node, &self.cluster, id, body),
         };
         Ok(match step {
             Step::Reply(payload) => Step::Reply(clamp_reply(payload)),
@@ -392,6 +427,7 @@ impl ServiceCore {
     fn handle_primary(
         service: &Arc<BudgetService>,
         repl: Option<&Arc<Replicator>>,
+        cluster: &RwLock<Option<WireClusterStatus>>,
         id: u64,
         body: Request,
     ) -> Step {
@@ -405,14 +441,27 @@ impl ServiceCore {
                 }
                 .encode(),
             ),
-            Request::Submit { tenant, task } => {
-                let slot = Self::submit_slot(service, tenant, task);
+            Request::Submit {
+                tenant,
+                task,
+                trace,
+            } => {
+                let slot = Self::submit_slot(service, tenant, task, trace);
                 Self::submission_step(id, false, vec![slot])
             }
-            Request::SubmitBatch { tenant, tasks } => {
+            Request::SubmitBatch {
+                tenant,
+                tasks,
+                traces,
+            } => {
+                // The decoder guarantees `traces` is empty or pairs
+                // with `tasks` in order; pad the empty case out.
+                let mut traces: Vec<Option<TraceContext>> = traces.into_iter().map(Some).collect();
+                traces.resize(tasks.len(), None);
                 let slots = tasks
                     .into_iter()
-                    .map(|t| Self::submit_slot(service, tenant, t))
+                    .zip(traces)
+                    .map(|(t, ctx)| Self::submit_slot(service, tenant, t, ctx))
                     .collect();
                 Self::submission_step(id, true, slots)
             }
@@ -473,15 +522,73 @@ impl ServiceCore {
                 }
                 .encode(),
             ),
-            Request::Trace { since } => Step::Reply(
-                ResponseFrame {
-                    id,
-                    body: Response::Trace {
-                        events: service.obs().recorder.dump_since(since),
-                    },
-                }
-                .encode(),
-            ),
+            Request::Trace { since } => {
+                let mut events = service.obs().recorder.dump_since(since);
+                events.truncate(MAX_TRACE_EVENTS_PER_REPLY);
+                Step::Reply(
+                    ResponseFrame {
+                        id,
+                        body: Response::Trace { events },
+                    }
+                    .encode(),
+                )
+            }
+            Request::SpanDump { since } => {
+                let mut spans = service.obs().spans.dump_since(since);
+                spans.truncate(MAX_SPANS_PER_REPLY);
+                Step::Reply(
+                    ResponseFrame {
+                        id,
+                        body: Response::SpanDump { spans },
+                    }
+                    .encode(),
+                )
+            }
+            Request::ClusterStatus => {
+                let pushed = cluster.read().expect("cluster view lock poisoned").clone();
+                let node_id = pushed
+                    .as_ref()
+                    .map_or_else(|| service.obs().spans.node(), |v| v.node_id);
+                let status = match repl {
+                    // A shipping primary's live fields come straight
+                    // from the replicator — terms, seq vector, and
+                    // per-stream lag are authoritative there, not in
+                    // whatever view was pushed last step. The pushed
+                    // view contributes what the replicator cannot
+                    // know: the peers' deployment ids.
+                    Some(r) => {
+                        let mut peers = r.peer_status();
+                        if let Some(v) = &pushed {
+                            for (live, known) in peers.iter_mut().zip(&v.peers) {
+                                live.id = known.id;
+                            }
+                        }
+                        WireClusterStatus {
+                            node_id,
+                            is_primary: true,
+                            term: r.term(),
+                            leader: node_id,
+                            vector: r.vector(),
+                            peers,
+                        }
+                    }
+                    None => pushed.unwrap_or(WireClusterStatus {
+                        node_id,
+                        is_primary: true,
+                        term: 0,
+                        leader: node_id,
+                        vector: Vec::new(),
+                        peers: Vec::new(),
+                    }),
+                };
+                Step::Reply(
+                    ResponseFrame {
+                        id,
+                        body: Response::ClusterStatus(status),
+                    }
+                    .encode(),
+                )
+            }
             // A deposed primary shipping into the new primary learns
             // its term is over; any other inbound stream is a wiring
             // error — refuse loudly rather than double-apply records
@@ -550,14 +657,48 @@ impl ServiceCore {
         }
     }
 
-    fn handle_replica(node: &Arc<ReplicaNode>, id: u64, body: Request) -> Step {
+    fn handle_replica(
+        node: &Arc<ReplicaNode>,
+        cluster: &RwLock<Option<WireClusterStatus>>,
+        id: u64,
+        body: Request,
+    ) -> Step {
         let body = match body {
             Request::Replicate {
                 term,
                 shard,
                 seq,
                 records,
-            } => node.apply(term, shard, seq, &records),
+                traces,
+            } => {
+                // The clock is read only on traced ships: untraced
+                // replication stays byte-for-byte on its old path (and
+                // deterministic tests see zero extra clock reads).
+                let started = (!traces.is_empty()).then(|| node.obs().clock().now_nanos());
+                let reply = node.apply(term, shard, seq, &records);
+                if let (Some(start), Response::ReplicateAck { .. }) = (started, &reply) {
+                    let end = node.obs().clock().now_nanos();
+                    let ring = &node.obs().spans;
+                    // Salted with this node's id so sibling replicas'
+                    // append spans stay distinct when dumps merge; the
+                    // parent is the primary's ship span for the same
+                    // stream — both sides derive it from the trace id
+                    // alone, which is all the frame carried.
+                    let salt = u64::from(shard) | node.node_id().wrapping_shl(32);
+                    for trace in traces {
+                        ring.record(
+                            trace,
+                            span_id(trace, SpanKind::ReplicaAppend, salt),
+                            span_id(trace, SpanKind::ReplShip, u64::from(shard)),
+                            SpanKind::ReplicaAppend,
+                            start,
+                            end,
+                            seq,
+                        );
+                    }
+                }
+                reply
+            }
             Request::Ping { term, .. } => node.pong(term),
             Request::Vote {
                 term,
@@ -576,9 +717,30 @@ impl ServiceCore {
             Request::Metrics => Response::Metrics {
                 samples: node.obs().registry.snapshot().samples,
             },
-            Request::Trace { since } => Response::Trace {
-                events: node.obs().recorder.dump_since(since),
-            },
+            Request::Trace { since } => {
+                let mut events = node.obs().recorder.dump_since(since);
+                events.truncate(MAX_TRACE_EVENTS_PER_REPLY);
+                Response::Trace { events }
+            }
+            Request::SpanDump { since } => {
+                let mut spans = node.obs().spans.dump_since(since);
+                spans.truncate(MAX_SPANS_PER_REPLY);
+                Response::SpanDump { spans }
+            }
+            Request::ClusterStatus => {
+                let pushed = cluster.read().expect("cluster view lock poisoned").clone();
+                // A replica owns its term and durable vector; the
+                // pushed view supplies what only the cluster driver
+                // knows (ids, the believed leader, peer states).
+                Response::ClusterStatus(WireClusterStatus {
+                    node_id: pushed.as_ref().map_or(node.node_id(), |v| v.node_id),
+                    is_primary: false,
+                    term: node.current_term(),
+                    leader: pushed.as_ref().map_or(0, |v| v.leader),
+                    vector: node.wal().vector(),
+                    peers: pushed.map_or_else(Vec::new, |v| v.peers),
+                })
+            }
             _ => Response::Error {
                 code: ErrorCode::NotPrimary,
                 message: "this node is a replica; submit to the primary".into(),
@@ -589,11 +751,19 @@ impl ServiceCore {
 
     /// Submits one wire task; an admission rejection *is* the final
     /// decision, so it fills the slot immediately.
-    fn submit_slot(service: &Arc<BudgetService>, tenant: u32, task: crate::wire::WireTask) -> Slot {
+    fn submit_slot(
+        service: &Arc<BudgetService>,
+        tenant: u32,
+        task: crate::wire::WireTask,
+        trace: Option<TraceContext>,
+    ) -> Slot {
         let task_id = task.id;
         let result = task
             .into_task(service.ledger().grid())
-            .and_then(|t| service.submit_async(tenant, t));
+            .and_then(|t| match trace {
+                Some(ctx) => service.submit_async_traced(tenant, t, ctx),
+                None => service.submit_async(tenant, t),
+            });
         match result {
             Ok(ticket) => Slot::Waiting(ticket),
             Err(e) => Slot::Done(

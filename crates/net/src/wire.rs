@@ -37,7 +37,7 @@ use std::fmt;
 
 use dp_accounting::AlphaGrid;
 use dpack_core::problem::Task;
-use dpack_obs::{Event, EventKind, HistogramSnapshot, Sample, Value};
+use dpack_obs::{Event, EventKind, HistogramSnapshot, Sample, Span, SpanKind, TraceContext, Value};
 use dpack_service::AdmissionError;
 
 use crate::error::{ErrorCode, NetError};
@@ -519,6 +519,123 @@ impl WireStats {
     }
 }
 
+/// A peer as one node sees it, inside a [`WireClusterStatus`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WirePeer {
+    /// The peer's node id.
+    pub id: u64,
+    /// The peer's advertised address.
+    pub addr: String,
+    /// Failure-detector state: 0 = up, 1 = suspect, 2 = down.
+    pub state: u8,
+    /// The peer's last observed election term.
+    pub term: u64,
+    /// Whether the peer last claimed to be primary.
+    pub is_primary: bool,
+    /// Per-stream replication lag (primary's durable seq − the peer's
+    /// acked seq), shards in index order then the coordinator stream.
+    /// Populated only when the answering node is the primary; empty
+    /// otherwise.
+    pub lag: Vec<u64>,
+    /// Current redial backoff on the peer's replication link (nanos;
+    /// 0 when the link is healthy).
+    pub backoff_nanos: u64,
+    /// Completed resync rounds this primaryship has run for the peer.
+    pub resyncs: u64,
+}
+
+impl WirePeer {
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        put_u64(buf, self.id);
+        put_str(buf, &self.addr);
+        buf.push(self.state);
+        put_u64(buf, self.term);
+        buf.push(u8::from(self.is_primary));
+        put_u64s(buf, &self.lag);
+        put_u64(buf, self.backoff_nanos);
+        put_u64(buf, self.resyncs);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, NetError> {
+        Ok(Self {
+            id: r.u64()?,
+            addr: r.str()?,
+            state: match r.u8()? {
+                s @ 0..=2 => s,
+                s => return Err(bad(format!("bad peer state {s}"))),
+            },
+            term: r.u64()?,
+            is_primary: match r.u8()? {
+                0 => false,
+                1 => true,
+                t => return Err(bad(format!("bad primary flag {t}"))),
+            },
+            lag: r.u64s()?,
+            backoff_nanos: r.u64()?,
+            resyncs: r.u64()?,
+        })
+    }
+}
+
+/// One node's answer to [`Request::ClusterStatus`]: its own identity
+/// and durable state, plus its live view of every peer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireClusterStatus {
+    /// The answering node's id.
+    pub node_id: u64,
+    /// Whether it currently holds the primary role.
+    pub is_primary: bool,
+    /// Its current election term.
+    pub term: u64,
+    /// The node it believes leads (0 = unknown).
+    pub leader: u64,
+    /// Its durable per-stream seq vector (shards in index order, then
+    /// the coordinator stream).
+    pub vector: Vec<u64>,
+    /// Its view of each configured peer.
+    pub peers: Vec<WirePeer>,
+}
+
+impl WireClusterStatus {
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        put_u64(buf, self.node_id);
+        buf.push(u8::from(self.is_primary));
+        put_u64(buf, self.term);
+        put_u64(buf, self.leader);
+        put_u64s(buf, &self.vector);
+        put_len(buf, self.peers.len());
+        for p in &self.peers {
+            p.encode_into(buf);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, NetError> {
+        let node_id = r.u64()?;
+        let is_primary = match r.u8()? {
+            0 => false,
+            1 => true,
+            t => return Err(bad(format!("bad primary flag {t}"))),
+        };
+        let term = r.u64()?;
+        let leader = r.u64()?;
+        let vector = r.u64s()?;
+        // A peer is at least id + addr len + state + term + flag +
+        // lag len + backoff + resyncs = 42 bytes.
+        let n = r.list_len(42)?;
+        let peers = (0..n)
+            .map(|_| WirePeer::decode(&mut *r))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            node_id,
+            is_primary,
+            term,
+            leader,
+            vector,
+            peers,
+        })
+    }
+}
+
 // ---- observability payloads ------------------------------------------
 
 // A [`dpack_obs::Value`] travels as a kind byte + body. Histograms go
@@ -584,6 +701,54 @@ fn decode_sample(r: &mut Reader<'_>) -> Result<Sample, NetError> {
     })
 }
 
+fn encode_span(buf: &mut Vec<u8>, s: &Span) {
+    put_u64(buf, s.seq);
+    put_u64(buf, s.trace);
+    put_u64(buf, s.span);
+    put_u64(buf, s.parent);
+    buf.push(s.kind as u8);
+    put_u64(buf, s.node);
+    put_u64(buf, s.start_nanos);
+    put_u64(buf, s.end_nanos);
+    put_u64(buf, s.a);
+}
+
+/// Bytes one encoded span occupies (eight words + the kind byte) —
+/// the `list_len` element bound and the reply-budget divisor.
+pub const SPAN_WIRE_BYTES: usize = 8 * 8 + 1;
+
+fn decode_span(r: &mut Reader<'_>) -> Result<Span, NetError> {
+    let seq = r.u64()?;
+    let trace = r.u64()?;
+    let span = r.u64()?;
+    let parent = r.u64()?;
+    let raw = r.u8()?;
+    let kind = SpanKind::from_u8(raw).ok_or_else(|| bad(format!("unknown span kind {raw}")))?;
+    Ok(Span {
+        seq,
+        trace,
+        span,
+        parent,
+        kind,
+        node: r.u64()?,
+        start_nanos: r.u64()?,
+        end_nanos: r.u64()?,
+        a: r.u64()?,
+    })
+}
+
+fn encode_trace_ctx(buf: &mut Vec<u8>, ctx: &TraceContext) {
+    put_u64(buf, ctx.trace);
+    put_u64(buf, ctx.span);
+}
+
+fn decode_trace_ctx(r: &mut Reader<'_>) -> Result<TraceContext, NetError> {
+    Ok(TraceContext {
+        trace: r.u64()?,
+        span: r.u64()?,
+    })
+}
+
 fn encode_event(buf: &mut Vec<u8>, e: &Event) {
     put_u64(buf, e.seq);
     buf.push(e.kind as u8);
@@ -618,6 +783,8 @@ const REQ_PING: u8 = 10;
 const REQ_VOTE: u8 = 11;
 const REQ_RESYNC_STREAM: u8 = 12;
 const REQ_RESYNC_COMMIT: u8 = 13;
+const REQ_CLUSTER_STATUS: u8 = 14;
+const REQ_SPAN_DUMP: u8 = 15;
 
 /// The shard field value that addresses the coordinator stream in a
 /// [`Request::Replicate`] (shard streams use their index).
@@ -628,6 +795,11 @@ pub const REPL_COORD_STREAM: u32 = u32::MAX;
 /// headers). Matches the service's group-commit reality: one batch is
 /// one scheduling cycle's grants on one shard.
 pub const MAX_REPL_RECORDS: u32 = 65_536;
+
+/// Upper bound on trace ids riding one `Replicate` batch — traces are
+/// a sampled minority of traffic, so a batch carrying more is a
+/// protocol violation, not a bigger allocation.
+pub const MAX_REPL_TRACES: u32 = 1024;
 
 /// A client request body.
 #[derive(Debug, Clone, PartialEq)]
@@ -647,6 +819,9 @@ pub enum Request {
         tenant: u32,
         /// The task.
         task: WireTask,
+        /// Distributed-trace context: when present, the grant records
+        /// spans across every node it touches under this trace id.
+        trace: Option<TraceContext>,
     },
     /// Submit many tasks in one frame; one response carries every
     /// decision once the last one is made.
@@ -655,6 +830,9 @@ pub enum Request {
         tenant: u32,
         /// The tasks, decided independently.
         tasks: Vec<WireTask>,
+        /// Per-task trace contexts: empty (nothing traced) or exactly
+        /// one per task, in task order.
+        traces: Vec<TraceContext>,
     },
     /// Register a data block (arrives with its full capacity curve).
     RegisterBlock {
@@ -701,6 +879,10 @@ pub enum Request {
         seq: u64,
         /// The record payloads, exactly as appended on the primary.
         records: Vec<Vec<u8>>,
+        /// Trace ids of the traced grants in this batch: the replica
+        /// derives every span id it records from these alone, so the
+        /// ship carries no span structure.
+        traces: Vec<u64>,
     },
     /// Failure-detector heartbeat. Carries the sender's term and its
     /// durable per-stream sequence vector (shards in index order, then
@@ -750,6 +932,17 @@ pub enum Request {
         /// The lineage to persist (the installing primary's term).
         lineage: u64,
     },
+    /// Cluster introspection: the node's own role/term/vector plus its
+    /// view of every peer (state, term, per-stream replication lag on
+    /// the primary, resync/backoff state). Served by every node.
+    ClusterStatus,
+    /// Dump the node's span ring from a sequence number (`since = 0`
+    /// for everything retained) — the per-node half of cross-node
+    /// trace assembly. Paginated exactly like [`Request::Trace`].
+    SpanDump {
+        /// Only spans with `seq >= since` are returned.
+        since: u64,
+    },
 }
 
 /// A framed request: client-chosen id + body. The id is echoed in the
@@ -778,19 +971,38 @@ impl RequestFrame {
                     None => buf.push(0),
                 }
             }
-            Request::Submit { tenant, task } => {
+            Request::Submit {
+                tenant,
+                task,
+                trace,
+            } => {
                 buf.push(REQ_SUBMIT);
                 put_u64(&mut buf, self.id);
                 put_u32(&mut buf, *tenant);
                 task.encode_into(&mut buf);
+                match trace {
+                    Some(ctx) => {
+                        buf.push(1);
+                        encode_trace_ctx(&mut buf, ctx);
+                    }
+                    None => buf.push(0),
+                }
             }
-            Request::SubmitBatch { tenant, tasks } => {
+            Request::SubmitBatch {
+                tenant,
+                tasks,
+                traces,
+            } => {
                 buf.push(REQ_SUBMIT_BATCH);
                 put_u64(&mut buf, self.id);
                 put_u32(&mut buf, *tenant);
                 put_len(&mut buf, tasks.len());
                 for t in tasks {
                     t.encode_into(&mut buf);
+                }
+                put_len(&mut buf, traces.len());
+                for ctx in traces {
+                    encode_trace_ctx(&mut buf, ctx);
                 }
             }
             Request::RegisterBlock {
@@ -827,6 +1039,7 @@ impl RequestFrame {
                 shard,
                 seq,
                 records,
+                traces,
             } => {
                 buf.push(REQ_REPLICATE);
                 put_u64(&mut buf, self.id);
@@ -838,6 +1051,7 @@ impl RequestFrame {
                     put_len(&mut buf, r.len());
                     buf.extend_from_slice(r);
                 }
+                put_u64s(&mut buf, traces);
             }
             Request::Ping { term, vector } => {
                 buf.push(REQ_PING);
@@ -876,6 +1090,15 @@ impl RequestFrame {
                 put_u64(&mut buf, *term);
                 put_u64(&mut buf, *lineage);
             }
+            Request::ClusterStatus => {
+                buf.push(REQ_CLUSTER_STATUS);
+                put_u64(&mut buf, self.id);
+            }
+            Request::SpanDump { since } => {
+                buf.push(REQ_SPAN_DUMP);
+                put_u64(&mut buf, self.id);
+                put_u64(&mut buf, *since);
+            }
         }
         buf
     }
@@ -901,6 +1124,11 @@ impl RequestFrame {
             REQ_SUBMIT => Request::Submit {
                 tenant: r.u32()?,
                 task: WireTask::decode(&mut r)?,
+                trace: match r.u8()? {
+                    0 => None,
+                    1 => Some(decode_trace_ctx(&mut r)?),
+                    t => return Err(bad(format!("bad trace flag {t}"))),
+                },
             },
             REQ_SUBMIT_BATCH => {
                 let tenant = r.u32()?;
@@ -915,7 +1143,20 @@ impl RequestFrame {
                 let tasks = (0..n)
                     .map(|_| WireTask::decode(&mut r))
                     .collect::<Result<Vec<_>, _>>()?;
-                Request::SubmitBatch { tenant, tasks }
+                let nt = r.list_len(16)?;
+                if nt != 0 && nt != tasks.len() {
+                    return Err(bad(
+                        "batch trace list must be empty or match the task count",
+                    ));
+                }
+                let traces = (0..nt)
+                    .map(|_| decode_trace_ctx(&mut r))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Request::SubmitBatch {
+                    tenant,
+                    tasks,
+                    traces,
+                }
             }
             REQ_REGISTER_BLOCK => Request::RegisterBlock {
                 id: r.u64()?,
@@ -938,11 +1179,19 @@ impl RequestFrame {
                     )));
                 }
                 let records = (0..n).map(|_| r.blob()).collect::<Result<Vec<_>, _>>()?;
+                let nt = r.list_len(8)?;
+                if nt > MAX_REPL_TRACES as usize {
+                    return Err(bad(format!(
+                        "replication batch of {nt} traces exceeds the {MAX_REPL_TRACES}-trace cap"
+                    )));
+                }
+                let traces = (0..nt).map(|_| r.u64()).collect::<Result<Vec<_>, _>>()?;
                 Request::Replicate {
                     term,
                     shard,
                     seq,
                     records,
+                    traces,
                 }
             }
             REQ_PING => Request::Ping {
@@ -964,6 +1213,8 @@ impl RequestFrame {
                 term: r.u64()?,
                 lineage: r.u64()?,
             },
+            REQ_CLUSTER_STATUS => Request::ClusterStatus,
+            REQ_SPAN_DUMP => Request::SpanDump { since: r.u64()? },
             t => return Err(bad(format!("unknown request tag {t}"))),
         };
         r.done()?;
@@ -986,6 +1237,8 @@ const RESP_REPLICATE_ACK: u8 = 10;
 const RESP_PONG: u8 = 11;
 const RESP_VOTE_REPLY: u8 = 12;
 const RESP_RESYNC_ACK: u8 = 13;
+const RESP_CLUSTER_STATUS: u8 = 14;
+const RESP_SPAN_DUMP: u8 = 15;
 
 /// A server response body.
 #[derive(Debug, Clone, PartialEq)]
@@ -1081,6 +1334,13 @@ pub enum Response {
         /// The stream's new durable seq (the install's `base_seq`; a
         /// commit ack echoes the persisted lineage).
         durable: u64,
+    },
+    /// The node's introspection answer.
+    ClusterStatus(WireClusterStatus),
+    /// The span-ring dump, in sequence order.
+    SpanDump {
+        /// The retained spans matching the request's `since`.
+        spans: Vec<Span>,
     },
 }
 
@@ -1195,6 +1455,19 @@ impl ResponseFrame {
                 put_u32(&mut buf, *stream);
                 put_u64(&mut buf, *durable);
             }
+            Response::ClusterStatus(status) => {
+                buf.push(RESP_CLUSTER_STATUS);
+                put_u64(&mut buf, self.id);
+                status.encode_into(&mut buf);
+            }
+            Response::SpanDump { spans } => {
+                buf.push(RESP_SPAN_DUMP);
+                put_u64(&mut buf, self.id);
+                put_len(&mut buf, spans.len());
+                for s in spans {
+                    encode_span(&mut buf, s);
+                }
+            }
         }
         buf
     }
@@ -1286,6 +1559,14 @@ impl ResponseFrame {
                 stream: r.u32()?,
                 durable: r.u64()?,
             },
+            RESP_CLUSTER_STATUS => Response::ClusterStatus(WireClusterStatus::decode(&mut r)?),
+            RESP_SPAN_DUMP => {
+                let n = r.list_len(SPAN_WIRE_BYTES)?;
+                let spans = (0..n)
+                    .map(|_| decode_span(&mut r))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Response::SpanDump { spans }
+            }
             t => return Err(bad(format!("unknown response tag {t}"))),
         };
         r.done()?;
@@ -1374,6 +1655,18 @@ mod tests {
                 body: Request::Submit {
                     tenant: 7,
                     task: sample_task(),
+                    trace: None,
+                },
+            },
+            RequestFrame {
+                id: 16,
+                body: Request::Submit {
+                    tenant: 7,
+                    task: sample_task(),
+                    trace: Some(TraceContext {
+                        trace: 0xDEAD_BEEF,
+                        span: 0x5EED,
+                    }),
                 },
             },
             RequestFrame {
@@ -1381,6 +1674,18 @@ mod tests {
                 body: Request::SubmitBatch {
                     tenant: 0,
                     tasks: vec![sample_task(), sample_task()],
+                    traces: Vec::new(),
+                },
+            },
+            RequestFrame {
+                id: 17,
+                body: Request::SubmitBatch {
+                    tenant: 0,
+                    tasks: vec![sample_task(), sample_task()],
+                    traces: vec![
+                        TraceContext { trace: 1, span: 2 },
+                        TraceContext { trace: 3, span: 4 },
+                    ],
                 },
             },
             RequestFrame {
@@ -1414,6 +1719,7 @@ mod tests {
                     shard: 3,
                     seq: 17,
                     records: vec![vec![], vec![0xD7, 1, 2, 3], vec![0xD8; 64]],
+                    traces: vec![0xABCD, 0xEF01],
                 },
             },
             RequestFrame {
@@ -1423,6 +1729,7 @@ mod tests {
                     shard: REPL_COORD_STREAM,
                     seq: 1,
                     records: vec![vec![0xFF]],
+                    traces: Vec::new(),
                 },
             },
             RequestFrame {
@@ -1465,11 +1772,34 @@ mod tests {
                     lineage: 5,
                 },
             },
+            RequestFrame {
+                id: 18,
+                body: Request::ClusterStatus,
+            },
+            RequestFrame {
+                id: 19,
+                body: Request::SpanDump { since: 77 },
+            },
         ];
         for req in requests {
             let back = RequestFrame::decode(&req.encode()).expect("round trip");
             assert_eq!(back, req);
         }
+    }
+
+    #[test]
+    fn batch_trace_lists_must_be_empty_or_pair_with_the_tasks() {
+        let frame = RequestFrame {
+            id: 1,
+            body: Request::SubmitBatch {
+                tenant: 0,
+                tasks: vec![sample_task(), sample_task()],
+                traces: vec![TraceContext { trace: 1, span: 2 }],
+            },
+        }
+        .encode();
+        let err = RequestFrame::decode(&frame).expect_err("mismatched trace list");
+        assert!(err.to_string().contains("trace list"));
     }
 
     #[test]
@@ -1607,6 +1937,54 @@ mod tests {
                     durable: 4,
                 },
             },
+            ResponseFrame {
+                id: 14,
+                body: Response::ClusterStatus(WireClusterStatus {
+                    node_id: 2,
+                    is_primary: true,
+                    term: 9,
+                    leader: 2,
+                    vector: vec![17, 4],
+                    peers: vec![
+                        WirePeer {
+                            id: 1,
+                            addr: "10.0.0.1:7001".into(),
+                            state: 0,
+                            term: 9,
+                            is_primary: false,
+                            lag: vec![0, 0],
+                            backoff_nanos: 0,
+                            resyncs: 0,
+                        },
+                        WirePeer {
+                            id: 3,
+                            addr: String::new(),
+                            state: 2,
+                            term: 8,
+                            is_primary: false,
+                            lag: vec![17, 4],
+                            backoff_nanos: 1_500_000_000,
+                            resyncs: 2,
+                        },
+                    ],
+                }),
+            },
+            ResponseFrame {
+                id: 15,
+                body: Response::SpanDump {
+                    spans: vec![dpack_obs::Span {
+                        seq: 1,
+                        trace: 0xABCD,
+                        span: 0x1234,
+                        parent: 0,
+                        kind: SpanKind::Grant,
+                        node: 2,
+                        start_nanos: 100,
+                        end_nanos: 900,
+                        a: 42,
+                    }],
+                },
+            },
         ];
         for resp in responses {
             let back = ResponseFrame::decode(&resp.encode()).expect("round trip");
@@ -1675,6 +2053,7 @@ mod tests {
                 body: Request::SubmitBatch {
                     tenant: 0,
                     tasks: vec![tiny.clone(); n],
+                    traces: Vec::new(),
                 },
             }
             .encode()

@@ -22,11 +22,11 @@ use std::sync::Arc;
 use dp_accounting::{AlphaGrid, RdpCurve};
 use dpack_check::{check_cases, floats, ints, prop_assert, prop_assert_eq, vecs, Strategy};
 use dpack_core::problem::{Block, Task};
-use dpack_net::obs::{Event, EventKind, Histogram, Sample, Value};
+use dpack_net::obs::{Event, EventKind, Histogram, Sample, Span, SpanKind, TraceContext, Value};
 use dpack_net::wire::{frame, FrameDecoder, HEADER};
 use dpack_net::{
     admission_code, ErrorCode, NetClient, Outcome, Request, RequestFrame, Response, ResponseFrame,
-    WireStats, WireTask,
+    WireClusterStatus, WirePeer, WireStats, WireTask,
 };
 use dpack_service::{BudgetService, ServiceConfig};
 
@@ -91,8 +91,22 @@ fn event_of(i: usize, t: &WireTask) -> Event {
     }
 }
 
+fn span_of(i: usize, t: &WireTask) -> Span {
+    Span {
+        seq: i as u64 + 1,
+        trace: t.id | 1,
+        span: t.id.wrapping_mul(3) | 1,
+        parent: t.id / 2,
+        kind: SpanKind::from_u8(1 + (t.id % 11) as u8).expect("dense span kinds"),
+        node: t.id % 5,
+        start_nanos: t.id.wrapping_mul(7),
+        end_nanos: t.id.wrapping_mul(9),
+        a: t.blocks.first().copied().unwrap_or(0),
+    }
+}
+
 fn request_from_seed((pick, id, tenant, mut tasks, now): RequestSeed) -> RequestFrame {
-    let body = match pick % 12 {
+    let body = match pick % 14 {
         0 => Request::Hello {
             token: if id % 2 == 0 {
                 None
@@ -110,8 +124,30 @@ fn request_from_seed((pick, id, tenant, mut tasks, now): RequestSeed) -> Request
                 demand: vec![0.1],
                 blocks: vec![0],
             }),
+            trace: (id % 2 == 1).then_some(TraceContext {
+                trace: id | 1,
+                span: id.wrapping_mul(3) | 1,
+            }),
         },
-        2 => Request::SubmitBatch { tenant, tasks },
+        2 => {
+            // Trace lists are empty or pair 1:1 with the tasks.
+            let traces = if id % 2 == 1 {
+                tasks
+                    .iter()
+                    .map(|t| TraceContext {
+                        trace: t.id | 1,
+                        span: t.id.wrapping_mul(5) | 1,
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            Request::SubmitBatch {
+                tenant,
+                tasks,
+                traces,
+            }
+        }
         3 => Request::RegisterBlock {
             id: id.wrapping_mul(3),
             arrival: now,
@@ -128,6 +164,7 @@ fn request_from_seed((pick, id, tenant, mut tasks, now): RequestSeed) -> Request
             shard: tenant,
             seq: id.wrapping_mul(5),
             records: tasks.iter().map(|t| t.id.to_le_bytes().to_vec()).collect(),
+            traces: tasks.iter().map(|t| t.id | 1).collect(),
         },
         9 => Request::Ping {
             term: id % 9,
@@ -138,7 +175,7 @@ fn request_from_seed((pick, id, tenant, mut tasks, now): RequestSeed) -> Request
             candidate: u64::from(tenant),
             ballot: tasks.iter().map(|t| t.id).collect(),
         },
-        _ => {
+        11 => {
             if id % 2 == 0 {
                 Request::ResyncStream {
                     term: id % 9,
@@ -153,6 +190,10 @@ fn request_from_seed((pick, id, tenant, mut tasks, now): RequestSeed) -> Request
                 }
             }
         }
+        12 => Request::ClusterStatus,
+        _ => Request::SpanDump {
+            since: id.wrapping_mul(13),
+        },
     };
     RequestFrame { id, body }
 }
@@ -169,7 +210,7 @@ fn response_from_seed((pick, id, tasks, raw_code, now): ResponseSeed) -> Respons
         },
         _ => Outcome::Evicted,
     };
-    let body = match pick % 12 {
+    let body = match pick % 14 {
         0 => Response::Hello {
             alphas: tasks.first().map(|t| t.demand.clone()).unwrap_or_default(),
         },
@@ -228,9 +269,37 @@ fn response_from_seed((pick, id, tasks, raw_code, now): ResponseSeed) -> Respons
             term: id % 9,
             granted: id % 2 == 1,
         },
-        _ => Response::ResyncAck {
+        11 => Response::ResyncAck {
             stream: id as u32 % 5,
             durable: id.wrapping_mul(7),
+        },
+        12 => Response::ClusterStatus(WireClusterStatus {
+            node_id: id % 7,
+            is_primary: id % 2 == 0,
+            term: id % 9,
+            leader: id % 7,
+            vector: tasks.iter().map(|t| t.id).collect(),
+            peers: tasks
+                .iter()
+                .enumerate()
+                .map(|(i, t)| WirePeer {
+                    id: i as u64,
+                    addr: format!("10.0.0.{i}:70{i}"),
+                    state: (t.id % 3) as u8,
+                    term: id % 9,
+                    is_primary: false,
+                    lag: t.blocks.clone(),
+                    backoff_nanos: t.id.wrapping_mul(11),
+                    resyncs: t.id % 4,
+                })
+                .collect(),
+        }),
+        _ => Response::SpanDump {
+            spans: tasks
+                .iter()
+                .enumerate()
+                .map(|(i, t)| span_of(i, t))
+                .collect(),
         },
     };
     ResponseFrame { id, body }
@@ -244,7 +313,7 @@ fn prop_every_request_shape_round_trips() {
         "every_request_shape_round_trips",
         CASES,
         (
-            ints(0u8..12),
+            ints(0u8..14),
             ints(0u64..u64::MAX),
             ints(0u32..16),
             vecs(wire_task_strategy(), 0..4),
@@ -266,7 +335,7 @@ fn prop_every_response_shape_round_trips() {
         "every_response_shape_round_trips",
         CASES,
         (
-            ints(0u8..12),
+            ints(0u8..14),
             ints(1u64..u64::MAX),
             vecs(wire_task_strategy(), 0..4),
             ints(0u16..100),
@@ -409,7 +478,7 @@ fn prop_loopback_protocol_is_equivalent_to_in_process_submission() {
             (
                 vecs(ints(0u64..8), 0..3), // Blocks 6..8 are unknown.
                 floats(0.0..1.5),
-                ints(0u8..12),
+                ints(0u8..14),
                 dpack_check::bools(),
             ),
             1..20,

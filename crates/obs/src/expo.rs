@@ -11,6 +11,24 @@ use std::fmt::Write as _;
 
 use crate::registry::{MetricsSnapshot, Value};
 
+/// Escapes one label **value** for the text format: backslash, double
+/// quote, and newline become `\\`, `\"`, and `\n`. The registry stores
+/// label sets pre-rendered (`name="value"`), so callers interpolating
+/// untrusted values (tenant names, file paths) escape them with this
+/// before registering.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
 fn sample_line(
     out: &mut String,
     name: &str,

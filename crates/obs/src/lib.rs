@@ -21,8 +21,12 @@
 //! * [`expo`] — Prometheus-style text exposition over a
 //!   [`MetricsSnapshot`]; the same snapshot travels the dpack-net wire
 //!   as the `Metrics` response.
+//! * [`trace`] — distributed causal tracing: seeded trace/span ids, a
+//!   lock-free [`SpanRing`] sibling of the recorder, and the
+//!   [`SpanTree`] assembler that merges per-node dumps into one causal
+//!   tree per traced grant.
 //!
-//! [`Obs`] bundles the three seams into the single handle the service,
+//! [`Obs`] bundles the seams into the single handle the service,
 //! WAL, and reactor layers thread through their constructors.
 
 pub mod clock;
@@ -30,6 +34,7 @@ pub mod expo;
 pub mod hist;
 pub mod recorder;
 pub mod registry;
+pub mod trace;
 
 use std::sync::Arc;
 
@@ -37,59 +42,92 @@ pub use clock::{Clock, ManualClock, WallClock};
 pub use hist::{Histogram, HistogramSnapshot, BUCKETS};
 pub use recorder::{Event, EventKind, FlightRecorder};
 pub use registry::{Counter, Gauge, MetricsSnapshot, Registry, Sample, Value};
+pub use trace::{Span, SpanKind, SpanRing, SpanTree, TraceContext, Tracer};
 
 /// Default flight-recorder retention: generous enough to hold a full
 /// crash-recovery trace plus steady-state traffic, small enough to be
 /// memory-irrelevant.
 pub const DEFAULT_RECORDER_CAPACITY: usize = 4096;
 
+/// Default span-ring retention, sized like the recorder: a traced
+/// replicated grant emits on the order of ten spans, so this holds
+/// hundreds of recent traces.
+pub const DEFAULT_SPAN_CAPACITY: usize = 4096;
+
+/// The tracer seed for deterministic (non-wall) contexts: every
+/// manual-clock test draws the same trace-id stream.
+const MANUAL_TRACER_SEED: u64 = 0x00DA_0000_7ACE_0001;
+
 /// The bundled observability context one component tree shares: a
-/// registry, a flight recorder, and a clock.
+/// registry, a flight recorder, a span ring + tracer, and a clock.
 #[derive(Debug, Clone)]
 pub struct Obs {
     /// The instrument registry.
     pub registry: Registry,
     /// The event ring.
     pub recorder: FlightRecorder,
+    /// The span ring distributed traces record into.
+    pub spans: SpanRing,
+    tracer: Arc<Tracer>,
     clock: Arc<dyn Clock>,
 }
 
 impl Obs {
     /// The production default: live registry and recorder, wall clock.
+    /// The tracer seed is drawn from the clock, so distinct processes
+    /// draw distinct trace-id streams.
     pub fn wall() -> Arc<Self> {
-        Self::with_clock(Arc::new(WallClock::new()))
+        let clock = Arc::new(WallClock::new());
+        let seed = clock.now_nanos();
+        Arc::new(Self::live(clock, seed))
     }
 
-    /// A live registry/recorder on an arbitrary clock.
+    /// A live registry/recorder on an arbitrary clock. The clock is
+    /// **not** read here (a [`ManualClock`]'s reads are part of its
+    /// deterministic contract), so the tracer runs on the fixed
+    /// deterministic seed; see [`Obs::wall`] for the wall-seeded form.
     pub fn with_clock(clock: Arc<dyn Clock>) -> Arc<Self> {
-        Arc::new(Self {
-            registry: Registry::new(),
-            recorder: FlightRecorder::new(DEFAULT_RECORDER_CAPACITY),
-            clock,
-        })
+        Arc::new(Self::live(clock, MANUAL_TRACER_SEED))
     }
 
-    /// Fully disabled: inert handles, zero-capacity recorder, frozen
-    /// clock. This is the "metrics off" leg of the overhead benchmark
-    /// and the right default for decision-parity replays.
+    fn live(clock: Arc<dyn Clock>, tracer_seed: u64) -> Self {
+        let registry = Registry::new();
+        let recorder = FlightRecorder::new(DEFAULT_RECORDER_CAPACITY)
+            .with_dropped_counter(registry.counter("dpack_recorder_dropped_total", ""));
+        Self {
+            registry,
+            recorder,
+            spans: SpanRing::new(DEFAULT_SPAN_CAPACITY),
+            tracer: Arc::new(Tracer::seeded(tracer_seed)),
+            clock,
+        }
+    }
+
+    /// Fully disabled: inert handles, zero-capacity recorder and span
+    /// ring, frozen clock. This is the "metrics off" leg of the
+    /// overhead benchmark and the right default for decision-parity
+    /// replays.
     pub fn off() -> Arc<Self> {
         Arc::new(Self {
             registry: Registry::disabled(),
             recorder: FlightRecorder::disabled(),
+            spans: SpanRing::disabled(),
+            tracer: Arc::new(Tracer::seeded(MANUAL_TRACER_SEED)),
             clock: Arc::new(ManualClock::new()),
         })
     }
 
     /// A live context on a [`ManualClock`], returned alongside the
-    /// clock so the test can drive it.
+    /// clock so the test can drive it. The tracer runs on the fixed
+    /// seed: trace ids (and every span id derived from them) replay
+    /// exactly.
     pub fn manual(tick: u64) -> (Arc<Self>, Arc<ManualClock>) {
         let clock = Arc::new(ManualClock::with_tick(tick));
         (
-            Arc::new(Self {
-                registry: Registry::new(),
-                recorder: FlightRecorder::new(DEFAULT_RECORDER_CAPACITY),
-                clock: Arc::clone(&clock) as Arc<dyn Clock>,
-            }),
+            Arc::new(Self::live(
+                Arc::clone(&clock) as Arc<dyn Clock>,
+                MANUAL_TRACER_SEED,
+            )),
             clock,
         )
     }
@@ -97,6 +135,11 @@ impl Obs {
     /// The clock seam.
     pub fn clock(&self) -> &Arc<dyn Clock> {
         &self.clock
+    }
+
+    /// The trace-id source (seeded rand shim; see [`Tracer`]).
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
     }
 
     /// Reads the clock.

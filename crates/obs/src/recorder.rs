@@ -22,6 +22,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use crate::registry::Counter;
+
 /// What happened. The payload words `a`/`b` are per-kind:
 ///
 /// | kind | `a` | `b` |
@@ -162,6 +164,11 @@ impl Slot {
 struct RecorderInner {
     next_seq: AtomicU64,
     slots: Box<[Slot]>,
+    /// Counts ring evictions (a dump with a seq gap before its first
+    /// retained event is a truncated dump — this makes the silent gap
+    /// a scrapable `dpack_recorder_dropped_total` signal). Inert
+    /// unless wired to a live registry.
+    dropped: Counter,
 }
 
 /// A shared, fixed-capacity event ring. Cloning shares the ring.
@@ -177,8 +184,30 @@ impl FlightRecorder {
             inner: Arc::new(RecorderInner {
                 next_seq: AtomicU64::new(0),
                 slots: (0..capacity).map(|_| Slot::empty()).collect(),
+                dropped: Counter::disabled(),
             }),
         }
+    }
+
+    /// Wires the eviction counter (typically the registry's
+    /// `dpack_recorder_dropped_total`). Call before the recorder is
+    /// cloned/shared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the recorder is already shared.
+    #[must_use]
+    pub fn with_dropped_counter(mut self, dropped: Counter) -> Self {
+        Arc::get_mut(&mut self.inner)
+            .expect("wire the dropped counter before sharing")
+            .dropped = dropped;
+        self
+    }
+
+    /// Total events evicted by the ring (recorded − retained): the
+    /// truncation a dump's leading seq gap silently implies.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.get()
     }
 
     /// A recorder that drops everything (capacity 0): recording is an
@@ -200,6 +229,10 @@ impl FlightRecorder {
             return;
         }
         let seq = self.inner.next_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        if seq > slots.len() as u64 {
+            // This claim overwrites the oldest retained event.
+            self.inner.dropped.inc();
+        }
         let slot = &slots[(seq - 1) as usize % slots.len()];
         slot.seq.store(0, Ordering::Release); // Invalidate for readers.
         slot.kind.store(u64::from(kind as u8), Ordering::Relaxed);
@@ -274,6 +307,17 @@ mod tests {
             }
         );
         assert_eq!(r.recorded(), 10);
+    }
+
+    #[test]
+    fn evictions_count_on_the_dropped_counter() {
+        let counter = crate::registry::Registry::new().counter("dpack_recorder_dropped_total", "");
+        let r = FlightRecorder::new(3).with_dropped_counter(counter.clone());
+        for i in 0..10u64 {
+            r.record(EventKind::BatchFlushed, i, 0);
+        }
+        assert_eq!(r.dropped(), 7, "10 recorded, 3 retained");
+        assert_eq!(counter.get(), 7, "the registry sees the truncation");
     }
 
     #[test]

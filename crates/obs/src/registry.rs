@@ -156,6 +156,62 @@ impl MetricsSnapshot {
     pub fn render(&self) -> String {
         crate::expo::render(self)
     }
+
+    /// Folds `other` into this snapshot sample-by-sample — the
+    /// cluster-wide aggregation over per-node scrapes: counters sum,
+    /// gauges sum (levels like queue depths and lags add across
+    /// nodes), histograms merge bucket-wise. A (name, labels) pair
+    /// present on only one side passes through; a kind mismatch keeps
+    /// the existing side (same forgiveness as registering a name
+    /// twice at different kinds). Output order stays (name, labels).
+    pub fn absorb(&mut self, other: &MetricsSnapshot) {
+        let mut merged: BTreeMap<(String, String), Value> = self
+            .samples
+            .drain(..)
+            .map(|s| ((s.name, s.labels), s.value))
+            .collect();
+        for sample in &other.samples {
+            let key = (sample.name.clone(), sample.labels.clone());
+            match merged.get_mut(&key) {
+                None => {
+                    merged.insert(key, sample.value.clone());
+                }
+                Some(Value::Counter(mine)) => {
+                    if let Value::Counter(theirs) = &sample.value {
+                        *mine += theirs;
+                    }
+                }
+                Some(Value::Gauge(mine)) => {
+                    if let Value::Gauge(theirs) = &sample.value {
+                        *mine += theirs;
+                    }
+                }
+                Some(Value::Histogram(mine)) => {
+                    if let Value::Histogram(theirs) = &sample.value {
+                        mine.merge(theirs);
+                    }
+                }
+            }
+        }
+        self.samples = merged
+            .into_iter()
+            .map(|((name, labels), value)| Sample {
+                name,
+                labels,
+                value,
+            })
+            .collect();
+    }
+
+    /// The cluster-wide aggregate of many per-node snapshots (see
+    /// [`MetricsSnapshot::absorb`]).
+    pub fn merged<'a>(snapshots: impl IntoIterator<Item = &'a MetricsSnapshot>) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::default();
+        for snap in snapshots {
+            out.absorb(snap);
+        }
+        out
+    }
 }
 
 #[derive(Debug, Default)]

@@ -20,6 +20,7 @@ use std::collections::VecDeque;
 use std::sync::Mutex;
 
 use dpack_core::problem::{BlockId, Task, TaskId};
+use dpack_obs::TraceContext;
 
 /// Tenant identifier (an account/user of the multi-tenant service).
 pub type TenantId = u32;
@@ -36,6 +37,10 @@ pub struct Submission {
     /// `dpack_grant_latency_nanos` span at grant time costs no lookup.
     /// Meaningful only while observability is live; 0 otherwise.
     pub admitted_nanos: u64,
+    /// Distributed-trace context, if the submitter asked for this
+    /// grant to be traced. Rides the same pending-set path as
+    /// `admitted_nanos`: no side table, no lookup at grant time.
+    pub trace: Option<TraceContext>,
 }
 
 /// Why a submission was refused at admission.
@@ -182,6 +187,7 @@ mod tests {
             tenant,
             task: Task::new(id, 1.0, vec![0], RdpCurve::constant(&g, 0.1), 0.0),
             admitted_nanos: 0,
+            trace: None,
         }
     }
 

@@ -45,6 +45,7 @@ use dpack_core::problem::{Block, BlockId, ProblemError, Task, TaskId};
 use dpack_wal::tier::{EntryRef, SegmentOptions, SegmentStore};
 use dpack_wal::{Wal, WalError, WalOptions, WalStorage};
 
+use dpack_obs::trace::{span_id, with_active_traces, SpanKind, SpanRing};
 use dpack_obs::{Clock, Counter, EventKind, FlightRecorder, Gauge, Histogram, Obs};
 
 use crate::config::{DurabilityOptions, TierConfig};
@@ -64,6 +65,8 @@ struct LedgerTelemetry {
     /// `dpack_cross_commit_nanos`: one whole 2PC round.
     cross_commit: Histogram,
     recorder: FlightRecorder,
+    /// Where traced commits record their WAL-flush spans.
+    spans: SpanRing,
     /// Tier traffic families (`dpack_tier_*`): hot hits, fault-ins,
     /// spilled blocks, failed spill writes, and the current hot/cold
     /// occupancy gauges. Registered unconditionally so scrapes always
@@ -74,6 +77,44 @@ struct LedgerTelemetry {
     tier_spill_failures: Counter,
     tier_hot: Gauge,
     tier_cold: Gauge,
+}
+
+/// The WAL-flush span salt for coordinator-log appends — mirrors the
+/// coordinator's wire stream id, so one constant names the stream in
+/// spans, replication frames, and lag gauges alike.
+const COORD_FLUSH_SALT: u64 = u32::MAX as u64;
+
+impl LedgerTelemetry {
+    /// Opens a WAL-flush span: reads the clock only when the thread
+    /// has trace contexts pinned, so untraced commits (and the
+    /// deterministic manual-clock suites, which count clock reads)
+    /// see zero extra reads.
+    fn flush_started(&self) -> Option<u64> {
+        let mut started = None;
+        with_active_traces(|_| started = Some(self.clock.now_nanos()));
+        started
+    }
+
+    /// Closes the WAL-flush span for every pinned trace. `salt`
+    /// distinguishes the flushed log (shard index, or the coordinator
+    /// stream id) and doubles as the span's attribute.
+    fn record_flush(&self, started: Option<u64>, salt: u64) {
+        let Some(start) = started else { return };
+        let end = self.clock.now_nanos();
+        with_active_traces(|ctxs| {
+            for ctx in ctxs {
+                self.spans.record(
+                    ctx.trace,
+                    span_id(ctx.trace, SpanKind::WalFlush, salt),
+                    span_id(ctx.trace, SpanKind::Cycle, 0),
+                    SpanKind::WalFlush,
+                    start,
+                    end,
+                    salt,
+                );
+            }
+        });
+    }
 }
 
 /// One stripe: its block ledgers plus (when durable) its own log. The
@@ -330,6 +371,7 @@ impl ShardedLedger {
             lock_hold: obs.registry.histogram("dpack_shard_lock_hold_nanos", ""),
             cross_commit: obs.registry.histogram("dpack_cross_commit_nanos", ""),
             recorder: obs.recorder.clone(),
+            spans: obs.spans.clone(),
             clock,
             tier_hits: obs.registry.counter("dpack_tier_hits_total", ""),
             tier_faults: obs.registry.counter("dpack_tier_faults_total", ""),
@@ -1492,11 +1534,18 @@ impl ShardedLedger {
             .map(|w| &stripe.scratch[w[0]..w[1]])
             .collect();
         let wal = stripe.wal.as_mut().expect("checked above");
+        let flush = self
+            .telemetry
+            .as_ref()
+            .and_then(LedgerTelemetry::flush_started);
         if wal.append_batch(&views).is_err() {
             // All-or-nothing: no record of this batch survives, so
             // releasing every staged grant keeps live ≡ recovered.
             self.wal_failures.fetch_add(1, Ordering::Relaxed);
             return outcomes;
+        }
+        if let Some(t) = &self.telemetry {
+            t.record_flush(flush, shard as u64);
         }
         // One ship per flush: quorum durability rides the same batch
         // boundary as the fsync. A failed ship releases the whole
@@ -1534,9 +1583,16 @@ impl ShardedLedger {
                 task.demand.values(),
                 &task.blocks,
             );
+            let flush = self
+                .telemetry
+                .as_ref()
+                .and_then(LedgerTelemetry::flush_started);
             if wal.append(&stripe.scratch).is_err() {
                 self.wal_failures.fetch_add(1, Ordering::Relaxed);
                 return CommitOutcome::Released;
+            }
+            if let Some(t) = &self.telemetry {
+                t.record_flush(flush, shard as u64);
             }
             if !self.ship(ReplStream::Shard(shard as u32), &[&stripe.scratch]) {
                 return CommitOutcome::Released;
@@ -1680,7 +1736,16 @@ impl ShardedLedger {
                 .wal
                 .as_mut()
                 .expect("durable ledger has a wal per shard");
+            let flush = self
+                .telemetry
+                .as_ref()
+                .and_then(LedgerTelemetry::flush_started);
             let appended = wal.append_batch(&views).is_ok();
+            if appended {
+                if let Some(t) = &self.telemetry {
+                    t.record_flush(flush, *s as u64);
+                }
+            }
             if !appended || !self.ship(ReplStream::Shard(*s as u32), &views) {
                 // Presumed abort: no attempt in this batch got (or
                 // will get) a durable decision, so nothing is charged
@@ -1711,6 +1776,10 @@ impl ShardedLedger {
         // locally durable and quorum-replicated.
         let mut coord = coord.lock().expect("coordinator lock poisoned");
         let mut decided: Vec<(usize, Vec<u8>)> = Vec::with_capacity(staged.len());
+        let flush = self
+            .telemetry
+            .as_ref()
+            .and_then(LedgerTelemetry::flush_started);
         for (i, attempt) in staged {
             let mut decision = Vec::with_capacity(17);
             CoordRecord::Commit {
@@ -1725,6 +1794,11 @@ impl ShardedLedger {
                 break;
             }
             decided.push((i, decision));
+        }
+        if !decided.is_empty() {
+            if let Some(t) = &self.telemetry {
+                t.record_flush(flush, COORD_FLUSH_SALT);
+            }
         }
         let shipped = decided.is_empty() || {
             let views: Vec<&[u8]> = decided.iter().map(|(_, d)| d.as_slice()).collect();

@@ -34,7 +34,8 @@ use std::time::Duration;
 use dp_accounting::AlphaGrid;
 use dpack_core::online::AllocatedTask;
 use dpack_core::problem::{Block, ProblemError, ProblemState, Task, TaskId};
-use dpack_obs::{EventKind, Obs};
+use dpack_obs::trace::{scoped_traces, span_id, SpanKind};
+use dpack_obs::{EventKind, Obs, TraceContext};
 use dpack_wal::{FsStorage, WalError, WalStorage};
 use orchestrator::busy_wait;
 
@@ -45,8 +46,9 @@ use crate::stats::{CycleStats, ServiceStats};
 use crate::telemetry::ServiceTelemetry;
 use crate::ticket::{Decision, SubmissionTicket, TicketCell};
 
-/// A tenant-tagged task on its way through a scheduling cycle.
-type TaggedTask = (TenantId, Task);
+/// A tenant-tagged task on its way through a scheduling cycle,
+/// carrying its distributed-trace context (if traced).
+type TaggedTask = (TenantId, Task, Option<TraceContext>);
 /// A shared available-capacity snapshot, keyed by block id — shard
 /// cycles read the ledger's cycle-stable cached views without cloning
 /// curves.
@@ -58,7 +60,7 @@ type Snapshot =
 fn referenced_blocks(subs: &[TaggedTask]) -> Vec<dpack_core::problem::BlockId> {
     let mut ids: Vec<_> = subs
         .iter()
-        .flat_map(|(_, t)| t.blocks.iter().copied())
+        .flat_map(|(_, t, _)| t.blocks.iter().copied())
         .collect();
     ids.sort_unstable();
     ids.dedup();
@@ -434,7 +436,25 @@ impl BudgetService {
         // locks (block existence) and scans the demand curve, so
         // serializing producers through it would defeat the striping.
         let validated = self.validate(&task);
-        self.admit(tenant, task, validated)
+        self.admit(tenant, task, validated, None)
+    }
+
+    /// [`BudgetService::submit`] under a distributed-trace context:
+    /// the grant's root span opens at admission and every layer it
+    /// touches (cycle phases, WAL flush, replication) records child
+    /// spans into the node's [`dpack_obs::SpanRing`].
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionError`] exactly as [`BudgetService::submit`].
+    pub fn submit_traced(
+        &self,
+        tenant: TenantId,
+        task: Task,
+        trace: TraceContext,
+    ) -> Result<(), AdmissionError> {
+        let validated = self.validate(&task);
+        self.admit(tenant, task, validated, Some(trace))
     }
 
     /// The admission tail shared by [`BudgetService::submit`] and
@@ -445,6 +465,7 @@ impl BudgetService {
         tenant: TenantId,
         task: Task,
         validated: Result<(), AdmissionError>,
+        trace: Option<TraceContext>,
     ) -> Result<(), AdmissionError> {
         // The stats lock is held only across the enqueue and counter
         // updates, making them atomic with the task becoming visible
@@ -457,7 +478,7 @@ impl BudgetService {
         let task_id = task.id;
         let mut stats = self.stats.lock().expect("stats lock poisoned");
         let result = match validated {
-            Ok(()) => self.enqueue(tenant, task),
+            Ok(()) => self.enqueue(tenant, task, trace),
             Err(e) => Err(e),
         };
         stats.submitted += 1;
@@ -553,7 +574,12 @@ impl BudgetService {
 
     /// The admission gates with state: duplicate id, tenant quota,
     /// queue bound.
-    fn enqueue(&self, tenant: TenantId, task: Task) -> Result<(), AdmissionError> {
+    fn enqueue(
+        &self,
+        tenant: TenantId,
+        task: Task,
+        trace: Option<TraceContext>,
+    ) -> Result<(), AdmissionError> {
         // Hold the live-task lock across the queue push so two racing
         // submissions of the same id (or a quota-straddling pair)
         // cannot both land.
@@ -571,8 +597,9 @@ impl BudgetService {
         let id = task.id;
         // Open the grant-latency span: the stamp rides in the
         // submission itself (no side map), read only when telemetry is
-        // live.
-        let admitted_nanos = if self.telemetry.grant_latency.is_enabled() {
+        // live. A traced submission always stamps — its root span
+        // starts here.
+        let admitted_nanos = if self.telemetry.grant_latency.is_enabled() || trace.is_some() {
             self.obs.now_nanos()
         } else {
             0
@@ -581,6 +608,7 @@ impl BudgetService {
             tenant,
             task,
             admitted_nanos,
+            trace,
         })?;
         live.ids.insert(id);
         *live.per_tenant.entry(tenant).or_insert(0) += 1;
@@ -610,6 +638,30 @@ impl BudgetService {
         tenant: TenantId,
         task: Task,
     ) -> Result<SubmissionTicket, AdmissionError> {
+        self.submit_async_inner(tenant, task, None)
+    }
+
+    /// [`BudgetService::submit_async`] under a distributed-trace
+    /// context; see [`BudgetService::submit_traced`].
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionError`] exactly as [`BudgetService::submit_async`].
+    pub fn submit_async_traced(
+        &self,
+        tenant: TenantId,
+        task: Task,
+        trace: TraceContext,
+    ) -> Result<SubmissionTicket, AdmissionError> {
+        self.submit_async_inner(tenant, task, Some(trace))
+    }
+
+    fn submit_async_inner(
+        &self,
+        tenant: TenantId,
+        task: Task,
+        trace: Option<TraceContext>,
+    ) -> Result<SubmissionTicket, AdmissionError> {
         let id = task.id;
         // Validation (shard-lock probes, demand scan) runs before the
         // ticket lock so concurrent async submitters keep the striped
@@ -619,7 +671,7 @@ impl BudgetService {
         // lock).
         let validated = self.validate(&task);
         let mut tickets = self.tickets.lock().expect("ticket map lock poisoned");
-        self.admit(tenant, task, validated)?;
+        self.admit(tenant, task, validated, trace)?;
         let cell = Arc::new(TicketCell::default());
         tickets.insert(id, Arc::clone(&cell));
         Ok(SubmissionTicket::new(id, cell))
@@ -791,10 +843,13 @@ impl BudgetService {
             .flat_map(|r| r.granted.iter().map(|(_, a)| a.id))
             .chain(cross_granted.iter().map(|(_, a)| a.id))
             .collect();
+        let mut traced_grants: Vec<(TraceContext, u64)> = Vec::new();
         let pending_after = {
             // The sweep that drops granted submissions also closes
             // their latency spans — the stamp travels in the
-            // submission, so no per-task lookup is needed.
+            // submission, so no per-task lookup is needed. Traced
+            // grants are collected here and their service-side spans
+            // recorded once `t_end` is known.
             let latency_live = self.telemetry.grant_latency.is_enabled();
             let mut pending = self.pending.lock().expect("pending lock poisoned");
             pending.retain(|s| {
@@ -805,6 +860,9 @@ impl BudgetService {
                     self.telemetry
                         .grant_latency
                         .record(t_cross.saturating_sub(s.admitted_nanos));
+                }
+                if let Some(ctx) = s.trace {
+                    traced_grants.push((ctx, s.admitted_nanos));
                 }
                 false
             });
@@ -913,6 +971,53 @@ impl BudgetService {
             .cycle_nanos
             .record(t_end.saturating_sub(t_start));
 
+        // Close the service-side spans of every traced grant: the root
+        // (admission → decision durable), the queue wait, and the
+        // cycle with its four phases. All child ids derive from the
+        // trace id alone ([`span_id`]), so the WAL and replication
+        // spans recorded during the commit — and the replica-side
+        // spans recorded on other nodes — parent onto these without
+        // any id exchange.
+        for (ctx, admitted) in traced_grants {
+            let spans = &self.obs.spans;
+            let cycle_span = span_id(ctx.trace, SpanKind::Cycle, 0);
+            spans.record(ctx.trace, ctx.span, 0, SpanKind::Grant, admitted, t_end, 0);
+            spans.record(
+                ctx.trace,
+                span_id(ctx.trace, SpanKind::QueueWait, 0),
+                ctx.span,
+                SpanKind::QueueWait,
+                admitted,
+                t_start,
+                0,
+            );
+            spans.record(
+                ctx.trace,
+                cycle_span,
+                ctx.span,
+                SpanKind::Cycle,
+                t_start,
+                t_end,
+                0,
+            );
+            for (kind, lo, hi) in [
+                (SpanKind::PhaseIngest, t_start, t_ingest),
+                (SpanKind::PhaseLocal, t_ingest, t_local),
+                (SpanKind::PhaseCross, t_local, t_cross),
+                (SpanKind::PhaseFinalize, t_cross, t_end),
+            ] {
+                spans.record(
+                    ctx.trace,
+                    span_id(ctx.trace, kind, 0),
+                    cycle_span,
+                    kind,
+                    lo,
+                    hi,
+                    0,
+                );
+            }
+        }
+
         let cycle = CycleStats {
             now,
             ingested,
@@ -960,9 +1065,9 @@ impl BudgetService {
                 .iter()
                 .all(|b| self.ledger.shard_of(*b) == first)
             {
-                shard_tasks[first].push((s.tenant, s.task.clone()));
+                shard_tasks[first].push((s.tenant, s.task.clone(), s.trace));
             } else {
-                cross.push((s.tenant, s.task.clone()));
+                cross.push((s.tenant, s.task.clone(), s.trace));
             }
         }
         (shard_tasks, cross)
@@ -984,9 +1089,13 @@ impl BudgetService {
     ) -> (Vec<(TenantId, AllocatedTask)>, usize, Duration) {
         let tenant_of: std::collections::BTreeMap<TaskId, TenantId> = subs
             .iter()
-            .map(|(tenant, task)| (task.id, *tenant))
+            .map(|(tenant, task, _)| (task.id, *tenant))
             .collect();
-        let tasks: Vec<Task> = subs.into_iter().map(|(_, task)| task).collect();
+        let trace_of: std::collections::BTreeMap<TaskId, TraceContext> = subs
+            .iter()
+            .filter_map(|(_, task, trace)| trace.map(|t| (task.id, t)))
+            .collect();
+        let tasks: Vec<Task> = subs.into_iter().map(|(_, task, _)| task).collect();
         let state =
             ProblemState::from_available_shared(self.ledger.grid().clone(), available, tasks)
                 .expect("admission validated every pending task");
@@ -996,10 +1105,21 @@ impl BudgetService {
             .iter()
             .map(|id| state.task(*id).expect("scheduler only returns state tasks"))
             .collect();
+        // Pin the scheduled tasks' trace contexts for the commit: the
+        // ledger and replication layers run on this thread and read
+        // the scoped set to record their WAL-flush / ship spans
+        // without any signature change on the commit path.
+        let pinned = scoped_traces(
+            scheduled
+                .iter()
+                .filter_map(|t| trace_of.get(&t.id).copied())
+                .collect(),
+        );
         let outcomes = match target {
             CommitTarget::Local(shard) => self.ledger.commit_shard_batch(shard, &scheduled),
             CommitTarget::Cross => self.ledger.commit_cross_batch(&scheduled),
         };
+        drop(pinned);
         let mut granted = Vec::new();
         let mut released = 0usize;
         for (task, outcome) in scheduled.iter().zip(outcomes) {

@@ -115,6 +115,38 @@ for fam in dpack_submitted_total dpack_granted_total dpack_grant_latency_nanos \
   fi
 done
 
+# Introspection-plane smoke: a real three-node cluster behind
+# 127.0.0.1 sockets — unassisted leader election, traced submissions
+# through the primary, then one monitor-style scrape per node:
+# ClusterStatus, the three registry snapshots merged into one
+# cluster-wide view, and the span dumps assembled into causal trees
+# exported as chrome://tracing JSON. The example asserts tree
+# completeness and JSON well-formedness itself; the greps below pin the
+# status section and the replication/tracing metric families to the
+# merged scrape, and the file check pins the exported trace envelope.
+echo "==> cluster introspection smoke (cluster_top example, 3 nodes over 127.0.0.1)"
+top_out="$(cargo run --release -q --example cluster_top)"
+echo "${top_out}" | grep -v '^dpack_\|^# TYPE'
+if ! grep -q "^== ClusterStatus" <<<"${top_out}"; then
+  echo "ERROR: cluster_top printed no ClusterStatus section" >&2
+  exit 1
+fi
+for fam in dpack_repl_lag dpack_recorder_dropped_total dpack_repl_live_replicas \
+    dpack_granted_total; do
+  if ! grep -q "^# TYPE ${fam} " <<<"${top_out}"; then
+    echo "ERROR: merged cluster scrape is missing family ${fam}" >&2
+    exit 1
+  fi
+done
+if [ ! -s target/cluster_top.trace.json ]; then
+  echo "ERROR: cluster_top did not export target/cluster_top.trace.json" >&2
+  exit 1
+fi
+if ! head -c 16 target/cluster_top.trace.json | grep -q '{"traceEvents":\['; then
+  echo "ERROR: exported chrome trace lacks the traceEvents envelope" >&2
+  exit 1
+fi
+
 # Perf trajectory for the remote surface: final-decision throughput
 # through dpack-net vs the in-process async surface, same workload.
 echo "==> service_throughput --remote -> BENCH_5.json"
@@ -127,6 +159,26 @@ grep -E "ops_per_sec|relative" BENCH_5.json
 echo "==> service_throughput --obs -> BENCH_6.json"
 cargo run --release -q -p dpack-bench --bin service_throughput -- --obs --json BENCH_6.json
 grep -E "overhead_ratio|p50|p99" BENCH_6.json
+
+# Distributed-tracing cost: every submission traced vs none, with the
+# instrumentation live in *both* legs so the delta isolates the tracing
+# machinery itself (context propagation through the pending set, span
+# starts at every hop, ring writes). The binary asserts the best paired
+# ratio over five on/off rounds; the awk rail re-checks the committed
+# number so a stale BENCH_10.json cannot hide a regression.
+echo "==> service_throughput --traced -> BENCH_10.json"
+cargo run --release -q -p dpack-bench --bin service_throughput -- --traced --json BENCH_10.json
+grep -E "tracing_overhead_ratio|ops_per_sec|spans_recorded" BENCH_10.json
+tov="$(sed -nE 's/.*"tracing_overhead_ratio": ([0-9.]+).*/\1/p' BENCH_10.json)"
+spans="$(sed -nE 's/.*"spans_recorded": ([0-9]+).*/\1/p' BENCH_10.json)"
+if ! awk -v o="${tov}" 'BEGIN { exit !(o >= 0 && o < 0.03) }'; then
+  echo "ERROR: tracing overhead ratio ${tov} breaches the 3% budget" >&2
+  exit 1
+fi
+if [ "${spans}" -le 0 ]; then
+  echo "ERROR: traced leg recorded no spans — the instrumentation is dead" >&2
+  exit 1
+fi
 
 # Million-block scaling: the tiered ledger holds a million registered
 # blocks by spilling cold ones to segment files, so RSS must stay
